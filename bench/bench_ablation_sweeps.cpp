@@ -1,0 +1,159 @@
+// Ablation sweeps for the paper's evaluation question (3): "Which workload
+// characteristics have the strongest impact on the performance of STR?"
+//
+// Starting from Synth-A, each sweep varies one workload dimension while
+// holding the rest fixed, and reports STR's throughput gain over
+// ClockSI-Rep plus STR's misspeculation rate:
+//
+//   A. remote contention    — remote hotspot size (the Synth-A -> Synth-B axis)
+//   B. remote access share  — fraction of accesses leaving the local partition
+//   C. local contention     — local hotspot size
+//   D. read-only share      — fraction of read-only transactions
+//   E. far-access share     — fraction of remote accesses to non-replicated
+//                             partitions (exercises the cache partition)
+//
+// Usage: bench_ablation_sweeps [--quick]
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/parallel_sweep.hpp"
+#include "harness/report.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace str;  // NOLINT
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using protocol::ProtocolConfig;
+using workload::SyntheticConfig;
+using workload::SyntheticWorkload;
+
+ExperimentConfig base_config(const ProtocolConfig& proto, bool quick) {
+  ExperimentConfig cfg;
+  cfg.cluster.num_nodes = 9;
+  cfg.cluster.replication_factor = 6;
+  cfg.cluster.topology = net::Topology::ec2_nine_regions();
+  cfg.cluster.protocol = proto;
+  cfg.cluster.seed = 42;
+  cfg.total_clients = 160;
+  cfg.warmup = sec(2);
+  cfg.duration = quick ? sec(8) : sec(15);
+  cfg.drain = sec(3);
+  return cfg;
+}
+
+struct SweepPoint {
+  std::string label;
+  SyntheticConfig wcfg;
+};
+
+void run_sweep_panel(const char* title,
+                     const std::vector<SweepPoint>& points, bool quick) {
+  std::vector<harness::SweepJob> jobs;
+  for (const auto& point : points) {
+    for (const ProtocolConfig& proto :
+         {ProtocolConfig::clocksi_rep(), ProtocolConfig::str()}) {
+      harness::SweepJob job;
+      job.config = base_config(proto, quick);
+      const SyntheticConfig wcfg = point.wcfg;
+      job.factory = [wcfg](protocol::Cluster& c) {
+        return std::make_unique<SyntheticWorkload>(c, wcfg);
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+  auto results = harness::run_sweep(std::move(jobs));
+
+  std::printf("\n=== Ablation: %s (160 clients) ===\n", title);
+  harness::Table table({"setting", "ClockSI tps", "STR tps", "gain",
+                        "STR abort", "STR misspec"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ExperimentResult& base = results[2 * i];
+    const ExperimentResult& spec = results[2 * i + 1];
+    table.add_row({
+        points[i].label,
+        harness::Table::fmt(base.throughput),
+        harness::Table::fmt(spec.throughput),
+        base.throughput > 0
+            ? harness::Table::fmt(spec.throughput / base.throughput, 2) + "x"
+            : "-",
+        harness::Table::fmt_pct(spec.abort_rate),
+        harness::Table::fmt_pct(spec.misspeculation_rate),
+    });
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  // A. Remote contention: shrink the remote hotspot from Synth-A's 800 keys
+  // to Synth-B's 3 and beyond.
+  {
+    std::vector<SweepPoint> points;
+    for (std::uint32_t h : {800u, 100u, 20u, 3u, 1u}) {
+      SyntheticConfig w = SyntheticConfig::synth_a();
+      w.remote_hotspot = h;
+      points.push_back({"remote hotspot " + std::to_string(h), w});
+    }
+    run_sweep_panel("remote contention (Synth-A -> Synth-B axis)", points,
+                    quick);
+  }
+
+  // B. Remote access share.
+  {
+    std::vector<SweepPoint> points;
+    for (double p : {0.0, 0.1, 0.3, 0.6, 0.9}) {
+      SyntheticConfig w = SyntheticConfig::synth_a();
+      w.remote_access_prob = p;
+      points.push_back(
+          {"remote access " + harness::Table::fmt_pct(p), w});
+    }
+    run_sweep_panel("remote access share", points, quick);
+  }
+
+  // C. Local contention.
+  {
+    std::vector<SweepPoint> points;
+    for (std::uint32_t h : {1u, 4u, 16u, 64u, 1024u}) {
+      SyntheticConfig w = SyntheticConfig::synth_a();
+      w.local_hotspot = h;
+      points.push_back({"local hotspot " + std::to_string(h), w});
+    }
+    run_sweep_panel("local contention", points, quick);
+  }
+
+  // D. Read-only share.
+  {
+    std::vector<SweepPoint> points;
+    for (double p : {0.0, 0.25, 0.5, 0.9}) {
+      SyntheticConfig w = SyntheticConfig::synth_a();
+      w.read_only_fraction = p;
+      points.push_back({"read-only " + harness::Table::fmt_pct(p), w});
+    }
+    run_sweep_panel("read-only transaction share", points, quick);
+  }
+
+  // E. Far-access share (cache-partition pressure).
+  {
+    std::vector<SweepPoint> points;
+    for (double p : {0.0, 0.1, 0.5, 1.0}) {
+      SyntheticConfig w = SyntheticConfig::synth_a();
+      w.far_access_frac = p;
+      points.push_back({"far accesses " + harness::Table::fmt_pct(p), w});
+    }
+    run_sweep_panel("far (non-replicated) access share", points, quick);
+  }
+  return 0;
+}

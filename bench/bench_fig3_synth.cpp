@@ -1,0 +1,141 @@
+// Figure 3 reproduction: ClockSI-Rep vs Ext-Spec vs STR on the synthetic
+// workloads Synth-A (high local / low remote contention — speculation's best
+// case) and Synth-B (high local AND remote contention — speculation's worst
+// case), sweeping the total client count.
+//
+// For each (workload, clients, protocol) cell the harness reports the three
+// panels of the figure: throughput, final latency (plus speculative latency
+// for Ext-Spec), and abort rate (plus misspeculation rate).
+//
+// Usage: bench_fig3_synth [--quick|--full]
+//   --quick  shorter windows and a smaller sweep (CI-friendly)
+//   --full   the paper-scale sweep (2..320 clients, 30s windows)
+//   default  a medium sweep that finishes in a couple of minutes
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/parallel_sweep.hpp"
+#include "harness/report.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace str;  // NOLINT
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using protocol::ProtocolConfig;
+using workload::SyntheticConfig;
+using workload::SyntheticWorkload;
+
+struct ProtocolChoice {
+  const char* name;
+  ProtocolConfig config;
+  bool self_tuning;
+};
+
+enum class Size { Quick, Medium, Full };
+
+ExperimentConfig make_config(const ProtocolChoice& proto, std::uint32_t clients,
+                             Size size) {
+  ExperimentConfig cfg;
+  cfg.cluster.num_nodes = 9;
+  cfg.cluster.replication_factor = 6;
+  cfg.cluster.topology = net::Topology::ec2_nine_regions();
+  cfg.cluster.protocol = proto.config;
+  cfg.cluster.seed = 42;
+  cfg.total_clients = clients;
+  cfg.warmup = size == Size::Full ? sec(4) : sec(2);
+  cfg.duration = size == Size::Quick ? sec(8)
+                 : size == Size::Medium ? sec(15)
+                                        : sec(30);
+  cfg.drain = sec(3);
+  cfg.self_tuning = proto.self_tuning;
+  cfg.tuner.interval = size == Size::Full ? sec(10) : sec(3);
+  cfg.tuner.initial_delay = sec(1);
+  return cfg;
+}
+
+void run_panel(const char* title, const SyntheticConfig& wcfg,
+               const std::vector<std::uint32_t>& client_counts, Size size) {
+  const ProtocolChoice protocols[] = {
+      {"ClockSI-Rep", ProtocolConfig::clocksi_rep(), false},
+      {"Ext-Spec", ProtocolConfig::ext_spec(), false},
+      {"STR", ProtocolConfig::str(), true},
+  };
+
+  std::vector<harness::SweepJob> jobs;
+  for (std::uint32_t clients : client_counts) {
+    for (const auto& proto : protocols) {
+      harness::SweepJob job;
+      job.config = make_config(proto, clients, size);
+      job.factory = [wcfg](protocol::Cluster& c) {
+        return std::make_unique<SyntheticWorkload>(c, wcfg);
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+  std::vector<ExperimentResult> results = harness::run_sweep(std::move(jobs));
+
+  std::printf("\n=== Figure 3: %s ===\n", title);
+  harness::Table table({"clients", "protocol", "thr (tps)", "final lat",
+                        "spec lat", "abort", "misspec/ext-misspec",
+                        "spec?"});
+  std::size_t i = 0;
+  for (std::uint32_t clients : client_counts) {
+    for (const auto& proto : protocols) {
+      const ExperimentResult& r = results[i++];
+      const bool ext = proto.config.externalize_local_commit;
+      table.add_row({
+          std::to_string(clients),
+          proto.name,
+          harness::Table::fmt(r.throughput),
+          harness::Table::fmt_ms(static_cast<std::uint64_t>(r.final_latency_mean)),
+          ext ? harness::Table::fmt_ms(
+                    static_cast<std::uint64_t>(r.speculative_latency_mean))
+              : "-",
+          harness::Table::fmt_pct(r.abort_rate),
+          ext ? harness::Table::fmt_pct(r.external_misspeculation_rate)
+              : harness::Table::fmt_pct(r.misspeculation_rate),
+          proto.self_tuning ? (r.speculation_enabled_at_end ? "on" : "off")
+                            : "-",
+      });
+    }
+  }
+  table.print();
+
+  // Headline factors (paper: Synth-A up to 11.5x throughput, ~10x latency).
+  std::size_t base = 0;
+  double best_gain = 0;
+  for (std::size_t row = 0; row + 2 < results.size(); row += 3) {
+    const double clocksi = results[row].throughput;
+    const double strv = results[row + 2].throughput;
+    if (clocksi > 0) best_gain = std::max(best_gain, strv / clocksi);
+    (void)base;
+  }
+  std::printf("max STR/ClockSI-Rep throughput gain: %.2fx\n", best_gain);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Size size = Size::Medium;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) size = Size::Quick;
+    if (std::strcmp(argv[i], "--full") == 0) size = Size::Full;
+  }
+  const std::vector<std::uint32_t> counts =
+      size == Size::Quick ? std::vector<std::uint32_t>{2, 10, 40}
+      : size == Size::Medium
+          ? std::vector<std::uint32_t>{2, 10, 40, 160, 320}
+          : std::vector<std::uint32_t>{2, 5, 10, 20, 40, 80, 160, 320};
+
+  run_panel("Synth-A (favourable: high local, low remote contention)",
+            SyntheticConfig::synth_a(), counts, size);
+  run_panel("Synth-B (unfavourable: high local AND remote contention)",
+            SyntheticConfig::synth_b(), counts, size);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Figure 4 reproduction: normalized throughput of STR statically configured
+// with speculative reads enabled (SR) or disabled (No SR), and with the
+// self-tuning controller (Auto), on Synth-A and Synth-B across client
+// counts. Each group is normalized to the best static configuration, as in
+// the paper; the figure's claim is that Auto tracks the best static choice
+// in every cell.
+//
+// Usage: bench_fig4_selftuning [--quick|--full]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/parallel_sweep.hpp"
+#include "harness/report.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace str;  // NOLINT
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using protocol::ProtocolConfig;
+using workload::SyntheticConfig;
+using workload::SyntheticWorkload;
+
+enum class Size { Quick, Medium, Full };
+
+ExperimentConfig base_config(std::uint32_t clients, Size size) {
+  const bool quick = size != Size::Full;
+  ExperimentConfig cfg;
+  cfg.cluster.num_nodes = 9;
+  cfg.cluster.replication_factor = 6;
+  cfg.cluster.topology = net::Topology::ec2_nine_regions();
+  cfg.cluster.seed = 42;
+  cfg.total_clients = clients;
+  cfg.warmup = quick ? sec(2) : sec(4);
+  cfg.duration = size == Size::Quick ? sec(8)
+                 : size == Size::Medium ? sec(15)
+                                        : sec(30);
+  cfg.drain = sec(3);
+  cfg.tuner.interval = quick ? sec(3) : sec(10);
+  cfg.tuner.initial_delay = sec(1);
+  return cfg;
+}
+
+void run_panel(const char* title, const SyntheticConfig& wcfg,
+               const std::vector<std::uint32_t>& client_counts, Size size) {
+  struct Variant {
+    const char* name;
+    bool speculation;
+    bool auto_tune;
+  };
+  const Variant variants[] = {
+      {"No SR", false, false},
+      {"SR", true, false},
+      {"Auto", true, true},
+  };
+
+  std::vector<harness::SweepJob> jobs;
+  for (std::uint32_t clients : client_counts) {
+    for (const auto& v : variants) {
+      harness::SweepJob job;
+      job.config = base_config(clients, size);
+      // All variants run the STR engine (Precise Clocks on); only the use
+      // of speculative reads differs, statically or dynamically.
+      job.config.cluster.protocol = ProtocolConfig::str();
+      job.config.cluster.protocol.speculative_reads = v.speculation;
+      job.config.self_tuning = v.auto_tune;
+      job.factory = [wcfg](protocol::Cluster& c) {
+        return std::make_unique<SyntheticWorkload>(c, wcfg);
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+  auto results = harness::run_sweep(std::move(jobs));
+
+  std::printf("\n=== Figure 4: %s ===\n", title);
+  harness::Table table({"clients", "No SR", "SR", "Auto", "auto chose",
+                        "best static"});
+  std::size_t i = 0;
+  for (std::uint32_t clients : client_counts) {
+    const double no_sr = results[i].throughput;
+    const double sr = results[i + 1].throughput;
+    const double auto_thr = results[i + 2].throughput;
+    const bool auto_spec = results[i + 2].speculation_enabled_at_end;
+    const double best = std::max(no_sr, sr);
+    table.add_row({
+        std::to_string(clients),
+        harness::Table::fmt(best > 0 ? no_sr / best : 0, 2),
+        harness::Table::fmt(best > 0 ? sr / best : 0, 2),
+        harness::Table::fmt(best > 0 ? auto_thr / best : 0, 2),
+        auto_spec ? "SR" : "No SR",
+        sr >= no_sr ? "SR" : "No SR",
+    });
+    i += 3;
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Size size = Size::Medium;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) size = Size::Quick;
+    if (std::strcmp(argv[i], "--full") == 0) size = Size::Full;
+  }
+  const std::vector<std::uint32_t> counts =
+      size == Size::Quick    ? std::vector<std::uint32_t>{10, 160}
+      : size == Size::Medium ? std::vector<std::uint32_t>{10, 40, 160, 320}
+                             : std::vector<std::uint32_t>{2, 10, 40, 80, 160, 320};
+
+  run_panel("Synth-A", SyntheticConfig::synth_a(), counts, size);
+  run_panel("Synth-B", SyntheticConfig::synth_b(), counts, size);
+  return 0;
+}

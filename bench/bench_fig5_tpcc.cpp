@@ -1,0 +1,128 @@
+// Figure 5 reproduction: ClockSI-Rep vs Ext-Spec vs STR on three TPC-C
+// mixes (per §6.2):
+//   TPC-C A: 5% new-order, 83% payment, 12% order-status (highest local
+//            contention; paper reports STR speedup ~6.13x)
+//   TPC-C B: 45% new-order, 43% payment, 12% order-status (~2.12x)
+//   TPC-C C: 5% new-order, 43% payment, 52% order-status (~3x)
+// Clients have several seconds of think time, so large client populations
+// are needed to load the system; the sweep is over total clients.
+//
+// Usage: bench_fig5_tpcc [--quick|--full]
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/parallel_sweep.hpp"
+#include "harness/report.hpp"
+#include "workload/tpcc.hpp"
+
+namespace {
+
+using namespace str;  // NOLINT
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using protocol::ProtocolConfig;
+using workload::TpccConfig;
+using workload::TpccWorkload;
+
+struct ProtocolChoice {
+  const char* name;
+  ProtocolConfig config;
+  bool self_tuning;
+};
+
+enum class Size { Quick, Medium, Full };
+
+void run_panel(const char* title, const TpccConfig& wcfg,
+               const std::vector<std::uint32_t>& client_counts, Size size) {
+  const bool quick = size != Size::Full;
+  const ProtocolChoice protocols[] = {
+      {"ClockSI-Rep", ProtocolConfig::clocksi_rep(), false},
+      {"Ext-Spec", ProtocolConfig::ext_spec(), false},
+      {"STR", ProtocolConfig::str(), true},
+  };
+
+  std::vector<harness::SweepJob> jobs;
+  for (std::uint32_t clients : client_counts) {
+    for (const auto& proto : protocols) {
+      harness::SweepJob job;
+      job.config.cluster.num_nodes = 9;
+      job.config.cluster.replication_factor = 6;
+      job.config.cluster.topology = net::Topology::ec2_nine_regions();
+      job.config.cluster.protocol = proto.config;
+      job.config.cluster.seed = 42;
+      job.config.total_clients = clients;
+      job.config.warmup = quick ? sec(3) : sec(6);
+      job.config.duration = size == Size::Quick ? sec(15)
+                            : size == Size::Medium ? sec(20)
+                                                   : sec(45);
+      job.config.drain = sec(4);
+      job.config.self_tuning = proto.self_tuning;
+      job.config.tuner.interval = quick ? sec(4) : sec(10);
+      job.config.tuner.initial_delay = sec(1);
+      job.factory = [wcfg](protocol::Cluster& c) {
+        return std::make_unique<TpccWorkload>(c, wcfg);
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+  auto results = harness::run_sweep(std::move(jobs));
+
+  std::printf("\n=== Figure 5: %s ===\n", title);
+  harness::Table table({"clients", "protocol", "thr (tps)", "final lat",
+                        "spec lat", "abort", "misspec/ext-misspec", "spec?"});
+  std::size_t i = 0;
+  double best_gain = 0;
+  for (std::uint32_t clients : client_counts) {
+    const double base = results[i].throughput;
+    for (const auto& proto : protocols) {
+      const ExperimentResult& r = results[i++];
+      const bool ext = proto.config.externalize_local_commit;
+      table.add_row({
+          std::to_string(clients),
+          proto.name,
+          harness::Table::fmt(r.throughput),
+          harness::Table::fmt_ms(static_cast<std::uint64_t>(r.final_latency_mean)),
+          ext ? harness::Table::fmt_ms(
+                    static_cast<std::uint64_t>(r.speculative_latency_mean))
+              : "-",
+          harness::Table::fmt_pct(r.abort_rate),
+          ext ? harness::Table::fmt_pct(r.external_misspeculation_rate)
+              : harness::Table::fmt_pct(r.misspeculation_rate),
+          proto.self_tuning ? (r.speculation_enabled_at_end ? "on" : "off")
+                            : "-",
+      });
+      if (base > 0 && proto.self_tuning) {
+        best_gain = std::max(best_gain, r.throughput / base);
+      }
+    }
+  }
+  table.print();
+  std::printf("max STR/ClockSI-Rep throughput gain: %.2fx\n", best_gain);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Size size = Size::Medium;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) size = Size::Quick;
+    if (std::strcmp(argv[i], "--full") == 0) size = Size::Full;
+  }
+  const std::vector<std::uint32_t> counts =
+      size == Size::Quick ? std::vector<std::uint32_t>{900, 7200}
+      : size == Size::Medium
+          ? std::vector<std::uint32_t>{900, 3600, 7200}
+          : std::vector<std::uint32_t>{450, 900, 1800, 3600, 7200, 10800};
+
+  run_panel("TPC-C A (5% NO / 83% P / 12% OS)", TpccConfig::mix_a(), counts,
+            size);
+  run_panel("TPC-C B (45% NO / 43% P / 12% OS)", TpccConfig::mix_b(), counts,
+            size);
+  run_panel("TPC-C C (5% NO / 43% P / 52% OS)", TpccConfig::mix_c(), counts,
+            size);
+  return 0;
+}

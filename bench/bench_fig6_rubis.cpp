@@ -1,0 +1,115 @@
+// Figure 6 reproduction: ClockSI-Rep vs Ext-Spec vs STR on RUBiS with the
+// default 15% update mix and 2-10s think times. The paper reports ~43%
+// higher throughput for STR at 4000 clients and up to 10x final-latency
+// reduction; external speculation only helps latency at low load.
+//
+// Usage: bench_fig6_rubis [--quick|--full]
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/parallel_sweep.hpp"
+#include "harness/report.hpp"
+#include "workload/rubis.hpp"
+
+namespace {
+
+using namespace str;  // NOLINT
+using harness::ExperimentResult;
+using protocol::ProtocolConfig;
+using workload::RubisConfig;
+using workload::RubisWorkload;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int size = 1;  // 0 quick, 1 medium, 2 full
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) size = 0;
+    if (std::strcmp(argv[i], "--full") == 0) size = 2;
+  }
+  const bool quick = size < 2;
+  const std::vector<std::uint32_t> counts =
+      size == 0 ? std::vector<std::uint32_t>{1000, 4000}
+      : size == 1 ? std::vector<std::uint32_t>{1000, 4000, 8000}
+                  : std::vector<std::uint32_t>{500, 1000, 2000, 4000, 8000, 16000};
+
+  struct ProtocolChoice {
+    const char* name;
+    ProtocolConfig config;
+    bool self_tuning;
+  };
+  const ProtocolChoice protocols[] = {
+      {"ClockSI-Rep", ProtocolConfig::clocksi_rep(), false},
+      {"Ext-Spec", ProtocolConfig::ext_spec(), false},
+      {"STR", ProtocolConfig::str(), true},
+  };
+
+  RubisConfig wcfg;  // default 15% update workload
+  std::vector<harness::SweepJob> jobs;
+  for (std::uint32_t clients : counts) {
+    for (const auto& proto : protocols) {
+      harness::SweepJob job;
+      job.config.cluster.num_nodes = 9;
+      job.config.cluster.replication_factor = 6;
+      job.config.cluster.topology = net::Topology::ec2_nine_regions();
+      job.config.cluster.protocol = proto.config;
+      job.config.cluster.seed = 42;
+      job.config.total_clients = clients;
+      job.config.warmup = quick ? sec(4) : sec(8);
+      job.config.duration = size == 0 ? sec(20) : size == 1 ? sec(30) : sec(60);
+      job.config.drain = sec(5);
+      job.config.self_tuning = proto.self_tuning;
+      job.config.tuner.interval = quick ? sec(5) : sec(10);
+      job.config.tuner.initial_delay = sec(2);
+      job.factory = [wcfg](protocol::Cluster& c) {
+        return std::make_unique<RubisWorkload>(c, wcfg);
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+  auto results = harness::run_sweep(std::move(jobs));
+
+  std::printf("=== Figure 6: RUBiS (15%% updates, 2-10s think time) ===\n");
+  harness::Table table({"clients", "protocol", "thr (tps)", "final lat",
+                        "spec lat", "abort", "misspec/ext-misspec", "spec?"});
+  std::size_t i = 0;
+  double best_gain = 0;
+  double best_lat_gain = 0;
+  for (std::uint32_t clients : counts) {
+    const double base_thr = results[i].throughput;
+    const double base_lat = results[i].final_latency_mean;
+    for (const auto& proto : protocols) {
+      const ExperimentResult& r = results[i++];
+      const bool ext = proto.config.externalize_local_commit;
+      table.add_row({
+          std::to_string(clients),
+          proto.name,
+          harness::Table::fmt(r.throughput),
+          harness::Table::fmt_ms(static_cast<std::uint64_t>(r.final_latency_mean)),
+          ext ? harness::Table::fmt_ms(
+                    static_cast<std::uint64_t>(r.speculative_latency_mean))
+              : "-",
+          harness::Table::fmt_pct(r.abort_rate),
+          ext ? harness::Table::fmt_pct(r.external_misspeculation_rate)
+              : harness::Table::fmt_pct(r.misspeculation_rate),
+          proto.self_tuning ? (r.speculation_enabled_at_end ? "on" : "off")
+                            : "-",
+      });
+      if (proto.self_tuning && base_thr > 0) {
+        best_gain = std::max(best_gain, r.throughput / base_thr);
+        if (r.final_latency_mean > 0) {
+          best_lat_gain =
+              std::max(best_lat_gain, base_lat / r.final_latency_mean);
+        }
+      }
+    }
+  }
+  table.print();
+  std::printf("max STR throughput gain: %.2fx   max latency reduction: %.2fx\n",
+              best_gain, best_lat_gain);
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Table 1 reproduction: benefits and overhead of Precise Clocks.
+//
+// Four systems — Physical clocks vs Precise Clocks, each with speculative
+// reads off/on — run the synthetic workload while the number of keys each
+// transaction updates grows (10, 20, 40, 100). As in the paper, the key
+// space is scaled by the same factor so the contention level stays fixed.
+// Each column reports throughput normalized to the 'Physical' row and the
+// abort rate.
+//
+// The paper's findings to reproduce:
+//   * Precise Clocks alone reduce aborts and gain throughput, more so for
+//     larger transactions (abort cost grows).
+//   * Speculative reads with Physical clocks are counter-productive.
+//   * Precise + SR is the best configuration.
+//
+// Usage: bench_table1_precise_clocks [--quick|--full]
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/parallel_sweep.hpp"
+#include "harness/report.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace str;  // NOLINT
+using harness::ExperimentConfig;
+using protocol::ProtocolConfig;
+using workload::SyntheticConfig;
+using workload::SyntheticWorkload;
+
+struct Variant {
+  const char* name;
+  bool precise;
+  bool speculative;
+};
+
+constexpr Variant kVariants[] = {
+    {"Physical", false, false},
+    {"Precise", true, false},
+    {"Physical SR", false, true},
+    {"Precise SR", true, true},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int size = 1;  // 0 quick, 1 medium, 2 full
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) size = 0;
+    if (std::strcmp(argv[i], "--full") == 0) size = 2;
+  }
+  const bool quick = size < 2;
+  const std::vector<std::uint32_t> key_counts =
+      size == 0 ? std::vector<std::uint32_t>{10, 40}
+      : size == 1 ? std::vector<std::uint32_t>{10, 40, 100}
+                  : std::vector<std::uint32_t>{10, 20, 40, 100};
+  const std::uint32_t clients = 160;
+
+  std::vector<harness::SweepJob> jobs;
+  for (std::uint32_t keys : key_counts) {
+    for (const auto& v : kVariants) {
+      ExperimentConfig cfg;
+      cfg.cluster.num_nodes = 9;
+      cfg.cluster.replication_factor = 6;
+      cfg.cluster.topology = net::Topology::ec2_nine_regions();
+      cfg.cluster.seed = 42;
+      cfg.cluster.protocol.precise_clocks = v.precise;
+      cfg.cluster.protocol.speculative_reads = v.speculative;
+      cfg.total_clients = clients;
+      cfg.warmup = quick ? sec(2) : sec(4);
+      cfg.duration = size == 0 ? sec(8) : size == 1 ? sec(15) : sec(30);
+      cfg.drain = sec(3);
+
+      SyntheticConfig wcfg = SyntheticConfig::synth_a();
+      // Scale transaction size and key space together to hold contention
+      // constant (the paper's methodology).
+      const double scale = static_cast<double>(keys) / 10.0;
+      wcfg.keys_per_txn = keys;
+      wcfg.keys_per_half =
+          static_cast<std::uint64_t>(100'000 * scale);
+      wcfg.local_hotspot = static_cast<std::uint32_t>(1 * scale);
+      wcfg.remote_hotspot = static_cast<std::uint32_t>(800 * scale);
+
+      harness::SweepJob job;
+      job.config = cfg;
+      job.factory = [wcfg](protocol::Cluster& c) {
+        return std::make_unique<SyntheticWorkload>(c, wcfg);
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+  auto results = harness::run_sweep(std::move(jobs));
+
+  std::printf("=== Table 1: normalized throughput / abort rate ===\n");
+  std::printf("(each column normalized to 'Physical'; %u clients)\n\n",
+              clients);
+  std::vector<std::string> headers = {"technique"};
+  for (std::uint32_t keys : key_counts) {
+    headers.push_back(std::to_string(keys) + " keys");
+  }
+  harness::Table table(headers);
+  for (std::size_t v = 0; v < std::size(kVariants); ++v) {
+    std::vector<std::string> row = {kVariants[v].name};
+    for (std::size_t k = 0; k < key_counts.size(); ++k) {
+      const auto& physical = results[k * std::size(kVariants)];
+      const auto& r = results[k * std::size(kVariants) + v];
+      const double norm =
+          physical.throughput > 0 ? r.throughput / physical.throughput : 0;
+      row.push_back(harness::Table::fmt(norm, 2) + "/" +
+                    harness::Table::fmt_pct(r.abort_rate));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Microbenchmarks (google-benchmark) for the hot components of the
+// simulator and store: event queue, scheduler, coroutine rendezvous,
+// multi-version store operations, RNG, and histogram recording. These set
+// expectations for how much wall time a unit of simulated work costs.
+
+#include <benchmark/benchmark.h>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/unique_function.hpp"
+#include "sim/coro.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/scheduler.hpp"
+#include "store/mvstore.hpp"
+
+namespace {
+
+using namespace str;  // NOLINT
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  Rng rng(1);
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) q.push(rng.uniform(1000000), []() {});
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SchedulerSelfPosting(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Scheduler sched;
+    std::uint64_t count = 0;
+    std::function<void()> tick = [&]() {
+      if (++count < 10000) sched.schedule_after(1, [&]() { tick(); });
+    };
+    sched.schedule_at(0, [&]() { tick(); });
+    state.ResumeTiming();
+    sched.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SchedulerSelfPosting);
+
+sim::Fiber await_and_count(sim::Future<int> f, std::uint64_t& n) {
+  n += static_cast<std::uint64_t>(co_await f);
+}
+
+void BM_CoroutineRendezvous(benchmark::State& state) {
+  sim::Scheduler sched;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    sim::Promise<int> p(sched);
+    await_and_count(p.future(), n);
+    p.set_value(1);
+    sched.run();
+  }
+  benchmark::DoNotOptimize(n);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoroutineRendezvous);
+
+void BM_UniqueFunctionDispatch(benchmark::State& state) {
+  std::uint64_t acc = 0;
+  UniqueFunction<void()> fn = [&acc]() { ++acc; };
+  for (auto _ : state) fn();
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_UniqueFunctionDispatch);
+
+void BM_MvStoreRead(benchmark::State& state) {
+  store::PartitionStore s;
+  const int keys = static_cast<int>(state.range(0));
+  for (int k = 0; k < keys; ++k) s.load(k, "value-of-reasonable-size-64b");
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.read(rng.uniform(keys), 1000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MvStoreRead)->Arg(1000)->Arg(100000);
+
+void BM_MvStorePrepareCommit(benchmark::State& state) {
+  store::PartitionStore s;
+  for (int k = 0; k < 1000; ++k) s.load(k, "x");
+  Rng rng(3);
+  std::uint64_t seq = 1;
+  Timestamp ts = 10;
+  for (auto _ : state) {
+    TxId tx{0, seq++};
+    std::vector<std::pair<Key, Value>> upd{
+        {rng.uniform(1000), "updated-value"}};
+    auto pr = s.prepare(tx, ts, upd, true, ts);
+    if (pr.ok) {
+      s.local_commit(tx, pr.proposed_ts);
+      s.final_commit(tx, pr.proposed_ts + 1);
+      ts = pr.proposed_ts + 2;
+    }
+  }
+  s.gc(ts);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MvStorePrepareCommit);
+
+void BM_MvStoreVersionChainScan(benchmark::State& state) {
+  // Deep chains (pre-GC worst case).
+  store::PartitionStore s;
+  s.load(1, "v");
+  Timestamp ts = 1;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    TxId tx{0, static_cast<std::uint64_t>(i + 1)};
+    std::vector<std::pair<Key, Value>> upd{{1, "v"}};
+    auto pr = s.prepare(tx, ts, upd, true, ts);
+    s.final_commit(tx, pr.proposed_ts);
+    ts = pr.proposed_ts + 1;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.peek(1, ts / 2));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MvStoreVersionChainScan)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(4);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc += rng.uniform(1000000);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(5);
+  for (auto _ : state) h.record(rng.uniform(10'000'000));
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramQuantile(benchmark::State& state) {
+  Histogram h;
+  Rng rng(6);
+  for (int i = 0; i < 100000; ++i) h.record(rng.uniform(10'000'000));
+  for (auto _ : state) benchmark::DoNotOptimize(h.p99());
+}
+BENCHMARK(BM_HistogramQuantile);
+
+}  // namespace

@@ -1,0 +1,173 @@
+// Geo-replicated banking: accounts sharded across nine EC2-like regions,
+// concurrent transfers between them, and an invariant audit (total balance
+// is conserved) — a realistic ACID workload on top of the STR public API.
+//
+// Shows: partition-aware key design, transfer transactions with remote
+// writes, retry-on-abort client logic, and that speculation never breaks
+// the conservation invariant.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "protocol/cluster.hpp"
+#include "sim/coro.hpp"
+
+using namespace str;  // NOLINT
+
+namespace {
+
+constexpr std::uint32_t kAccountsPerNode = 100;
+constexpr std::uint64_t kInitialBalance = 1000;
+
+Key account_key(NodeId node, std::uint32_t acct) {
+  return protocol::PartitionMap::make_key(node, acct);
+}
+
+struct TransferStats {
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  bool done = false;
+};
+
+/// Move `amount` between two accounts, retrying until commit.
+sim::Fiber transfer_loop(protocol::Cluster& cluster, NodeId home,
+                         std::uint32_t rounds, std::uint64_t seed,
+                         TransferStats& stats) {
+  auto& coord = cluster.node(home).coordinator();
+  Rng rng(seed);
+  for (std::uint32_t i = 0; i < rounds; ++i) {
+    const Key from = account_key(home, static_cast<std::uint32_t>(
+                                           rng.uniform(kAccountsPerNode)));
+    const NodeId to_node =
+        static_cast<NodeId>(rng.uniform(cluster.num_nodes()));
+    const Key to = account_key(to_node, static_cast<std::uint32_t>(
+                                            rng.uniform(kAccountsPerNode)));
+    if (from == to) continue;
+    const std::uint64_t amount = 1 + rng.uniform(50);
+
+    for (;;) {  // retry until the transfer commits
+      const TxId tx = coord.begin();
+      auto outcome = coord.outcome_future(tx);
+      auto rf = co_await coord.read(tx, from);
+      if (!rf.aborted) {
+        auto rt = co_await coord.read(tx, to);
+        if (!rt.aborted) {
+          const std::uint64_t bf = std::stoull(rf.value);
+          const std::uint64_t bt = std::stoull(rt.value);
+          if (bf < amount) {  // insufficient funds: clean rollback
+            coord.user_abort(tx);
+            co_await outcome;
+            break;
+          }
+          coord.write(tx, from, std::to_string(bf - amount));
+          coord.write(tx, to, std::to_string(bt + amount));
+          coord.commit(tx);
+        }
+      }
+      const auto res = co_await outcome;
+      if (res.outcome == TxOutcome::Committed) {
+        ++stats.committed;
+        break;
+      }
+      ++stats.aborted;
+    }
+  }
+  stats.done = true;
+}
+
+/// Audit: a read-only transaction summing one node's accounts.
+sim::Fiber audit_node(protocol::Cluster& cluster, NodeId node,
+                      std::uint64_t& total, bool& done) {
+  auto& coord = cluster.node(node).coordinator();
+  for (;;) {
+    const TxId tx = coord.begin();
+    auto outcome = coord.outcome_future(tx);
+    std::uint64_t sum = 0;
+    bool ok = true;
+    for (std::uint32_t a = 0; a < kAccountsPerNode && ok; ++a) {
+      auto r = co_await coord.read(tx, account_key(node, a));
+      if (r.aborted) {
+        ok = false;
+        break;
+      }
+      sum += std::stoull(r.value);
+    }
+    if (ok) {
+      coord.commit(tx);
+      const auto res = co_await outcome;
+      if (res.outcome == TxOutcome::Committed) {
+        total = sum;
+        done = true;
+        co_return;
+      }
+    } else {
+      co_await outcome;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  protocol::Cluster::Config cfg;
+  cfg.num_nodes = 9;
+  cfg.replication_factor = 6;
+  cfg.topology = net::Topology::ec2_nine_regions();
+  cfg.protocol = protocol::ProtocolConfig::str();
+  protocol::Cluster cluster(cfg);
+
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    for (std::uint32_t a = 0; a < kAccountsPerNode; ++a) {
+      cluster.load(account_key(n, a), std::to_string(kInitialBalance));
+    }
+  }
+  const std::uint64_t expected_total =
+      std::uint64_t{cluster.num_nodes()} * kAccountsPerNode * kInitialBalance;
+  cluster.run_for(msec(10));
+
+  std::printf("launching transfers across 9 regions...\n");
+  std::vector<std::unique_ptr<TransferStats>> stats;
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    for (int c = 0; c < 3; ++c) {
+      stats.push_back(std::make_unique<TransferStats>());
+      transfer_loop(cluster, n, 40, n * 100 + c, *stats.back());
+    }
+  }
+  cluster.run_for(sec(120));
+
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  for (const auto& s : stats) {
+    committed += s->committed;
+    aborted += s->aborted;
+  }
+  std::printf("transfers committed: %llu, attempts aborted+retried: %llu\n",
+              static_cast<unsigned long long>(committed),
+              static_cast<unsigned long long>(aborted));
+
+  std::printf("auditing total balance...\n");
+  struct AuditSlot {
+    std::uint64_t total = 0;
+    bool done = false;
+  };
+  std::vector<AuditSlot> slots(cluster.num_nodes());
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    audit_node(cluster, n, slots[n].total, slots[n].done);
+  }
+  cluster.run_for(sec(30));
+  std::uint64_t grand_total = 0;
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    if (!slots[n].done) {
+      std::printf("audit of node %u did not finish!\n", n);
+      return 1;
+    }
+    grand_total += slots[n].total;
+  }
+  std::printf("grand total: %llu (expected %llu) -> %s\n",
+              static_cast<unsigned long long>(grand_total),
+              static_cast<unsigned long long>(expected_total),
+              grand_total == expected_total ? "CONSERVED" : "VIOLATED");
+  return grand_total == expected_total ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Quickstart: build a geo-replicated STR cluster, run a few transactions,
+// and observe speculation at work.
+//
+//   cmake -B build -G Ninja && cmake --build build && ./build/examples/quickstart
+//
+// The example stands up three nodes in three regions (100ms RTT), writes a
+// key from one transaction, and shows a second transaction speculatively
+// reading the pre-committed value long before global certification
+// finishes — then both final-commit in order.
+
+#include <cstdio>
+
+#include "protocol/cluster.hpp"
+#include "sim/coro.hpp"
+
+using namespace str;  // NOLINT
+
+namespace {
+
+// Coroutine style: transaction bodies take everything they use as
+// parameters (never lambda captures — the frame outlives the statement).
+sim::Fiber writer_txn(protocol::Cluster& cluster, protocol::Coordinator& coord,
+                      Key key) {
+  const TxId tx = coord.begin();
+  auto outcome = coord.outcome_future(tx);
+  std::printf("[%7.1fms] writer: begin (snapshot %llu)\n",
+              cluster.now() / 1000.0,
+              static_cast<unsigned long long>(coord.snapshot_of(tx)));
+  coord.write(tx, key, "speculative-hello");
+  coord.commit(tx);
+  const txn::TxFinalResult r = co_await outcome;
+  std::printf("[%7.1fms] writer: %s (commit ts %llu)\n",
+              cluster.now() / 1000.0,
+              r.outcome == TxOutcome::Committed ? "final committed" : "aborted",
+              static_cast<unsigned long long>(r.commit_ts));
+}
+
+sim::Fiber reader_txn(protocol::Cluster& cluster, protocol::Coordinator& coord,
+                      Key key) {
+  const TxId tx = coord.begin();
+  auto outcome = coord.outcome_future(tx);
+  auto r = co_await coord.read(tx, key);
+  std::printf("[%7.1fms] reader: observed \"%s\"%s\n", cluster.now() / 1000.0,
+              r.value.c_str(),
+              r.speculative ? "  <-- speculative (writer not yet final!)" : "");
+  coord.commit(tx);
+  const txn::TxFinalResult res = co_await outcome;
+  std::printf("[%7.1fms] reader: %s\n", cluster.now() / 1000.0,
+              res.outcome == TxOutcome::Committed ? "final committed"
+                                                  : "aborted");
+}
+
+}  // namespace
+
+int main() {
+  protocol::Cluster::Config cfg;
+  cfg.num_nodes = 3;
+  cfg.replication_factor = 2;
+  cfg.topology = net::Topology::symmetric(3, msec(100));
+  cfg.protocol = protocol::ProtocolConfig::str();
+  protocol::Cluster cluster(cfg);
+
+  const Key key = protocol::PartitionMap::make_key(0, 42);
+  cluster.load(key, "initial");
+  cluster.run_for(msec(5));
+
+  auto& coord = cluster.node(0).coordinator();
+  writer_txn(cluster, coord, key);
+  cluster.run_for(msec(2));  // writer is local-committed, certifying over WAN
+  reader_txn(cluster, coord, key);
+
+  cluster.run_for(sec(1));
+  std::printf("\nspeculative reads served: %llu\n",
+              static_cast<unsigned long long>(
+                  cluster.metrics().speculative_reads()));
+  std::printf("WAN messages: %llu\n",
+              static_cast<unsigned long long>(
+                  cluster.network().stats().wan_messages));
+  return 0;
+}

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Plot CSV output produced by tools/str_sim (and sweeps built on it).
+
+Usage:
+    # collect data
+    for p in clocksi ext-spec str; do
+      for c in 10 40 160 320; do
+        ./build/tools/str_sim --workload synth-a --protocol $p \
+            --clients $c --csv synth_a.csv
+      done
+    done
+    # plot
+    scripts/plot_results.py synth_a.csv -o synth_a.png
+
+Produces the three panels of the paper's figures (throughput, final
+latency, abort rate) against the client count, one series per protocol.
+Requires matplotlib; degrades to a text summary without it.
+"""
+
+import argparse
+import csv
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    rows = []
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            rows.append(
+                {
+                    "workload": row["workload"],
+                    "protocol": row["protocol"],
+                    "clients": int(row["clients"]),
+                    "throughput": float(row["throughput_tps"]),
+                    "abort_rate": float(row["abort_rate"]),
+                    "latency_ms": float(row["final_latency_ms"]),
+                }
+            )
+    return rows
+
+
+def series(rows, metric):
+    """protocol -> sorted [(clients, mean metric)]."""
+    acc = defaultdict(lambda: defaultdict(list))
+    for r in rows:
+        acc[r["protocol"]][r["clients"]].append(r[metric])
+    out = {}
+    for proto, per_clients in acc.items():
+        out[proto] = sorted(
+            (c, sum(v) / len(v)) for c, v in per_clients.items()
+        )
+    return out
+
+
+def text_summary(rows):
+    for metric in ("throughput", "latency_ms", "abort_rate"):
+        print(f"== {metric} ==")
+        for proto, pts in sorted(series(rows, metric).items()):
+            line = "  ".join(f"{c}:{v:.1f}" for c, v in pts)
+            print(f"  {proto:12s} {line}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("csv", help="CSV produced by str_sim --csv")
+    ap.add_argument("-o", "--output", help="output image (PNG/PDF)")
+    args = ap.parse_args()
+
+    rows = load(args.csv)
+    if not rows:
+        sys.exit("no data rows in " + args.csv)
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; text summary instead:\n")
+        text_summary(rows)
+        return
+
+    fig, axes = plt.subplots(3, 1, figsize=(7, 10), sharex=True)
+    panels = [
+        ("throughput", "throughput (txn/s)", False),
+        ("latency_ms", "final latency (ms)", True),
+        ("abort_rate", "abort rate", False),
+    ]
+    for ax, (metric, label, logy) in zip(axes, panels):
+        for proto, pts in sorted(series(rows, metric).items()):
+            xs, ys = zip(*pts)
+            ax.plot(xs, ys, marker="o", label=proto)
+        ax.set_ylabel(label)
+        ax.set_xscale("log")
+        if logy:
+            ax.set_yscale("log")
+        ax.grid(True, alpha=0.3)
+    axes[0].legend()
+    axes[0].set_title(rows[0]["workload"])
+    axes[-1].set_xlabel("clients")
+    fig.tight_layout()
+    out = args.output or (args.csv.rsplit(".", 1)[0] + ".png")
+    fig.savefig(out, dpi=150)
+    print("wrote", out)
+
+
+if __name__ == "__main__":
+    main()

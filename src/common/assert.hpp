@@ -1,0 +1,35 @@
+// Always-on invariant checks. Protocol invariants (e.g. "a version can only
+// move forward through PreCommitted -> LocalCommitted -> Committed") are
+// cheap relative to simulated network latencies, so they stay enabled in
+// release builds; a violated invariant is a protocol bug, never a condition
+// to recover from.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <execinfo.h>
+
+namespace str::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "STR_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  void* frames[32];
+  const int n = backtrace(frames, 32);
+  backtrace_symbols_fd(frames, n, 2);
+  std::abort();
+}
+}  // namespace str::detail
+
+#define STR_ASSERT(expr)                                                 \
+  do {                                                                   \
+    if (!(expr)) ::str::detail::assert_fail(#expr, __FILE__, __LINE__,   \
+                                            nullptr);                    \
+  } while (0)
+
+#define STR_ASSERT_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) ::str::detail::assert_fail(#expr, __FILE__, __LINE__,   \
+                                            msg);                        \
+  } while (0)

@@ -1,0 +1,37 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+
+namespace str {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+
+const char* tag(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Log::level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void Log::set_level(LogLevel lvl) { g_level.store(static_cast<int>(lvl), std::memory_order_relaxed); }
+
+void Log::write(LogLevel lvl, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::fprintf(stderr, "[%s] ", tag(lvl));
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  va_end(args);
+}
+
+}  // namespace str

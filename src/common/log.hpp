@@ -1,0 +1,36 @@
+// Minimal leveled logger. Protocol tracing is invaluable when debugging
+// distributed interleavings; it is compiled in but disabled by default and
+// gated by a cheap level check so benchmark runs pay ~nothing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace str {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
+
+  /// printf-style logging; prepends the level tag.
+  static void write(LogLevel lvl, const char* fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+};
+
+#define STR_LOG(lvl, ...)                                      \
+  do {                                                         \
+    if (::str::Log::enabled(lvl)) ::str::Log::write(lvl, __VA_ARGS__); \
+  } while (0)
+
+#define STR_TRACE(...) STR_LOG(::str::LogLevel::Trace, __VA_ARGS__)
+#define STR_DEBUG(...) STR_LOG(::str::LogLevel::Debug, __VA_ARGS__)
+#define STR_INFO(...) STR_LOG(::str::LogLevel::Info, __VA_ARGS__)
+#define STR_WARN(...) STR_LOG(::str::LogLevel::Warn, __VA_ARGS__)
+#define STR_ERROR(...) STR_LOG(::str::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace str

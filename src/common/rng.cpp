@@ -1,0 +1,39 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace str {
+
+double Rng::exponential(double mean) {
+  // Inverse-CDF sampling; clamp away from 0 to avoid -log(0).
+  double u = uniform01();
+  if (u < 1e-12) u = 1e-12;
+  return -mean * std::log(u);
+}
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  STR_ASSERT(n > 0);
+  STR_ASSERT(theta >= 0.0 && theta < 1.0);
+  double zetan = 0.0;
+  for (std::uint64_t i = 1; i <= n_; ++i) zetan += 1.0 / std::pow(double(i), theta_);
+  zetan_ = zetan;
+  double zeta2 = 0.0;
+  for (std::uint64_t i = 1; i <= 2 && i <= n_; ++i)
+    zeta2 += 1.0 / std::pow(double(i), theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) / (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t ZipfGenerator::next(Rng& rng) {
+  // Gray et al. "Quickly generating billion-record synthetic databases".
+  const double u = rng.uniform01();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto v = static_cast<std::uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace str

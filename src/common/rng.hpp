@@ -1,0 +1,108 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (client think times, workload key choice,
+// network jitter) draws from its own Rng seeded from the experiment seed, so
+// an experiment is fully reproducible from a single 64-bit seed and adding a
+// new consumer does not perturb the streams of existing ones.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace str {
+
+/// splitmix64: used to derive independent sub-seeds from a master seed.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256**: fast, high-quality, 256-bit state PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  /// Derive an independent generator; `stream` distinguishes consumers.
+  Rng fork(std::uint64_t stream) const {
+    std::uint64_t sm = s_[0] ^ (s_[3] + 0x9e3779b97f4a7c15ULL * (stream + 1));
+    return Rng(splitmix64(sm));
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's unbiased multiply-shift method.
+  std::uint64_t uniform(std::uint64_t bound) {
+    STR_ASSERT(bound > 0);
+    const __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        const __uint128_t m2 = static_cast<__uint128_t>(next()) * bound;
+        lo = static_cast<std::uint64_t>(m2);
+        if (lo >= threshold) return static_cast<std::uint64_t>(m2 >> 64);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi) {
+    STR_ASSERT(lo <= hi);
+    return lo + uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Exponentially distributed value with the given mean (for think times).
+  double exponential(double mean);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Zipf-distributed integers over [0, n). Used by workloads that want a
+/// smoother skew knob than the paper's fixed hotspot model.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  std::uint64_t next(Rng& rng);
+
+  std::uint64_t size() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace str

@@ -1,0 +1,27 @@
+#include "common/types.hpp"
+
+namespace str {
+
+const char* to_string(VersionState s) {
+  switch (s) {
+    case VersionState::PreCommitted: return "pre-committed";
+    case VersionState::LocalCommitted: return "local-committed";
+    case VersionState::Committed: return "committed";
+  }
+  return "?";
+}
+
+const char* to_string(AbortReason r) {
+  switch (r) {
+    case AbortReason::None: return "none";
+    case AbortReason::LocalCertification: return "local-certification";
+    case AbortReason::GlobalCertification: return "global-certification";
+    case AbortReason::RemoteReplication: return "remote-replication";
+    case AbortReason::Misspeculation: return "misspeculation";
+    case AbortReason::CascadingAbort: return "cascading-abort";
+    case AbortReason::UserAbort: return "user-abort";
+  }
+  return "?";
+}
+
+}  // namespace str

@@ -1,0 +1,39 @@
+#include "harness/csv.hpp"
+
+#include "common/assert.hpp"
+
+namespace str::harness {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> columns)
+    : file_(std::fopen(path.c_str(), "w")), columns_(columns.size()) {
+  if (file_ != nullptr) write_row(columns);
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (file_ == nullptr) return;
+  STR_ASSERT_MSG(cells.size() == columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) std::fputc(',', file_);
+    const std::string esc = escape(cells[i]);
+    std::fwrite(esc.data(), 1, esc.size(), file_);
+  }
+  std::fputc('\n', file_);
+}
+
+}  // namespace str::harness

@@ -1,0 +1,32 @@
+// Minimal CSV export so bench results can be plotted without scraping the
+// console tables. Values containing separators/quotes are quoted per RFC
+// 4180.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace str::harness {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; writes the header row immediately.
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  void write_row(const std::vector<std::string>& cells);
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace str::harness

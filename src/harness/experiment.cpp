@@ -1,0 +1,75 @@
+#include "harness/experiment.hpp"
+
+#include "common/assert.hpp"
+#include "workload/client.hpp"
+
+namespace str::harness {
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const WorkloadFactory& factory) {
+  protocol::Cluster cluster(config.cluster);
+  std::unique_ptr<workload::Workload> wl = factory(cluster);
+  wl->load(cluster);
+
+  workload::ClientPool clients =
+      config.total_clients > 0
+          ? workload::ClientPool::with_total(cluster, *wl,
+                                             config.total_clients)
+          : workload::ClientPool(cluster, *wl, config.clients_per_node);
+  clients.start_all();
+
+  // Self-tuning runs during (an extended) warmup so the measurement window
+  // reflects the configuration the tuner settled on — matching the paper's
+  // "reported results for STR refer to the final configuration identified
+  // by the self-tuning process".
+  std::unique_ptr<tuning::SelfTuner> tuner;
+  Timestamp warmup = config.warmup;
+  if (config.self_tuning) {
+    tuner = std::make_unique<tuning::SelfTuner>(cluster, config.tuner);
+    tuner->start();
+    const Timestamp tuner_span = config.tuner.initial_delay +
+                                 2 * (config.tuner.interval +
+                                      config.tuner.settle) +
+                                 sec(1);
+    warmup = std::max(warmup, tuner_span);
+  }
+
+  cluster.run_for(warmup);
+  cluster.metrics().set_measurement_start(cluster.now());
+  const Timestamp measure_start = cluster.now();
+  cluster.run_for(config.duration);
+  const Timestamp measure_end = cluster.now();
+
+  // Drain: stop clients so coroutine frames unwind and in-flight
+  // transactions resolve; their events still execute but fall outside the
+  // window only in the throughput denominator (latency samples recorded in
+  // the drain belong to transactions started inside the window and are
+  // kept, matching how the paper's clients are stopped).
+  clients.request_stop_all();
+  cluster.run_for(config.drain);
+
+  const Metrics& m = cluster.metrics();
+  ExperimentResult r;
+  r.commits = m.commits();
+  r.aborts = m.aborts();
+  r.abort_rate = m.abort_rate();
+  r.misspeculation_rate = m.misspeculation_rate();
+  r.external_misspeculation_rate = m.external_misspeculation_rate();
+  const double span_sec =
+      static_cast<double>(measure_end - measure_start) / 1e6;
+  r.throughput = span_sec <= 0 ? 0.0 : static_cast<double>(r.commits) / span_sec;
+  r.final_latency_mean = m.final_latency().mean();
+  r.final_latency_p50 = m.final_latency().p50();
+  r.final_latency_p99 = m.final_latency().p99();
+  r.speculative_latency_mean = m.speculative_latency().mean();
+  r.speculative_latency_p50 = m.speculative_latency().p50();
+  r.speculative_reads = m.speculative_reads();
+  r.total_reads = m.reads();
+  r.messages = cluster.network().stats().messages_sent;
+  r.wan_messages = cluster.network().stats().wan_messages;
+  r.speculation_enabled_at_end = cluster.flags().speculation_enabled;
+  r.tuner_decided = tuner != nullptr && tuner->decided();
+  return r;
+}
+
+}  // namespace str::harness

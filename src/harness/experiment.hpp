@@ -1,0 +1,62 @@
+// Experiment runner: builds a cluster, loads a workload, drives clients for
+// warmup + measurement + drain, and extracts the metrics the paper reports
+// (throughput, final/speculative latency, abort and misspeculation rates).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "protocol/cluster.hpp"
+#include "tuning/self_tuner.hpp"
+#include "workload/workload.hpp"
+
+namespace str::harness {
+
+/// Builds the workload against a constructed cluster (workloads need the
+/// partition map to place their data).
+using WorkloadFactory = std::function<std::unique_ptr<workload::Workload>(
+    protocol::Cluster& cluster)>;
+
+struct ExperimentConfig {
+  protocol::Cluster::Config cluster;
+  std::uint32_t clients_per_node = 10;
+  /// When non-zero, overrides clients_per_node: this many clients total,
+  /// distributed round-robin over the nodes.
+  std::uint32_t total_clients = 0;
+  Timestamp warmup = sec(3);
+  Timestamp duration = sec(20);
+  Timestamp drain = sec(3);
+  /// Run the §5.5 self-tuning controller during warmup. Warmup is extended
+  /// to cover the trial automatically.
+  bool self_tuning = false;
+  tuning::SelfTunerConfig tuner;
+};
+
+struct ExperimentResult {
+  double throughput = 0.0;  ///< committed txns per virtual second
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  double abort_rate = 0.0;
+  double misspeculation_rate = 0.0;           ///< internal (STR)
+  double external_misspeculation_rate = 0.0;  ///< Ext-Spec
+  // Latencies in microseconds of virtual time.
+  double final_latency_mean = 0.0;
+  std::uint64_t final_latency_p50 = 0;
+  std::uint64_t final_latency_p99 = 0;
+  double speculative_latency_mean = 0.0;
+  std::uint64_t speculative_latency_p50 = 0;
+  std::uint64_t speculative_reads = 0;
+  std::uint64_t total_reads = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t wan_messages = 0;
+  /// Final state of the speculation flag (self-tuning outcome).
+  bool speculation_enabled_at_end = true;
+  bool tuner_decided = false;
+};
+
+/// Run one experiment to completion (one DES instance, one thread).
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const WorkloadFactory& factory);
+
+}  // namespace str::harness

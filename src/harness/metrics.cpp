@@ -1,0 +1,66 @@
+#include "harness/metrics.hpp"
+
+namespace str::harness {
+
+void Metrics::set_measurement_start(Timestamp t) {
+  measure_start_ = t;
+  commits_ = 0;
+  aborts_ = 0;
+  abort_by_reason_.fill(0);
+  externalized_ = 0;
+  ext_misspec_ = 0;
+  reads_ = 0;
+  speculative_reads_ = 0;
+  final_latency_.reset();
+  speculative_latency_.reset();
+}
+
+void Metrics::record_commit(Timestamp now, Timestamp first_activation,
+                            Timestamp externalized_at) {
+  commit_meter_.record_event(now);
+  if (!in_window(now)) return;
+  ++commits_;
+  final_latency_.record(now - first_activation);
+  if (externalized_at != 0) {
+    ++externalized_;
+    speculative_latency_.record(externalized_at - first_activation);
+  }
+}
+
+void Metrics::record_abort(Timestamp now, AbortReason reason,
+                           bool was_externalized) {
+  if (!in_window(now)) return;
+  ++aborts_;
+  ++abort_by_reason_[static_cast<std::size_t>(reason)];
+  if (was_externalized) {
+    ++externalized_;
+    ++ext_misspec_;
+  }
+}
+
+void Metrics::record_read(bool speculative) {
+  ++reads_;
+  if (speculative) ++speculative_reads_;
+}
+
+double Metrics::abort_rate() const {
+  const std::uint64_t n = attempts();
+  return n == 0 ? 0.0 : static_cast<double>(aborts_) / static_cast<double>(n);
+}
+
+double Metrics::misspeculation_rate() const {
+  const std::uint64_t n = attempts();
+  if (n == 0) return 0.0;
+  const std::uint64_t m = aborts_of(AbortReason::Misspeculation) +
+                          aborts_of(AbortReason::CascadingAbort);
+  return static_cast<double>(m) / static_cast<double>(n);
+}
+
+double Metrics::external_misspeculation_rate() const {
+  return externalized_ == 0
+             ? 0.0
+             : static_cast<double>(ext_misspec_) /
+                   static_cast<double>(externalized_);
+}
+
+}  // namespace str::harness

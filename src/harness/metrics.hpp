@@ -1,0 +1,79 @@
+// Cluster-wide experiment metrics.
+//
+// The coordinator reports commits/aborts/reads here; the client driver's
+// first-activation times flow through the transaction records so final
+// latency spans retries, exactly as the paper measures it ("time elapsed
+// since its first activation until its final commit, including possible
+// aborts and retries"). Events before the measurement start (warmup) are
+// excluded from the reported aggregates; the raw commit meter always runs so
+// the self-tuner can compare configurations at any time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/histogram.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace str::harness {
+
+class Metrics {
+ public:
+  /// Begin the measurement window at `t`: everything recorded so far was
+  /// warmup, so the aggregates are reset (the raw commit meter keeps
+  /// running — the self-tuner needs full history).
+  void set_measurement_start(Timestamp t);
+  Timestamp measurement_start() const { return measure_start_; }
+
+  void record_commit(Timestamp now, Timestamp first_activation,
+                     Timestamp externalized_at);
+  void record_abort(Timestamp now, AbortReason reason, bool externalized);
+  void record_read(bool speculative);
+
+  // -- aggregates over the measurement window ------------------------------
+  std::uint64_t commits() const { return commits_; }
+  std::uint64_t aborts() const { return aborts_; }
+  std::uint64_t aborts_of(AbortReason r) const {
+    return abort_by_reason_[static_cast<std::size_t>(r)];
+  }
+  std::uint64_t attempts() const { return commits_ + aborts_; }
+
+  /// Fraction of transaction attempts that aborted.
+  double abort_rate() const;
+
+  /// Aborts attributable to speculation (STR's internal misspeculation).
+  double misspeculation_rate() const;
+
+  /// Ext-Spec: fraction of externalized attempts that finally aborted.
+  double external_misspeculation_rate() const;
+
+  std::uint64_t externalized() const { return externalized_; }
+  std::uint64_t external_misspeculations() const { return ext_misspec_; }
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t speculative_reads() const { return speculative_reads_; }
+
+  const Histogram& final_latency() const { return final_latency_; }
+  const Histogram& speculative_latency() const { return speculative_latency_; }
+
+  /// Raw commit meter (not warmup-gated), for the self-tuner.
+  ThroughputMeter& commit_meter() { return commit_meter_; }
+
+ private:
+  bool in_window(Timestamp now) const { return now >= measure_start_; }
+
+  Timestamp measure_start_ = 0;
+  std::uint64_t commits_ = 0;
+  std::uint64_t aborts_ = 0;
+  std::array<std::uint64_t, 8> abort_by_reason_{};
+  std::uint64_t externalized_ = 0;
+  std::uint64_t ext_misspec_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t speculative_reads_ = 0;
+  Histogram final_latency_;
+  Histogram speculative_latency_;
+  ThroughputMeter commit_meter_;
+};
+
+}  // namespace str::harness

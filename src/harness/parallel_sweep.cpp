@@ -1,0 +1,35 @@
+#include "harness/parallel_sweep.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace str::harness {
+
+std::vector<ExperimentResult> run_sweep(std::vector<SweepJob> jobs,
+                                        unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 4;
+  }
+  threads = std::min<unsigned>(threads, jobs.size() == 0 ? 1u : jobs.size());
+
+  std::vector<ExperimentResult> results(jobs.size());
+  std::atomic<std::size_t> next{0};
+
+  auto worker = [&jobs, &results, &next]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      results[i] = run_experiment(jobs[i].config, jobs[i].factory);
+    }
+  };
+
+  std::vector<std::jthread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  pool.clear();  // join
+
+  return results;
+}
+
+}  // namespace str::harness

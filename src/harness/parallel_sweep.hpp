@@ -1,0 +1,24 @@
+// Parallel parameter sweeps: each experiment is an independent, fully
+// deterministic DES instance, so sweep points are embarrassingly parallel.
+// This is where the repository uses real hardware parallelism — one worker
+// thread per core pulls experiment jobs off a shared queue.
+#pragma once
+
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace str::harness {
+
+struct SweepJob {
+  ExperimentConfig config;
+  WorkloadFactory factory;
+};
+
+/// Run all jobs, using up to `threads` worker threads (0 = hardware
+/// concurrency). Results are returned in job order regardless of which
+/// thread ran which job.
+std::vector<ExperimentResult> run_sweep(std::vector<SweepJob> jobs,
+                                        unsigned threads = 0);
+
+}  // namespace str::harness

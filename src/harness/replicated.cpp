@@ -1,0 +1,32 @@
+#include "harness/replicated.hpp"
+
+#include "harness/parallel_sweep.hpp"
+
+namespace str::harness {
+
+ReplicatedResult run_replicated(const ExperimentConfig& config,
+                                const WorkloadFactory& factory,
+                                unsigned repetitions, unsigned threads) {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(repetitions);
+  for (unsigned r = 0; r < repetitions; ++r) {
+    SweepJob job;
+    job.config = config;
+    job.config.cluster.seed = config.cluster.seed + 7919ULL * r;
+    job.factory = factory;
+    jobs.push_back(std::move(job));
+  }
+  ReplicatedResult agg;
+  agg.runs = run_sweep(std::move(jobs), threads);
+  for (const ExperimentResult& r : agg.runs) {
+    agg.throughput.add(r.throughput);
+    agg.abort_rate.add(r.abort_rate);
+    agg.misspeculation_rate.add(r.misspeculation_rate);
+    agg.external_misspeculation_rate.add(r.external_misspeculation_rate);
+    agg.final_latency_mean.add(r.final_latency_mean);
+    agg.speculative_latency_mean.add(r.speculative_latency_mean);
+  }
+  return agg;
+}
+
+}  // namespace str::harness

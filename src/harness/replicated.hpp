@@ -1,0 +1,39 @@
+// Replicated experiments: the paper reports every data point as "the
+// average of at least three runs". This helper runs the same experiment
+// under different seeds (in parallel when cores allow) and aggregates
+// mean/stddev per metric.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "harness/experiment.hpp"
+
+namespace str::harness {
+
+struct ReplicatedResult {
+  RunningStats throughput;
+  RunningStats abort_rate;
+  RunningStats misspeculation_rate;
+  RunningStats external_misspeculation_rate;
+  RunningStats final_latency_mean;
+  RunningStats speculative_latency_mean;
+  std::vector<ExperimentResult> runs;
+
+  /// Coefficient of variation of throughput across runs (the paper omits
+  /// error bars because "standard deviations are low" — this lets callers
+  /// verify the same).
+  double throughput_cv() const {
+    return throughput.mean() == 0.0 ? 0.0
+                                    : throughput.stddev() / throughput.mean();
+  }
+};
+
+/// Run `repetitions` copies of the experiment with seeds derived from
+/// config.cluster.seed, using up to `threads` workers.
+ReplicatedResult run_replicated(const ExperimentConfig& config,
+                                const WorkloadFactory& factory,
+                                unsigned repetitions = 3,
+                                unsigned threads = 0);
+
+}  // namespace str::harness

@@ -1,0 +1,32 @@
+// Plain-text reporting helpers for the bench binaries: fixed-width tables
+// whose rows mirror the series of the paper's figures.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace str::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::FILE* out = stdout) const;
+
+  static std::string fmt(double v, int precision = 1);
+  static std::string fmt_ms(std::uint64_t usecs);  // "123.4ms"
+  static std::string fmt_pct(double frac);         // "42.0%"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One line per experiment in the standard figure format.
+void print_result_row(const std::string& label, const ExperimentResult& r);
+
+}  // namespace str::harness

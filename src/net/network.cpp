@@ -1,0 +1,40 @@
+#include "net/network.hpp"
+
+#include "common/assert.hpp"
+
+namespace str::net {
+
+Network::Network(sim::Scheduler& sched, Topology topology, Rng rng,
+                 double jitter_frac)
+    : sched_(sched),
+      topology_(std::move(topology)),
+      rng_(rng),
+      jitter_frac_(jitter_frac) {
+  STR_ASSERT(jitter_frac_ >= 0.0);
+}
+
+void Network::register_node(NodeId node, RegionId region) {
+  STR_ASSERT_MSG(node == node_region_.size(), "register nodes in id order");
+  STR_ASSERT(region < topology_.num_regions());
+  node_region_.push_back(region);
+}
+
+Timestamp Network::sample_latency(NodeId from, NodeId to) {
+  const RegionId ra = region_of(from);
+  const RegionId rb = region_of(to);
+  const Timestamp base = topology_.one_way(ra, rb);
+  if (jitter_frac_ <= 0.0) return base;
+  const auto jitter = static_cast<Timestamp>(
+      static_cast<double>(base) * jitter_frac_ * rng_.uniform01());
+  return base + jitter;
+}
+
+void Network::send(NodeId from, NodeId to, UniqueFunction<void()> fn,
+                   std::size_t size_hint) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += size_hint;
+  if (region_of(from) != region_of(to)) ++stats_.wan_messages;
+  sched_.schedule_after(sample_latency(from, to), std::move(fn));
+}
+
+}  // namespace str::net

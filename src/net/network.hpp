@@ -1,0 +1,63 @@
+// Simulated message transport between nodes.
+//
+// A message is a closure executed at the destination after the one-way
+// latency of the (source region, destination region) pair plus bounded
+// jitter. Closures keep the transport type-safe without a serialization
+// layer; the protocol layer still defines explicit message structs
+// (protocol/messages.hpp) as the closure payloads, and the network counts
+// messages and approximate bytes so experiments can report traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "common/unique_function.hpp"
+#include "net/topology.hpp"
+#include "sim/scheduler.hpp"
+
+namespace str::net {
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t wan_messages = 0;  ///< messages crossing a region boundary
+};
+
+class Network {
+ public:
+  /// `jitter_frac` adds uniform jitter in [0, jitter_frac] of the base
+  /// one-way latency to each message (default 5%).
+  Network(sim::Scheduler& sched, Topology topology, Rng rng,
+          double jitter_frac = 0.05);
+
+  /// Register a node in `region`; nodes must be registered in id order.
+  void register_node(NodeId node, RegionId region);
+
+  RegionId region_of(NodeId node) const { return node_region_.at(node); }
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(node_region_.size());
+  }
+
+  /// Deliver `fn` at node `to` after the simulated latency from `from`.
+  /// `size_hint` approximates the wire size for traffic accounting.
+  void send(NodeId from, NodeId to, UniqueFunction<void()> fn,
+            std::size_t size_hint = 64);
+
+  /// One-way latency sample between two nodes (includes jitter).
+  Timestamp sample_latency(NodeId from, NodeId to);
+
+  const Topology& topology() const { return topology_; }
+  const NetworkStats& stats() const { return stats_; }
+
+ private:
+  sim::Scheduler& sched_;
+  Topology topology_;
+  Rng rng_;
+  double jitter_frac_;
+  std::vector<RegionId> node_region_;
+  NetworkStats stats_;
+};
+
+}  // namespace str::net

@@ -1,0 +1,73 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace str::net {
+
+Topology::Topology(std::vector<Region> regions,
+                   std::vector<std::vector<Timestamp>> rtt_us)
+    : regions_(std::move(regions)), rtt_us_(std::move(rtt_us)) {
+  STR_ASSERT(!regions_.empty());
+  STR_ASSERT(rtt_us_.size() == regions_.size());
+  for (std::size_t i = 0; i < rtt_us_.size(); ++i) {
+    STR_ASSERT(rtt_us_[i].size() == regions_.size());
+    for (std::size_t j = 0; j < rtt_us_.size(); ++j) {
+      STR_ASSERT_MSG(rtt_us_[i][j] == rtt_us_[j][i], "RTT matrix must be symmetric");
+    }
+  }
+}
+
+Topology Topology::ec2_nine_regions() {
+  // Regions: VA=us-east-1, CA=us-west-1, OR=us-west-2, IE=eu-west-1,
+  // FRA=eu-central-1, SG=ap-southeast-1, SYD=ap-southeast-2, TYO=ap-northeast-1,
+  // SP=sa-east-1. RTTs in milliseconds, based on published EC2 inter-region
+  // measurements (approximate; the shape is what matters).
+  std::vector<Region> regions = {
+      {"us-east-1"},     {"us-west-1"},     {"us-west-2"},
+      {"eu-west-1"},     {"eu-central-1"},  {"ap-southeast-1"},
+      {"ap-southeast-2"},{"ap-northeast-1"},{"sa-east-1"},
+  };
+  const std::uint32_t kRttMs[9][9] = {
+      //        VA   CA   OR   IE  FRA   SG  SYD  TYO   SP
+      /*VA */ {  1,  63,  72,  76,  89, 216, 198, 167, 119},
+      /*CA */ { 63,   1,  22, 138, 147, 174, 157, 107, 174},
+      /*OR */ { 72,  22,   1, 131, 141, 161, 139,  97, 182},
+      /*IE */ { 76, 138, 131,   1,  25, 174, 263, 213, 184},
+      /*FRA*/ { 89, 147, 141,  25,   1, 160, 252, 222, 196},
+      /*SG */ {216, 174, 161, 174, 160,   1,  92,  69, 328},
+      /*SYD*/ {198, 157, 139, 263, 252,  92,   1, 104, 310},
+      /*TYO*/ {167, 107,  97, 213, 222,  69, 104,   1, 256},
+      /*SP */ {119, 174, 182, 184, 196, 328, 310, 256,   1},
+  };
+  std::vector<std::vector<Timestamp>> rtt(9, std::vector<Timestamp>(9));
+  for (int i = 0; i < 9; ++i)
+    for (int j = 0; j < 9; ++j) rtt[i][j] = msec(kRttMs[i][j]);
+  return Topology(std::move(regions), std::move(rtt));
+}
+
+Topology Topology::symmetric(std::uint32_t n_regions, Timestamp wan_rtt) {
+  STR_ASSERT(n_regions >= 1);
+  std::vector<Region> regions;
+  regions.reserve(n_regions);
+  for (std::uint32_t i = 0; i < n_regions; ++i)
+    regions.push_back(Region{"region-" + std::to_string(i)});
+  std::vector<std::vector<Timestamp>> rtt(
+      n_regions, std::vector<Timestamp>(n_regions, wan_rtt));
+  for (std::uint32_t i = 0; i < n_regions; ++i) rtt[i][i] = msec(1);
+  return Topology(std::move(regions), std::move(rtt));
+}
+
+Topology Topology::single_region(Timestamp local_rtt) {
+  return Topology({Region{"local"}}, {{local_rtt}});
+}
+
+Timestamp Topology::max_one_way() const {
+  Timestamp best = 0;
+  for (const auto& row : rtt_us_)
+    for (Timestamp r : row) best = std::max(best, r / 2);
+  return best;
+}
+
+}  // namespace str::net

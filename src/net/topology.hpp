@@ -1,0 +1,52 @@
+// Geo-distributed cluster topology: regions (data centers), the inter-region
+// round-trip-time matrix, and node placement.
+//
+// The built-in nine-region topology mirrors the paper's EC2 deployment
+// ("nine DCs of Amazon EC2 spanning 4 continents") with public
+// measured-RTT-style figures. All latencies are configurable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace str::net {
+
+struct Region {
+  std::string name;
+};
+
+class Topology {
+ public:
+  /// `rtt_us[i][j]` is the round-trip time between regions i and j.
+  Topology(std::vector<Region> regions,
+           std::vector<std::vector<Timestamp>> rtt_us);
+
+  /// The paper's setting: nine regions across four continents.
+  static Topology ec2_nine_regions();
+
+  /// N regions all `rtt` apart (uniform WAN); handy for controlled tests.
+  static Topology symmetric(std::uint32_t n_regions, Timestamp rtt);
+
+  /// Single region: degenerate LAN-only cluster.
+  static Topology single_region(Timestamp local_rtt = msec(1));
+
+  std::uint32_t num_regions() const {
+    return static_cast<std::uint32_t>(regions_.size());
+  }
+  const Region& region(RegionId r) const { return regions_.at(r); }
+
+  Timestamp rtt(RegionId a, RegionId b) const { return rtt_us_.at(a).at(b); }
+  Timestamp one_way(RegionId a, RegionId b) const { return rtt(a, b) / 2; }
+
+  /// Largest one-way latency in the topology (used for sizing warmups).
+  Timestamp max_one_way() const;
+
+ private:
+  std::vector<Region> regions_;
+  std::vector<std::vector<Timestamp>> rtt_us_;
+};
+
+}  // namespace str::net

@@ -1,0 +1,46 @@
+#include "protocol/cluster.hpp"
+
+#include "common/assert.hpp"
+
+namespace str::protocol {
+
+Cluster::Cluster(Config config)
+    : config_(std::move(config)),
+      master_rng_(config_.seed),
+      net_(sched_, config_.topology, master_rng_.fork(0xfee7),
+           config_.jitter_frac),
+      pmap_(config_.num_nodes, config_.partitions_per_node,
+            config_.replication_factor) {
+  STR_ASSERT(config_.num_nodes >= 1);
+  node_spec_enabled_.assign(config_.num_nodes, 1);
+  Rng skew_rng = master_rng_.fork(0x5c3b);
+  nodes_.reserve(config_.num_nodes);
+  for (NodeId id = 0; id < config_.num_nodes; ++id) {
+    const RegionId region = id % config_.topology.num_regions();
+    net_.register_node(id, region);
+    const Timestamp skew =
+        config_.max_clock_skew == 0
+            ? 0
+            : skew_rng.uniform(config_.max_clock_skew + 1);
+    nodes_.push_back(std::make_unique<Node>(*this, id, region, skew));
+  }
+  schedule_maintenance();
+}
+
+void Cluster::load(Key key, Value value) {
+  const PartitionId pid = PartitionMap::partition_of(key);
+  for (NodeId n : pmap_.replicas(pid)) {
+    PartitionActor* actor = node(n).replica(pid);
+    STR_ASSERT(actor != nullptr);
+    actor->store().load(key, value);
+  }
+}
+
+void Cluster::schedule_maintenance() {
+  sched_.schedule_after(config_.protocol.gc_interval, [this]() {
+    for (auto& n : nodes_) n->maintain();
+    schedule_maintenance();
+  });
+}
+
+}  // namespace str::protocol

@@ -1,0 +1,101 @@
+// The simulated geo-replicated data store: scheduler + network + nodes.
+//
+// This is the top-level object experiments and examples interact with:
+// build a Cluster from a Config, load initial data, start client fibers,
+// and advance virtual time with run_for().
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "harness/metrics.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "protocol/config.hpp"
+#include "protocol/node.hpp"
+#include "protocol/partition_map.hpp"
+#include "sim/scheduler.hpp"
+#include "verify/history.hpp"
+
+namespace str::protocol {
+
+class Cluster {
+ public:
+  struct Config {
+    std::uint32_t num_nodes = 9;
+    std::uint32_t partitions_per_node = 1;
+    std::uint32_t replication_factor = 6;
+    net::Topology topology = net::Topology::ec2_nine_regions();
+    ProtocolConfig protocol;
+    std::uint64_t seed = 1;
+    double jitter_frac = 0.05;
+    /// Node i's clock skew is drawn uniformly from [0, max_clock_skew].
+    Timestamp max_clock_skew = msec(1);
+  };
+
+  explicit Cluster(Config config);
+
+  sim::Scheduler& scheduler() { return sched_; }
+  net::Network& network() { return net_; }
+  const PartitionMap& pmap() const { return pmap_; }
+  const ProtocolConfig& protocol() const { return config_.protocol; }
+  const Config& config() const { return config_; }
+
+  Node& node(NodeId id) { return *nodes_.at(id); }
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+
+  harness::Metrics& metrics() { return metrics_; }
+  RuntimeFlags& flags() { return flags_; }
+
+  /// True when speculative reads are both configured and currently enabled
+  /// cluster-wide.
+  bool spec_active() const {
+    return config_.protocol.speculative_reads && flags_.speculation_enabled;
+  }
+  /// Per-node view: the cluster-wide switches AND the node's own toggle
+  /// (heterogeneous speculation degrees, the paper's §7 extension).
+  bool spec_active(NodeId node) const {
+    return spec_active() && node_spec_enabled_[node] != 0;
+  }
+  void set_speculation_enabled(bool on) { flags_.speculation_enabled = on; }
+  void set_node_speculation_enabled(NodeId node, bool on) {
+    node_spec_enabled_.at(node) = on ? 1 : 0;
+  }
+
+  /// Optional history recording (tests/verification). Not owned.
+  void set_history(verify::HistorySink* sink) { history_ = sink; }
+  verify::HistorySink* history() { return history_; }
+
+  /// Load one key into every replica of its partition (committed, ts 0).
+  void load(Key key, Value value);
+
+  /// Advance virtual time by `duration`, executing all due events.
+  void run_for(Timestamp duration) {
+    sched_.run_until(sched_.now() + duration);
+  }
+
+  Timestamp now() const { return sched_.now(); }
+
+  /// Deterministic per-consumer RNG streams derived from the config seed.
+  Rng fork_rng(std::uint64_t stream) const { return master_rng_.fork(stream); }
+
+ private:
+  Config config_;
+  sim::Scheduler sched_;
+  Rng master_rng_;
+  net::Network net_;
+  PartitionMap pmap_;
+  harness::Metrics metrics_;
+  RuntimeFlags flags_;
+  verify::HistorySink* history_ = nullptr;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<char> node_spec_enabled_;
+
+  void schedule_maintenance();
+};
+
+}  // namespace str::protocol

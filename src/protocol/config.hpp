@@ -1,0 +1,60 @@
+// Protocol variant selection.
+//
+// One engine implements every protocol in the paper's evaluation; the flags
+// pick the variant:
+//
+//   ClockSI-Rep  : speculative_reads=false, precise_clocks=false
+//   Ext-Spec     : ClockSI-Rep + externalize_local_commit=true
+//   STR          : speculative_reads=true,  precise_clocks=true
+//   Table-1 rows : the four {speculative_reads} x {precise_clocks} combinations
+#pragma once
+
+#include "common/types.hpp"
+
+namespace str::protocol {
+
+struct ProtocolConfig {
+  /// Allow transactions to observe local-committed versions created by
+  /// transactions of the same node (STR's internal speculation).
+  bool speculative_reads = true;
+
+  /// Use the Precise Clocks prepare-timestamp rule (max LastReader+1)
+  /// instead of the physical-clock rule of Clock-SI / Spanner.
+  bool precise_clocks = true;
+
+  /// Ext-Spec baseline: surface results to the client after local
+  /// certification (external speculation). Misspeculations are counted as
+  /// external misspeculations; no compensation logic runs (as in the paper).
+  bool externalize_local_commit = false;
+
+  /// Period between committed-version GC sweeps on each partition replica.
+  Timestamp gc_interval = sec(2);
+  /// Committed versions older than now-horizon are collectable. Must exceed
+  /// the largest possible read-snapshot staleness (max one-way latency plus
+  /// clock skew); the default is safe for every built-in topology.
+  Timestamp gc_horizon = sec(4);
+
+  static ProtocolConfig clocksi_rep() {
+    ProtocolConfig c;
+    c.speculative_reads = false;
+    c.precise_clocks = false;
+    return c;
+  }
+
+  static ProtocolConfig ext_spec() {
+    ProtocolConfig c = clocksi_rep();
+    c.externalize_local_commit = true;
+    return c;
+  }
+
+  static ProtocolConfig str() { return ProtocolConfig{}; }
+};
+
+/// Cluster-wide switches the self-tuning controller flips at runtime.
+/// ProtocolConfig::speculative_reads is the static capability; speculation is
+/// actually used only when both the capability and this flag are on.
+struct RuntimeFlags {
+  bool speculation_enabled = true;
+};
+
+}  // namespace str::protocol

@@ -1,0 +1,685 @@
+#include "protocol/coordinator.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "protocol/cluster.hpp"
+#include "protocol/node.hpp"
+
+namespace str::protocol {
+
+namespace {
+
+txn::ReadResult own_write_result(const Value& value, const TxId& self,
+                                 Timestamp rs) {
+  txn::ReadResult r;
+  r.found = true;
+  r.value = value;
+  r.writer = self;
+  r.version_ts = rs;
+  return r;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(Node& node) : node_(node) {}
+
+bool Coordinator::spec_active() const {
+  return node_.cluster().spec_active(node_.id());
+}
+
+TxId Coordinator::begin(Timestamp first_activation) {
+  Cluster& cluster = node_.cluster();
+  const TxId id{node_.id(), next_seq_++};
+  auto rec = std::make_unique<txn::TxnRecord>();
+  rec->id = id;
+  rec->origin = node_.id();
+  rec->rs = node_.physical_now();
+  rec->attempt_start = cluster.now();
+  rec->first_activation =
+      first_activation == 0 ? cluster.now() : first_activation;
+  if (auto* h = cluster.history()) {
+    h->on_begin(verify::BeginEvent{id, node_.id(), rec->rs});
+  }
+  txns_.emplace(id, std::move(rec));
+  return id;
+}
+
+txn::TxnRecord* Coordinator::find(const TxId& tx) {
+  auto it = txns_.find(tx);
+  return it == txns_.end() ? nullptr : it->second.get();
+}
+
+const txn::TxnRecord* Coordinator::find(const TxId& tx) const {
+  auto it = txns_.find(tx);
+  return it == txns_.end() ? nullptr : it->second.get();
+}
+
+bool Coordinator::is_aborted(const TxId& tx) const {
+  const txn::TxnRecord* rec = find(tx);
+  return rec == nullptr || rec->phase == txn::TxnPhase::Aborted;
+}
+
+Timestamp Coordinator::snapshot_of(const TxId& tx) const {
+  const txn::TxnRecord* rec = find(tx);
+  return rec == nullptr ? 0 : rec->rs;
+}
+
+sim::Future<txn::ReadResult> Coordinator::read(const TxId& tx, Key key) {
+  Cluster& cluster = node_.cluster();
+  sim::Promise<txn::ReadResult> promise(cluster.scheduler());
+
+  txn::TxnRecord* rec = find(tx);
+  if (rec == nullptr || rec->finished()) {
+    txn::ReadResult dead;
+    dead.aborted = true;
+    promise.set_value(std::move(dead));
+    return promise.future();
+  }
+
+  // Read-your-own-writes from the private buffer.
+  if (auto it = rec->writes.find(key); it != rec->writes.end()) {
+    promise.set_value(own_write_result(it->second, tx, rec->rs));
+    return promise.future();
+  }
+
+  rec->outstanding_reads.push_back(promise);
+  const PartitionId pid = PartitionMap::partition_of(key);
+  PartitionActor* local = node_.replica(pid);
+  if (local != nullptr) {
+    local->serve_local_read(
+        tx, key, rec->rs,
+        [this, tx, key, promise](const store::StoreReadResult& r) mutable {
+          on_read_value(tx, key, r, /*from_cache=*/false, std::move(promise));
+        });
+    return promise.future();
+  }
+
+  // Non-local key: the cache partition may hold a local-committed version
+  // written by an unsafe transaction of this node (Alg. 1 lines 8-9).
+  if (spec_active()) {
+    store::StoreReadResult cached = node_.cache().read(key, rec->rs);
+    if (cached.kind == store::ReadKind::Speculative) {
+      sim::Future<txn::ReadResult> future = promise.future();
+      on_read_value(tx, key, cached, /*from_cache=*/true, std::move(promise));
+      return future;
+    }
+  }
+
+  // Remote read: pick the lowest-latency replica (ties by node id).
+  const auto& replicas = cluster.pmap().replicas(pid);
+  STR_ASSERT(!replicas.empty());
+  NodeId best = replicas.front();
+  Timestamp best_lat = kTsInfinity;
+  for (NodeId n : replicas) {
+    const Timestamp lat = cluster.network().topology().one_way(
+        node_.region(), cluster.node(n).region());
+    if (lat < best_lat) {
+      best_lat = lat;
+      best = n;
+    }
+  }
+  ReadRequest req;
+  req.reader = tx;
+  req.reader_node = node_.id();
+  req.req_id = next_read_id_++;
+  req.key = key;
+  req.rs = rec->rs;
+  pending_remote_.emplace(req.req_id, PendingRemoteRead{tx, key, promise});
+  const std::size_t size = req.wire_size();
+  Cluster* cl = &cluster;
+  cluster.network().send(
+      node_.id(), best,
+      [cl, best, pid, req]() {
+        PartitionActor* actor = cl->node(best).replica(pid);
+        STR_ASSERT(actor != nullptr);
+        actor->handle_remote_read(req);
+      },
+      size);
+  return promise.future();
+}
+
+void Coordinator::on_read_reply(ReadReply reply) {
+  auto it = pending_remote_.find(reply.req_id);
+  if (it == pending_remote_.end()) return;  // reader already gone
+  PendingRemoteRead pending = std::move(it->second);
+  pending_remote_.erase(it);
+  store::StoreReadResult r;
+  r.kind = reply.found ? store::ReadKind::Committed : store::ReadKind::NotFound;
+  r.value = std::move(reply.value);
+  r.writer = reply.writer;
+  r.ts = reply.version_ts;
+  on_read_value(pending.tx, pending.key, r, /*from_cache=*/false,
+                std::move(pending.promise));
+}
+
+void Coordinator::on_read_value(const TxId& tx, Key key,
+                                const store::StoreReadResult& r,
+                                bool from_cache,
+                                sim::Promise<txn::ReadResult> promise) {
+  Cluster& cluster = node_.cluster();
+  txn::TxnRecord* rec = find(tx);
+  if (rec == nullptr || rec->finished()) {
+    txn::ReadResult dead;
+    dead.aborted = true;
+    promise.try_set_value(std::move(dead));
+    return;
+  }
+
+  txn::ReadResult result;
+  result.found = r.kind != store::ReadKind::NotFound;
+  result.value = r.value;
+  result.writer = r.writer;
+  result.version_ts = r.ts;
+
+  if (r.kind == store::ReadKind::Committed) {
+    // Reading a final-committed version: its writer's FFC equals its commit
+    // timestamp and its OLCSet is infinite (Alg. 1 lines 35-36), so only
+    // FFC advances.
+    rec->ffc = std::max(rec->ffc, r.ts);
+    cluster.metrics().record_read(/*speculative=*/false);
+  } else if (r.kind == store::ReadKind::Speculative) {
+    result.speculative = true;
+    txn::TxnRecord* wrec = find(r.writer);
+    STR_ASSERT_MSG(wrec != nullptr &&
+                       wrec->phase == txn::TxnPhase::LocalCommitted,
+                   "speculative read from a non-local-committed writer");
+    // Alg. 1 lines 13-14: inherit the writer's OLC floor and FFC.
+    const Timestamp wolc = wrec->olc_min();
+    if (wolc != kTsInfinity) {
+      auto [it, inserted] = rec->olc_set.emplace(r.writer, wolc);
+      if (!inserted) it->second = std::min(it->second, wolc);
+    }
+    rec->ffc = std::max(rec->ffc, wrec->ffc);
+    // Data dependency (SPSI-4) and cascade edge.
+    rec->unresolved_deps.insert(r.writer);
+    wrec->add_dependent(tx);
+    // Transitive snapshot membership, for write-write chaining.
+    rec->snapshot_lc_writers.insert(r.writer);
+    rec->snapshot_lc_writers.insert(wrec->snapshot_lc_writers.begin(),
+                                    wrec->snapshot_lc_writers.end());
+    cluster.metrics().record_read(/*speculative=*/true);
+  } else {
+    cluster.metrics().record_read(/*speculative=*/false);
+  }
+
+  (void)from_cache;
+
+  gate_or_deliver(*rec, key, std::move(result), std::move(promise));
+}
+
+void Coordinator::record_read_event(const TxId& tx, Key key,
+                                    const txn::ReadResult& result) {
+  Cluster& cluster = node_.cluster();
+  auto* h = cluster.history();
+  if (h == nullptr) return;
+  verify::ReadEvent ev;
+  ev.reader = tx;
+  ev.key = key;
+  ev.writer = result.writer;
+  ev.version_ts = result.version_ts;
+  ev.writer_state = result.speculative ? VersionState::LocalCommitted
+                                       : VersionState::Committed;
+  ev.at = cluster.now();
+  h->on_read(ev);
+}
+
+void Coordinator::gate_or_deliver(txn::TxnRecord& rec, Key key,
+                                  txn::ReadResult result,
+                                  sim::Promise<txn::ReadResult> promise) {
+  if (rec.gate_open()) {
+    txn::ReadResult copy = result;
+    if (promise.try_set_value(std::move(copy))) {
+      record_read_event(rec.id, key, result);
+    }
+    return;
+  }
+  // Alg. 1 line 15: hold the value until min(OLCSet) >= FFC.
+  rec.gate_waiters.push_back(txn::TxnRecord::GateWaiter{
+      std::move(promise), std::move(result), key});
+}
+
+void Coordinator::reeval_gate(txn::TxnRecord& rec) {
+  if (rec.gate_waiters.empty() || !rec.gate_open()) return;
+  auto waiters = std::move(rec.gate_waiters);
+  rec.gate_waiters.clear();
+  for (auto& w : waiters) {
+    txn::ReadResult copy = w.result;
+    if (w.promise.try_set_value(std::move(copy))) {
+      record_read_event(rec.id, w.key, w.result);
+    }
+  }
+}
+
+void Coordinator::write(const TxId& tx, Key key, Value value) {
+  txn::TxnRecord* rec = find(tx);
+  if (rec == nullptr || rec->finished()) return;  // writes of dead txns no-op
+  STR_ASSERT_MSG(rec->phase == txn::TxnPhase::Active,
+                 "write after commit request");
+  auto [it, inserted] = rec->writes.emplace(key, std::move(value));
+  if (inserted) {
+    rec->write_order.push_back(key);
+  } else {
+    it->second = std::move(value);
+  }
+}
+
+void Coordinator::user_abort(const TxId& tx) {
+  abort_tx(tx, AbortReason::UserAbort);
+}
+
+sim::Future<txn::TxFinalResult> Coordinator::outcome_future(const TxId& tx) {
+  sim::Promise<txn::TxFinalResult> promise(node_.cluster().scheduler());
+  txn::TxnRecord* rec = find(tx);
+  if (rec == nullptr) {
+    txn::TxFinalResult dead;
+    dead.outcome = TxOutcome::Aborted;
+    dead.abort_reason = AbortReason::CascadingAbort;
+    promise.set_value(dead);
+  } else {
+    rec->outcome_waiters.push_back(promise);
+  }
+  return promise.future();
+}
+
+sim::Future<txn::TxFinalResult> Coordinator::commit(const TxId& tx) {
+  Cluster& cluster = node_.cluster();
+  sim::Promise<txn::TxFinalResult> promise(cluster.scheduler());
+
+  txn::TxnRecord* rec = find(tx);
+  if (rec == nullptr || rec->phase == txn::TxnPhase::Aborted) {
+    txn::TxFinalResult dead;
+    dead.outcome = TxOutcome::Aborted;
+    dead.abort_reason =
+        rec == nullptr ? AbortReason::CascadingAbort : rec->abort_reason;
+    promise.set_value(dead);
+    return promise.future();
+  }
+  STR_ASSERT_MSG(!rec->commit_requested, "commit requested twice");
+  rec->commit_requested = true;
+  rec->outcome_waiters.push_back(promise);
+
+  if (rec->writes.empty()) {
+    // Read-only: commit as soon as every data dependency is final (SPSI-4).
+    maybe_finalize(*rec);
+    return promise.future();
+  }
+
+  if (!local_certification(*rec)) {
+    return promise.future();  // aborted inside local_certification
+  }
+  start_global_certification(*rec);
+  maybe_finalize(*rec);  // all-local write sets may be ready immediately
+  return promise.future();
+}
+
+Coordinator::WriteGroups Coordinator::group_writes(
+    const txn::TxnRecord& rec) const {
+  WriteGroups g;
+  const Node& node = node_;
+  const PartitionMap& pmap = node.cluster().pmap();
+  for (Key key : rec.write_order) {
+    const PartitionId pid = PartitionMap::partition_of(key);
+    const Value& value = rec.writes.at(key);
+    if (pmap.replicates(node.id(), pid)) {
+      g.local[pid].emplace_back(key, value);
+    } else {
+      g.remote[pid].emplace_back(key, value);
+      g.cache.emplace_back(key, value);
+    }
+  }
+  return g;
+}
+
+bool Coordinator::local_certification(txn::TxnRecord& rec) {
+  Cluster& cluster = node_.cluster();
+  WriteGroups groups = group_writes(rec);
+  const std::set<TxId>* chain =
+      rec.snapshot_lc_writers.empty() ? nullptr : &rec.snapshot_lc_writers;
+
+  // Local 2PC (synchronous: all participants are on this node). Collect
+  // proposals; on any conflict, abort (prepared participants are rolled
+  // back by the abort path).
+  Timestamp lc = rec.rs + 1;
+  std::vector<PartitionId> prepared_local;
+  bool conflict = false;
+  for (auto& [pid, updates] : groups.local) {
+    PartitionActor* actor = node_.replica(pid);
+    STR_ASSERT(actor != nullptr);
+    store::PrepareResult pr = actor->prepare_local(rec.id, rec.rs, updates, chain);
+    if (!pr.ok) {
+      conflict = true;
+      break;
+    }
+    prepared_local.push_back(pid);
+    lc = std::max(lc, pr.proposed_ts);
+  }
+  const bool use_cache = spec_active() && !groups.cache.empty();
+  if (!conflict && use_cache) {
+    store::PrepareResult pr = node_.cache().prepare(
+        rec.id, rec.rs, groups.cache, cluster.protocol().precise_clocks,
+        node_.physical_now(), chain);
+    if (!pr.ok) {
+      conflict = true;
+    } else {
+      lc = std::max(lc, pr.proposed_ts);
+    }
+  }
+  if (conflict) {
+    abort_tx(rec.id, AbortReason::LocalCertification);
+    return false;
+  }
+
+  // Local commit: flip pre-committed versions to local-committed.
+  rec.lc = lc;
+  rec.max_proposed_ts = lc;
+  rec.phase = txn::TxnPhase::LocalCommitted;
+  for (auto& [pid, updates] : groups.local) {
+    node_.replica(pid)->apply_local_commit(rec.id, lc);
+  }
+  if (use_cache) node_.cache().local_commit(rec.id, lc);
+
+  // An unsafe transaction (updated non-local keys) pins its own read
+  // snapshot into its OLCSet (Alg. 1 lines 23-24) so that anyone who reads
+  // from it inherits the hazard.
+  rec.unsafe_txn = !groups.remote.empty();
+  if (rec.unsafe_txn && spec_active()) {
+    rec.olc_set.emplace(rec.id, rec.rs);
+  }
+
+  if (cluster.protocol().externalize_local_commit) {
+    rec.externalized = true;
+    rec.externalized_at = cluster.now();
+  }
+
+  if (auto* h = cluster.history()) {
+    verify::WriteSetEvent ev;
+    ev.tx = rec.id;
+    ev.ts = lc;
+    ev.at = cluster.now();
+    ev.keys = rec.write_order;
+    h->on_local_commit(ev);
+  }
+  return true;
+}
+
+void Coordinator::start_global_certification(txn::TxnRecord& rec) {
+  Cluster& cluster = node_.cluster();
+  const PartitionMap& pmap = cluster.pmap();
+  WriteGroups groups = group_writes(rec);
+
+  // Gather all touched partitions (local-replicated and remote-mastered).
+  std::vector<std::pair<PartitionId, const std::vector<std::pair<Key, Value>>*>>
+      parts;
+  for (const auto& [pid, updates] : groups.local) parts.emplace_back(pid, &updates);
+  for (const auto& [pid, updates] : groups.remote) parts.emplace_back(pid, &updates);
+
+  for (const auto& [pid, updates] : parts) {
+    const auto& replicas = pmap.replicas(pid);
+    for (NodeId n : replicas) {
+      if (n != node_.id()) rec.remote_replica_nodes.insert(n);
+    }
+    if (pmap.is_master(node_.id(), pid)) {
+      // We are the master: replicate the (already locally certified)
+      // pre-commit to the slaves; each slave replies with a proposal.
+      for (NodeId slave : replicas) {
+        if (slave == node_.id()) continue;
+        ReplicateRequest rep;
+        rep.tx = rec.id;
+        rep.coordinator = node_.id();
+        rep.partition = pid;
+        rep.rs = rec.rs;
+        rep.updates = *updates;
+        ++rec.awaiting_prepares;
+        const std::size_t size = rep.wire_size();
+        Cluster* cl = &cluster;
+        cluster.network().send(
+            node_.id(), slave,
+            [cl, slave, rep = std::move(rep)]() mutable {
+              PartitionActor* actor = cl->node(slave).replica(rep.partition);
+              STR_ASSERT(actor != nullptr);
+              actor->handle_replicate(std::move(rep));
+            },
+            size);
+      }
+    } else {
+      // Remote master certifies; it replicates to its slaves, each of which
+      // (except this node, already covered by local certification) replies.
+      const NodeId master = pmap.master(pid);
+      PrepareRequest req;
+      req.tx = rec.id;
+      req.coordinator = node_.id();
+      req.partition = pid;
+      req.rs = rec.rs;
+      req.updates = *updates;
+      ++rec.awaiting_prepares;  // master's reply
+      for (NodeId n : replicas) {
+        if (n != master && n != node_.id()) ++rec.awaiting_prepares;  // slaves
+      }
+      const std::size_t size = req.wire_size();
+      Cluster* cl = &cluster;
+      cluster.network().send(
+          node_.id(), master,
+          [cl, master, req = std::move(req)]() mutable {
+            PartitionActor* actor = cl->node(master).replica(req.partition);
+            STR_ASSERT(actor != nullptr);
+            actor->handle_prepare(std::move(req));
+          },
+          size);
+    }
+  }
+}
+
+void Coordinator::on_prepare_reply(PrepareReply reply) {
+  txn::TxnRecord* rec = find(reply.tx);
+  if (rec == nullptr || rec->finished()) return;  // already decided
+  if (!reply.prepared) {
+    abort_tx(reply.tx, AbortReason::GlobalCertification);
+    return;
+  }
+  rec->max_proposed_ts = std::max(rec->max_proposed_ts, reply.proposed_ts);
+  STR_ASSERT(rec->awaiting_prepares > 0);
+  --rec->awaiting_prepares;
+  maybe_finalize(*rec);
+}
+
+void Coordinator::maybe_finalize(txn::TxnRecord& rec) {
+  if (!rec.commit_requested || rec.finished()) return;
+  if (rec.awaiting_prepares > 0) return;
+  if (!rec.unresolved_deps.empty()) return;  // SPSI-4 wait
+  finalize_commit(rec);
+}
+
+void Coordinator::finalize_commit(txn::TxnRecord& rec) {
+  Cluster& cluster = node_.cluster();
+  STR_ASSERT(rec.unresolved_deps.empty());
+
+  const Timestamp ct = rec.writes.empty()
+                           ? rec.rs
+                           : std::max(rec.max_proposed_ts, rec.rs + 1);
+  rec.fc = ct;
+  rec.phase = txn::TxnPhase::Committed;
+
+  // Ext-Spec surfaces read-only results at commit time (they have no global
+  // certification to speculate over); recording this keeps the speculative-
+  // latency population comparable with final latency.
+  if (cluster.protocol().externalize_local_commit && !rec.externalized) {
+    rec.externalized = true;
+    rec.externalized_at = cluster.now();
+  }
+
+  // Apply locally: flip local-committed versions to committed, drop the
+  // cached remote-key copies (Alg. 1 line 44).
+  WriteGroups groups = group_writes(rec);
+  for (const auto& [pid, updates] : groups.local) {
+    node_.replica(pid)->apply_commit(rec.id, ct);
+  }
+  node_.cache().final_commit(rec.id);
+
+  // Alg. 1 lines 37-43: resolve dependents before the commit is visible.
+  resolve_dependents_on_commit(rec);
+
+  // Fan the decision out to every remote replica of an updated partition.
+  for (const auto& [pid, updates] : groups.local) {
+    for (NodeId n : cluster.pmap().replicas(pid)) {
+      if (n == node_.id()) continue;
+      CommitMessage msg{rec.id, pid, ct};
+      Cluster* cl = &cluster;
+      cluster.network().send(
+          node_.id(), n,
+          [cl, n, msg]() {
+            PartitionActor* actor = cl->node(n).replica(msg.partition);
+            STR_ASSERT(actor != nullptr);
+            actor->apply_commit(msg.tx, msg.commit_ts);
+          },
+          msg.wire_size());
+    }
+  }
+  for (const auto& [pid, updates] : groups.remote) {
+    for (NodeId n : cluster.pmap().replicas(pid)) {
+      if (n == node_.id()) continue;
+      CommitMessage msg{rec.id, pid, ct};
+      Cluster* cl = &cluster;
+      cluster.network().send(
+          node_.id(), n,
+          [cl, n, msg]() {
+            PartitionActor* actor = cl->node(n).replica(msg.partition);
+            STR_ASSERT(actor != nullptr);
+            actor->apply_commit(msg.tx, msg.commit_ts);
+          },
+          msg.wire_size());
+    }
+  }
+
+  if (auto* h = cluster.history()) {
+    verify::WriteSetEvent ev;
+    ev.tx = rec.id;
+    ev.ts = ct;
+    ev.at = cluster.now();
+    ev.keys = rec.write_order;
+    h->on_final_commit(ev);
+  }
+  cluster.metrics().record_commit(cluster.now(), rec.first_activation,
+                                  rec.externalized_at);
+  deliver_outcome(rec);
+  erase(rec.id);
+}
+
+void Coordinator::resolve_dependents_on_commit(txn::TxnRecord& rec) {
+  const Timestamp ct = rec.fc;
+  std::vector<TxId> dependents = rec.dependents;
+  for (const TxId& rid : dependents) {
+    txn::TxnRecord* reader = find(rid);
+    if (reader == nullptr || reader->finished()) continue;
+    if (reader->rs >= ct) {
+      // The writer's final timestamp is inside the reader's snapshot: the
+      // speculation was correct. The reader inherits the commit.
+      reader->olc_set.erase(rec.id);
+      reader->ffc = std::max(reader->ffc, ct);
+      reader->unresolved_deps.erase(rec.id);
+      reeval_gate(*reader);
+      maybe_finalize(*reader);
+    } else {
+      // SPSI-1 would be violated: the version the reader observed now has a
+      // commit timestamp beyond its snapshot.
+      abort_tx(rid, AbortReason::Misspeculation);
+    }
+  }
+}
+
+void Coordinator::abort_tx(const TxId& tx, AbortReason reason) {
+  Cluster& cluster = node_.cluster();
+  txn::TxnRecord* rec_ptr = find(tx);
+  if (rec_ptr == nullptr || rec_ptr->finished()) return;
+  txn::TxnRecord& rec = *rec_ptr;
+  rec.phase = txn::TxnPhase::Aborted;
+  rec.abort_reason = reason;
+
+  // Remove this transaction's uncommitted versions from local replicas and
+  // the cache; parked readers re-route to older versions.
+  WriteGroups groups = group_writes(rec);
+  for (const auto& [pid, updates] : groups.local) {
+    node_.replica(pid)->apply_abort(rec.id);
+  }
+  node_.cache().abort_tx(rec.id);
+
+  // Cascade: everything that speculatively read from us dies too (SPSI-4).
+  std::vector<TxId> dependents = rec.dependents;
+  for (const TxId& rid : dependents) {
+    abort_tx(rid, AbortReason::CascadingAbort);
+  }
+
+  // Tell every remote replica that may hold (or later receive) our
+  // pre-commits to drop them; tombstones make late arrivals harmless.
+  for (NodeId n : rec.remote_replica_nodes) {
+    for (const auto& [pid, updates] : groups.local) {
+      if (!cluster.pmap().replicates(n, pid)) continue;
+      AbortMessage msg{rec.id, pid};
+      Cluster* cl = &cluster;
+      cluster.network().send(
+          node_.id(), n,
+          [cl, n, msg]() {
+            PartitionActor* actor = cl->node(n).replica(msg.partition);
+            STR_ASSERT(actor != nullptr);
+            actor->apply_abort(msg.tx);
+          },
+          msg.wire_size());
+    }
+    for (const auto& [pid, updates] : groups.remote) {
+      if (!cluster.pmap().replicates(n, pid)) continue;
+      AbortMessage msg{rec.id, pid};
+      Cluster* cl = &cluster;
+      cluster.network().send(
+          node_.id(), n,
+          [cl, n, msg]() {
+            PartitionActor* actor = cl->node(n).replica(msg.partition);
+            STR_ASSERT(actor != nullptr);
+            actor->apply_abort(msg.tx);
+          },
+          msg.wire_size());
+    }
+  }
+
+  fail_outstanding_reads(rec);
+
+  if (auto* h = cluster.history()) {
+    h->on_abort(verify::AbortEvent{rec.id, reason, cluster.now()});
+  }
+  cluster.metrics().record_abort(cluster.now(), reason, rec.externalized);
+  deliver_outcome(rec);
+  erase(rec.id);
+}
+
+void Coordinator::deliver_outcome(txn::TxnRecord& rec) {
+  txn::TxFinalResult result;
+  if (rec.phase == txn::TxnPhase::Committed) {
+    result.outcome = TxOutcome::Committed;
+    result.commit_ts = rec.fc;
+  } else {
+    result.outcome = TxOutcome::Aborted;
+    result.abort_reason = rec.abort_reason;
+  }
+  result.externalized_at = rec.externalized_at;
+  for (auto& p : rec.outcome_waiters) p.try_set_value(result);
+  rec.outcome_waiters.clear();
+}
+
+void Coordinator::fail_outstanding_reads(txn::TxnRecord& rec) {
+  txn::ReadResult dead;
+  dead.aborted = true;
+  for (auto& p : rec.outstanding_reads) p.try_set_value(dead);
+  rec.outstanding_reads.clear();
+  rec.gate_waiters.clear();
+}
+
+void Coordinator::erase(const TxId& tx) {
+  // Pending remote-read entries for this transaction are dropped (their
+  // promises were already fulfilled with aborted=true); a late reply finds
+  // no entry and is ignored.
+  std::erase_if(pending_remote_,
+                [&tx](const auto& kv) { return kv.second.tx == tx; });
+  txns_.erase(tx);
+}
+
+}  // namespace str::protocol

@@ -1,0 +1,170 @@
+// Transaction coordinator (Algorithm 1).
+//
+// One coordinator runs on each node and owns the records of every
+// transaction originated there. It implements:
+//
+//  * startTx / read / write / commit with the SPSI bookkeeping:
+//    OLCSet and FFC maintenance, the speculation gate
+//    (min OLCSet >= FFC, Alg. 1 l. 15), and node-local data-dependency
+//    edges with cascading aborts;
+//  * the synchronous local certification (local 2PC over the node's
+//    replicas plus the cache partition for remote keys of unsafe
+//    transactions);
+//  * the asynchronous global certification: prepares to remote masters,
+//    synchronous master->slave replication acks, the SPSI-4 wait for data
+//    dependencies, final commit-timestamp computation and the commit/abort
+//    fan-out;
+//  * dependents resolution on final commit (Alg. 1 lines 37-43): a reader
+//    whose snapshot no longer admits the writer's final timestamp is
+//    aborted (misspeculation), everyone else inherits the commit.
+//
+// All read futures handed out are always eventually fulfilled — with
+// aborted=true if the transaction dies first — so no workload coroutine is
+// ever left suspended.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "protocol/messages.hpp"
+#include "sim/coro.hpp"
+#include "store/mvstore.hpp"
+#include "txn/txn_record.hpp"
+
+namespace str::protocol {
+
+class Node;
+
+class Coordinator {
+ public:
+  explicit Coordinator(Node& node);
+
+  // -- client-facing API ---------------------------------------------------
+
+  /// Start a transaction. `first_activation` carries the first attempt's
+  /// start time across retries (0 means "this is the first attempt").
+  TxId begin(Timestamp first_activation = 0);
+
+  /// Snapshot read; the future is fulfilled when the value is available and
+  /// the speculation gate admits it (or immediately with aborted=true).
+  sim::Future<txn::ReadResult> read(const TxId& tx, Key key);
+
+  /// Buffered write (visible to this transaction's own reads only).
+  void write(const TxId& tx, Key key, Value value);
+
+  /// Request commit; the future resolves at the final outcome.
+  sim::Future<txn::TxFinalResult> commit(const TxId& tx);
+
+  /// Future resolving at the transaction's final outcome, registrable at any
+  /// time (typically right after begin()). Client drivers use this so they
+  /// learn about aborts even when the transaction body returned early.
+  sim::Future<txn::TxFinalResult> outcome_future(const TxId& tx);
+
+  /// Workload-initiated rollback.
+  void user_abort(const TxId& tx);
+
+  bool is_aborted(const TxId& tx) const;
+  Timestamp snapshot_of(const TxId& tx) const;
+
+  // -- node/network entry points -------------------------------------------
+
+  void on_read_reply(ReadReply reply);
+  void on_prepare_reply(PrepareReply reply);
+
+  /// Abort a transaction of this node (also called by partition actors when
+  /// replicated remote pre-commits evict local speculation).
+  void abort_tx(const TxId& tx, AbortReason reason);
+
+  txn::TxnRecord* find(const TxId& tx);
+  const txn::TxnRecord* find(const TxId& tx) const;
+
+  std::size_t live_transactions() const { return txns_.size(); }
+
+ private:
+  /// A read value (from a local replica, the cache, or a remote reply) is
+  /// ready: apply OLCSet/FFC updates, dependency edges, then pass the gate.
+  void on_read_value(const TxId& tx, Key key,
+                     const store::StoreReadResult& r, bool from_cache,
+                     sim::Promise<txn::ReadResult> promise);
+
+  /// Deliver `result` if the gate is open, otherwise park it. History read
+  /// events are recorded at delivery (a value held at the gate and never
+  /// released is not an observation).
+  void gate_or_deliver(txn::TxnRecord& rec, Key key, txn::ReadResult result,
+                       sim::Promise<txn::ReadResult> promise);
+
+  void record_read_event(const TxId& tx, Key key,
+                         const txn::ReadResult& result);
+
+  /// Re-check parked gate waiters after OLCSet/FFC changed.
+  void reeval_gate(txn::TxnRecord& rec);
+
+  /// Synchronous local certification; returns false (and aborts) on
+  /// conflict. On success the transaction is LocalCommitted.
+  bool local_certification(txn::TxnRecord& rec);
+
+  void start_global_certification(txn::TxnRecord& rec);
+
+  /// Commit once prepares are in and dependencies resolved (SPSI-4).
+  void maybe_finalize(txn::TxnRecord& rec);
+
+  void finalize_commit(txn::TxnRecord& rec);
+
+  /// Alg. 1 lines 37-43: resolve or abort dependents at final commit.
+  void resolve_dependents_on_commit(txn::TxnRecord& rec);
+
+  void deliver_outcome(txn::TxnRecord& rec);
+
+  /// Fulfill every outstanding read with aborted=true.
+  void fail_outstanding_reads(txn::TxnRecord& rec);
+
+  void erase(const TxId& tx);
+
+  bool spec_active() const;
+
+  /// Partitions of the write set replicated at this node, with the updates
+  /// grouped; and the remote-key subset for the cache partition.
+  struct WriteGroups {
+    std::unordered_map<PartitionId, std::vector<std::pair<Key, Value>>> local;
+    std::unordered_map<PartitionId, std::vector<std::pair<Key, Value>>> remote;
+    std::vector<std::pair<Key, Value>> cache;  ///< keys not replicated here
+  };
+  WriteGroups group_writes(const txn::TxnRecord& rec) const;
+
+  struct PendingRemoteRead {
+    TxId tx;
+    Key key = 0;
+    sim::Promise<txn::ReadResult> promise;
+  };
+
+  Node& node_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_read_id_ = 1;
+  std::unordered_map<TxId, std::unique_ptr<txn::TxnRecord>, TxIdHash> txns_;
+  std::unordered_map<std::uint64_t, PendingRemoteRead> pending_remote_;
+};
+
+/// Thin value handle passed to workload transaction bodies.
+class TxnHandle {
+ public:
+  TxnHandle() = default;
+  TxnHandle(Coordinator* coord, TxId id) : coord_(coord), id_(id) {}
+
+  sim::Future<txn::ReadResult> read(Key key) { return coord_->read(id_, key); }
+  void write(Key key, Value value) {
+    coord_->write(id_, key, std::move(value));
+  }
+  sim::Future<txn::TxFinalResult> commit() { return coord_->commit(id_); }
+  void abort() { coord_->user_abort(id_); }
+
+  bool aborted() const { return coord_->is_aborted(id_); }
+  TxId id() const { return id_; }
+  Timestamp snapshot() const { return coord_->snapshot_of(id_); }
+
+ private:
+  Coordinator* coord_ = nullptr;
+  TxId id_;
+};
+
+}  // namespace str::protocol

@@ -1,0 +1,92 @@
+// Message payloads exchanged between nodes.
+//
+// The simulated network transports closures, but every inter-node
+// interaction is expressed through one of these structs so the protocol
+// reads like its wire format. Approximate serialized sizes (for traffic
+// accounting) are provided per message.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace str::protocol {
+
+struct ReadRequest {
+  TxId reader;
+  NodeId reader_node = kInvalidNode;
+  std::uint64_t req_id = 0;  ///< pairs the reply with the reader's promise
+  Key key = 0;
+  Timestamp rs = 0;
+
+  std::size_t wire_size() const { return 48; }
+};
+
+struct ReadReply {
+  TxId reader;
+  std::uint64_t req_id = 0;
+  Key key = 0;
+  bool found = false;
+  Value value;
+  TxId writer;
+  Timestamp version_ts = 0;
+
+  std::size_t wire_size() const { return 56 + value.size(); }
+};
+
+struct PrepareRequest {
+  TxId tx;
+  NodeId coordinator = kInvalidNode;
+  PartitionId partition = kInvalidPartition;
+  Timestamp rs = 0;
+  std::vector<std::pair<Key, Value>> updates;
+
+  std::size_t wire_size() const {
+    std::size_t s = 48;
+    for (const auto& [k, v] : updates) s += 16 + v.size();
+    return s;
+  }
+};
+
+struct PrepareReply {
+  TxId tx;
+  PartitionId partition = kInvalidPartition;
+  NodeId from = kInvalidNode;
+  bool prepared = false;
+  Timestamp proposed_ts = 0;
+
+  std::size_t wire_size() const { return 40; }
+};
+
+/// Master -> slave synchronous replication of an accepted pre-commit.
+struct ReplicateRequest {
+  TxId tx;
+  NodeId coordinator = kInvalidNode;
+  PartitionId partition = kInvalidPartition;
+  Timestamp rs = 0;
+  std::vector<std::pair<Key, Value>> updates;
+
+  std::size_t wire_size() const {
+    std::size_t s = 48;
+    for (const auto& [k, v] : updates) s += 16 + v.size();
+    return s;
+  }
+};
+
+struct CommitMessage {
+  TxId tx;
+  PartitionId partition = kInvalidPartition;
+  Timestamp commit_ts = 0;
+
+  std::size_t wire_size() const { return 32; }
+};
+
+struct AbortMessage {
+  TxId tx;
+  PartitionId partition = kInvalidPartition;
+
+  std::size_t wire_size() const { return 24; }
+};
+
+}  // namespace str::protocol

@@ -1,0 +1,32 @@
+#include "protocol/node.hpp"
+
+#include "protocol/cluster.hpp"
+
+namespace str::protocol {
+
+Node::Node(Cluster& cluster, NodeId id, RegionId region, Timestamp clock_skew)
+    : cluster_(cluster), id_(id), region_(region), skew_(clock_skew),
+      coord_(*this) {
+  for (PartitionId p : cluster.pmap().partitions_at(id)) {
+    replicas_.emplace(p, std::make_unique<PartitionActor>(
+                             *this, p, cluster.pmap().is_master(id, p)));
+  }
+}
+
+Timestamp Node::physical_now() const {
+  return cluster_.scheduler().now() + skew_;
+}
+
+PartitionActor* Node::replica(PartitionId p) {
+  auto it = replicas_.find(p);
+  return it == replicas_.end() ? nullptr : it->second.get();
+}
+
+void Node::maintain() {
+  const Timestamp horizon_len = cluster_.protocol().gc_horizon;
+  const Timestamp now = physical_now();
+  const Timestamp horizon = now > horizon_len ? now - horizon_len : 0;
+  for (auto& [pid, actor] : replicas_) actor->maintain(horizon);
+}
+
+}  // namespace str::protocol

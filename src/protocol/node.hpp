@@ -1,0 +1,55 @@
+// A node: one machine in one data center.
+//
+// Hosts a transaction coordinator, one partition actor per partition the
+// node replicates (master or slave), the cache partition for unsafe
+// transactions' remote writes, and a loosely-synchronized physical clock
+// (virtual time plus a fixed skew).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "protocol/coordinator.hpp"
+#include "protocol/partition_actor.hpp"
+#include "store/cache_partition.hpp"
+
+namespace str::protocol {
+
+class Cluster;
+
+class Node {
+ public:
+  Node(Cluster& cluster, NodeId id, RegionId region, Timestamp clock_skew);
+
+  NodeId id() const { return id_; }
+  RegionId region() const { return region_; }
+  Timestamp clock_skew() const { return skew_; }
+
+  /// Loosely synchronized physical clock: virtual time + skew. Monotonic.
+  Timestamp physical_now() const;
+
+  Cluster& cluster() { return cluster_; }
+  const Cluster& cluster() const { return cluster_; }
+
+  Coordinator& coordinator() { return coord_; }
+
+  /// The replica of partition p hosted here, or nullptr.
+  PartitionActor* replica(PartitionId p);
+
+  store::CachePartition& cache() { return cache_; }
+
+  /// Periodic GC of committed versions and tombstones on all replicas.
+  void maintain();
+
+ private:
+  Cluster& cluster_;
+  NodeId id_;
+  RegionId region_;
+  Timestamp skew_;
+  std::unordered_map<PartitionId, std::unique_ptr<PartitionActor>> replicas_;
+  store::CachePartition cache_;
+  Coordinator coord_;
+};
+
+}  // namespace str::protocol

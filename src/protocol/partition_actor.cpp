@@ -1,0 +1,245 @@
+#include "protocol/partition_actor.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "protocol/cluster.hpp"
+#include "protocol/node.hpp"
+
+namespace str::protocol {
+
+PartitionActor::PartitionActor(Node& node, PartitionId pid, bool master)
+    : node_(node), pid_(pid), is_master_(master) {}
+
+void PartitionActor::serve_local_read(
+    const TxId& reader, Key key, Timestamp rs,
+    UniqueFunction<void(store::StoreReadResult)> deliver) {
+  // LastReader is bumped exactly once, on first arrival (Alg. 2 line 6);
+  // re-serves after parking use peek().
+  store::StoreReadResult r = store_.read(key, rs);
+  ParkedRead rd;
+  rd.reader = reader;
+  rd.reader_node = node_.id();
+  rd.key = key;
+  rd.rs = rs;
+  rd.remote = false;
+  rd.deliver = std::move(deliver);
+  route_read(std::move(rd), r);
+}
+
+void PartitionActor::handle_remote_read(ReadRequest req) {
+  // Clock-SI read-delay rule: a snapshot from the future of this node's
+  // clock waits until the clock catches up, so that no committed version
+  // with ts <= rs can still appear after we serve the read.
+  const Timestamp phys = node_.physical_now();
+  if (req.rs > phys) {
+    const Timestamp wait = req.rs - phys;
+    node_.cluster().scheduler().schedule_after(
+        wait, [this, req]() mutable { handle_remote_read(req); });
+    return;
+  }
+  store::StoreReadResult r = store_.read(req.key, req.rs);
+  ParkedRead rd;
+  rd.reader = req.reader;
+  rd.reader_node = req.reader_node;
+  rd.req_id = req.req_id;
+  rd.key = req.key;
+  rd.rs = req.rs;
+  rd.remote = true;
+  route_read(std::move(rd), r);
+}
+
+void PartitionActor::route_read(ParkedRead&& rd,
+                                const store::StoreReadResult& r) {
+  switch (r.kind) {
+    case store::ReadKind::Committed:
+    case store::ReadKind::NotFound:
+      deliver_read(std::move(rd), r);
+      return;
+    case store::ReadKind::Speculative:
+      // Local readers may observe local-committed versions when speculation
+      // is on (Alg. 2 line 10); remote readers and non-speculative
+      // configurations wait for the final outcome.
+      if (!rd.remote && node_.cluster().spec_active(node_.id())) {
+        deliver_read(std::move(rd), r);
+        return;
+      }
+      [[fallthrough]];
+    case store::ReadKind::Blocked:
+      parked_[r.writer].push_back(std::move(rd));
+      return;
+  }
+}
+
+void PartitionActor::deliver_read(ParkedRead&& rd,
+                                  const store::StoreReadResult& r) {
+  if (!rd.remote) {
+    rd.deliver(r);
+    return;
+  }
+  ReadReply reply;
+  reply.reader = rd.reader;
+  reply.req_id = rd.req_id;
+  reply.key = rd.key;
+  reply.found = r.kind != store::ReadKind::NotFound;
+  reply.value = r.value;
+  reply.writer = r.writer;
+  reply.version_ts = r.ts;
+  Cluster& cluster = node_.cluster();
+  const NodeId to = rd.reader_node;
+  const std::size_t size = reply.wire_size();
+  cluster.network().send(
+      node_.id(), to,
+      [&cluster, to, reply = std::move(reply)]() mutable {
+        cluster.node(to).coordinator().on_read_reply(std::move(reply));
+      },
+      size);
+}
+
+store::PrepareResult PartitionActor::prepare_local(
+    const TxId& tx, Timestamp rs,
+    const std::vector<std::pair<Key, Value>>& updates,
+    const std::set<TxId>* chain_allowed) {
+  return store_.prepare(tx, rs, updates,
+                        node_.cluster().protocol().precise_clocks,
+                        node_.physical_now(), chain_allowed);
+}
+
+void PartitionActor::apply_local_commit(const TxId& tx, Timestamp lc) {
+  store_.local_commit(tx, lc);
+  // Readers parked on the pre-committed version may now proceed if they are
+  // local and speculation is on (Alg. 2 lines 28-29); others keep waiting.
+  resolve_writer(tx);
+}
+
+void PartitionActor::handle_prepare(PrepareRequest req) {
+  STR_ASSERT_MSG(is_master_, "global prepare must target the master replica");
+  Cluster& cluster = node_.cluster();
+  PrepareReply reply;
+  reply.tx = req.tx;
+  reply.partition = pid_;
+  reply.from = node_.id();
+
+  if (tombstoned(req.tx)) {
+    reply.prepared = false;
+  } else {
+    // Remote transactions cannot data-depend on this node's speculation, so
+    // no chaining is admissible here: any uncommitted version conflicts
+    // (Alg. 2 line 16 — first writer in the store wins at the master).
+    store::PrepareResult pr =
+        store_.prepare(req.tx, req.rs, req.updates,
+                       cluster.protocol().precise_clocks, node_.physical_now());
+    reply.prepared = pr.ok;
+    reply.proposed_ts = pr.proposed_ts;
+    if (pr.ok) {
+      // Synchronous replication: fan the pre-commit out to every slave
+      // except the coordinator's node (its replica, if any, was certified
+      // during the coordinator's local 2PC).
+      for (NodeId slave : cluster.pmap().replicas(pid_)) {
+        if (slave == node_.id() || slave == req.coordinator) continue;
+        ReplicateRequest rep;
+        rep.tx = req.tx;
+        rep.coordinator = req.coordinator;
+        rep.partition = pid_;
+        rep.rs = req.rs;
+        rep.updates = req.updates;
+        const std::size_t size = rep.wire_size();
+        cluster.network().send(
+            node_.id(), slave,
+            [&cluster, slave, rep = std::move(rep)]() mutable {
+              PartitionActor* actor = cluster.node(slave).replica(rep.partition);
+              STR_ASSERT(actor != nullptr);
+              actor->handle_replicate(std::move(rep));
+            },
+            size);
+      }
+    }
+  }
+
+  const NodeId to = req.coordinator;
+  const std::size_t size = reply.wire_size();
+  cluster.network().send(
+      node_.id(), to,
+      [&cluster, to, reply]() {
+        cluster.node(to).coordinator().on_prepare_reply(reply);
+      },
+      size);
+}
+
+void PartitionActor::handle_replicate(ReplicateRequest req) {
+  STR_ASSERT_MSG(!is_master_ || node_.id() != req.coordinator,
+                 "replicate targets slave replicas");
+  Cluster& cluster = node_.cluster();
+  if (tombstoned(req.tx)) return;  // late replicate of an aborted tx
+
+  auto rr = store_.replicate_insert(req.tx, req.updates,
+                                    cluster.protocol().precise_clocks,
+                                    node_.physical_now());
+  // Abort this node's own local-committed transactions that lost to the
+  // master-certified pre-commit (and, via the coordinator, everything that
+  // speculatively read from them) — Alg. 2 line 31.
+  for (const TxId& loser : rr.evicted) {
+    node_.coordinator().abort_tx(loser, AbortReason::RemoteReplication);
+  }
+  const Timestamp proposed =
+      store_.replicate_finish(req.tx, req.updates, rr.proposed_ts);
+
+  PrepareReply reply;
+  reply.tx = req.tx;
+  reply.partition = pid_;
+  reply.from = node_.id();
+  reply.prepared = true;
+  reply.proposed_ts = proposed;
+  const NodeId to = req.coordinator;
+  const std::size_t size = reply.wire_size();
+  cluster.network().send(
+      node_.id(), to,
+      [&cluster, to, reply]() {
+        cluster.node(to).coordinator().on_prepare_reply(reply);
+      },
+      size);
+}
+
+void PartitionActor::apply_commit(const TxId& tx, Timestamp ct) {
+  store_.final_commit(tx, ct);
+  tombstones_.emplace(tx, node_.physical_now());
+  resolve_writer(tx);
+}
+
+void PartitionActor::apply_abort(const TxId& tx) {
+  store_.abort_tx(tx);
+  tombstones_.emplace(tx, node_.physical_now());
+  resolve_writer(tx);
+}
+
+void PartitionActor::resolve_writer(const TxId& writer) {
+  auto it = parked_.find(writer);
+  if (it == parked_.end()) return;
+  std::vector<ParkedRead> waiters = std::move(it->second);
+  parked_.erase(it);
+  // Re-serve through the scheduler: resolution can cascade into coordinator
+  // logic for other transactions, and deferring keeps event handling
+  // non-reentrant and deterministic.
+  for (ParkedRead& rd : waiters) {
+    node_.cluster().scheduler().schedule_now(
+        [this, rd = std::move(rd)]() mutable {
+          store::StoreReadResult r = store_.peek(rd.key, rd.rs);
+          route_read(std::move(rd), r);
+        });
+  }
+}
+
+void PartitionActor::maintain(Timestamp horizon) {
+  store_.gc(horizon);
+  std::erase_if(tombstones_,
+                [horizon](const auto& kv) { return kv.second < horizon; });
+}
+
+std::size_t PartitionActor::parked_readers() const {
+  std::size_t n = 0;
+  for (const auto& [writer, list] : parked_) n += list.size();
+  return n;
+}
+
+}  // namespace str::protocol

@@ -1,0 +1,102 @@
+// One partition replica hosted on a node (Algorithm 2).
+//
+// The actor wraps the multi-version store with the protocol behaviours:
+// snapshot-read classification with reader parking, master-side
+// certification of remote prepares, slave-side application of replicated
+// pre-commits (evicting conflicting local speculation), commit/abort
+// application with parked-reader resolution, the Clock-SI future-snapshot
+// read delay, and tombstones that make late prepares/replicates of aborted
+// transactions harmless under message reordering.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/unique_function.hpp"
+#include "protocol/messages.hpp"
+#include "store/mvstore.hpp"
+
+namespace str::protocol {
+
+class Node;
+
+class PartitionActor {
+ public:
+  PartitionActor(Node& node, PartitionId pid, bool is_master);
+
+  PartitionId partition() const { return pid_; }
+  bool is_master() const { return is_master_; }
+  store::PartitionStore& store() { return store_; }
+  const store::PartitionStore& store() const { return store_; }
+
+  /// Serve a read for a transaction of this node. `deliver` runs
+  /// immediately for committed hits and speculative hits (the coordinator
+  /// decides whether speculation is allowed); blocked reads park and deliver
+  /// later. Reads never fail — at worst they wait.
+  void serve_local_read(const TxId& reader, Key key, Timestamp rs,
+                        UniqueFunction<void(store::StoreReadResult)> deliver);
+
+  /// Remote read entry point; replies over the network. Applies the
+  /// read-delay rule when rs is ahead of this node's physical clock.
+  void handle_remote_read(ReadRequest req);
+
+  /// Local-certification prepare (synchronous, same node). `chain_allowed`
+  /// lists the preparing transaction's data dependencies.
+  store::PrepareResult prepare_local(
+      const TxId& tx, Timestamp rs,
+      const std::vector<std::pair<Key, Value>>& updates,
+      const std::set<TxId>* chain_allowed);
+
+  /// Transition tx's pre-committed versions to local-committed (end of the
+  /// synchronous local 2PC) and wake readers that may now speculate.
+  void apply_local_commit(const TxId& tx, Timestamp lc);
+
+  /// Master-side global certification of a remote transaction's updates.
+  void handle_prepare(PrepareRequest req);
+
+  /// Slave-side application of a master-certified pre-commit.
+  void handle_replicate(ReplicateRequest req);
+
+  /// Final commit/abort application (from the coordinator's fan-out or the
+  /// local synchronous path).
+  void apply_commit(const TxId& tx, Timestamp ct);
+  void apply_abort(const TxId& tx);
+
+  /// Periodic maintenance: GC committed versions and expire tombstones.
+  void maintain(Timestamp horizon);
+
+  std::size_t parked_readers() const;
+
+ private:
+  struct ParkedRead {
+    TxId reader;
+    NodeId reader_node = kInvalidNode;
+    std::uint64_t req_id = 0;  ///< remote reads only
+    Key key = 0;
+    Timestamp rs = 0;
+    bool remote = false;
+    UniqueFunction<void(store::StoreReadResult)> deliver;  ///< local only
+  };
+
+  /// Classify a read result and either deliver it or park on the blocking
+  /// writer. Local speculative hits are delivered (coordinator gates them);
+  /// remote readers only ever receive committed versions.
+  void route_read(ParkedRead&& rd, const store::StoreReadResult& r);
+
+  void deliver_read(ParkedRead&& rd, const store::StoreReadResult& r);
+
+  /// Re-serve all readers parked on `writer` after its outcome is applied.
+  void resolve_writer(const TxId& writer);
+
+  bool tombstoned(const TxId& tx) const { return tombstones_.contains(tx); }
+
+  Node& node_;
+  PartitionId pid_;
+  bool is_master_;
+  store::PartitionStore store_;
+  std::unordered_map<TxId, std::vector<ParkedRead>, TxIdHash> parked_;
+  std::unordered_map<TxId, Timestamp, TxIdHash> tombstones_;
+};
+
+}  // namespace str::protocol

@@ -1,0 +1,44 @@
+#include "protocol/partition_map.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace str::protocol {
+
+PartitionMap::PartitionMap(std::uint32_t num_nodes,
+                           std::uint32_t partitions_per_node,
+                           std::uint32_t replication_factor)
+    : num_nodes_(num_nodes), rf_(replication_factor) {
+  STR_ASSERT(num_nodes >= 1);
+  STR_ASSERT(partitions_per_node >= 1);
+  STR_ASSERT(replication_factor >= 1 && replication_factor <= num_nodes);
+  const std::uint32_t num_partitions = num_nodes * partitions_per_node;
+  STR_ASSERT_MSG(num_partitions < (1u << 16), "partition id must fit 16 bits");
+  replicas_.resize(num_partitions);
+  node_partitions_.resize(num_nodes);
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    const NodeId base = p % num_nodes;
+    for (std::uint32_t r = 0; r < rf_; ++r) {
+      const NodeId n = (base + r) % num_nodes;
+      replicas_[p].push_back(n);
+      node_partitions_[n].push_back(p);
+    }
+  }
+  for (auto& parts : node_partitions_) std::sort(parts.begin(), parts.end());
+}
+
+bool PartitionMap::replicates(NodeId node, PartitionId p) const {
+  const auto& reps = replicas_.at(p);
+  return std::find(reps.begin(), reps.end(), node) != reps.end();
+}
+
+std::vector<PartitionId> PartitionMap::mastered_at(NodeId node) const {
+  std::vector<PartitionId> out;
+  for (PartitionId p = 0; p < num_partitions(); ++p) {
+    if (master(p) == node) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace str::protocol

@@ -1,0 +1,66 @@
+// Data placement: keys -> partitions -> replicas.
+//
+// Keys carry their partition in the top 16 bits so workloads can target
+// local vs. remote data precisely (the paper's synthetic benchmark needs
+// exactly this control). Placement follows the paper's EC2 deployment:
+// every node masters `partitions_per_node` partitions and holds slave
+// replicas of the partitions mastered by the next rf-1 nodes (chained
+// round-robin), giving each partition `replication_factor` replicas.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace str::protocol {
+
+class PartitionMap {
+ public:
+  PartitionMap(std::uint32_t num_nodes, std::uint32_t partitions_per_node,
+               std::uint32_t replication_factor);
+
+  static constexpr int kPartitionShift = 48;
+
+  static Key make_key(PartitionId p, std::uint64_t row) {
+    return (static_cast<Key>(p) << kPartitionShift) | row;
+  }
+  static PartitionId partition_of(Key key) {
+    return static_cast<PartitionId>(key >> kPartitionShift);
+  }
+  static std::uint64_t row_of(Key key) {
+    return key & ((std::uint64_t{1} << kPartitionShift) - 1);
+  }
+
+  std::uint32_t num_partitions() const {
+    return static_cast<std::uint32_t>(replicas_.size());
+  }
+  std::uint32_t num_nodes() const { return num_nodes_; }
+  std::uint32_t replication_factor() const { return rf_; }
+
+  NodeId master(PartitionId p) const { return replicas_.at(p).front(); }
+
+  /// All replicas; element 0 is the master.
+  const std::vector<NodeId>& replicas(PartitionId p) const {
+    return replicas_.at(p);
+  }
+
+  bool replicates(NodeId node, PartitionId p) const;
+  bool is_master(NodeId node, PartitionId p) const { return master(p) == node; }
+
+  /// Partitions replicated at `node` (master or slave).
+  const std::vector<PartitionId>& partitions_at(NodeId node) const {
+    return node_partitions_.at(node);
+  }
+
+  /// Partitions mastered at `node`.
+  std::vector<PartitionId> mastered_at(NodeId node) const;
+
+ private:
+  std::uint32_t num_nodes_;
+  std::uint32_t rf_;
+  std::vector<std::vector<NodeId>> replicas_;        // per partition
+  std::vector<std::vector<PartitionId>> node_partitions_;  // per node
+};
+
+}  // namespace str::protocol

@@ -1,0 +1,84 @@
+// Deterministic min-heap of timed events.
+//
+// std::priority_queue cannot hold move-only payloads (top() is const), so we
+// implement the binary heap directly. Ties on the timestamp are broken by a
+// monotonically increasing sequence number, which makes event order — and
+// therefore every simulation — fully deterministic and FIFO among
+// same-instant events.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "common/unique_function.hpp"
+
+namespace str::sim {
+
+class EventQueue {
+ public:
+  struct Event {
+    Timestamp at = 0;
+    std::uint64_t seq = 0;
+    UniqueFunction<void()> fn;
+
+    bool before(const Event& other) const {
+      return at != other.at ? at < other.at : seq < other.seq;
+    }
+  };
+
+  void push(Timestamp at, UniqueFunction<void()> fn) {
+    heap_.push_back(Event{at, next_seq_++, std::move(fn)});
+    sift_up(heap_.size() - 1);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  Timestamp next_time() const {
+    STR_ASSERT(!heap_.empty());
+    return heap_.front().at;
+  }
+
+  Event pop() {
+    STR_ASSERT(!heap_.empty());
+    Event top = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return top;
+  }
+
+  void clear() { heap_.clear(); }
+
+ private:
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!heap_[i].before(heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      std::size_t smallest = i;
+      if (l < n && heap_[l].before(heap_[smallest])) smallest = l;
+      if (r < n && heap_[r].before(heap_[smallest])) smallest = r;
+      if (smallest == i) break;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace str::sim

@@ -1,0 +1,50 @@
+// The virtual-time scheduler at the heart of the simulation.
+//
+// All protocol activity — message deliveries, clock waits, client think
+// times, coroutine resumptions — is expressed as events on this single
+// queue. Executing events in (time, sequence) order yields a linearizable,
+// reproducible interleaving of the distributed computation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "common/unique_function.hpp"
+#include "sim/event_queue.hpp"
+
+namespace str::sim {
+
+class Scheduler {
+ public:
+  Timestamp now() const { return now_; }
+
+  void schedule_at(Timestamp at, UniqueFunction<void()> fn);
+  void schedule_after(Timestamp delay, UniqueFunction<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+  /// Run after all events already queued for the current instant.
+  void schedule_now(UniqueFunction<void()> fn) { schedule_at(now_, std::move(fn)); }
+
+  /// Execute the next event, if any. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains.
+  void run();
+
+  /// Run all events with timestamp <= t, then advance the clock to t.
+  void run_until(Timestamp t);
+
+  /// Drain the queue but stop after `max_events` (guards against livelock
+  /// bugs in tests).
+  std::uint64_t run_for_events(std::uint64_t max_events);
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  Timestamp now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace str::sim

@@ -1,0 +1,326 @@
+#include "store/mvstore.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace str::store {
+
+void PartitionStore::load(Key key, Value value) {
+  KeyEntry& entry = map_[key];
+  STR_ASSERT_MSG(entry.versions.empty(), "load on an already-populated key");
+  entry.versions.push_back(
+      Version{0, VersionState::Committed, kNoTx, std::move(value)});
+}
+
+StoreReadResult PartitionStore::read(Key key, Timestamp rs) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    // Track the reader even for missing keys: a later insert of this key
+    // must still be serialized after us (write-after-read on a phantom).
+    KeyEntry& entry = map_[key];
+    entry.last_reader = std::max(entry.last_reader, rs);
+    return StoreReadResult{};
+  }
+  KeyEntry& entry = it->second;
+  entry.last_reader = std::max(entry.last_reader, rs);
+  return peek(key, rs);
+}
+
+StoreReadResult PartitionStore::peek(Key key, Timestamp rs) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return StoreReadResult{};
+  const auto& chain = it->second.versions;
+  // Latest version with ts <= rs. Chains are short (GC) so a reverse linear
+  // scan beats binary search in practice.
+  for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+    if (rit->ts > rs) continue;
+    StoreReadResult out;
+    out.writer = rit->writer;
+    out.ts = rit->ts;
+    switch (rit->state) {
+      case VersionState::Committed: {
+        // §5.1's wait rule applies to *any* uncommitted version at or below
+        // the snapshot, not only the newest: an uncommitted version carries
+        // its prepare proposal, which only lower-bounds its final commit
+        // timestamp — it may yet commit above this committed version but
+        // inside the snapshot (chained writers commit in dependency order,
+        // while slave-side proposals are clamped only against pre-commit
+        // timestamps). Reading past it would be a stale read, so block on
+        // the newest such version instead. The per-key uncommitted counter
+        // short-circuits the scan on the common all-committed path.
+        if (it->second.uncommitted_count == 0) {
+          out.kind = ReadKind::Committed;
+          out.value = rit->value;
+          return out;
+        }
+        for (auto below = std::next(rit); below != chain.rend(); ++below) {
+          if (below->state != VersionState::Committed) {
+            out.writer = below->writer;
+            out.ts = below->ts;
+            out.kind = ReadKind::Blocked;
+            return out;
+          }
+        }
+        out.kind = ReadKind::Committed;
+        out.value = rit->value;
+        break;
+      }
+      case VersionState::LocalCommitted:
+        out.kind = ReadKind::Speculative;
+        out.value = rit->value;
+        break;
+      case VersionState::PreCommitted:
+        out.kind = ReadKind::Blocked;
+        break;
+    }
+    return out;
+  }
+  return StoreReadResult{};
+}
+
+PrepareResult PartitionStore::prepare(
+    const TxId& tx, Timestamp rs,
+    const std::vector<std::pair<Key, Value>>& updates, bool precise_clocks,
+    Timestamp physical_now, const std::set<TxId>* chain_allowed) {
+  // Certification pass: no uncommitted version by a concurrent writer may
+  // exist on any updated key, and no committed version newer than our
+  // snapshot. Local-committed versions inside tx's speculative snapshot
+  // (chain_allowed) are not concurrent.
+  for (const auto& [key, value] : updates) {
+    auto it = map_.find(key);
+    if (it == map_.end()) continue;
+    for (const Version& v : it->second.versions) {
+      if (v.writer == tx) continue;  // idempotent re-prepare
+      if (v.state == VersionState::Committed) {
+        if (v.ts > rs) return PrepareResult{false, 0, kNoTx};
+        continue;
+      }
+      const bool chained = v.state == VersionState::LocalCommitted &&
+                           v.ts <= rs && chain_allowed != nullptr &&
+                           chain_allowed->contains(v.writer);
+      if (!chained) return PrepareResult{false, 0, v.writer};
+    }
+  }
+  // Timestamp proposal (Precise Clocks rule from §5.3, or the physical-clock
+  // rule of Clock-SI/Spanner), clamped above existing versions.
+  Timestamp proposed = precise_clocks ? 0 : physical_now;
+  for (const auto& [key, value] : updates) {
+    KeyEntry& entry = map_[key];
+    if (precise_clocks) {
+      proposed = std::max(proposed, entry.last_reader + 1);
+    }
+    if (!entry.versions.empty()) {
+      proposed = std::max(proposed, entry.versions.back().ts + 1);
+    }
+  }
+  // Insert pre-committed versions at the proposed timestamp.
+  std::vector<Key>& mine = uncommitted_[tx];
+  for (const auto& [key, value] : updates) {
+    KeyEntry& entry = map_[key];
+    insert_sorted(entry.versions,
+                  Version{proposed, VersionState::PreCommitted, tx, value});
+    ++entry.uncommitted_count;
+    mine.push_back(key);
+  }
+  return PrepareResult{true, proposed, kNoTx};
+}
+
+PartitionStore::ReplicateResult PartitionStore::replicate_insert(
+    const TxId& tx, const std::vector<std::pair<Key, Value>>& updates,
+    bool precise_clocks, Timestamp physical_now) {
+  ReplicateResult out;
+  // Evict conflicting local speculation: the master-certified pre-commit is
+  // authoritative, so this node's own local-committed writers on these keys
+  // lose (Alg. 2 line 31). Pre-committed versions from other replicated
+  // transactions are master-approved chains and stay.
+  for (const auto& [key, value] : updates) {
+    auto it = map_.find(key);
+    if (it == map_.end()) continue;
+    for (const Version& v : it->second.versions) {
+      if (v.writer == tx) continue;
+      if (v.state == VersionState::LocalCommitted &&
+          std::find(out.evicted.begin(), out.evicted.end(), v.writer) ==
+              out.evicted.end()) {
+        out.evicted.push_back(v.writer);
+      }
+    }
+  }
+  // Note: the caller aborts the evicted writers (which removes their
+  // versions, possibly cascading) before we insert and propose.
+  Timestamp proposed = precise_clocks ? 0 : physical_now;
+  for (const auto& [key, value] : updates) {
+    KeyEntry& entry = map_[key];
+    if (precise_clocks) proposed = std::max(proposed, entry.last_reader + 1);
+  }
+  out.proposed_ts = proposed;
+  return out;
+}
+
+/// Completes replicate_insert after evictions: inserts the pre-committed
+/// versions at a timestamp clamped above the surviving chain.
+Timestamp PartitionStore::replicate_finish(
+    const TxId& tx, const std::vector<std::pair<Key, Value>>& updates,
+    Timestamp proposed) {
+  for (const auto& [key, value] : updates) {
+    KeyEntry& entry = map_[key];
+    if (!entry.versions.empty()) {
+      proposed = std::max(proposed, entry.versions.back().ts + 1);
+    }
+  }
+  std::vector<Key>& mine = uncommitted_[tx];
+  for (const auto& [key, value] : updates) {
+    KeyEntry& entry = map_[key];
+    insert_sorted(entry.versions,
+                  Version{proposed, VersionState::PreCommitted, tx, value});
+    ++entry.uncommitted_count;
+    mine.push_back(key);
+  }
+  return proposed;
+}
+
+void PartitionStore::local_commit(const TxId& tx, Timestamp lc) {
+  auto it = uncommitted_.find(tx);
+  if (it == uncommitted_.end()) return;
+  for (Key key : it->second) {
+    auto& chain = map_[key].versions;
+    for (auto vit = chain.begin(); vit != chain.end(); ++vit) {
+      if (vit->writer == tx) {
+        STR_ASSERT(vit->state == VersionState::PreCommitted);
+        Version v = std::move(*vit);
+        chain.erase(vit);
+        v.state = VersionState::LocalCommitted;
+        v.ts = lc;
+        insert_sorted(chain, std::move(v));
+        break;
+      }
+    }
+  }
+}
+
+void PartitionStore::final_commit(const TxId& tx, Timestamp fc) {
+  auto it = uncommitted_.find(tx);
+  if (it == uncommitted_.end()) return;
+  for (Key key : it->second) {
+    KeyEntry& entry = map_[key];
+    auto& chain = entry.versions;
+    for (auto vit = chain.begin(); vit != chain.end(); ++vit) {
+      if (vit->writer == tx) {
+        STR_ASSERT(vit->state != VersionState::Committed);
+        Version v = std::move(*vit);
+        chain.erase(vit);
+        v.state = VersionState::Committed;
+        v.ts = fc;
+        insert_sorted(chain, std::move(v));
+        STR_ASSERT(entry.uncommitted_count > 0);
+        --entry.uncommitted_count;
+        break;
+      }
+    }
+  }
+  uncommitted_.erase(it);
+}
+
+void PartitionStore::abort_tx(const TxId& tx) {
+  auto it = uncommitted_.find(tx);
+  if (it == uncommitted_.end()) return;
+  for (Key key : it->second) {
+    KeyEntry& entry = map_[key];
+    const auto removed = std::erase_if(entry.versions, [&](const Version& v) {
+      return v.writer == tx && v.state != VersionState::Committed;
+    });
+    STR_ASSERT(entry.uncommitted_count >= removed);
+    entry.uncommitted_count -= static_cast<std::uint32_t>(removed);
+  }
+  uncommitted_.erase(it);
+}
+
+bool PartitionStore::has_uncommitted(const TxId& tx) const {
+  return uncommitted_.contains(tx);
+}
+
+std::vector<TxId> PartitionStore::uncommitted_writers(
+    const std::vector<Key>& keys) const {
+  std::vector<TxId> writers;
+  for (Key key : keys) {
+    auto it = map_.find(key);
+    if (it == map_.end()) continue;
+    for (const Version& v : it->second.versions) {
+      if (v.state != VersionState::Committed &&
+          std::find(writers.begin(), writers.end(), v.writer) == writers.end()) {
+        writers.push_back(v.writer);
+      }
+    }
+  }
+  return writers;
+}
+
+void PartitionStore::gc(Timestamp horizon) {
+  for (auto& [key, entry] : map_) {
+    auto& chain = entry.versions;
+    if (chain.size() <= 1) continue;
+    // Find the newest committed version at or below the horizon; everything
+    // committed strictly older than it is unreachable for any reader with
+    // RS >= horizon.
+    std::size_t keep_from = 0;
+    for (std::size_t i = chain.size(); i-- > 0;) {
+      if (chain[i].state == VersionState::Committed && chain[i].ts <= horizon) {
+        keep_from = i;
+        break;
+      }
+    }
+    if (keep_from == 0) continue;
+    // Only drop committed versions below keep_from (uncommitted ones are
+    // still subject to in-flight certification).
+    std::vector<Version> kept;
+    kept.reserve(chain.size() - keep_from + 1);
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (i < keep_from && chain[i].state == VersionState::Committed) {
+        ++gc_removed_;
+        continue;
+      }
+      kept.push_back(std::move(chain[i]));
+    }
+    chain = std::move(kept);
+  }
+}
+
+Timestamp PartitionStore::last_reader(Key key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? 0 : it->second.last_reader;
+}
+
+StoreStats PartitionStore::stats() const {
+  StoreStats s;
+  s.keys = map_.size();
+  s.gc_removed = gc_removed_;
+  for (const auto& [key, entry] : map_) {
+    s.versions += entry.versions.size();
+    for (const Version& v : entry.versions) s.value_bytes += v.value.size();
+  }
+  return s;
+}
+
+std::uint64_t PartitionStore::storage_bytes(bool include_last_reader) const {
+  // Per version: value payload + timestamp + state + writer id.
+  constexpr std::uint64_t kVersionOverhead =
+      sizeof(Timestamp) + sizeof(VersionState) + sizeof(TxId);
+  std::uint64_t bytes = 0;
+  for (const auto& [key, entry] : map_) {
+    bytes += sizeof(Key);
+    if (include_last_reader) bytes += sizeof(Timestamp);
+    for (const Version& v : entry.versions) {
+      bytes += kVersionOverhead + v.value.size();
+    }
+  }
+  return bytes;
+}
+
+void PartitionStore::insert_sorted(std::vector<Version>& chain, Version v) {
+  auto pos = std::upper_bound(
+      chain.begin(), chain.end(), v.ts,
+      [](Timestamp ts, const Version& existing) { return ts < existing.ts; });
+  chain.insert(pos, std::move(v));
+}
+
+}  // namespace str::store

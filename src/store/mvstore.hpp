@@ -1,0 +1,159 @@
+// Multi-version storage for one partition replica (Algorithm 2's KVStore).
+//
+// Responsibilities:
+//  * version chains per key, ordered by timestamp, with the
+//    PreCommitted -> LocalCommitted -> Committed lifecycle;
+//  * the per-key LastReader timestamp that implements Precise Clocks;
+//  * write-write conflict certification (at most one uncommitted version
+//    may exist per key at any time — the pre-commit lock);
+//  * snapshot reads: the latest version with ts <= RS, classified as
+//    directly readable, speculatively readable, or blocking;
+//  * horizon-based garbage collection of committed versions;
+//  * storage accounting for the Precise Clocks overhead experiment (§6.1).
+//
+// The store is purely mechanical: all distribution, replication and
+// dependency logic lives in the protocol layer.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "store/version.hpp"
+
+namespace str::store {
+
+/// Outcome classification for a snapshot read (Alg. 2 lines 6-14).
+enum class ReadKind : std::uint8_t {
+  Committed,    ///< latest version <= RS is final committed: return it
+  Speculative,  ///< latest version <= RS is local-committed: a speculative
+                ///< read may observe it (if the protocol allows)
+  Blocked,      ///< latest version <= RS is pre-committed: reader must wait
+  NotFound,     ///< no version at or below RS exists
+};
+
+struct StoreReadResult {
+  ReadKind kind = ReadKind::NotFound;
+  Value value;       ///< valid for Committed/Speculative
+  TxId writer;       ///< writer of the version (Committed/Speculative/Blocked)
+  Timestamp ts = 0;  ///< timestamp of the version
+};
+
+struct PrepareResult {
+  bool ok = false;
+  Timestamp proposed_ts = 0;  ///< valid when ok
+  TxId conflicting_writer;    ///< when !ok and the conflict is an uncommitted
+                              ///< version: its writer (else kNoTx)
+};
+
+struct StoreStats {
+  std::uint64_t keys = 0;
+  std::uint64_t versions = 0;
+  std::uint64_t value_bytes = 0;
+  std::uint64_t gc_removed = 0;
+};
+
+class PartitionStore {
+ public:
+  /// Insert initial data as a committed version at timestamp 0.
+  void load(Key key, Value value);
+
+  /// Snapshot read at `rs`. Updates LastReader as a side effect (Alg. 2 l.6).
+  StoreReadResult read(Key key, Timestamp rs);
+
+  /// Snapshot read that does NOT bump LastReader. Used when re-serving a
+  /// parked read whose LastReader update already happened on first arrival.
+  StoreReadResult peek(Key key, Timestamp rs) const;
+
+  /// Write-write certification for `tx` updating `keys` against snapshot
+  /// `rs` (Alg. 2 prepare, lines 15-21). On success inserts pre-committed
+  /// versions and returns the proposed prepare timestamp:
+  ///   precise clocks: max(LastReader+1) over the updated keys,
+  ///   physical clocks: the caller-supplied `physical_now`.
+  /// Both rules are clamped above any existing version timestamp on the keys
+  /// so version chains stay ordered even for blind writes.
+  ///
+  /// `chain_allowed`, when non-null, lists transactions `tx` data-depends on:
+  /// their local-committed versions with ts <= rs are part of tx's
+  /// speculative snapshot and therefore *not* concurrent conflicts — tx may
+  /// pre-commit "on top" of them. (If such a dependency later final-commits
+  /// past tx's snapshot or aborts, tx is aborted by the dependency rules, so
+  /// chaining never violates SPSI-2/3.)
+  PrepareResult prepare(const TxId& tx, Timestamp rs,
+                        const std::vector<std::pair<Key, Value>>& updates,
+                        bool precise_clocks, Timestamp physical_now,
+                        const std::set<TxId>* chain_allowed = nullptr);
+
+  struct ReplicateResult {
+    Timestamp proposed_ts = 0;
+    /// Local-committed writers whose versions conflicted with the replicated
+    /// pre-commit; the caller must abort them (Alg. 2 line 31).
+    std::vector<TxId> evicted;
+  };
+
+  /// Slave-side insert of a master-certified pre-commit (Alg. 2 lines
+  /// 30-35). Never refuses: the master already serialized certification.
+  /// Conflicting local-committed versions (this node's own speculation) are
+  /// evicted and their writers reported for cascading abort.
+  ReplicateResult replicate_insert(
+      const TxId& tx, const std::vector<std::pair<Key, Value>>& updates,
+      bool precise_clocks, Timestamp physical_now);
+
+  /// Second half of the replicate path, run after the caller aborted the
+  /// evicted writers: inserts the pre-committed versions and returns the
+  /// final proposal (clamped above surviving versions).
+  Timestamp replicate_finish(const TxId& tx,
+                             const std::vector<std::pair<Key, Value>>& updates,
+                             Timestamp proposed);
+
+  /// Transition tx's versions PreCommitted -> LocalCommitted at LC.
+  void local_commit(const TxId& tx, Timestamp lc);
+
+  /// Transition tx's versions to Committed at FC.
+  void final_commit(const TxId& tx, Timestamp fc);
+
+  /// Remove all versions written by tx (pre- or local-committed).
+  void abort_tx(const TxId& tx);
+
+  /// True if `tx` currently has uncommitted versions here.
+  bool has_uncommitted(const TxId& tx) const;
+
+  /// Uncommitted writers holding versions on any of `keys` (conflict probe).
+  std::vector<TxId> uncommitted_writers(const std::vector<Key>& keys) const;
+
+  /// Remove committed versions strictly older than the newest committed
+  /// version at or below `horizon`; that newest one is retained so any
+  /// reader with RS >= horizon still finds its snapshot.
+  void gc(Timestamp horizon);
+
+  Timestamp last_reader(Key key) const;
+
+  StoreStats stats() const;
+
+  /// Bytes of user data + per-version metadata; `include_last_reader` adds
+  /// the 8-byte Precise Clocks timestamp per key (for the §6.1 overhead
+  /// measurement).
+  std::uint64_t storage_bytes(bool include_last_reader) const;
+
+ private:
+  struct KeyEntry {
+    std::vector<Version> versions;  ///< sorted ascending by ts
+    Timestamp last_reader = 0;
+    /// Number of non-Committed versions in the chain. Lets reads skip the
+    /// uncommitted-below-committed scan (§5.1's wait rule) on the common
+    /// all-committed path.
+    std::uint32_t uncommitted_count = 0;
+  };
+
+  /// Insert keeping the chain sorted (versions mostly append).
+  static void insert_sorted(std::vector<Version>& chain, Version v);
+
+  std::unordered_map<Key, KeyEntry> map_;
+  /// writer -> keys with an uncommitted version, for O(1) state transitions.
+  std::unordered_map<TxId, std::vector<Key>, TxIdHash> uncommitted_;
+  std::uint64_t gc_removed_ = 0;
+};
+
+}  // namespace str::store

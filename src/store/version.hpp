@@ -1,0 +1,18 @@
+// A single timestamped version of a data item.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace str::store {
+
+struct Version {
+  /// Meaning depends on state: proposed prepare timestamp (PreCommitted),
+  /// local-commit timestamp LC (LocalCommitted), or final-commit timestamp
+  /// FC (Committed).
+  Timestamp ts = 0;
+  VersionState state = VersionState::Committed;
+  TxId writer;
+  Value value;
+};
+
+}  // namespace str::store

@@ -1,0 +1,35 @@
+#include "tuning/cusum.hpp"
+
+#include <algorithm>
+
+namespace str::tuning {
+
+bool CusumDetector::add_sample(double value) {
+  ++samples_seen_;
+  if (samples_seen_ <= config_.calibration_samples) {
+    // Running mean over the calibration window.
+    mean_ += (value - mean_) / static_cast<double>(samples_seen_);
+    return false;
+  }
+  const double k = config_.drift_frac * mean_;
+  const double h = config_.threshold_frac * mean_;
+  pos_sum_ = std::max(0.0, pos_sum_ + (value - mean_) - k);
+  neg_sum_ = std::max(0.0, neg_sum_ + (mean_ - value) - k);
+  if (pos_sum_ > h || neg_sum_ > h) {
+    ++changes_;
+    const auto keep = changes_;
+    reset();
+    changes_ = keep;
+    return true;
+  }
+  return false;
+}
+
+void CusumDetector::reset() {
+  samples_seen_ = 0;
+  mean_ = 0.0;
+  pos_sum_ = 0.0;
+  neg_sum_ = 0.0;
+}
+
+}  // namespace str::tuning

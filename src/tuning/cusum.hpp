@@ -1,0 +1,49 @@
+// Two-sided CUSUM change detector (Page's test), the classic algorithm the
+// paper cites (Basseville & Nikiforov) for detecting statistically
+// meaningful changes of the input load and re-triggering self-tuning.
+//
+// The detector is fed one sample per monitoring interval. It maintains
+// cumulative sums of positive and negative deviations from a reference mean
+// (estimated from the first `calibration_samples` samples); when either sum
+// exceeds the threshold, a change is signalled and the detector resets.
+#pragma once
+
+#include <cstdint>
+
+namespace str::tuning {
+
+class CusumDetector {
+ public:
+  struct Config {
+    /// Samples used to estimate the reference mean after (re)calibration.
+    std::uint32_t calibration_samples = 3;
+    /// Allowed drift per sample, as a fraction of the reference mean
+    /// (deviations below this are absorbed — the "slack" k).
+    double drift_frac = 0.1;
+    /// Detection threshold as a multiple of the reference mean (h).
+    double threshold_frac = 0.5;
+  };
+
+  CusumDetector() : CusumDetector(Config{}) {}
+  explicit CusumDetector(Config config) : config_(config) {}
+
+  /// Feed one sample; returns true when a change is detected (the detector
+  /// then recalibrates on subsequent samples).
+  bool add_sample(double value);
+
+  bool calibrated() const { return samples_seen_ >= config_.calibration_samples; }
+  double reference_mean() const { return mean_; }
+  std::uint32_t changes_detected() const { return changes_; }
+
+  void reset();
+
+ private:
+  Config config_;
+  std::uint32_t samples_seen_ = 0;
+  double mean_ = 0.0;
+  double pos_sum_ = 0.0;
+  double neg_sum_ = 0.0;
+  std::uint32_t changes_ = 0;
+};
+
+}  // namespace str::tuning

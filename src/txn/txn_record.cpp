@@ -1,0 +1,14 @@
+#include "txn/txn_record.hpp"
+
+#include <algorithm>
+
+namespace str::txn {
+
+void TxnRecord::add_dependent(const TxId& reader) {
+  if (std::find(dependents.begin(), dependents.end(), reader) ==
+      dependents.end()) {
+    dependents.push_back(reader);
+  }
+}
+
+}  // namespace str::txn

@@ -1,0 +1,132 @@
+// Per-transaction coordinator state (Algorithm 1's transaction object).
+//
+// A record lives in its coordinator's transaction table from startTx until
+// its final outcome has been delivered and every dependent has been
+// resolved. It carries the write buffer, the SPSI speculation-safety state
+// (OLCSet / FFC, Alg. 1 lines 4-5 and 13-15), the node-local dependency
+// edges, and the bookkeeping of the distributed certification.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/coro.hpp"
+
+namespace str::txn {
+
+/// What a transaction body sees from a completed read.
+struct ReadResult {
+  bool aborted = false;  ///< the reading transaction was aborted mid-read
+  bool found = false;    ///< a version existed at or below the snapshot
+  Value value;
+  TxId writer;
+  Timestamp version_ts = 0;
+  bool speculative = false;  ///< observed a local-committed (not final) version
+};
+
+/// Final outcome delivered to the client driver.
+struct TxFinalResult {
+  TxOutcome outcome = TxOutcome::Aborted;
+  AbortReason abort_reason = AbortReason::None;
+  Timestamp commit_ts = 0;
+  /// Ext-Spec: this attempt was externalized (speculatively committed to the
+  /// client) at this time before its final outcome; 0 if never externalized.
+  Timestamp externalized_at = 0;
+};
+
+enum class TxnPhase : std::uint8_t {
+  Active,           ///< executing reads/writes
+  LocalCommitted,   ///< passed local certification, in global certification
+  Committed,        ///< final committed
+  Aborted,
+};
+
+struct TxnRecord {
+  TxId id;
+  NodeId origin = kInvalidNode;
+  Timestamp rs = 0;  ///< read snapshot
+  TxnPhase phase = TxnPhase::Active;
+  AbortReason abort_reason = AbortReason::None;
+  Timestamp lc = 0;  ///< local-commit timestamp (valid from LocalCommitted)
+  Timestamp fc = 0;  ///< final-commit timestamp (valid once Committed)
+
+  /// Time of the first activation of this logical transaction (carried
+  /// across retries by the client; used for final-latency metrics).
+  Timestamp first_activation = 0;
+  /// Time this attempt started.
+  Timestamp attempt_start = 0;
+
+  // -- write buffer -------------------------------------------------------
+  std::unordered_map<Key, Value> writes;
+  std::vector<Key> write_order;  ///< insertion order, deterministic iteration
+
+  // -- SPSI speculation-safety state (Alg. 1) -----------------------------
+  /// OLCSet: writer -> recorded OLC value. Only finite entries are stored;
+  /// an empty set means "{<bottom, infinity>}".
+  std::map<TxId, Timestamp> olc_set;
+  Timestamp ffc = 0;  ///< Freshest Final Commit observed
+
+  /// Local-committed transactions this one speculatively read from and whose
+  /// final outcome is still unknown (data dependencies, SPSI-4).
+  std::set<TxId> unresolved_deps;
+  /// Every local-committed transaction in this one's speculative snapshot,
+  /// directly or transitively (a speculative read from T inherits T's set;
+  /// T's set is final because T finished executing before local commit).
+  /// Used as the write-write "chaining" set during local certification:
+  /// overwriting a version that is atomically part of our own snapshot is
+  /// not a concurrent conflict.
+  std::set<TxId> snapshot_lc_writers;
+  /// Local transactions that speculatively read from this one.
+  std::vector<TxId> dependents;
+
+  // -- certification bookkeeping ------------------------------------------
+  bool commit_requested = false;  ///< client called commit()
+  bool unsafe_txn = false;        ///< updated keys not replicated locally
+  int awaiting_prepares = 0;      ///< outstanding prepare/replicate acks
+  Timestamp max_proposed_ts = 0;  ///< running max of prepare proposals
+  /// Remote nodes that hold replicas of updated partitions (commit/abort
+  /// fan-out targets).
+  std::set<NodeId> remote_replica_nodes;
+  bool externalized = false;      ///< Ext-Spec surfaced results already
+  Timestamp externalized_at = 0;
+
+  // -- suspended consumers -------------------------------------------------
+  /// Reads whose value is known but which wait at the speculation gate
+  /// (min OLCSet >= FFC, Alg. 1 line 15). The pending history event is
+  /// recorded only if the value is actually delivered — a gated value the
+  /// transaction never receives is not an observation.
+  struct GateWaiter {
+    sim::Promise<ReadResult> promise;
+    ReadResult result;
+    Key key = 0;
+  };
+  std::vector<GateWaiter> gate_waiters;
+  /// Every read promise handed out and not yet fulfilled; all are resolved
+  /// with aborted=true if the transaction aborts (so no coroutine is ever
+  /// left suspended forever).
+  std::vector<sim::Promise<ReadResult>> outstanding_reads;
+  /// Fulfilled exactly once with the final outcome.
+  std::vector<sim::Promise<TxFinalResult>> outcome_waiters;
+
+  /// min over OLCSet values; infinity when the set is empty.
+  Timestamp olc_min() const {
+    Timestamp m = kTsInfinity;
+    for (const auto& [tx, v] : olc_set) m = std::min(m, v);
+    return m;
+  }
+
+  /// The speculation gate of Alg. 1 line 15.
+  bool gate_open() const { return olc_min() >= ffc; }
+
+  bool finished() const {
+    return phase == TxnPhase::Committed || phase == TxnPhase::Aborted;
+  }
+
+  void add_dependent(const TxId& reader);
+};
+
+}  // namespace str::txn

@@ -1,0 +1,37 @@
+#include "verify/history.hpp"
+
+#include "common/assert.hpp"
+
+namespace str::verify {
+
+void HistoryRecorder::index() {
+  begin_index_.clear();
+  commit_index_.clear();
+  abort_index_.clear();
+  for (std::size_t i = 0; i < begins_.size(); ++i)
+    begin_index_.emplace(begins_[i].tx, i);
+  for (std::size_t i = 0; i < final_commits_.size(); ++i)
+    commit_index_.emplace(final_commits_[i].tx, i);
+  for (std::size_t i = 0; i < aborts_.size(); ++i)
+    abort_index_.emplace(aborts_[i].tx, i);
+  indexed_ = true;
+}
+
+const BeginEvent* HistoryRecorder::begin_of(const TxId& tx) const {
+  STR_ASSERT_MSG(indexed_, "call index() first");
+  auto it = begin_index_.find(tx);
+  return it == begin_index_.end() ? nullptr : &begins_[it->second];
+}
+
+const WriteSetEvent* HistoryRecorder::final_commit_of(const TxId& tx) const {
+  STR_ASSERT_MSG(indexed_, "call index() first");
+  auto it = commit_index_.find(tx);
+  return it == commit_index_.end() ? nullptr : &final_commits_[it->second];
+}
+
+bool HistoryRecorder::aborted(const TxId& tx) const {
+  STR_ASSERT_MSG(indexed_, "call index() first");
+  return abort_index_.contains(tx);
+}
+
+}  // namespace str::verify

@@ -1,0 +1,69 @@
+// Machine-checkable SPSI and SI properties over recorded histories.
+//
+// Given a complete HistoryRecorder, the checker validates:
+//
+//   SI-1 / SPSI-1(i)  — every observation of a final-committed version is
+//                       the most recent one at or below the reader's
+//                       snapshot (no committed version of the key lies
+//                       strictly between).
+//   SPSI-1(ii)        — speculative observations come from local-committed
+//                       transactions of the reader's own node, with
+//                       local-commit timestamp <= the reader's snapshot.
+//   SPSI-1 (atomicity)— if a reader observed any of writer W's versions,
+//                       then every other key of W the reader read shows W's
+//                       effect or something newer (never the state before W).
+//   SPSI-2 / SI-2     — concurrent final-committed transactions have
+//                       disjoint write sets.
+//   SPSI-3            — no two conflicting transactions inside one observed
+//                       snapshot.
+//   SPSI-4            — a final-committed reader's speculative dependencies
+//                       all final-committed, with commit timestamps inside
+//                       the reader's snapshot, and committed no later than
+//                       the reader.
+//
+// Violations are returned as human-readable strings (empty = history OK).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/history.hpp"
+
+namespace str::verify {
+
+struct CheckOptions {
+  /// Upper bound on reported violations (histories can be large).
+  std::size_t max_violations = 32;
+};
+
+class SpsiChecker {
+ public:
+  explicit SpsiChecker(const HistoryRecorder& history,
+                       CheckOptions options = {});
+
+  /// Run every check; returns all violations found (bounded).
+  std::vector<std::string> check_all();
+
+  std::vector<std::string> check_snapshot_reads();      // SI-1 / SPSI-1(i)
+  std::vector<std::string> check_speculative_reads();   // SPSI-1(ii)
+  std::vector<std::string> check_snapshot_atomicity();  // SPSI-1 (atomic)
+  std::vector<std::string> check_ww_disjoint();         // SPSI-2 / SI-2
+  std::vector<std::string> check_snapshot_conflicts();  // SPSI-3
+  std::vector<std::string> check_dependencies();        // SPSI-4
+
+ private:
+  void build_indexes();
+
+  const HistoryRecorder& h_;
+  CheckOptions options_;
+
+  struct CommittedWrite {
+    TxId tx;
+    Timestamp fc = 0;
+  };
+  /// Per key: committed writers sorted by commit timestamp.
+  std::unordered_map<Key, std::vector<CommittedWrite>> committed_writes_;
+  bool indexed_ = false;
+};
+
+}  // namespace str::verify

@@ -1,0 +1,117 @@
+#include "workload/client.hpp"
+
+namespace str::workload {
+
+void PerTypeStats::record(int type, bool committed, Timestamp final_latency,
+                          std::uint32_t attempts) {
+  TypeStats& s = stats_[type];
+  s.attempts += attempts;
+  if (committed) {
+    ++s.commits;
+    s.latency.record(final_latency);
+  } else {
+    ++s.failed;
+  }
+}
+
+const PerTypeStats::TypeStats* PerTypeStats::type_stats(int type) const {
+  auto it = stats_.find(type);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+Client::Client(protocol::Cluster& cluster, Workload& workload, NodeId node,
+               Rng rng, PerTypeStats* type_stats)
+    : cluster_(cluster), workload_(workload), node_(node), rng_(rng),
+      type_stats_(type_stats) {}
+
+void Client::start() { loop(); }
+
+sim::Fiber Client::loop() {
+  auto& coord = cluster_.node(node_).coordinator();
+  while (!stop_) {
+    std::shared_ptr<TxnProgram> program = workload_.next(node_, rng_);
+    Timestamp first_activation = 0;
+    std::uint32_t attempts = 0;
+    bool tx_committed = false;
+    for (;;) {
+      ++attempts;
+      // Client-side processing cost per attempt (request marshalling and,
+      // on retry, transaction re-execution). Besides realism, this
+      // guarantees virtual time advances on every attempt, so an abort-retry
+      // cycle can never livelock the simulation at one instant.
+      co_await sim::sleep_for(cluster_.scheduler(),
+                              kAttemptOverhead + rng_.uniform(kAttemptJitter));
+      if (first_activation == 0) first_activation = cluster_.now();
+      const TxId tx = coord.begin(first_activation);
+      auto outcome = coord.outcome_future(tx);
+      program->execute(protocol::TxnHandle(&coord, tx), program);
+      const txn::TxFinalResult result = co_await outcome;
+      if (result.outcome == TxOutcome::Committed) {
+        ++committed_;
+        tx_committed = true;
+        break;
+      }
+      if (stop_) break;  // do not retry into a draining experiment
+    }
+    if (type_stats_ != nullptr) {
+      type_stats_->record(program->type(), tx_committed,
+                          cluster_.now() - first_activation, attempts);
+    }
+    const Timestamp think = workload_.think_time(*program, rng_);
+    if (think > 0 && !stop_) {
+      co_await sim::sleep_for(cluster_.scheduler(), think);
+    }
+  }
+  exited_ = true;
+}
+
+ClientPool::ClientPool(protocol::Cluster& cluster, Workload& workload,
+                       std::uint32_t clients_per_node,
+                       std::uint64_t seed_stream) {
+  Rng base = cluster.fork_rng(seed_stream);
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    for (std::uint32_t c = 0; c < clients_per_node; ++c) {
+      clients_.push_back(std::make_unique<Client>(
+          cluster, workload, n, base.fork(n * 100003ULL + c)));
+    }
+  }
+}
+
+ClientPool ClientPool::with_total(protocol::Cluster& cluster,
+                                  Workload& workload,
+                                  std::uint32_t total_clients,
+                                  std::uint64_t seed_stream) {
+  ClientPool pool(cluster, workload, 0, seed_stream);
+  Rng base = cluster.fork_rng(seed_stream);
+  for (std::uint32_t c = 0; c < total_clients; ++c) {
+    const NodeId n = c % cluster.num_nodes();
+    pool.clients_.push_back(std::make_unique<Client>(
+        cluster, workload, n, base.fork(0xC0FFEEULL + c)));
+  }
+  return pool;
+}
+
+void ClientPool::start_all() {
+  for (auto& c : clients_) c->start();
+}
+
+PerTypeStats& ClientPool::enable_type_stats() {
+  if (type_stats_ == nullptr) {
+    type_stats_ = std::make_unique<PerTypeStats>();
+    for (auto& c : clients_) c->set_type_stats(type_stats_.get());
+  }
+  return *type_stats_;
+}
+
+void ClientPool::request_stop_all() {
+  for (auto& c : clients_) c->request_stop();
+}
+
+bool ClientPool::all_stopped() const {
+  for (const auto& c : clients_) {
+    if (!c->stopped()) return false;
+  }
+  return true;
+}
+
+}  // namespace str::workload

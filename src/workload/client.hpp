@@ -1,0 +1,105 @@
+// Closed-loop client driver.
+//
+// Each client is a fiber attached to one node's coordinator: draw a program
+// from the workload, run attempts until one final-commits (the paper's
+// "retries a transaction if it gets aborted"), think, repeat. Final latency
+// is measured from the first activation across retries — the coordinator
+// records it via the first_activation carried into begin().
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "protocol/cluster.hpp"
+#include "sim/coro.hpp"
+#include "workload/workload.hpp"
+
+namespace str::workload {
+
+/// Per-transaction-type statistics, aggregated across a client pool. The
+/// coordinator cannot know workload types, so the client driver records
+/// them at final outcome.
+class PerTypeStats {
+ public:
+  void record(int type, bool committed, Timestamp final_latency,
+              std::uint32_t attempts);
+
+  struct TypeStats {
+    std::uint64_t commits = 0;
+    std::uint64_t failed = 0;     ///< gave up (client stopped mid-retry)
+    std::uint64_t attempts = 0;   ///< including retries
+    Histogram latency;            ///< final latency of committed txns
+  };
+
+  const TypeStats* type_stats(int type) const;
+  const std::map<int, TypeStats>& all() const { return stats_; }
+
+ private:
+  std::map<int, TypeStats> stats_;
+};
+
+class Client {
+ public:
+  Client(protocol::Cluster& cluster, Workload& workload, NodeId node,
+         Rng rng, PerTypeStats* type_stats = nullptr);
+
+  /// Spawn the client fiber. Call once.
+  void start();
+
+  /// Ask the client to exit after its current transaction (drains fibers so
+  /// experiment teardown frees all coroutine frames).
+  void request_stop() { stop_ = true; }
+
+  bool stopped() const { return exited_; }
+  std::uint64_t committed() const { return committed_; }
+
+  void set_type_stats(PerTypeStats* stats) { type_stats_ = stats; }
+
+  /// Fixed + jittered client-side cost per transaction attempt.
+  static constexpr Timestamp kAttemptOverhead = usec(150);
+  static constexpr Timestamp kAttemptJitter = usec(100);
+
+ private:
+  sim::Fiber loop();
+
+  protocol::Cluster& cluster_;
+  Workload& workload_;
+  NodeId node_;
+  Rng rng_;
+  PerTypeStats* type_stats_ = nullptr;
+  bool stop_ = false;
+  bool exited_ = false;
+  std::uint64_t committed_ = 0;
+};
+
+/// Owns a fleet of clients spread over the cluster's nodes.
+class ClientPool {
+ public:
+  /// `clients_per_node` clients on every node.
+  ClientPool(protocol::Cluster& cluster, Workload& workload,
+             std::uint32_t clients_per_node, std::uint64_t seed_stream = 0x11);
+
+  /// `total_clients` distributed round-robin across nodes (the paper's
+  /// figures sweep total client counts smaller than the node count).
+  static ClientPool with_total(protocol::Cluster& cluster, Workload& workload,
+                               std::uint32_t total_clients,
+                               std::uint64_t seed_stream = 0x11);
+
+  void start_all();
+  void request_stop_all();
+  bool all_stopped() const;
+  std::size_t size() const { return clients_.size(); }
+
+  /// Enable per-transaction-type accounting before start_all().
+  PerTypeStats& enable_type_stats();
+  const PerTypeStats* type_stats() const { return type_stats_.get(); }
+
+ private:
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::unique_ptr<PerTypeStats> type_stats_;
+};
+
+}  // namespace str::workload

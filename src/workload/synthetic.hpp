@@ -1,0 +1,88 @@
+// The paper's synthetic benchmark (§6.1).
+//
+// Each transaction reads and updates `keys_per_txn` keys with zero think
+// time. Accesses target either the partition mastered at the client's node
+// ("local", contended only among that node's own transactions) or a
+// partition mastered elsewhere ("remote", contended across nodes). Each
+// partition's key space is split into a local-only half and a remote-only
+// half so the two contention levels are independently tunable; within the
+// chosen half, `hotspot_prob` of accesses hit a configurable hotspot.
+//
+// With the paper's replication factor (6 of 9), most remote accesses go to
+// partitions the node *replicates as a slave*: reads are served locally and
+// fast, while certification must still reach the remote master — so, as on
+// the paper's testbed, transaction execution is short and pre-commit locks
+// are held for a WAN round trip. A configurable fraction of remote accesses
+// ("far") targets partitions the node does not replicate at all, exercising
+// remote reads, the cache partition and the unsafe-transaction machinery.
+//
+// Synth-A ("best case"): local hotspot of 1 key, remote hotspot of 800 keys
+// — heavy local contention (speculation constantly exercised), negligible
+// remote contention (speculation almost always succeeds).
+// Synth-B ("worst case"): local hotspot 10, remote hotspot 3 — speculation
+// is exercised just as much but is doomed by remote conflicts.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace str::workload {
+
+struct SyntheticConfig {
+  std::uint32_t keys_per_txn = 10;
+  /// Keys per half (the paper uses 1M + 1M; scaled down — contention lives
+  /// in the hotspots, the cold tail only needs to be "large").
+  std::uint64_t keys_per_half = 100'000;
+  std::uint32_t local_hotspot = 1;
+  std::uint32_t remote_hotspot = 800;
+  double hotspot_prob = 0.1;
+  /// Probability that one access targets a remote(-mastered) partition.
+  double remote_access_prob = 0.3;
+  /// Fraction of remote accesses that go to partitions the node does not
+  /// replicate at all (slow remote reads + cache-partition writes).
+  double far_access_frac = 0.1;
+  /// Payload size of every value.
+  std::size_t value_size = 64;
+  /// Fraction of transactions that are read-only (read the same key
+  /// pattern but write nothing). 0 reproduces the paper's workloads.
+  double read_only_fraction = 0.0;
+
+  static SyntheticConfig synth_a() {
+    SyntheticConfig c;
+    c.local_hotspot = 1;
+    c.remote_hotspot = 800;
+    return c;
+  }
+
+  static SyntheticConfig synth_b() {
+    SyntheticConfig c;
+    c.local_hotspot = 10;
+    c.remote_hotspot = 3;
+    return c;
+  }
+};
+
+class SyntheticWorkload final : public Workload {
+ public:
+  SyntheticWorkload(protocol::Cluster& cluster, SyntheticConfig config);
+
+  void load(protocol::Cluster& cluster) override;
+  std::shared_ptr<TxnProgram> next(NodeId node, Rng& rng) override;
+
+  /// Pick one key for a transaction of `node` (exposed for tests).
+  Key pick_key(NodeId node, Rng& rng) const;
+
+  const SyntheticConfig& config() const { return config_; }
+
+ private:
+  protocol::Cluster& cluster_;
+  SyntheticConfig config_;
+  /// Per node: partitions replicated here but mastered elsewhere.
+  std::vector<std::vector<PartitionId>> near_remote_partitions_;
+  /// Per node: partitions not replicated here at all.
+  std::vector<std::vector<PartitionId>> far_remote_partitions_;
+};
+
+}  // namespace str::workload

@@ -1,0 +1,383 @@
+#include "workload/tpcc.hpp"
+
+#include <charconv>
+
+#include "common/assert.hpp"
+#include "protocol/partition_map.hpp"
+
+namespace str::workload {
+
+namespace {
+
+using protocol::PartitionMap;
+
+// Row-payload layout: [table:4][table-specific:44] within the 48-bit row
+// part of a key.
+constexpr int kTableShift = 44;
+constexpr std::uint64_t kTableWarehouse = 1;
+constexpr std::uint64_t kTableDistrict = 2;
+constexpr std::uint64_t kTableCustomer = 3;
+constexpr std::uint64_t kTableLastOrder = 4;
+constexpr std::uint64_t kTableOrder = 5;
+constexpr std::uint64_t kTableOrderLine = 6;
+constexpr std::uint64_t kTableItem = 7;
+constexpr std::uint64_t kTableStock = 8;
+
+Key table_key(PartitionId p, std::uint64_t table, std::uint64_t rest) {
+  STR_ASSERT(rest < (std::uint64_t{1} << kTableShift));
+  return PartitionMap::make_key(p, (table << kTableShift) | rest);
+}
+
+}  // namespace
+
+namespace tpcc_records {
+
+std::string encode(const std::vector<std::uint64_t>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back('|');
+    out += std::to_string(fields[i]);
+  }
+  return out;
+}
+
+std::string pad(std::string record, std::size_t size) {
+  if (record.size() + 1 < size) {
+    record.push_back('#');
+    record.append(size - record.size(), '.');
+  }
+  return record;
+}
+
+std::vector<std::uint64_t> decode(const std::string& full) {
+  // Strip the size padding (everything from '#').
+  const std::string record = full.substr(0, full.find('#'));
+  std::vector<std::uint64_t> fields;
+  std::size_t pos = 0;
+  while (pos <= record.size()) {
+    const std::size_t next = record.find('|', pos);
+    const std::size_t end = next == std::string::npos ? record.size() : next;
+    std::uint64_t v = 0;
+    std::from_chars(record.data() + pos, record.data() + end, v);
+    fields.push_back(v);
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return fields;
+}
+
+// Initial records are padded to the TPC-C spec row sizes so storage
+// accounting (the §6.1 overhead experiment) is realistic.
+std::string initial_warehouse() { return pad(encode({0}), 89); }    // ytd
+std::string initial_district() { return pad(encode({1, 0}), 95); }  // next_o_id, ytd
+std::string initial_customer() { return pad(encode({0}), 655); }    // balance
+std::string initial_stock() { return pad(encode({100}), 306); }     // quantity
+std::string initial_item(std::uint32_t item_id) {
+  return pad(encode({item_id % 100 + 1}), 82);                      // price
+}
+
+}  // namespace tpcc_records
+
+using tpcc_records::decode;
+using tpcc_records::encode;
+using tpcc_records::pad;
+
+Key TpccKeys::warehouse(std::uint32_t w) const {
+  return table_key(partition_of_warehouse(w), kTableWarehouse, w % wpn_);
+}
+
+Key TpccKeys::district(std::uint32_t w, std::uint32_t d) const {
+  STR_ASSERT(d < 16);
+  return table_key(partition_of_warehouse(w), kTableDistrict,
+                   (w % wpn_) * 16 + d);
+}
+
+Key TpccKeys::customer(std::uint32_t w, std::uint32_t d,
+                       std::uint32_t c) const {
+  STR_ASSERT(d < 16 && c < 4096);
+  return table_key(partition_of_warehouse(w), kTableCustomer,
+                   ((w % wpn_) * 16 + d) * 4096 + c);
+}
+
+Key TpccKeys::customer_last_order(std::uint32_t w, std::uint32_t d,
+                                  std::uint32_t c) const {
+  STR_ASSERT(d < 16 && c < 4096);
+  return table_key(partition_of_warehouse(w), kTableLastOrder,
+                   ((w % wpn_) * 16 + d) * 4096 + c);
+}
+
+Key TpccKeys::order(std::uint32_t w, std::uint32_t d, std::uint64_t o) const {
+  STR_ASSERT(d < 16 && o < (std::uint64_t{1} << 32));
+  return table_key(partition_of_warehouse(w), kTableOrder,
+                   (std::uint64_t((w % wpn_) * 16 + d) << 32) | o);
+}
+
+Key TpccKeys::order_line(std::uint32_t w, std::uint32_t d, std::uint64_t o,
+                         std::uint32_t line) const {
+  STR_ASSERT(d < 16 && o < (std::uint64_t{1} << 28) && line < 16);
+  return table_key(
+      partition_of_warehouse(w), kTableOrderLine,
+      ((std::uint64_t((w % wpn_) * 16 + d) << 28 | o) << 4) | line);
+}
+
+Key TpccKeys::item(PartitionId p, std::uint32_t i) const {
+  return table_key(p, kTableItem, i);
+}
+
+Key TpccKeys::stock(std::uint32_t w, std::uint32_t i) const {
+  STR_ASSERT(i < (1u << 20));
+  return table_key(partition_of_warehouse(w), kTableStock,
+                   (std::uint64_t(w % wpn_) << 20) | i);
+}
+
+std::uint64_t g_atomicity_violations = 0;
+
+std::uint64_t tpcc_atomicity_violations() { return g_atomicity_violations; }
+void reset_tpcc_atomicity_violations() { g_atomicity_violations = 0; }
+
+namespace {
+
+/// Decode a read result, substituting the lazily-materialized initial
+/// record for rows that were never written.
+std::vector<std::uint64_t> fields_or(const txn::ReadResult& r,
+                                     const std::string& initial) {
+  return decode(r.found ? r.value : initial);
+}
+
+// ---------------------------------------------------------------------------
+// payment: RMW warehouse.ytd, district.ytd, customer.balance.
+// ---------------------------------------------------------------------------
+class PaymentTxn final : public TxnProgram {
+ public:
+  PaymentTxn(const TpccKeys& keys, std::uint32_t w, std::uint32_t d,
+             std::uint32_t c_w, std::uint32_t c_d, std::uint32_t c,
+             std::uint64_t amount)
+      : keys_(keys), w_(w), d_(d), c_w_(c_w), c_d_(c_d), c_(c),
+        amount_(amount) {}
+
+  int type() const override { return static_cast<int>(TpccTxType::Payment); }
+
+  sim::Fiber execute(protocol::TxnHandle tx,
+                     std::shared_ptr<TxnProgram> self) override {
+    (void)self;
+    auto wh = co_await tx.read(keys_.warehouse(w_));
+    if (wh.aborted) co_return;
+    auto wf = fields_or(wh, tpcc_records::initial_warehouse());
+    wf[0] += amount_;
+    tx.write(keys_.warehouse(w_), pad(encode(wf), 89));
+
+    auto dist = co_await tx.read(keys_.district(w_, d_));
+    if (dist.aborted) co_return;
+    auto df = fields_or(dist, tpcc_records::initial_district());
+    df[1] += amount_;
+    tx.write(keys_.district(w_, d_), pad(encode(df), 95));
+
+    auto cust = co_await tx.read(keys_.customer(c_w_, c_d_, c_));
+    if (cust.aborted) co_return;
+    auto cf = fields_or(cust, tpcc_records::initial_customer());
+    cf[0] += amount_;
+    tx.write(keys_.customer(c_w_, c_d_, c_), pad(encode(cf), 655));
+
+    tx.commit();
+  }
+
+ private:
+  const TpccKeys& keys_;
+  std::uint32_t w_, d_, c_w_, c_d_, c_;
+  std::uint64_t amount_;
+};
+
+// ---------------------------------------------------------------------------
+// new-order: RMW district.next_o_id, RMW each line's stock (possibly at a
+// remote warehouse), insert the order, its lines, and the customer's
+// last-order pointer.
+// ---------------------------------------------------------------------------
+class NewOrderTxn final : public TxnProgram {
+ public:
+  struct Line {
+    std::uint32_t item;
+    std::uint32_t supply_w;
+    std::uint32_t quantity;
+  };
+
+  NewOrderTxn(const TpccKeys& keys, std::uint32_t w, std::uint32_t d,
+              std::uint32_t c, std::vector<Line> lines)
+      : keys_(keys), w_(w), d_(d), c_(c), lines_(std::move(lines)) {}
+
+  int type() const override { return static_cast<int>(TpccTxType::NewOrder); }
+
+  sim::Fiber execute(protocol::TxnHandle tx,
+                     std::shared_ptr<TxnProgram> self) override {
+    (void)self;
+    auto wh = co_await tx.read(keys_.warehouse(w_));  // tax rate (read-only)
+    if (wh.aborted) co_return;
+
+    auto dist = co_await tx.read(keys_.district(w_, d_));
+    if (dist.aborted) co_return;
+    auto df = fields_or(dist, tpcc_records::initial_district());
+    const std::uint64_t o_id = df[0];
+    df[0] = o_id + 1;
+    tx.write(keys_.district(w_, d_), pad(encode(df), 95));
+
+    auto cust = co_await tx.read(keys_.customer(w_, d_, c_));  // discount
+    if (cust.aborted) co_return;
+
+    for (const Line& line : lines_) {
+      const PartitionId home = keys_.partition_of_warehouse(w_);
+      auto item = co_await tx.read(keys_.item(home, line.item));
+      if (item.aborted) co_return;
+      auto st = co_await tx.read(keys_.stock(line.supply_w, line.item));
+      if (st.aborted) co_return;
+      auto sf = fields_or(st, tpcc_records::initial_stock());
+      sf[0] = sf[0] >= line.quantity ? sf[0] - line.quantity
+                                     : sf[0] + 91 - line.quantity;
+      tx.write(keys_.stock(line.supply_w, line.item), pad(encode(sf), 306));
+    }
+
+    // Insert the order, its lines and the last-order pointer. The order
+    // record carries ol_cnt so order-status knows how many lines to fetch —
+    // the Listing-1 pattern whose atomicity SPSI-1 protects.
+    tx.write(keys_.order(w_, d_, o_id), pad(encode({lines_.size(), c_}), 24));
+    for (std::uint32_t l = 0; l < lines_.size(); ++l) {
+      tx.write(keys_.order_line(w_, d_, o_id, l),
+               pad(encode({lines_[l].item, lines_[l].quantity}), 54));
+    }
+    tx.write(keys_.customer_last_order(w_, d_, c_), encode({o_id}));
+    tx.commit();
+  }
+
+ private:
+  const TpccKeys& keys_;
+  std::uint32_t w_, d_, c_;
+  std::vector<Line> lines_;
+};
+
+// ---------------------------------------------------------------------------
+// order-status (read-only): customer, last order pointer, order, its lines.
+// ---------------------------------------------------------------------------
+class OrderStatusTxn final : public TxnProgram {
+ public:
+  OrderStatusTxn(const TpccKeys& keys, std::uint32_t w, std::uint32_t d,
+                 std::uint32_t c)
+      : keys_(keys), w_(w), d_(d), c_(c) {}
+
+  int type() const override {
+    return static_cast<int>(TpccTxType::OrderStatus);
+  }
+
+  sim::Fiber execute(protocol::TxnHandle tx,
+                     std::shared_ptr<TxnProgram> self) override {
+    (void)self;
+    auto cust = co_await tx.read(keys_.customer(w_, d_, c_));
+    if (cust.aborted) co_return;
+
+    auto last = co_await tx.read(keys_.customer_last_order(w_, d_, c_));
+    if (last.aborted) co_return;
+    if (!last.found) {  // customer has no orders yet
+      tx.commit();
+      co_return;
+    }
+    const std::uint64_t o_id = decode(last.value)[0];
+
+    auto order = co_await tx.read(keys_.order(w_, d_, o_id));
+    if (order.aborted) co_return;
+    if (!order.found) {
+      // Listing 1's null-pointer: the pointer was visible without the order.
+      ++g_atomicity_violations;
+      tx.commit();
+      co_return;
+    }
+    const std::uint64_t ol_cnt = decode(order.value)[0];
+    for (std::uint64_t l = 0; l < ol_cnt; ++l) {
+      auto ol = co_await tx.read(keys_.order_line(w_, d_, o_id,
+                                                  static_cast<std::uint32_t>(l)));
+      if (ol.aborted) co_return;
+      if (!ol.found) ++g_atomicity_violations;
+    }
+    tx.commit();
+  }
+
+ private:
+  const TpccKeys& keys_;
+  std::uint32_t w_, d_, c_;
+};
+
+}  // namespace
+
+TpccWorkload::TpccWorkload(protocol::Cluster& cluster, TpccConfig config)
+    : cluster_(cluster),
+      config_(config),
+      keys_(config.warehouses_per_node),
+      num_warehouses_(config.warehouses_per_node * cluster.num_nodes()) {
+  STR_ASSERT(config_.warehouses_per_node <= 16);
+  STR_ASSERT(config_.districts_per_warehouse <= 16);
+  STR_ASSERT(config_.customers_per_district <= 4096);
+  STR_ASSERT(config_.pct_new_order + config_.pct_payment <= 100);
+}
+
+void TpccWorkload::load(protocol::Cluster& cluster) {
+  // Only the contended RMW rows are loaded eagerly; everything else is
+  // materialized lazily on first read (see header).
+  for (std::uint32_t w = 0; w < num_warehouses_; ++w) {
+    cluster.load(keys_.warehouse(w), tpcc_records::initial_warehouse());
+    for (std::uint32_t d = 0; d < config_.districts_per_warehouse; ++d) {
+      cluster.load(keys_.district(w, d), tpcc_records::initial_district());
+    }
+  }
+}
+
+std::shared_ptr<TxnProgram> TpccWorkload::next(NodeId node, Rng& rng) {
+  const std::uint32_t home_w =
+      node * config_.warehouses_per_node +
+      static_cast<std::uint32_t>(rng.uniform(config_.warehouses_per_node));
+  const auto d =
+      static_cast<std::uint32_t>(rng.uniform(config_.districts_per_warehouse));
+  const auto c =
+      static_cast<std::uint32_t>(rng.uniform(config_.customers_per_district));
+
+  const std::uint64_t roll = rng.uniform(100);
+  if (roll < config_.pct_new_order) {
+    const auto ol_cnt = static_cast<std::uint32_t>(rng.uniform_range(5, 15));
+    std::vector<NewOrderTxn::Line> lines;
+    lines.reserve(ol_cnt);
+    for (std::uint32_t l = 0; l < ol_cnt; ++l) {
+      NewOrderTxn::Line line;
+      line.item = static_cast<std::uint32_t>(rng.uniform(config_.items));
+      line.quantity = static_cast<std::uint32_t>(rng.uniform_range(1, 10));
+      if (num_warehouses_ > 1 && rng.chance(config_.remote_stock_prob)) {
+        std::uint32_t other;
+        do {
+          other = static_cast<std::uint32_t>(rng.uniform(num_warehouses_));
+        } while (other == home_w);
+        line.supply_w = other;
+      } else {
+        line.supply_w = home_w;
+      }
+      lines.push_back(line);
+    }
+    return std::make_shared<NewOrderTxn>(keys_, home_w, d, c, std::move(lines));
+  }
+  if (roll < config_.pct_new_order + config_.pct_payment) {
+    std::uint32_t c_w = home_w;
+    std::uint32_t c_d = d;
+    if (num_warehouses_ > 1 && rng.chance(config_.remote_customer_prob)) {
+      do {
+        c_w = static_cast<std::uint32_t>(rng.uniform(num_warehouses_));
+      } while (c_w == home_w);
+      c_d = static_cast<std::uint32_t>(
+          rng.uniform(config_.districts_per_warehouse));
+    }
+    return std::make_shared<PaymentTxn>(keys_, home_w, d, c_w, c_d, c,
+                                        rng.uniform_range(1, 5000));
+  }
+  return std::make_shared<OrderStatusTxn>(keys_, home_w, d, c);
+}
+
+Timestamp TpccWorkload::think_time(const TxnProgram& program, Rng& rng) {
+  (void)program;
+  if (config_.think_time_mean == 0) return 0;
+  return static_cast<Timestamp>(
+      rng.exponential(static_cast<double>(config_.think_time_mean)));
+}
+
+}  // namespace str::workload

@@ -1,0 +1,58 @@
+// Workload abstraction: benchmarks produce re-runnable transaction programs.
+//
+// A TxnProgram is one logical transaction (e.g. "TPC-C new-order for
+// warehouse 3, customer 17"). The client driver re-executes the *same*
+// program on retry — parameters must not be re-rolled, or retried
+// transactions would contend differently than the paper's "client retries a
+// transaction if it gets aborted".
+//
+// Lifetime rule: execute() is a coroutine; it receives the owning shared_ptr
+// as a parameter so the program (and every parameter the body reads) lives
+// in the coroutine frame for as long as the body runs, independent of the
+// caller.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "protocol/cluster.hpp"
+#include "protocol/coordinator.hpp"
+#include "sim/coro.hpp"
+
+namespace str::workload {
+
+class TxnProgram {
+ public:
+  virtual ~TxnProgram() = default;
+
+  /// Transaction-type tag for per-type statistics (workload-defined).
+  virtual int type() const { return 0; }
+
+  /// Drive one attempt. Must either run to a commit() call or return early
+  /// after observing an aborted read. `self` keeps the program alive for the
+  /// frame's lifetime (see file comment).
+  virtual sim::Fiber execute(protocol::TxnHandle tx,
+                             std::shared_ptr<TxnProgram> self) = 0;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Populate the cluster with the benchmark's initial data.
+  virtual void load(protocol::Cluster& cluster) = 0;
+
+  /// Produce the next logical transaction for a client attached to `node`.
+  virtual std::shared_ptr<TxnProgram> next(NodeId node, Rng& rng) = 0;
+
+  /// Think time before the next transaction of this client (0 = closed loop
+  /// with zero think time, as in the synthetic benchmark).
+  virtual Timestamp think_time(const TxnProgram& program, Rng& rng) {
+    (void)program;
+    (void)rng;
+    return 0;
+  }
+};
+
+}  // namespace str::workload

@@ -1,0 +1,117 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace str {
+namespace {
+
+TEST(Histogram, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1000.0);
+  EXPECT_EQ(h.p50(), 1000u);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 100; ++v) h.record(v);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 99u);
+  // Values below 2^sub_bits are stored in identity buckets.
+  EXPECT_EQ(h.value_at_quantile(0.0), 0u);
+}
+
+TEST(Histogram, PercentilesWithinRelativeError) {
+  Histogram h;
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) h.record(rng.uniform(1'000'000));
+  // Uniform [0, 1e6): p50 ~ 5e5, p99 ~ 9.9e5, within ~2% given bucketing.
+  EXPECT_NEAR(static_cast<double>(h.p50()), 5e5, 2e4);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 9.9e5, 3e4);
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, RecordNCounts) {
+  Histogram h;
+  h.record_n(500, 10);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.p50(), 500u);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.record(100);
+  b.record(300);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 300u);
+  EXPECT_DOUBLE_EQ(a.mean(), 200.0);
+}
+
+TEST(Histogram, MergeEmptyIsNoop) {
+  Histogram a;
+  Histogram b;
+  a.record(42);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 42u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(1);
+  h.record(1000000);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  h.record(5);
+  EXPECT_EQ(h.min(), 5u);
+}
+
+TEST(Histogram, HandlesLargeValues) {
+  Histogram h;
+  const std::uint64_t big = std::uint64_t{1} << 60;
+  h.record(big);
+  EXPECT_EQ(h.max(), big);
+  // Midpoint of the bucket is within ~1% of the value.
+  const double q = static_cast<double>(h.p50());
+  EXPECT_NEAR(q / static_cast<double>(big), 1.0, 0.01);
+}
+
+TEST(Histogram, QuantilesMonotone) {
+  Histogram h;
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) h.record(rng.uniform(100000));
+  std::uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const auto v = h.value_at_quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace str

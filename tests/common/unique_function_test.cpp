@@ -1,0 +1,96 @@
+#include "common/unique_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace str {
+namespace {
+
+TEST(UniqueFunction, EmptyIsFalsy) {
+  UniqueFunction<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunction, InvokesSmallCallable) {
+  int hits = 0;
+  UniqueFunction<void()> f = [&hits]() { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(UniqueFunction, ReturnsValue) {
+  UniqueFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(3, 4), 7);
+}
+
+TEST(UniqueFunction, HoldsMoveOnlyCapture) {
+  auto p = std::make_unique<int>(42);
+  UniqueFunction<int()> f = [p = std::move(p)]() { return *p; };
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(UniqueFunction, MoveTransfersOwnership) {
+  int hits = 0;
+  UniqueFunction<void()> a = [&hits]() { ++hits; };
+  UniqueFunction<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(UniqueFunction, MoveAssignReplacesTarget) {
+  int first = 0;
+  int second = 0;
+  UniqueFunction<void()> a = [&first]() { ++first; };
+  UniqueFunction<void()> b = [&second]() { ++second; };
+  a = std::move(b);
+  a();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(UniqueFunction, LargeCaptureGoesToHeap) {
+  // Capture larger than the inline buffer still works.
+  struct Big {
+    char data[256] = {};
+    int tag = 7;
+  };
+  Big big;
+  big.tag = 13;
+  UniqueFunction<int()> f = [big]() { return big.tag; };
+  EXPECT_EQ(f(), 13);
+  UniqueFunction<int()> g = std::move(f);
+  EXPECT_EQ(g(), 13);
+}
+
+TEST(UniqueFunction, DestroysCapturedState) {
+  auto counter = std::make_shared<int>(0);
+  {
+    UniqueFunction<void()> f = [counter]() {};
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(UniqueFunction, ResetReleasesState) {
+  auto counter = std::make_shared<int>(0);
+  UniqueFunction<void()> f = [counter]() {};
+  f.reset();
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(UniqueFunction, ForwardsArguments) {
+  UniqueFunction<std::string(std::string)> f = [](std::string s) {
+    return s + "!";
+  };
+  EXPECT_EQ(f("hi"), "hi!");
+}
+
+}  // namespace
+}  // namespace str

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "harness/csv.hpp"
+#include "harness/replicated.hpp"
+#include "tests/protocol/test_util.hpp"
+#include "workload/synthetic.hpp"
+
+namespace str::harness {
+namespace {
+
+using protocol::Cluster;
+using protocol::ProtocolConfig;
+
+ExperimentConfig small_cfg() {
+  ExperimentConfig cfg;
+  cfg.cluster = test::small_config(3, 2, ProtocolConfig::str(), msec(50));
+  cfg.clients_per_node = 3;
+  cfg.warmup = sec(1);
+  cfg.duration = sec(4);
+  cfg.drain = sec(2);
+  return cfg;
+}
+
+WorkloadFactory factory() {
+  workload::SyntheticConfig wcfg = workload::SyntheticConfig::synth_a();
+  wcfg.keys_per_txn = 4;
+  return [wcfg](Cluster& c) {
+    return std::make_unique<workload::SyntheticWorkload>(c, wcfg);
+  };
+}
+
+TEST(Replicated, AggregatesAcrossSeeds) {
+  auto agg = run_replicated(small_cfg(), factory(), 3);
+  ASSERT_EQ(agg.runs.size(), 3u);
+  EXPECT_EQ(agg.throughput.count(), 3u);
+  EXPECT_GT(agg.throughput.mean(), 0.0);
+  // Distinct seeds: the runs are not byte-identical.
+  EXPECT_NE(agg.runs[0].messages, agg.runs[1].messages);
+  // Low variance across seeds (the paper's justification for omitting
+  // error bars).
+  EXPECT_LT(agg.throughput_cv(), 0.25);
+}
+
+TEST(Replicated, SingleRepHasZeroVariance) {
+  auto agg = run_replicated(small_cfg(), factory(), 1);
+  EXPECT_EQ(agg.runs.size(), 1u);
+  EXPECT_DOUBLE_EQ(agg.throughput.stddev(), 0.0);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/str_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    ASSERT_TRUE(csv.ok());
+    csv.write_row({"1", "x"});
+    csv.write_row({"2", "y,z"});
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "a,b\n1,x\n2,\"y,z\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, EscapesQuotesAndNewlines) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(PerNodeSpeculation, TogglesIndependently) {
+  protocol::Cluster cluster(
+      test::small_config(3, 2, ProtocolConfig::str(), msec(50)));
+  EXPECT_TRUE(cluster.spec_active(0));
+  EXPECT_TRUE(cluster.spec_active(1));
+  cluster.set_node_speculation_enabled(1, false);
+  EXPECT_TRUE(cluster.spec_active(0));
+  EXPECT_FALSE(cluster.spec_active(1));
+  // The cluster-wide switch still dominates.
+  cluster.set_speculation_enabled(false);
+  EXPECT_FALSE(cluster.spec_active(0));
+}
+
+}  // namespace
+}  // namespace str::harness

@@ -1,0 +1,77 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace str::net {
+namespace {
+
+Network make_network(sim::Scheduler& sched, double jitter = 0.0) {
+  Network net(sched, Topology::symmetric(2, msec(100)), Rng(1), jitter);
+  net.register_node(0, 0);
+  net.register_node(1, 1);
+  net.register_node(2, 0);
+  return net;
+}
+
+TEST(Network, DeliversAfterOneWayLatency) {
+  sim::Scheduler sched;
+  Network net = make_network(sched);
+  Timestamp delivered = 0;
+  net.send(0, 1, [&]() { delivered = sched.now(); });
+  sched.run();
+  EXPECT_EQ(delivered, msec(50));
+}
+
+TEST(Network, IntraRegionIsFast) {
+  sim::Scheduler sched;
+  Network net = make_network(sched);
+  Timestamp delivered = 0;
+  net.send(0, 2, [&]() { delivered = sched.now(); });
+  sched.run();
+  EXPECT_EQ(delivered, usec(500));
+}
+
+TEST(Network, JitterBoundedFraction) {
+  sim::Scheduler sched;
+  Network net = make_network(sched, 0.10);
+  for (int i = 0; i < 100; ++i) {
+    const Timestamp lat = net.sample_latency(0, 1);
+    EXPECT_GE(lat, msec(50));
+    EXPECT_LE(lat, msec(55));
+  }
+}
+
+TEST(Network, CountsMessagesAndBytes) {
+  sim::Scheduler sched;
+  Network net = make_network(sched);
+  net.send(0, 1, []() {}, 100);
+  net.send(0, 2, []() {}, 50);
+  sched.run();
+  EXPECT_EQ(net.stats().messages_sent, 2u);
+  EXPECT_EQ(net.stats().bytes_sent, 150u);
+  EXPECT_EQ(net.stats().wan_messages, 1u);
+}
+
+TEST(Network, RegionLookup) {
+  sim::Scheduler sched;
+  Network net = make_network(sched);
+  EXPECT_EQ(net.region_of(0), 0u);
+  EXPECT_EQ(net.region_of(1), 1u);
+  EXPECT_EQ(net.num_nodes(), 3u);
+}
+
+TEST(Network, ManyMessagesAllDelivered) {
+  sim::Scheduler sched;
+  Network net = make_network(sched, 0.05);
+  int delivered = 0;
+  for (int i = 0; i < 500; ++i) {
+    net.send(i % 3, (i + 1) % 3, [&]() { ++delivered; });
+  }
+  sched.run();
+  EXPECT_EQ(delivered, 500);
+}
+
+}  // namespace
+}  // namespace str::net

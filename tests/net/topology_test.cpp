@@ -1,0 +1,60 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace str::net {
+namespace {
+
+TEST(Topology, Ec2NineRegionsShape) {
+  Topology t = Topology::ec2_nine_regions();
+  EXPECT_EQ(t.num_regions(), 9u);
+  EXPECT_EQ(t.region(0).name, "us-east-1");
+  EXPECT_EQ(t.region(8).name, "sa-east-1");
+}
+
+TEST(Topology, RttSymmetric) {
+  Topology t = Topology::ec2_nine_regions();
+  for (RegionId a = 0; a < t.num_regions(); ++a) {
+    for (RegionId b = 0; b < t.num_regions(); ++b) {
+      EXPECT_EQ(t.rtt(a, b), t.rtt(b, a));
+    }
+  }
+}
+
+TEST(Topology, IntraRegionIsFast) {
+  Topology t = Topology::ec2_nine_regions();
+  for (RegionId r = 0; r < t.num_regions(); ++r) {
+    EXPECT_LE(t.rtt(r, r), msec(2));
+  }
+}
+
+TEST(Topology, WanLatenciesAreLarge) {
+  Topology t = Topology::ec2_nine_regions();
+  // Virginia <-> Singapore is one of the longest links.
+  EXPECT_GT(t.rtt(0, 5), msec(150));
+}
+
+TEST(Topology, OneWayIsHalfRtt) {
+  Topology t = Topology::ec2_nine_regions();
+  EXPECT_EQ(t.one_way(0, 3), t.rtt(0, 3) / 2);
+}
+
+TEST(Topology, SymmetricFactory) {
+  Topology t = Topology::symmetric(5, msec(100));
+  EXPECT_EQ(t.num_regions(), 5u);
+  EXPECT_EQ(t.rtt(0, 4), msec(100));
+  EXPECT_EQ(t.rtt(2, 2), msec(1));
+}
+
+TEST(Topology, SingleRegion) {
+  Topology t = Topology::single_region();
+  EXPECT_EQ(t.num_regions(), 1u);
+}
+
+TEST(Topology, MaxOneWay) {
+  Topology t = Topology::symmetric(3, msec(80));
+  EXPECT_EQ(t.max_one_way(), msec(40));
+}
+
+}  // namespace
+}  // namespace str::net

@@ -1,0 +1,134 @@
+// Direct reproduction of the paper's Figure 2: the OLCSet/FFC speculation
+// gate (Alg. 1 line 15).
+//
+// T1 (node 0) is an *unsafe* local-committed transaction (it updated a key
+// not replicated at node 0). T3 (node 1) final-commits with a timestamp
+// above T1's read snapshot. T4 (node 0) speculatively reads from T1 — its
+// OLCSet now carries T1's read snapshot — and then reads T3's committed
+// version, which would raise FFC above min(OLCSet). Delivering that value
+// could stitch a conflicting {T1, T3} pair into one snapshot, so the gate
+// must HOLD the read until T1's outcome is known.
+#include <gtest/gtest.h>
+
+#include "protocol/cluster.hpp"
+#include "sim/coro.hpp"
+#include "tests/protocol/test_util.hpp"
+
+namespace str::protocol {
+namespace {
+
+using test::key_at;
+using test::small_config;
+using test::TxProbe;
+
+struct GateProbe {
+  bool read_a_done = false;
+  bool read_b_done = false;
+  Timestamp b_delivered_at = 0;
+  txn::TxFinalResult result;
+  bool done = false;
+};
+
+sim::Fiber t4_reader(Cluster& cluster, Coordinator& coord, Key a, Key b,
+                     GateProbe& probe) {
+  const TxId tx = coord.begin();
+  auto outcome = coord.outcome_future(tx);
+  auto ra = co_await coord.read(tx, a);  // speculative, from unsafe T1
+  probe.read_a_done = true;
+  if (!ra.aborted) {
+    EXPECT_TRUE(ra.speculative);
+    auto rb = co_await coord.read(tx, b);  // committed by T3: gated
+    probe.read_b_done = true;
+    probe.b_delivered_at = cluster.now();
+    if (!rb.aborted) coord.commit(tx);
+  }
+  probe.result = co_await outcome;
+  probe.done = true;
+}
+
+TEST(Fig2Gate, ReadHeldUntilUnsafeDependencyResolves) {
+  // rf=1 so node 0 does not replicate node 1's partition: T1's write to it
+  // makes T1 unsafe; B is also on node 1 so T4's read of B is remote.
+  Cluster cluster(small_config(2, 1, ProtocolConfig::str(), msec(100)));
+  const Key a = key_at(0, 1);        // local to node 0
+  const Key remote = key_at(1, 2);   // node 1's partition (makes T1 unsafe)
+  const Key b = key_at(1, 3);        // written by T3 at node 1
+  cluster.load(a, "a0");
+  cluster.load(remote, "r0");
+  cluster.load(b, "b0");
+  cluster.run_for(msec(10));
+
+  // T1: unsafe, local-commits at node 0 and certifies over the WAN.
+  TxProbe t1;
+  test::run_write(cluster, cluster.node(0).coordinator(), {a, remote}, "t1",
+                  t1);
+  cluster.run_for(msec(5));
+  ASSERT_FALSE(t1.done);  // still certifying: local-committed, speculative
+
+  // T3: node 1, commits immediately (all-local, rf=1). Its commit timestamp
+  // exceeds T1's read snapshot (it started later).
+  TxProbe t3;
+  test::run_write(cluster, cluster.node(1).coordinator(), {b}, "t3", t3);
+  cluster.run_for(msec(5));
+  ASSERT_TRUE(t3.done);
+  ASSERT_EQ(t3.result.outcome, TxOutcome::Committed);
+
+  // T4: reads A speculatively from T1, then B (committed by T3).
+  GateProbe t4;
+  t4_reader(cluster, cluster.node(0).coordinator(), a, b, t4);
+  cluster.run_for(msec(10));
+  EXPECT_TRUE(t4.read_a_done);
+
+  // B's value is back at node 0 (one WAN round trip < 210ms) but the gate
+  // must hold it: T1 is an unresolved unsafe dependency and FFC > min(OLC).
+  cluster.run_for(msec(250));
+  EXPECT_TRUE(t1.done || !t4.read_b_done);
+  const Timestamp t1_resolved_at = t1.finished_at;
+
+  cluster.run_for(sec(2));
+  ASSERT_TRUE(t1.done);
+  ASSERT_TRUE(t4.done);
+  ASSERT_EQ(t1.result.outcome, TxOutcome::Committed);
+  EXPECT_EQ(t4.result.outcome, TxOutcome::Committed);
+  ASSERT_TRUE(t4.read_b_done);
+  // The gated read was only released once T1's outcome was known.
+  EXPECT_GE(t4.b_delivered_at, t1_resolved_at);
+}
+
+TEST(Fig2Gate, ReaderAbortsIfUnsafeDependencyLosesCertification) {
+  Cluster cluster(small_config(2, 1, ProtocolConfig::str(), msec(100)));
+  const Key a = key_at(0, 11);
+  const Key remote = key_at(1, 12);
+  const Key b = key_at(1, 13);
+  cluster.load(a, "a0");
+  cluster.load(remote, "r0");
+  cluster.load(b, "b0");
+  cluster.run_for(msec(10));
+
+  // T1 unsafe as before...
+  TxProbe t1;
+  test::run_write(cluster, cluster.node(0).coordinator(), {a, remote}, "t1",
+                  t1);
+  cluster.run_for(msec(5));
+  // ...but node 1 also writes `remote`, committing first: T1 is doomed.
+  TxProbe winner;
+  test::run_write(cluster, cluster.node(1).coordinator(), {remote}, "win",
+                  winner);
+  TxProbe t3;
+  test::run_write(cluster, cluster.node(1).coordinator(), {b}, "t3", t3);
+  cluster.run_for(msec(5));
+
+  GateProbe t4;
+  t4_reader(cluster, cluster.node(0).coordinator(), a, b, t4);
+  cluster.run_for(sec(2));
+
+  ASSERT_TRUE(t1.done && t4.done);
+  EXPECT_EQ(t1.result.outcome, TxOutcome::Aborted);
+  // T4 read from T1 and must cascade; the gated read never surfaced a
+  // snapshot mixing T1 with T3.
+  EXPECT_EQ(t4.result.outcome, TxOutcome::Aborted);
+  EXPECT_EQ(t4.result.abort_reason, AbortReason::CascadingAbort);
+}
+
+}  // namespace
+}  // namespace str::protocol

@@ -1,0 +1,90 @@
+#include "protocol/partition_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace str::protocol {
+namespace {
+
+TEST(PartitionMap, PaperPlacementNineNodesRfSix) {
+  PartitionMap pm(9, 1, 6);
+  EXPECT_EQ(pm.num_partitions(), 9u);
+  for (PartitionId p = 0; p < 9; ++p) {
+    EXPECT_EQ(pm.master(p), p);
+    EXPECT_EQ(pm.replicas(p).size(), 6u);
+  }
+  // Every node replicates exactly six partitions (one master + five slaves).
+  for (NodeId n = 0; n < 9; ++n) {
+    EXPECT_EQ(pm.partitions_at(n).size(), 6u);
+    EXPECT_EQ(pm.mastered_at(n).size(), 1u);
+  }
+}
+
+TEST(PartitionMap, KeyCodecRoundTrips) {
+  const Key k = PartitionMap::make_key(7, 123456789);
+  EXPECT_EQ(PartitionMap::partition_of(k), 7u);
+  EXPECT_EQ(PartitionMap::row_of(k), 123456789u);
+}
+
+TEST(PartitionMap, KeyCodecLargeRow) {
+  const std::uint64_t row = (std::uint64_t{1} << 48) - 1;
+  const Key k = PartitionMap::make_key(65535, row);
+  EXPECT_EQ(PartitionMap::partition_of(k), 65535u);
+  EXPECT_EQ(PartitionMap::row_of(k), row);
+}
+
+TEST(PartitionMap, ReplicatesChecks) {
+  PartitionMap pm(5, 1, 3);
+  // Partition 0: replicas at nodes 0,1,2.
+  EXPECT_TRUE(pm.replicates(0, 0));
+  EXPECT_TRUE(pm.replicates(1, 0));
+  EXPECT_TRUE(pm.replicates(2, 0));
+  EXPECT_FALSE(pm.replicates(3, 0));
+  EXPECT_FALSE(pm.replicates(4, 0));
+}
+
+TEST(PartitionMap, WrapAroundPlacement) {
+  PartitionMap pm(4, 1, 3);
+  // Partition 3: master 3, slaves 0 and 1.
+  const auto& reps = pm.replicas(3);
+  EXPECT_EQ(reps[0], 3u);
+  EXPECT_EQ(reps[1], 0u);
+  EXPECT_EQ(reps[2], 1u);
+}
+
+TEST(PartitionMap, MultiplePartitionsPerNode) {
+  PartitionMap pm(3, 4, 2);
+  EXPECT_EQ(pm.num_partitions(), 12u);
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(pm.mastered_at(n).size(), 4u);
+    EXPECT_EQ(pm.partitions_at(n).size(), 8u);
+  }
+}
+
+TEST(PartitionMap, FullReplication) {
+  PartitionMap pm(3, 1, 3);
+  for (PartitionId p = 0; p < 3; ++p) {
+    for (NodeId n = 0; n < 3; ++n) EXPECT_TRUE(pm.replicates(n, p));
+  }
+}
+
+TEST(PartitionMap, SingleNode) {
+  PartitionMap pm(1, 2, 1);
+  EXPECT_EQ(pm.num_partitions(), 2u);
+  EXPECT_TRUE(pm.replicates(0, 0));
+  EXPECT_TRUE(pm.replicates(0, 1));
+}
+
+TEST(PartitionMap, MasterIsFirstReplica) {
+  PartitionMap pm(7, 2, 4);
+  for (PartitionId p = 0; p < pm.num_partitions(); ++p) {
+    EXPECT_EQ(pm.replicas(p).front(), pm.master(p));
+    // No duplicate replicas.
+    std::set<NodeId> uniq(pm.replicas(p).begin(), pm.replicas(p).end());
+    EXPECT_EQ(uniq.size(), pm.replicas(p).size());
+  }
+}
+
+}  // namespace
+}  // namespace str::protocol

@@ -1,0 +1,172 @@
+// Note on style: coroutines take their context as *parameters* (copied or
+// referenced from the frame), never as lambda captures — a capturing lambda's
+// closure object dies at the end of the full expression while the coroutine
+// frame lives on, which dangles. The whole codebase follows this rule.
+#include "sim/coro.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace str::sim {
+namespace {
+
+Fiber await_int(Future<int> f, int& out) { out = co_await f; }
+
+TEST(Coro, FutureFulfilledBeforeAwaitResumesImmediately) {
+  Scheduler sched;
+  Promise<int> p(sched);
+  p.set_value(41);
+  int got = 0;
+  await_int(p.future(), got);
+  // Fulfilled future does not suspend; no events needed.
+  EXPECT_EQ(got, 41);
+}
+
+TEST(Coro, FutureFulfilledLaterResumesThroughScheduler) {
+  Scheduler sched;
+  Promise<int> p(sched);
+  int got = 0;
+  await_int(p.future(), got);
+  EXPECT_EQ(got, 0);
+  p.set_value(7);
+  EXPECT_EQ(got, 0);  // resumption is deferred to the scheduler
+  sched.run();
+  EXPECT_EQ(got, 7);
+}
+
+Fiber sleep_then_stamp(Scheduler& sched, Timestamp delay, Timestamp& woke) {
+  co_await sleep_for(sched, delay);
+  woke = sched.now();
+}
+
+TEST(Coro, SleepSuspendsForDelay) {
+  Scheduler sched;
+  Timestamp woke = 0;
+  sleep_then_stamp(sched, 250, woke);
+  sched.run();
+  EXPECT_EQ(woke, 250u);
+}
+
+Fiber zero_sleep(Scheduler& sched, bool& done) {
+  co_await sleep_for(sched, 0);
+  done = true;
+}
+
+TEST(Coro, ZeroSleepDoesNotSuspend) {
+  Scheduler sched;
+  bool done = false;
+  zero_sleep(sched, done);
+  EXPECT_TRUE(done);
+}
+
+Fiber chain(Future<int> f1, Future<std::string> f2, std::string& out) {
+  const int a = co_await f1;
+  const std::string b = co_await f2;
+  out = b + std::to_string(a);
+}
+
+TEST(Coro, ChainedAwaits) {
+  Scheduler sched;
+  Promise<int> p1(sched);
+  Promise<std::string> p2(sched);
+  std::string result;
+  chain(p1.future(), p2.future(), result);
+  sched.schedule_at(10, [&p1]() { p1.set_value(5); });
+  sched.schedule_at(20, [&p2]() { p2.set_value("x"); });
+  sched.run();
+  EXPECT_EQ(result, "x5");
+}
+
+TEST(Coro, TrySetValueOnlyFirstWins) {
+  Scheduler sched;
+  Promise<int> p(sched);
+  EXPECT_TRUE(p.try_set_value(1));
+  EXPECT_FALSE(p.try_set_value(2));
+  int got = 0;
+  await_int(p.future(), got);
+  sched.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Coro, PromiseCopiesShareState) {
+  Scheduler sched;
+  Promise<int> p(sched);
+  Promise<int> copy = p;
+  int got = 0;
+  await_int(p.future(), got);
+  copy.set_value(99);
+  sched.run();
+  EXPECT_EQ(got, 99);
+}
+
+Fiber add_to(Future<int> f, int& sum) { sum += co_await f; }
+
+TEST(Coro, ManyConcurrentFibers) {
+  Scheduler sched;
+  std::vector<Promise<int>> promises;
+  int sum = 0;
+  for (int i = 0; i < 100; ++i) promises.emplace_back(sched);
+  for (int i = 0; i < 100; ++i) add_to(promises[i].future(), sum);
+  for (int i = 0; i < 100; ++i) {
+    Promise<int> p = promises[i];
+    sched.schedule_at(100 - i, [p]() mutable { p.set_value(1); });
+  }
+  sched.run();
+  EXPECT_EQ(sum, 100);
+}
+
+Fiber push_after(Future<int> f, std::vector<int>& order, int tag) {
+  co_await f;
+  order.push_back(tag);
+}
+
+TEST(Coro, ResumptionOrderIsFifoAtSameInstant) {
+  Scheduler sched;
+  std::vector<int> order;
+  Promise<int> a(sched);
+  Promise<int> b(sched);
+  push_after(a.future(), order, 1);
+  push_after(b.future(), order, 2);
+  sched.schedule_at(5, [&a, &b]() mutable {
+    a.set_value(0);
+    b.set_value(0);
+  });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Coro, FutureReadyAccessors) {
+  Scheduler sched;
+  Promise<int> p(sched);
+  auto f = p.future();
+  EXPECT_TRUE(f.valid());
+  EXPECT_FALSE(f.ready());
+  p.set_value(3);
+  EXPECT_TRUE(f.ready());
+  EXPECT_EQ(f.get(), 3);
+}
+
+Fiber nested_inner(Scheduler& sched, std::vector<int>& order) {
+  co_await sleep_for(sched, 10);
+  order.push_back(2);
+}
+
+Fiber nested_outer(Scheduler& sched, std::vector<int>& order) {
+  order.push_back(1);
+  nested_inner(sched, order);
+  co_await sleep_for(sched, 20);
+  order.push_back(3);
+}
+
+TEST(Coro, FibersCompose) {
+  Scheduler sched;
+  std::vector<int> order;
+  nested_outer(sched, order);
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace str::sim

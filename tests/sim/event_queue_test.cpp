@@ -1,0 +1,70 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace str::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&order]() { order.push_back(3); });
+  q.push(10, [&order]() { order.push_back(1); });
+  q.push(20, [&order]() { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5, [&order, i]() { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NextTimeReportsMinimum) {
+  EventQueue q;
+  q.push(42, []() {});
+  q.push(7, []() {});
+  EXPECT_EQ(q.next_time(), 7u);
+}
+
+TEST(EventQueue, RandomizedHeapOrder) {
+  EventQueue q;
+  Rng rng(99);
+  std::vector<Timestamp> times;
+  for (int i = 0; i < 1000; ++i) {
+    const Timestamp t = rng.uniform(10000);
+    times.push_back(t);
+    q.push(t, []() {});
+  }
+  Timestamp prev = 0;
+  while (!q.empty()) {
+    auto ev = q.pop();
+    EXPECT_GE(ev.at, prev);
+    prev = ev.at;
+  }
+}
+
+TEST(EventQueue, ClearEmpties) {
+  EventQueue q;
+  q.push(1, []() {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace str::sim

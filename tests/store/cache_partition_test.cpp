@@ -1,0 +1,79 @@
+#include "store/cache_partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace str::store {
+namespace {
+
+const TxId kTx1{0, 1};
+const TxId kTx2{0, 2};
+
+std::vector<std::pair<Key, Value>> upd(Key k, Value v) {
+  return {{k, std::move(v)}};
+}
+
+TEST(CachePartition, LocalCommittedVisibleToSpeculativeReads) {
+  CachePartition cache;
+  ASSERT_TRUE(cache.prepare(kTx1, 100, upd(1, "x"), true, 0).ok);
+  cache.local_commit(kTx1, 120);
+  auto r = cache.read(1, 200);
+  EXPECT_EQ(r.kind, ReadKind::Speculative);
+  EXPECT_EQ(r.value, "x");
+  EXPECT_TRUE(cache.holds(1, 200));
+}
+
+TEST(CachePartition, InvisibleBelowLocalCommitTimestamp) {
+  CachePartition cache;
+  ASSERT_TRUE(cache.prepare(kTx1, 100, upd(1, "x"), true, 0).ok);
+  cache.local_commit(kTx1, 120);
+  auto r = cache.read(1, 100);
+  EXPECT_EQ(r.kind, ReadKind::NotFound);
+  EXPECT_FALSE(cache.holds(1, 100));
+}
+
+TEST(CachePartition, FinalCommitDropsEntry) {
+  CachePartition cache;
+  ASSERT_TRUE(cache.prepare(kTx1, 100, upd(1, "x"), true, 0).ok);
+  cache.local_commit(kTx1, 120);
+  cache.final_commit(kTx1);
+  EXPECT_EQ(cache.read(1, 500).kind, ReadKind::NotFound);
+}
+
+TEST(CachePartition, AbortDropsEntry) {
+  CachePartition cache;
+  ASSERT_TRUE(cache.prepare(kTx1, 100, upd(1, "x"), true, 0).ok);
+  cache.local_commit(kTx1, 120);
+  cache.abort_tx(kTx1);
+  EXPECT_EQ(cache.read(1, 500).kind, ReadKind::NotFound);
+}
+
+TEST(CachePartition, ConflictBetweenUnsafeTransactions) {
+  CachePartition cache;
+  ASSERT_TRUE(cache.prepare(kTx1, 100, upd(1, "x"), true, 0).ok);
+  cache.local_commit(kTx1, 120);
+  // A second local transaction writing the same remote key without a
+  // dependency conflicts in the cache (local certification).
+  EXPECT_FALSE(cache.prepare(kTx2, 200, upd(1, "y"), true, 0).ok);
+}
+
+TEST(CachePartition, ChainedUnsafeTransactions) {
+  CachePartition cache;
+  ASSERT_TRUE(cache.prepare(kTx1, 100, upd(1, "x"), true, 0).ok);
+  cache.local_commit(kTx1, 120);
+  std::set<TxId> deps{kTx1};
+  EXPECT_TRUE(cache.prepare(kTx2, 200, upd(1, "y"), true, 0, &deps).ok);
+}
+
+TEST(CachePartition, TracksLastReaderForPreciseClocks) {
+  CachePartition cache;
+  ASSERT_TRUE(cache.prepare(kTx1, 100, upd(1, "x"), true, 0).ok);
+  cache.local_commit(kTx1, 120);
+  cache.read(1, 300);
+  std::set<TxId> deps{kTx1};
+  auto pr = cache.prepare(kTx2, 400, upd(1, "y"), true, 0, &deps);
+  ASSERT_TRUE(pr.ok);
+  EXPECT_GE(pr.proposed_ts, 301u);
+}
+
+}  // namespace
+}  // namespace str::store

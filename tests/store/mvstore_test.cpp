@@ -1,0 +1,361 @@
+#include "store/mvstore.hpp"
+
+#include <gtest/gtest.h>
+
+namespace str::store {
+namespace {
+
+const TxId kTx1{0, 1};
+const TxId kTx2{0, 2};
+const TxId kTx3{1, 1};
+
+std::vector<std::pair<Key, Value>> upd(Key k, Value v) {
+  return {{k, std::move(v)}};
+}
+
+TEST(MvStore, LoadThenRead) {
+  PartitionStore s;
+  s.load(1, "a");
+  auto r = s.read(1, 100);
+  EXPECT_EQ(r.kind, ReadKind::Committed);
+  EXPECT_EQ(r.value, "a");
+  EXPECT_EQ(r.writer, kNoTx);
+  EXPECT_EQ(r.ts, 0u);
+}
+
+TEST(MvStore, MissingKeyNotFound) {
+  PartitionStore s;
+  auto r = s.read(99, 100);
+  EXPECT_EQ(r.kind, ReadKind::NotFound);
+}
+
+TEST(MvStore, ReadBumpsLastReader) {
+  PartitionStore s;
+  s.load(1, "a");
+  s.read(1, 500);
+  EXPECT_EQ(s.last_reader(1), 500u);
+  s.read(1, 300);  // older snapshot does not lower it
+  EXPECT_EQ(s.last_reader(1), 500u);
+}
+
+TEST(MvStore, MissingKeyReadStillTracksReader) {
+  PartitionStore s;
+  s.read(7, 123);
+  EXPECT_EQ(s.last_reader(7), 123u);
+}
+
+TEST(MvStore, PeekDoesNotBumpLastReader) {
+  PartitionStore s;
+  s.load(1, "a");
+  s.peek(1, 900);
+  EXPECT_EQ(s.last_reader(1), 0u);
+}
+
+TEST(MvStore, PrepareInsertsPreCommitted) {
+  PartitionStore s;
+  s.load(1, "a");
+  auto pr = s.prepare(kTx1, 100, upd(1, "b"), /*precise=*/true, 0);
+  ASSERT_TRUE(pr.ok);
+  auto r = s.read(1, pr.proposed_ts);
+  EXPECT_EQ(r.kind, ReadKind::Blocked);
+  EXPECT_EQ(r.writer, kTx1);
+}
+
+TEST(MvStore, PreciseProposalUsesLastReaderPlusOne) {
+  PartitionStore s;
+  s.load(1, "a");
+  s.read(1, 400);
+  auto pr = s.prepare(kTx1, 500, upd(1, "b"), /*precise=*/true, 0);
+  ASSERT_TRUE(pr.ok);
+  EXPECT_EQ(pr.proposed_ts, 401u);
+}
+
+TEST(MvStore, PhysicalProposalUsesClock) {
+  PartitionStore s;
+  s.load(1, "a");
+  auto pr = s.prepare(kTx1, 100, upd(1, "b"), /*precise=*/false, 7777);
+  ASSERT_TRUE(pr.ok);
+  EXPECT_EQ(pr.proposed_ts, 7777u);
+}
+
+TEST(MvStore, ProposalClampedAboveExistingVersions) {
+  PartitionStore s;
+  s.load(1, "a");
+  auto pr1 = s.prepare(kTx1, 100, upd(1, "b"), /*precise=*/false, 1000);
+  ASSERT_TRUE(pr1.ok);
+  s.final_commit(kTx1, 1000);
+  // Blind write with a physical clock behind the committed version.
+  auto pr2 = s.prepare(kTx2, 2000, upd(1, "c"), /*precise=*/false, 500);
+  ASSERT_TRUE(pr2.ok);
+  EXPECT_GT(pr2.proposed_ts, 1000u);
+}
+
+TEST(MvStore, ConflictOnUncommittedVersion) {
+  PartitionStore s;
+  s.load(1, "a");
+  ASSERT_TRUE(s.prepare(kTx1, 100, upd(1, "b"), true, 0).ok);
+  auto pr = s.prepare(kTx2, 200, upd(1, "c"), true, 0);
+  EXPECT_FALSE(pr.ok);
+  EXPECT_EQ(pr.conflicting_writer, kTx1);
+}
+
+TEST(MvStore, ConflictOnCommittedNewerThanSnapshot) {
+  PartitionStore s;
+  s.load(1, "a");
+  ASSERT_TRUE(s.prepare(kTx1, 100, upd(1, "b"), true, 0).ok);
+  s.final_commit(kTx1, 150);
+  // kTx2's snapshot (120) is older than the committed version (150).
+  auto pr = s.prepare(kTx2, 120, upd(1, "c"), true, 0);
+  EXPECT_FALSE(pr.ok);
+  EXPECT_EQ(pr.conflicting_writer, kNoTx);
+}
+
+TEST(MvStore, NoConflictOnCommittedOlderThanSnapshot) {
+  PartitionStore s;
+  s.load(1, "a");
+  ASSERT_TRUE(s.prepare(kTx1, 100, upd(1, "b"), true, 0).ok);
+  s.final_commit(kTx1, 150);
+  auto pr = s.prepare(kTx2, 200, upd(1, "c"), true, 0);
+  EXPECT_TRUE(pr.ok);
+}
+
+TEST(MvStore, ChainAllowedPermitsDependencyOverwrite) {
+  PartitionStore s;
+  s.load(1, "a");
+  ASSERT_TRUE(s.prepare(kTx1, 100, upd(1, "b"), true, 0).ok);
+  s.local_commit(kTx1, 101);
+  std::set<TxId> deps{kTx1};
+  // Without the chain, conflict:
+  EXPECT_FALSE(s.prepare(kTx2, 200, upd(1, "c"), true, 0).ok);
+  // With kTx1 in the dependency set, tx2 may pre-commit on top.
+  auto pr = s.prepare(kTx2, 200, upd(1, "c"), true, 0, &deps);
+  ASSERT_TRUE(pr.ok);
+  EXPECT_GT(pr.proposed_ts, 101u);
+}
+
+TEST(MvStore, ChainNotAllowedForPreCommitted) {
+  PartitionStore s;
+  s.load(1, "a");
+  ASSERT_TRUE(s.prepare(kTx1, 100, upd(1, "b"), true, 0).ok);
+  std::set<TxId> deps{kTx1};
+  // Still pre-committed (not local-committed): no chaining.
+  EXPECT_FALSE(s.prepare(kTx2, 200, upd(1, "c"), true, 0, &deps).ok);
+}
+
+TEST(MvStore, ChainNotAllowedBeyondSnapshot) {
+  PartitionStore s;
+  s.load(1, "a");
+  ASSERT_TRUE(s.prepare(kTx1, 300, upd(1, "b"), true, 0).ok);
+  s.local_commit(kTx1, 301);
+  std::set<TxId> deps{kTx1};
+  // kTx2's snapshot (200) is below the local-commit timestamp (301).
+  EXPECT_FALSE(s.prepare(kTx2, 200, upd(1, "c"), true, 0, &deps).ok);
+}
+
+TEST(MvStore, LocalCommitMakesSpeculative) {
+  PartitionStore s;
+  s.load(1, "a");
+  ASSERT_TRUE(s.prepare(kTx1, 100, upd(1, "b"), true, 0).ok);
+  s.local_commit(kTx1, 120);
+  auto r = s.read(1, 200);
+  EXPECT_EQ(r.kind, ReadKind::Speculative);
+  EXPECT_EQ(r.value, "b");
+  EXPECT_EQ(r.ts, 120u);
+}
+
+TEST(MvStore, FinalCommitMakesCommittedWithNewTimestamp) {
+  PartitionStore s;
+  s.load(1, "a");
+  ASSERT_TRUE(s.prepare(kTx1, 100, upd(1, "b"), true, 0).ok);
+  s.local_commit(kTx1, 120);
+  s.final_commit(kTx1, 180);
+  auto r = s.read(1, 200);
+  EXPECT_EQ(r.kind, ReadKind::Committed);
+  EXPECT_EQ(r.value, "b");
+  EXPECT_EQ(r.ts, 180u);
+  // Snapshot below the commit timestamp sees the old version.
+  auto old = s.read(1, 150);
+  EXPECT_EQ(old.kind, ReadKind::Committed);
+  EXPECT_EQ(old.value, "a");
+}
+
+TEST(MvStore, AbortRemovesVersions) {
+  PartitionStore s;
+  s.load(1, "a");
+  ASSERT_TRUE(s.prepare(kTx1, 100, upd(1, "b"), true, 0).ok);
+  s.local_commit(kTx1, 120);
+  s.abort_tx(kTx1);
+  auto r = s.read(1, 200);
+  EXPECT_EQ(r.kind, ReadKind::Committed);
+  EXPECT_EQ(r.value, "a");
+  EXPECT_FALSE(s.has_uncommitted(kTx1));
+}
+
+TEST(MvStore, SnapshotReadPicksLatestAtOrBelow) {
+  PartitionStore s;
+  s.load(1, "v0");
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    TxId tx{0, i};
+    ASSERT_TRUE(s.prepare(tx, i * 100, upd(1, "v" + std::to_string(i)), true, 0).ok);
+    s.final_commit(tx, i * 100);
+  }
+  EXPECT_EQ(s.read(1, 250).value, "v2");
+  EXPECT_EQ(s.read(1, 300).value, "v3");
+  EXPECT_EQ(s.read(1, 99).value, "v0");
+  EXPECT_EQ(s.read(1, 10000).value, "v5");
+}
+
+TEST(MvStore, ReplicateEvictsLocalCommitted) {
+  PartitionStore s;
+  s.load(1, "a");
+  ASSERT_TRUE(s.prepare(kTx1, 100, upd(1, "b"), true, 0).ok);
+  s.local_commit(kTx1, 120);
+  auto rr = s.replicate_insert(kTx3, upd(1, "c"), true, 0);
+  ASSERT_EQ(rr.evicted.size(), 1u);
+  EXPECT_EQ(rr.evicted[0], kTx1);
+  s.abort_tx(kTx1);  // caller responsibility
+  const Timestamp ts = s.replicate_finish(kTx3, upd(1, "c"), rr.proposed_ts);
+  auto r = s.read(1, ts + 10);
+  EXPECT_EQ(r.kind, ReadKind::Blocked);
+  EXPECT_EQ(r.writer, kTx3);
+}
+
+TEST(MvStore, ReplicateDoesNotEvictPreCommitted) {
+  PartitionStore s;
+  s.load(1, "a");
+  ASSERT_TRUE(s.prepare(kTx1, 100, upd(1, "b"), true, 0).ok);  // pre-committed
+  auto rr = s.replicate_insert(kTx3, upd(1, "c"), true, 0);
+  EXPECT_TRUE(rr.evicted.empty());
+}
+
+TEST(MvStore, UncommittedWritersProbe) {
+  PartitionStore s;
+  s.load(1, "a");
+  s.load(2, "b");
+  ASSERT_TRUE(s.prepare(kTx1, 100, upd(1, "x"), true, 0).ok);
+  ASSERT_TRUE(s.prepare(kTx2, 100, upd(2, "y"), true, 0).ok);
+  auto writers = s.uncommitted_writers({1, 2});
+  EXPECT_EQ(writers.size(), 2u);
+}
+
+TEST(MvStore, GcKeepsNewestReachable) {
+  PartitionStore s;
+  s.load(1, "v0");
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    TxId tx{0, i};
+    ASSERT_TRUE(s.prepare(tx, i * 100, upd(1, "v" + std::to_string(i)), true, 0).ok);
+    s.final_commit(tx, i * 100);
+  }
+  s.gc(/*horizon=*/550);
+  // Versions at 500 and above survive; reads at the horizon still work.
+  EXPECT_EQ(s.read(1, 560).value, "v5");
+  EXPECT_EQ(s.read(1, 1000).value, "v10");
+  EXPECT_GT(s.stats().gc_removed, 0u);
+}
+
+TEST(MvStore, GcDoesNotTouchUncommitted) {
+  PartitionStore s;
+  s.load(1, "a");
+  ASSERT_TRUE(s.prepare(kTx1, 100, upd(1, "b"), true, 0).ok);
+  s.local_commit(kTx1, 120);
+  TxId tx{0, 9};
+  ASSERT_TRUE((s.prepare(tx, 200, upd(1, "c"), true, 0, nullptr),
+               true));  // conflicts; ignore
+  s.gc(10000);
+  EXPECT_TRUE(s.has_uncommitted(kTx1));
+}
+
+TEST(MvStore, StorageBytesIncludesLastReaderWhenAsked) {
+  PartitionStore s;
+  s.load(1, std::string(100, 'x'));
+  const auto without = s.storage_bytes(false);
+  const auto with = s.storage_bytes(true);
+  EXPECT_EQ(with - without, sizeof(Timestamp));
+  EXPECT_GT(without, 100u);
+}
+
+TEST(MvStore, StatsCountVersions) {
+  PartitionStore s;
+  s.load(1, "a");
+  s.load(2, "bb");
+  ASSERT_TRUE(s.prepare(kTx1, 10, upd(1, "c"), true, 0).ok);
+  auto st = s.stats();
+  EXPECT_EQ(st.keys, 2u);
+  EXPECT_EQ(st.versions, 3u);
+  EXPECT_EQ(st.value_bytes, 4u);
+}
+
+
+TEST(MvStore, CommittedAboveUncommittedStillBlocks) {
+  // A pre-committed version's proposal may sit below a committed version's
+  // final timestamp; the read must block on it because its eventual commit
+  // timestamp may land inside the snapshot (stale-read hazard).
+  PartitionStore s;
+  s.load(1, "a");
+  ASSERT_TRUE(s.prepare(kTx1, 100, upd(1, "b"), true, 0).ok);  // proposal ~1
+  // A second writer chained above commits first, with a larger timestamp.
+  std::set<TxId> deps{kTx1};
+  s.local_commit(kTx1, 101);
+  ASSERT_TRUE(s.prepare(kTx2, 200, upd(1, "c"), true, 0, &deps).ok);
+  s.local_commit(kTx2, 150);
+  s.final_commit(kTx2, 180);
+  // Chain now: committed kTx2@180 above local-committed kTx1@101.
+  auto r = s.read(1, 500);
+  EXPECT_EQ(r.kind, ReadKind::Blocked);
+  EXPECT_EQ(r.writer, kTx1);
+  // Once the lower writer resolves, the committed version is readable.
+  s.final_commit(kTx1, 120);
+  auto r2 = s.read(1, 500);
+  EXPECT_EQ(r2.kind, ReadKind::Committed);
+  EXPECT_EQ(r2.value, "c");
+}
+
+TEST(MvStore, UncommittedAboveSnapshotDoesNotBlockCommittedRead) {
+  PartitionStore s;
+  s.load(1, "a");
+  ASSERT_TRUE(s.prepare(kTx1, 100, upd(1, "b"), true, 0).ok);
+  s.local_commit(kTx1, 120);
+  s.final_commit(kTx1, 150);
+  // A prior reader at 300 pushes kTx2's proposal above it (precise clocks),
+  // so its pre-commit sits above our snapshot of 200.
+  s.read(1, 300);
+  ASSERT_TRUE(s.prepare(kTx2, 400, upd(1, "c"), true, 0).ok);
+  auto r = s.read(1, 200);
+  EXPECT_EQ(r.kind, ReadKind::Committed);
+  EXPECT_EQ(r.value, "b");
+}
+
+
+TEST(MvStore, UncommittedCounterSurvivesGcAndCycles) {
+  // The O(1)-read fast path relies on the per-key uncommitted counter; it
+  // must stay exact across prepare/local-commit/final-commit/abort/GC.
+  PartitionStore s;
+  s.load(1, "v0");
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    TxId tx{0, i};
+    ASSERT_TRUE(s.prepare(tx, i * 100, upd(1, "v" + std::to_string(i)), true, 0).ok);
+    if (i % 3 == 0) {
+      s.abort_tx(tx);
+    } else {
+      s.local_commit(tx, i * 100 + 1);
+      s.final_commit(tx, i * 100 + 2);
+    }
+    s.gc(i * 100);
+  }
+  // No uncommitted versions remain: a read at any snapshot is never Blocked.
+  for (Timestamp rs : {Timestamp(150), Timestamp(1050), Timestamp(5000)}) {
+    auto r = s.read(1, rs);
+    EXPECT_NE(r.kind, ReadKind::Blocked) << "rs=" << rs;
+  }
+  // And a fresh prepare + read-below-committed still blocks correctly.
+  TxId tx{0, 99};
+  s.read(1, 5000);
+  ASSERT_TRUE(s.prepare(tx, 6000, upd(1, "x"), true, 0).ok);
+  auto r = s.read(1, 10000);
+  EXPECT_EQ(r.kind, ReadKind::Blocked);
+  s.abort_tx(tx);
+  EXPECT_EQ(s.read(1, 10000).kind, ReadKind::Committed);
+}
+
+}  // namespace
+}  // namespace str::store

@@ -1,0 +1,89 @@
+#include "tuning/cusum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace str::tuning {
+namespace {
+
+TEST(Cusum, NoChangeOnStableSignal) {
+  CusumDetector d;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    // 100 +- 3% noise, well inside the default 10% drift slack.
+    const double v = 100.0 * (0.97 + 0.06 * rng.uniform01());
+    EXPECT_FALSE(d.add_sample(v)) << "spurious change at sample " << i;
+  }
+  EXPECT_EQ(d.changes_detected(), 0u);
+}
+
+TEST(Cusum, DetectsStepUp) {
+  CusumDetector d;
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(d.add_sample(100.0));
+  bool detected = false;
+  for (int i = 0; i < 20 && !detected; ++i) detected = d.add_sample(200.0);
+  EXPECT_TRUE(detected);
+  EXPECT_EQ(d.changes_detected(), 1u);
+}
+
+TEST(Cusum, DetectsStepDown) {
+  CusumDetector d;
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(d.add_sample(100.0));
+  bool detected = false;
+  for (int i = 0; i < 20 && !detected; ++i) detected = d.add_sample(40.0);
+  EXPECT_TRUE(detected);
+}
+
+TEST(Cusum, SlowDriftWithinSlackIsIgnored) {
+  CusumDetector::Config cfg;
+  cfg.drift_frac = 0.2;
+  cfg.threshold_frac = 1.0;
+  CusumDetector d(cfg);
+  double v = 100.0;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(d.add_sample(v));
+    v += 0.1;  // +0.1 per sample << 20% slack
+  }
+}
+
+TEST(Cusum, RecalibratesAfterDetection) {
+  CusumDetector d;
+  for (int i = 0; i < 5; ++i) d.add_sample(100.0);
+  while (!d.add_sample(300.0)) {
+  }
+  // After the change, 300 becomes the new normal.
+  for (int i = 0; i < 10; ++i) {
+    d.add_sample(300.0);
+  }
+  EXPECT_NEAR(d.reference_mean(), 300.0, 1.0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(d.add_sample(300.0));
+  }
+  EXPECT_EQ(d.changes_detected(), 1u);
+}
+
+TEST(Cusum, CalibrationUsesConfiguredSamples) {
+  CusumDetector::Config cfg;
+  cfg.calibration_samples = 5;
+  CusumDetector d(cfg);
+  d.add_sample(10);
+  d.add_sample(20);
+  EXPECT_FALSE(d.calibrated());
+  d.add_sample(30);
+  d.add_sample(40);
+  d.add_sample(50);
+  EXPECT_TRUE(d.calibrated());
+  EXPECT_DOUBLE_EQ(d.reference_mean(), 30.0);
+}
+
+TEST(Cusum, ResetClearsState) {
+  CusumDetector d;
+  for (int i = 0; i < 10; ++i) d.add_sample(100.0);
+  d.reset();
+  EXPECT_FALSE(d.calibrated());
+  EXPECT_DOUBLE_EQ(d.reference_mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace str::tuning

@@ -1,0 +1,68 @@
+#include "verify/history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace str::verify {
+namespace {
+
+const TxId kT1{0, 1};
+const TxId kT2{1, 4};
+
+TEST(History, RecordsAllEventKinds) {
+  HistoryRecorder h;
+  h.on_begin(BeginEvent{kT1, 0, 100});
+  ReadEvent r;
+  r.reader = kT1;
+  r.key = 5;
+  r.writer = kNoTx;
+  h.on_read(r);
+  WriteSetEvent lc;
+  lc.tx = kT1;
+  lc.ts = 120;
+  lc.keys = {5};
+  h.on_local_commit(lc);
+  WriteSetEvent fc = lc;
+  fc.ts = 150;
+  h.on_final_commit(fc);
+  h.on_abort(AbortEvent{kT2, AbortReason::Misspeculation, 200});
+
+  EXPECT_EQ(h.begins().size(), 1u);
+  EXPECT_EQ(h.reads().size(), 1u);
+  EXPECT_EQ(h.local_commits().size(), 1u);
+  EXPECT_EQ(h.final_commits().size(), 1u);
+  EXPECT_EQ(h.aborts().size(), 1u);
+}
+
+TEST(History, IndexLookups) {
+  HistoryRecorder h;
+  h.on_begin(BeginEvent{kT1, 0, 100});
+  WriteSetEvent fc;
+  fc.tx = kT1;
+  fc.ts = 150;
+  h.on_final_commit(fc);
+  h.on_abort(AbortEvent{kT2, AbortReason::CascadingAbort, 170});
+  h.index();
+
+  ASSERT_NE(h.begin_of(kT1), nullptr);
+  EXPECT_EQ(h.begin_of(kT1)->rs, 100u);
+  EXPECT_EQ(h.begin_of(kT2), nullptr);
+  ASSERT_NE(h.final_commit_of(kT1), nullptr);
+  EXPECT_EQ(h.final_commit_of(kT1)->ts, 150u);
+  EXPECT_EQ(h.final_commit_of(kT2), nullptr);
+  EXPECT_TRUE(h.aborted(kT2));
+  EXPECT_FALSE(h.aborted(kT1));
+}
+
+TEST(History, ReindexAfterMoreEvents) {
+  HistoryRecorder h;
+  h.on_begin(BeginEvent{kT1, 0, 100});
+  h.index();
+  EXPECT_EQ(h.begin_of(kT2), nullptr);
+  h.on_begin(BeginEvent{kT2, 1, 200});
+  h.index();
+  ASSERT_NE(h.begin_of(kT2), nullptr);
+  EXPECT_EQ(h.begin_of(kT2)->node, 1u);
+}
+
+}  // namespace
+}  // namespace str::verify

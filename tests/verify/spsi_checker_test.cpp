@@ -1,0 +1,230 @@
+// Checker sanity: hand-built histories that violate each SPSI property must
+// be flagged, and clean histories must pass. (The property tests in
+// property_test.cpp then run real executions through the same checker.)
+#include "verify/spsi_checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace str::verify {
+namespace {
+
+const TxId kT1{0, 1};
+const TxId kT2{0, 2};
+const TxId kT3{1, 1};
+const TxId kReader{0, 9};
+
+BeginEvent begin(TxId tx, NodeId node, Timestamp rs) {
+  return BeginEvent{tx, node, rs};
+}
+
+ReadEvent read_committed(TxId reader, Key key, TxId writer, Timestamp vts,
+                         Timestamp at) {
+  ReadEvent e;
+  e.reader = reader;
+  e.key = key;
+  e.writer = writer;
+  e.version_ts = vts;
+  e.writer_state = VersionState::Committed;
+  e.at = at;
+  return e;
+}
+
+ReadEvent read_speculative(TxId reader, Key key, TxId writer, Timestamp vts,
+                           Timestamp at) {
+  ReadEvent e = read_committed(reader, key, writer, vts, at);
+  e.writer_state = VersionState::LocalCommitted;
+  return e;
+}
+
+WriteSetEvent commit(TxId tx, Timestamp fc, Timestamp at,
+                     std::vector<Key> keys) {
+  WriteSetEvent e;
+  e.tx = tx;
+  e.ts = fc;
+  e.at = at;
+  e.keys = std::move(keys);
+  return e;
+}
+
+TEST(SpsiChecker, CleanHistoryPasses) {
+  HistoryRecorder h;
+  h.on_begin(begin(kT1, 0, 100));
+  h.on_final_commit(commit(kT1, 150, 160, {1}));
+  h.on_begin(begin(kReader, 0, 200));
+  h.on_read(read_committed(kReader, 1, kT1, 150, 210));
+  h.on_final_commit(commit(kReader, 201, 220, {}));
+  SpsiChecker checker(h);
+  EXPECT_TRUE(checker.check_all().empty());
+}
+
+TEST(SpsiChecker, FlagsReadBeyondSnapshot) {
+  HistoryRecorder h;
+  h.on_begin(begin(kT1, 0, 100));
+  h.on_final_commit(commit(kT1, 300, 310, {1}));
+  h.on_begin(begin(kReader, 0, 200));
+  // Observed a version committed at 300 with snapshot 200.
+  h.on_read(read_committed(kReader, 1, kT1, 300, 320));
+  SpsiChecker checker(h);
+  EXPECT_FALSE(checker.check_snapshot_reads().empty());
+}
+
+TEST(SpsiChecker, FlagsStaleRead) {
+  HistoryRecorder h;
+  h.on_begin(begin(kT1, 0, 10));
+  h.on_final_commit(commit(kT1, 50, 55, {1}));
+  h.on_begin(begin(kT2, 0, 60));
+  h.on_final_commit(commit(kT2, 100, 105, {1}));
+  h.on_begin(begin(kReader, 0, 200));
+  // kT2's version (fc=100 <= rs, committed at 105 <= read time) was missed.
+  h.on_read(read_committed(kReader, 1, kT1, 50, 500));
+  SpsiChecker checker(h);
+  EXPECT_FALSE(checker.check_snapshot_reads().empty());
+}
+
+TEST(SpsiChecker, AllowsMissingCommitsThatHappenedAfterTheRead) {
+  HistoryRecorder h;
+  h.on_begin(begin(kT1, 0, 10));
+  h.on_final_commit(commit(kT1, 50, 55, {1}));
+  h.on_begin(begin(kT2, 0, 60));
+  // Commits (at=500) after the read was served (at=200).
+  h.on_final_commit(commit(kT2, 100, 500, {1}));
+  h.on_begin(begin(kReader, 0, 200));
+  h.on_read(read_committed(kReader, 1, kT1, 50, 200));
+  SpsiChecker checker(h);
+  EXPECT_TRUE(checker.check_snapshot_reads().empty());
+}
+
+TEST(SpsiChecker, FlagsCrossNodeSpeculation) {
+  HistoryRecorder h;
+  h.on_begin(begin(kT3, 1, 100));  // writer of node 1
+  h.on_local_commit(commit(kT3, 120, 125, {1}));
+  h.on_begin(begin(kReader, 0, 200));  // reader of node 0
+  h.on_read(read_speculative(kReader, 1, kT3, 120, 210));
+  SpsiChecker checker(h);
+  EXPECT_FALSE(checker.check_speculative_reads().empty());
+}
+
+TEST(SpsiChecker, FlagsSpeculationBeyondSnapshot) {
+  HistoryRecorder h;
+  h.on_begin(begin(kT1, 0, 100));
+  h.on_local_commit(commit(kT1, 300, 305, {1}));
+  h.on_begin(begin(kReader, 0, 200));
+  h.on_read(read_speculative(kReader, 1, kT1, 300, 310));
+  SpsiChecker checker(h);
+  EXPECT_FALSE(checker.check_speculative_reads().empty());
+}
+
+TEST(SpsiChecker, FlagsNonAtomicSnapshot) {
+  // Fig. 1a: T1 writes keys 1 and 2; the reader sees T1's version of key 1
+  // but the pre-state of key 2.
+  HistoryRecorder h;
+  h.on_begin(begin(kT1, 0, 100));
+  h.on_local_commit(commit(kT1, 120, 125, {1, 2}));
+  h.on_final_commit(commit(kT1, 130, 135, {1, 2}));
+  h.on_begin(begin(kReader, 0, 200));
+  h.on_read(read_committed(kReader, 1, kT1, 130, 210));
+  h.on_read(read_committed(kReader, 2, kNoTx, 0, 211));  // initial version
+  SpsiChecker checker(h);
+  EXPECT_FALSE(checker.check_snapshot_atomicity().empty());
+}
+
+TEST(SpsiChecker, AllowsNewerOverwriteInSnapshot) {
+  // Reader sees T1 on key 1 and T2 (newer, overwrote T1) on key 2: atomic.
+  HistoryRecorder h;
+  h.on_begin(begin(kT1, 0, 100));
+  h.on_final_commit(commit(kT1, 130, 135, {1, 2}));
+  h.on_begin(begin(kT2, 0, 140));
+  h.on_final_commit(commit(kT2, 150, 155, {2}));
+  h.on_begin(begin(kReader, 0, 200));
+  h.on_read(read_committed(kReader, 1, kT1, 130, 210));
+  h.on_read(read_committed(kReader, 2, kT2, 150, 211));
+  SpsiChecker checker(h);
+  EXPECT_TRUE(checker.check_all().empty());
+}
+
+TEST(SpsiChecker, FlagsWriteWriteConflict) {
+  HistoryRecorder h;
+  h.on_begin(begin(kT1, 0, 100));
+  h.on_begin(begin(kT3, 1, 110));  // concurrent: snapshot 110 < T1.fc 150
+  h.on_final_commit(commit(kT1, 150, 155, {7}));
+  h.on_final_commit(commit(kT3, 160, 165, {7}));
+  SpsiChecker checker(h);
+  EXPECT_FALSE(checker.check_ww_disjoint().empty());
+}
+
+TEST(SpsiChecker, AllowsSerializedOverwrites) {
+  HistoryRecorder h;
+  h.on_begin(begin(kT1, 0, 100));
+  h.on_final_commit(commit(kT1, 150, 155, {7}));
+  h.on_begin(begin(kT3, 1, 200));  // began after T1 committed
+  h.on_final_commit(commit(kT3, 260, 265, {7}));
+  SpsiChecker checker(h);
+  EXPECT_TRUE(checker.check_ww_disjoint().empty());
+}
+
+TEST(SpsiChecker, FlagsConflictingWritersInOneSnapshot) {
+  // Fig. 1b: the reader observes two concurrent writers of the same key.
+  HistoryRecorder h;
+  h.on_begin(begin(kT1, 0, 100));
+  h.on_local_commit(commit(kT1, 120, 125, {5, 6}));
+  h.on_begin(begin(kT2, 0, 105));
+  h.on_local_commit(commit(kT2, 130, 135, {6, 8}));
+  h.on_begin(begin(kReader, 0, 200));
+  h.on_read(read_speculative(kReader, 5, kT1, 120, 210));
+  h.on_read(read_speculative(kReader, 8, kT2, 130, 211));
+  SpsiChecker checker(h);
+  EXPECT_FALSE(checker.check_snapshot_conflicts().empty());
+}
+
+TEST(SpsiChecker, AllowsChainedWritersInOneSnapshot) {
+  // T2 chained over T1 (T2.rs >= T1.fc): both may appear in a snapshot.
+  HistoryRecorder h;
+  h.on_begin(begin(kT1, 0, 100));
+  h.on_final_commit(commit(kT1, 110, 112, {6}));
+  h.on_begin(begin(kT2, 0, 115));
+  h.on_local_commit(commit(kT2, 120, 122, {6, 8}));
+  h.on_begin(begin(kReader, 0, 200));
+  h.on_read(read_committed(kReader, 6, kT1, 110, 205));
+  h.on_read(read_speculative(kReader, 8, kT2, 120, 206));
+  SpsiChecker checker(h);
+  EXPECT_TRUE(checker.check_snapshot_conflicts().empty());
+}
+
+TEST(SpsiChecker, FlagsCommitWithAbortedDependency) {
+  HistoryRecorder h;
+  h.on_begin(begin(kT1, 0, 100));
+  h.on_local_commit(commit(kT1, 120, 125, {1}));
+  h.on_abort(AbortEvent{kT1, AbortReason::GlobalCertification, 300});
+  h.on_begin(begin(kReader, 0, 200));
+  h.on_read(read_speculative(kReader, 1, kT1, 120, 210));
+  h.on_final_commit(commit(kReader, 250, 255, {}));
+  SpsiChecker checker(h);
+  EXPECT_FALSE(checker.check_dependencies().empty());
+}
+
+TEST(SpsiChecker, FlagsDependencyCommittedBeyondSnapshot) {
+  HistoryRecorder h;
+  h.on_begin(begin(kT1, 0, 100));
+  h.on_local_commit(commit(kT1, 120, 125, {1}));
+  h.on_begin(begin(kReader, 0, 200));
+  h.on_read(read_speculative(kReader, 1, kT1, 120, 210));
+  h.on_final_commit(commit(kT1, 500, 505, {1}));  // beyond reader's rs=200
+  h.on_final_commit(commit(kReader, 550, 555, {}));
+  SpsiChecker checker(h);
+  EXPECT_FALSE(checker.check_dependencies().empty());
+}
+
+TEST(SpsiChecker, FlagsCommitBeforeDependencyResolves) {
+  HistoryRecorder h;
+  h.on_begin(begin(kT1, 0, 100));
+  h.on_local_commit(commit(kT1, 120, 125, {1}));
+  h.on_begin(begin(kReader, 0, 200));
+  h.on_read(read_speculative(kReader, 1, kT1, 120, 210));
+  h.on_final_commit(commit(kReader, 220, 230, {}));  // before T1 resolves
+  h.on_final_commit(commit(kT1, 150, 400, {1}));
+  SpsiChecker checker(h);
+  EXPECT_FALSE(checker.check_dependencies().empty());
+}
+
+}  // namespace
+}  // namespace str::verify

@@ -1,0 +1,109 @@
+#include "workload/rubis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "harness/experiment.hpp"
+#include "tests/protocol/test_util.hpp"
+
+namespace str::workload {
+namespace {
+
+using protocol::Cluster;
+using protocol::ProtocolConfig;
+
+TEST(RubisKeys, TablesAreDisjoint) {
+  RubisKeys keys;
+  std::set<Key> seen;
+  for (PartitionId s = 0; s < 3; ++s) {
+    seen.insert(keys.user(s, 7));
+    seen.insert(keys.item(s, 7));
+    seen.insert(keys.bid(s, 7));
+    seen.insert(keys.comment(s, 7));
+    seen.insert(keys.buy_now(s, 7));
+    seen.insert(keys.user_index(s));
+    seen.insert(keys.item_index(s));
+    seen.insert(keys.bid_index(s));
+    seen.insert(keys.comment_index(s));
+    seen.insert(keys.buy_now_index(s));
+    seen.insert(keys.category_listing(s, 3));
+    seen.insert(keys.region_listing(s, 3));
+  }
+  EXPECT_EQ(seen.size(), 3u * 12u);
+}
+
+TEST(RubisWorkload, UpdateFractionMatchesConfig) {
+  Cluster cluster(test::small_config(3, 2, ProtocolConfig::str()));
+  RubisConfig cfg;
+  cfg.update_pct = 15;
+  RubisWorkload wl(cluster, cfg);
+  Rng rng(7);
+  int updates = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto prog = wl.next(0, rng);
+    if (prog->type() <= static_cast<int>(RubisTxType::StoreBuyNow)) ++updates;
+  }
+  EXPECT_NEAR(updates, n * 15 / 100, n / 60);
+}
+
+TEST(RubisWorkload, AllTwentySixInteractionTypesAppear) {
+  Cluster cluster(test::small_config(3, 2, ProtocolConfig::str()));
+  RubisWorkload wl(cluster, RubisConfig{});
+  Rng rng(8);
+  std::set<int> seen;
+  for (int i = 0; i < 50000; ++i) seen.insert(wl.next(0, rng)->type());
+  EXPECT_EQ(seen.size(), 26u);
+}
+
+TEST(RubisWorkload, ThinkTimeInRange) {
+  Cluster cluster(test::small_config(3, 2, ProtocolConfig::str()));
+  RubisConfig cfg;
+  RubisWorkload wl(cluster, cfg);
+  Rng rng(9);
+  auto prog = wl.next(0, rng);
+  for (int i = 0; i < 1000; ++i) {
+    const Timestamp t = wl.think_time(*prog, rng);
+    EXPECT_GE(t, cfg.think_min);
+    EXPECT_LE(t, cfg.think_max);
+  }
+}
+
+TEST(RubisWorkload, RegisterItemGrowsApproxCount) {
+  Cluster cluster(test::small_config(3, 2, ProtocolConfig::str()));
+  RubisConfig cfg;
+  RubisWorkload wl(cluster, cfg);
+  Rng rng(10);
+  const std::uint64_t before = wl.approx_items(0);
+  for (int i = 0; i < 5000; ++i) wl.next(0, rng);
+  EXPECT_GT(wl.approx_items(0), before);
+}
+
+TEST(RubisWorkload, EndToEndCommits) {
+  harness::ExperimentConfig cfg;
+  cfg.cluster = test::small_config(3, 2, ProtocolConfig::str(), msec(60));
+  cfg.clients_per_node = 30;
+  cfg.warmup = sec(2);
+  cfg.duration = sec(12);
+  cfg.drain = sec(3);
+  RubisConfig wcfg;
+  wcfg.think_min = msec(100);
+  wcfg.think_max = msec(500);
+  auto r = harness::run_experiment(cfg, [wcfg](Cluster& c) {
+    return std::make_unique<RubisWorkload>(c, wcfg);
+  });
+  EXPECT_GT(r.commits, 300u);
+  EXPECT_GT(r.total_reads, r.commits);  // browse transactions read plenty
+}
+
+TEST(RubisWorkload, InteractionNamesResolve) {
+  EXPECT_STREQ(to_string(RubisTxType::StoreBid), "StoreBid");
+  EXPECT_STREQ(to_string(RubisTxType::SearchItemsInCategory),
+               "SearchItemsInCategory");
+  EXPECT_STREQ(to_string(RubisTxType::AboutMe), "AboutMe");
+}
+
+}  // namespace
+}  // namespace str::workload

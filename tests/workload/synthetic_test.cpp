@@ -1,0 +1,140 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/experiment.hpp"
+#include "protocol/partition_map.hpp"
+#include "tests/protocol/test_util.hpp"
+
+namespace str::workload {
+namespace {
+
+using protocol::Cluster;
+using protocol::PartitionMap;
+using protocol::ProtocolConfig;
+
+Cluster make_cluster() {
+  return Cluster(test::small_config(9, 6, ProtocolConfig::str(), msec(100)));
+}
+
+TEST(Synthetic, LocalKeysTargetMasteredPartition) {
+  Cluster cluster = make_cluster();
+  SyntheticConfig cfg = SyntheticConfig::synth_a();
+  cfg.remote_access_prob = 0.0;
+  SyntheticWorkload wl(cluster, cfg);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Key k = wl.pick_key(3, rng);
+    EXPECT_EQ(PartitionMap::partition_of(k), 3u);
+    EXPECT_LT(PartitionMap::row_of(k), cfg.keys_per_half);
+  }
+}
+
+TEST(Synthetic, RemoteKeysTargetNonMasteredPartitions) {
+  Cluster cluster = make_cluster();
+  SyntheticConfig cfg = SyntheticConfig::synth_a();
+  cfg.remote_access_prob = 1.0;
+  SyntheticWorkload wl(cluster, cfg);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const Key k = wl.pick_key(0, rng);
+    const PartitionId p = PartitionMap::partition_of(k);
+    EXPECT_FALSE(cluster.pmap().is_master(0, p));
+    EXPECT_GE(PartitionMap::row_of(k), cfg.keys_per_half);
+  }
+}
+
+TEST(Synthetic, FarAccessesTargetNonReplicatedPartitions) {
+  Cluster cluster = make_cluster();
+  SyntheticConfig cfg = SyntheticConfig::synth_a();
+  cfg.remote_access_prob = 1.0;
+  cfg.far_access_frac = 1.0;
+  SyntheticWorkload wl(cluster, cfg);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Key k = wl.pick_key(0, rng);
+    EXPECT_FALSE(cluster.pmap().replicates(0, PartitionMap::partition_of(k)));
+  }
+}
+
+TEST(Synthetic, NearRemoteAccessesAreLocallyReplicated) {
+  Cluster cluster = make_cluster();
+  SyntheticConfig cfg = SyntheticConfig::synth_a();
+  cfg.remote_access_prob = 1.0;
+  cfg.far_access_frac = 0.0;
+  SyntheticWorkload wl(cluster, cfg);
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const Key k = wl.pick_key(0, rng);
+    const PartitionId p = PartitionMap::partition_of(k);
+    EXPECT_TRUE(cluster.pmap().replicates(0, p));
+    EXPECT_FALSE(cluster.pmap().is_master(0, p));
+  }
+}
+
+TEST(Synthetic, HotspotConcentration) {
+  Cluster cluster = make_cluster();
+  SyntheticConfig cfg = SyntheticConfig::synth_a();  // local hotspot = 1 key
+  cfg.remote_access_prob = 0.0;
+  SyntheticWorkload wl(cluster, cfg);
+  Rng rng(3);
+  int hot = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (PartitionMap::row_of(wl.pick_key(0, rng)) == 0) ++hot;
+  }
+  // ~10% of accesses land on the single hotspot key.
+  EXPECT_NEAR(hot, n / 10, n / 50);
+}
+
+TEST(Synthetic, ProgramsHaveRequestedKeyCount) {
+  Cluster cluster = make_cluster();
+  SyntheticWorkload wl(cluster, SyntheticConfig::synth_a());
+  Rng rng(4);
+  auto prog = wl.next(0, rng);
+  EXPECT_NE(prog, nullptr);
+}
+
+TEST(Synthetic, EndToEndSmallExperimentCommits) {
+  harness::ExperimentConfig cfg;
+  cfg.cluster = test::small_config(3, 2, ProtocolConfig::str(), msec(50));
+  cfg.clients_per_node = 2;
+  cfg.warmup = sec(1);
+  cfg.duration = sec(5);
+  cfg.drain = sec(2);
+  SyntheticConfig wcfg = SyntheticConfig::synth_a();
+  wcfg.keys_per_txn = 4;
+  auto result = harness::run_experiment(cfg, [wcfg](Cluster& c) {
+    return std::make_unique<SyntheticWorkload>(c, wcfg);
+  });
+  EXPECT_GT(result.commits, 50u);
+  EXPECT_GT(result.throughput, 10.0);
+  EXPECT_GT(result.total_reads, 0u);
+}
+
+TEST(Synthetic, DeterministicAcrossRuns) {
+  auto run_once = []() {
+    harness::ExperimentConfig cfg;
+    cfg.cluster = test::small_config(3, 2, ProtocolConfig::str(), msec(50));
+    cfg.cluster.seed = 77;
+    cfg.clients_per_node = 2;
+    cfg.warmup = sec(1);
+    cfg.duration = sec(3);
+    cfg.drain = sec(1);
+    SyntheticConfig wcfg = SyntheticConfig::synth_a();
+    wcfg.keys_per_txn = 4;
+    return harness::run_experiment(cfg, [wcfg](Cluster& c) {
+      return std::make_unique<SyntheticWorkload>(c, wcfg);
+    });
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_EQ(a.aborts, b.aborts);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+}  // namespace
+}  // namespace str::workload

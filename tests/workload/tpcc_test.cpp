@@ -1,0 +1,166 @@
+#include "workload/tpcc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "harness/experiment.hpp"
+#include "protocol/partition_map.hpp"
+#include "tests/protocol/test_util.hpp"
+
+namespace str::workload {
+namespace {
+
+using protocol::Cluster;
+using protocol::PartitionMap;
+using protocol::ProtocolConfig;
+
+TEST(TpccRecords, EncodeDecodeRoundTrip) {
+  const std::vector<std::uint64_t> fields = {1, 0, 42, 999999};
+  EXPECT_EQ(tpcc_records::decode(tpcc_records::encode(fields)), fields);
+}
+
+TEST(TpccRecords, SingleField) {
+  EXPECT_EQ(tpcc_records::decode("7"), (std::vector<std::uint64_t>{7}));
+}
+
+TEST(TpccRecords, InitialRecordsParse) {
+  EXPECT_EQ(tpcc_records::decode(tpcc_records::initial_district())[0], 1u);
+  EXPECT_EQ(tpcc_records::decode(tpcc_records::initial_stock())[0], 100u);
+}
+
+TEST(TpccKeys, WarehousePartitionPlacement) {
+  TpccKeys keys(5);
+  EXPECT_EQ(keys.partition_of_warehouse(0), 0u);
+  EXPECT_EQ(keys.partition_of_warehouse(4), 0u);
+  EXPECT_EQ(keys.partition_of_warehouse(5), 1u);
+  EXPECT_EQ(keys.partition_of_warehouse(44), 8u);
+  EXPECT_EQ(PartitionMap::partition_of(keys.warehouse(13)), 2u);
+  EXPECT_EQ(PartitionMap::partition_of(keys.stock(13, 999)), 2u);
+}
+
+TEST(TpccKeys, KeysAreDistinct) {
+  TpccKeys keys(5);
+  std::set<Key> seen;
+  for (std::uint32_t w = 0; w < 10; ++w) {
+    seen.insert(keys.warehouse(w));
+    for (std::uint32_t d = 0; d < 10; ++d) {
+      seen.insert(keys.district(w, d));
+      seen.insert(keys.customer(w, d, 7));
+      seen.insert(keys.customer_last_order(w, d, 7));
+      seen.insert(keys.order(w, d, 123));
+      seen.insert(keys.order_line(w, d, 123, 3));
+    }
+    seen.insert(keys.stock(w, 999));
+  }
+  // 10 warehouses * (1 + 10*5) + 10 stock keys, all distinct.
+  EXPECT_EQ(seen.size(), 10u * 51u + 10u);
+}
+
+TEST(TpccWorkload, MixProportions) {
+  Cluster cluster(test::small_config(3, 2, ProtocolConfig::str()));
+  TpccConfig cfg = TpccConfig::mix_b();  // 45/43/12
+  TpccWorkload wl(cluster, cfg);
+  Rng rng(5);
+  int counts[4] = {};
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    auto prog = wl.next(0, rng);
+    ++counts[prog->type()];
+  }
+  EXPECT_NEAR(counts[static_cast<int>(TpccTxType::NewOrder)], n * 45 / 100,
+              n / 50);
+  EXPECT_NEAR(counts[static_cast<int>(TpccTxType::Payment)], n * 43 / 100,
+              n / 50);
+  EXPECT_NEAR(counts[static_cast<int>(TpccTxType::OrderStatus)], n * 12 / 100,
+              n / 50);
+}
+
+TEST(TpccWorkload, HomeWarehouseBelongsToClientNode) {
+  Cluster cluster(test::small_config(3, 2, ProtocolConfig::str()));
+  TpccWorkload wl(cluster, TpccConfig::mix_a());
+  (void)wl;
+  // Warehouses 0-4 belong to node 0 etc. — checked via partition placement.
+  EXPECT_EQ(wl.keys().partition_of_warehouse(3), 0u);
+  EXPECT_EQ(wl.num_warehouses(), 15u);
+}
+
+TEST(TpccWorkload, ThinkTimeRoughlyExponential) {
+  Cluster cluster(test::small_config(3, 2, ProtocolConfig::str()));
+  TpccConfig cfg;
+  cfg.think_time_mean = sec(5);
+  TpccWorkload wl(cluster, cfg);
+  Rng rng(6);
+  auto prog = wl.next(0, rng);
+  double sum = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(wl.think_time(*prog, rng));
+  EXPECT_NEAR(sum / n, double(sec(5)), double(sec(5)) * 0.1);
+}
+
+harness::ExperimentResult run_small_tpcc(const ProtocolConfig& proto,
+                                         TpccConfig wcfg) {
+  harness::ExperimentConfig cfg;
+  cfg.cluster = test::small_config(3, 2, proto, msec(60));
+  cfg.clients_per_node = 20;
+  cfg.warmup = sec(2);
+  cfg.duration = sec(10);
+  cfg.drain = sec(3);
+  wcfg.think_time_mean = msec(500);
+  return harness::run_experiment(cfg, [wcfg](Cluster& c) {
+    return std::make_unique<TpccWorkload>(c, wcfg);
+  });
+}
+
+TEST(TpccWorkload, EndToEndCommits) {
+  reset_tpcc_atomicity_violations();
+  auto r = run_small_tpcc(ProtocolConfig::str(), TpccConfig::mix_b());
+  EXPECT_GT(r.commits, 200u);
+  EXPECT_EQ(tpcc_atomicity_violations(), 0u);
+}
+
+// Listing 1: concurrent new-order and order-status with speculation on;
+// order-status must never observe a last-order pointer whose order or order
+// lines are missing (SPSI-1 atomicity).
+TEST(TpccWorkload, Listing1AnomalyNeverObserved) {
+  reset_tpcc_atomicity_violations();
+  TpccConfig wcfg;
+  wcfg.warehouses_per_node = 1;
+  wcfg.customers_per_district = 3;  // force NO/OS collisions on customers
+  wcfg.districts_per_warehouse = 2;
+  wcfg.pct_new_order = 50;
+  wcfg.pct_payment = 0;  // the rest are order-status
+  wcfg.items = 50;
+  auto r = run_small_tpcc(ProtocolConfig::str(), wcfg);
+  EXPECT_GT(r.commits, 100u);
+  EXPECT_GT(r.speculative_reads, 0u);
+  EXPECT_EQ(tpcc_atomicity_violations(), 0u);
+}
+
+TEST(TpccWorkload, Listing1CleanUnderAllVariants) {
+  for (const ProtocolConfig& proto :
+       {ProtocolConfig::str(), ProtocolConfig::clocksi_rep(),
+        ProtocolConfig::ext_spec()}) {
+    reset_tpcc_atomicity_violations();
+    TpccConfig wcfg;
+    wcfg.warehouses_per_node = 1;
+    wcfg.customers_per_district = 3;
+    wcfg.districts_per_warehouse = 2;
+    wcfg.pct_new_order = 50;
+    wcfg.pct_payment = 0;
+    wcfg.items = 50;
+    run_small_tpcc(proto, wcfg);
+    EXPECT_EQ(tpcc_atomicity_violations(), 0u);
+  }
+}
+
+TEST(TpccWorkload, SpeculationBeatsBaselineOnPaymentHeavyMix) {
+  auto base = run_small_tpcc(ProtocolConfig::clocksi_rep(), TpccConfig::mix_a());
+  auto spec = run_small_tpcc(ProtocolConfig::str(), TpccConfig::mix_a());
+  EXPECT_GT(spec.throughput, base.throughput);
+  EXPECT_LT(spec.abort_rate, base.abort_rate);
+}
+
+}  // namespace
+}  // namespace str::workload

@@ -1,0 +1,214 @@
+// str_sim — command-line driver for the STR simulator.
+//
+// Runs any workload/protocol combination on a configurable cluster and
+// prints (and optionally CSV-exports) the paper's metrics. Examples:
+//
+//   str_sim --workload synth-a --protocol str --clients 80
+//   str_sim --workload tpcc-a --protocol clocksi --clients 3600 --duration 30
+//   str_sim --workload rubis --protocol str --tuner --reps 3 --csv out.csv
+//
+// Run with --help for the full option list.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "harness/csv.hpp"
+#include "harness/replicated.hpp"
+#include "workload/rubis.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/tpcc.hpp"
+
+using namespace str;  // NOLINT
+
+namespace {
+
+struct Options {
+  std::string workload = "synth-a";
+  std::string protocol = "str";
+  std::uint32_t nodes = 9;
+  std::uint32_t rf = 6;
+  std::uint32_t clients = 90;
+  std::uint64_t seed = 42;
+  double duration_s = 20;
+  double warmup_s = 4;
+  bool tuner = false;
+  unsigned reps = 1;
+  std::string csv;
+  bool uniform_topology = false;
+  double wan_rtt_ms = 100;
+};
+
+void usage() {
+  std::puts(
+      "str_sim: STR / SPSI geo-replication simulator\n"
+      "  --workload W   synth-a | synth-b | tpcc-a | tpcc-b | tpcc-c | rubis\n"
+      "  --protocol P   str | clocksi | ext-spec | str-no-sr | physical-sr\n"
+      "  --clients N    total clients (round-robin over nodes)     [90]\n"
+      "  --nodes N      cluster size                               [9]\n"
+      "  --rf N         replication factor                         [6]\n"
+      "  --duration S   measured seconds of virtual time           [20]\n"
+      "  --warmup S     warmup seconds                             [4]\n"
+      "  --seed N       deterministic seed                         [42]\n"
+      "  --tuner        enable the self-tuning controller\n"
+      "  --reps N       repetitions (mean/std across seeds)        [1]\n"
+      "  --uniform MS   symmetric topology with the given WAN RTT\n"
+      "  --csv PATH     append per-run metrics to a CSV file\n");
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") return false;
+    if (arg == "--workload") { opt.workload = next(); continue; }
+    if (arg == "--protocol") { opt.protocol = next(); continue; }
+    if (arg == "--clients") { opt.clients = std::atoi(next()); continue; }
+    if (arg == "--nodes") { opt.nodes = std::atoi(next()); continue; }
+    if (arg == "--rf") { opt.rf = std::atoi(next()); continue; }
+    if (arg == "--duration") { opt.duration_s = std::atof(next()); continue; }
+    if (arg == "--warmup") { opt.warmup_s = std::atof(next()); continue; }
+    if (arg == "--seed") { opt.seed = std::atoll(next()); continue; }
+    if (arg == "--tuner") { opt.tuner = true; continue; }
+    if (arg == "--reps") { opt.reps = std::atoi(next()); continue; }
+    if (arg == "--csv") { opt.csv = next(); continue; }
+    if (arg == "--uniform") {
+      opt.uniform_topology = true;
+      opt.wan_rtt_ms = std::atof(next());
+      continue;
+    }
+    std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+    return false;
+  }
+  return true;
+}
+
+protocol::ProtocolConfig protocol_config(const std::string& name, bool& ok) {
+  ok = true;
+  if (name == "str") return protocol::ProtocolConfig::str();
+  if (name == "clocksi") return protocol::ProtocolConfig::clocksi_rep();
+  if (name == "ext-spec") return protocol::ProtocolConfig::ext_spec();
+  if (name == "str-no-sr") {
+    auto c = protocol::ProtocolConfig::str();
+    c.speculative_reads = false;
+    return c;
+  }
+  if (name == "physical-sr") {
+    protocol::ProtocolConfig c;
+    c.speculative_reads = true;
+    c.precise_clocks = false;
+    return c;
+  }
+  ok = false;
+  return {};
+}
+
+harness::WorkloadFactory workload_factory(const std::string& name, bool& ok) {
+  ok = true;
+  if (name == "synth-a" || name == "synth-b") {
+    auto wcfg = name == "synth-a" ? workload::SyntheticConfig::synth_a()
+                                  : workload::SyntheticConfig::synth_b();
+    return [wcfg](protocol::Cluster& c) {
+      return std::make_unique<workload::SyntheticWorkload>(c, wcfg);
+    };
+  }
+  if (name == "tpcc-a" || name == "tpcc-b" || name == "tpcc-c") {
+    auto wcfg = name == "tpcc-a"   ? workload::TpccConfig::mix_a()
+                : name == "tpcc-b" ? workload::TpccConfig::mix_b()
+                                   : workload::TpccConfig::mix_c();
+    return [wcfg](protocol::Cluster& c) {
+      return std::make_unique<workload::TpccWorkload>(c, wcfg);
+    };
+  }
+  if (name == "rubis") {
+    workload::RubisConfig wcfg;
+    return [wcfg](protocol::Cluster& c) {
+      return std::make_unique<workload::RubisWorkload>(c, wcfg);
+    };
+  }
+  ok = false;
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    usage();
+    return 1;
+  }
+  bool ok = false;
+  harness::ExperimentConfig cfg;
+  cfg.cluster.num_nodes = opt.nodes;
+  cfg.cluster.replication_factor = std::min(opt.rf, opt.nodes);
+  cfg.cluster.topology =
+      opt.uniform_topology
+          ? net::Topology::symmetric(opt.nodes,
+                                     msec(static_cast<std::uint64_t>(
+                                         opt.wan_rtt_ms)))
+          : (opt.nodes == 9 ? net::Topology::ec2_nine_regions()
+                            : net::Topology::symmetric(opt.nodes, msec(100)));
+  cfg.cluster.protocol = protocol_config(opt.protocol, ok);
+  if (!ok) {
+    std::fprintf(stderr, "unknown protocol: %s\n", opt.protocol.c_str());
+    return 1;
+  }
+  cfg.cluster.seed = opt.seed;
+  cfg.total_clients = opt.clients;
+  cfg.warmup = static_cast<Timestamp>(opt.warmup_s * 1e6);
+  cfg.duration = static_cast<Timestamp>(opt.duration_s * 1e6);
+  cfg.drain = sec(3);
+  cfg.self_tuning = opt.tuner;
+
+  auto factory = workload_factory(opt.workload, ok);
+  if (!ok) {
+    std::fprintf(stderr, "unknown workload: %s\n", opt.workload.c_str());
+    return 1;
+  }
+
+  std::printf("workload=%s protocol=%s nodes=%u rf=%u clients=%u reps=%u%s\n",
+              opt.workload.c_str(), opt.protocol.c_str(), opt.nodes,
+              cfg.cluster.replication_factor, opt.clients, opt.reps,
+              opt.tuner ? " tuner=on" : "");
+
+  const auto agg = harness::run_replicated(cfg, factory, opt.reps);
+  std::printf(
+      "throughput    %10.1f tps   (std %.1f, cv %.1f%%)\n"
+      "final latency %10.1f ms\n"
+      "spec latency  %10.1f ms\n"
+      "abort rate    %10.1f %%\n"
+      "misspec rate  %10.1f %%  ext-misspec %0.1f %%\n",
+      agg.throughput.mean(), agg.throughput.stddev(),
+      agg.throughput_cv() * 100.0, agg.final_latency_mean.mean() / 1000.0,
+      agg.speculative_latency_mean.mean() / 1000.0,
+      agg.abort_rate.mean() * 100.0, agg.misspeculation_rate.mean() * 100.0,
+      agg.external_misspeculation_rate.mean() * 100.0);
+  if (opt.tuner && !agg.runs.empty()) {
+    std::printf("tuner: speculation %s\n",
+                agg.runs.front().speculation_enabled_at_end ? "on" : "off");
+  }
+
+  if (!opt.csv.empty()) {
+    harness::CsvWriter csv(opt.csv,
+                           {"workload", "protocol", "clients", "seed",
+                            "throughput_tps", "abort_rate", "misspec_rate",
+                            "final_latency_ms", "spec_latency_ms"});
+    for (std::size_t r = 0; r < agg.runs.size(); ++r) {
+      const auto& res = agg.runs[r];
+      csv.write_row({opt.workload, opt.protocol, std::to_string(opt.clients),
+                     std::to_string(opt.seed + 7919 * r),
+                     std::to_string(res.throughput),
+                     std::to_string(res.abort_rate),
+                     std::to_string(res.misspeculation_rate),
+                     std::to_string(res.final_latency_mean / 1000.0),
+                     std::to_string(res.speculative_latency_mean / 1000.0)});
+    }
+    std::printf("wrote %zu rows to %s\n", agg.runs.size(), opt.csv.c_str());
+  }
+  return 0;
+}
