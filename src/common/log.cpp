@@ -8,6 +8,12 @@ namespace str {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
 
+// One DES instance runs per thread (parallel sweeps run independent
+// clusters on worker threads), so the simulation context is thread-local.
+thread_local Log::NowFn t_now_fn = nullptr;
+thread_local const void* t_now_state = nullptr;
+thread_local std::uint32_t t_node = Log::kNoLogNode;
+
 const char* tag(LogLevel lvl) {
   switch (lvl) {
     case LogLevel::Trace: return "TRACE";
@@ -25,10 +31,40 @@ LogLevel Log::level() { return static_cast<LogLevel>(g_level.load(std::memory_or
 
 void Log::set_level(LogLevel lvl) { g_level.store(static_cast<int>(lvl), std::memory_order_relaxed); }
 
+void Log::set_sim_clock(NowFn fn, const void* state) {
+  t_now_fn = fn;
+  t_now_state = state;
+}
+
+void Log::clear_sim_clock(const void* state) {
+  if (t_now_state != state) return;  // a newer context took over
+  t_now_fn = nullptr;
+  t_now_state = nullptr;
+}
+
+std::uint32_t Log::set_node(std::uint32_t node) {
+  const std::uint32_t prev = t_node;
+  t_node = node;
+  return prev;
+}
+
+std::uint32_t Log::node() { return t_node; }
+
 void Log::write(LogLevel lvl, const char* fmt, ...) {
   std::va_list args;
   va_start(args, fmt);
-  std::fprintf(stderr, "[%s] ", tag(lvl));
+  if (t_now_fn != nullptr) {
+    if (t_node != kNoLogNode) {
+      std::fprintf(stderr, "[%s t=%llu n=%u] ", tag(lvl),
+                   static_cast<unsigned long long>(t_now_fn(t_now_state)),
+                   t_node);
+    } else {
+      std::fprintf(stderr, "[%s t=%llu] ", tag(lvl),
+                   static_cast<unsigned long long>(t_now_fn(t_now_state)));
+    }
+  } else {
+    std::fprintf(stderr, "[%s] ", tag(lvl));
+  }
   std::vfprintf(stderr, fmt, args);
   std::fputc('\n', stderr);
   va_end(args);

@@ -3,7 +3,9 @@
 // gated by a cheap level check so benchmark runs pay ~nothing.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <string>
 
 namespace str {
@@ -17,9 +19,41 @@ class Log {
 
   static bool enabled(LogLevel lvl) { return lvl >= level(); }
 
-  /// printf-style logging; prepends the level tag.
+  /// printf-style logging; prepends the level tag and, when a simulation
+  /// context is active on this thread, the current virtual timestamp and
+  /// node id: "[INFO  t=1234567 n=3] ...".
   static void write(LogLevel lvl, const char* fmt, ...)
       __attribute__((format(printf, 2, 3)));
+
+  // -- simulation context (thread-local) ----------------------------------
+  // The scheduler/cluster installs a clock callback so log lines carry
+  // virtual time; protocol entry points scope the acting node id. The
+  // callback keeps this header free of sim dependencies.
+  using NowFn = std::uint64_t (*)(const void* state);
+
+  /// Install the virtual clock for this thread (one DES per thread).
+  static void set_sim_clock(NowFn fn, const void* state);
+  /// Remove the clock, but only if `state` still owns it (clusters may nest
+  /// in tests; destruction order then clears correctly).
+  static void clear_sim_clock(const void* state);
+
+  static constexpr std::uint32_t kNoLogNode =
+      std::numeric_limits<std::uint32_t>::max();
+  /// Set the acting node id; returns the previous value (for restoration).
+  static std::uint32_t set_node(std::uint32_t node);
+  static std::uint32_t node();
+};
+
+/// RAII guard scoping the acting node id around a protocol handler.
+class ScopedLogNode {
+ public:
+  explicit ScopedLogNode(std::uint32_t node) : prev_(Log::set_node(node)) {}
+  ~ScopedLogNode() { Log::set_node(prev_); }
+  ScopedLogNode(const ScopedLogNode&) = delete;
+  ScopedLogNode& operator=(const ScopedLogNode&) = delete;
+
+ private:
+  std::uint32_t prev_;
 };
 
 #define STR_LOG(lvl, ...)                                      \

@@ -1,9 +1,27 @@
 #include "harness/experiment.hpp"
 
+#include <cstdio>
+
 #include "common/assert.hpp"
+#include "obs/export.hpp"
 #include "workload/client.hpp"
 
 namespace str::harness {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& config,
                                 const WorkloadFactory& factory) {
@@ -36,6 +54,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
 
   cluster.run_for(warmup);
   cluster.metrics().set_measurement_start(cluster.now());
+  // Observability covers the measurement window only: drop warmup counts
+  // and start tracing (if requested) at the cutover.
+  cluster.reset_obs();
+  if (config.tracing || !config.trace_out.empty()) {
+    cluster.tracer().set_capacity(config.trace_capacity);
+    cluster.tracer().set_enabled(true);
+  }
   const Timestamp measure_start = cluster.now();
   cluster.run_for(config.duration);
   const Timestamp measure_end = cluster.now();
@@ -69,6 +94,45 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   r.wan_messages = cluster.network().stats().wan_messages;
   r.speculation_enabled_at_end = cluster.flags().speculation_enabled;
   r.tuner_decided = tuner != nullptr && tuner->decided();
+
+  // Per-phase latency breakdown from the cluster-merged registry.
+  const obs::Registry merged = cluster.merged_obs();
+  static const std::string kPhasePrefix = "phase.";
+  for (const auto& [name, timer] : merged.timers()) {
+    if (name.rfind(kPhasePrefix, 0) != 0) continue;
+    PhaseStat p;
+    p.name = name.substr(kPhasePrefix.size());
+    p.count = timer.count();
+    p.mean_us = timer.hist().mean();
+    p.p50_us = timer.hist().p50();
+    p.p99_us = timer.hist().p99();
+    p.max_us = timer.hist().max();
+    r.phases.push_back(std::move(p));
+  }
+  if (const obs::Timer* t = merged.find_timer("phase.commit_snapshot_distance")) {
+    r.commit_snapshot_distance_mean = t->hist().mean();
+  }
+
+  if (!config.trace_out.empty()) {
+    r.exports_ok &= obs::write_file(
+        config.trace_out,
+        obs::chrome_trace_json(cluster.tracer(), cluster.num_nodes()));
+  }
+  if (!config.metrics_out.empty()) {
+    if (ends_with(config.metrics_out, ".csv")) {
+      r.exports_ok &= obs::write_file(config.metrics_out, obs::metrics_csv(merged));
+    } else {
+      std::vector<std::pair<std::string, std::string>> extra;
+      extra.emplace_back("throughput_tx_per_sec", fmt_double(r.throughput));
+      extra.emplace_back("commits", std::to_string(r.commits));
+      extra.emplace_back("aborts", std::to_string(r.aborts));
+      extra.emplace_back("abort_rate", fmt_double(r.abort_rate));
+      extra.emplace_back("final_latency_mean_us",
+                         fmt_double(r.final_latency_mean));
+      r.exports_ok &=
+          obs::write_file(config.metrics_out, obs::metrics_json(merged, extra));
+    }
+  }
   return r;
 }
 

@@ -6,7 +6,9 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "obs/trace.hpp"
 #include "protocol/cluster.hpp"
 #include "tuning/self_tuner.hpp"
 #include "workload/workload.hpp"
@@ -31,6 +33,26 @@ struct ExperimentConfig {
   /// to cover the trial automatically.
   bool self_tuning = false;
   tuning::SelfTunerConfig tuner;
+
+  // -- observability -------------------------------------------------------
+  /// Enable the transaction-lifecycle tracer for the measurement window.
+  /// Implied by a non-empty trace_out.
+  bool tracing = false;
+  std::size_t trace_capacity = obs::Tracer::kDefaultCapacity;
+  /// When non-empty, write the Chrome trace-event JSON / metrics JSON there.
+  std::string trace_out;
+  std::string metrics_out;
+};
+
+/// One "phase.*" timer from the merged registry, for the per-phase latency
+/// breakdown table (virtual microseconds).
+struct PhaseStat {
+  std::string name;  ///< registry name without the "phase." prefix
+  std::uint64_t count = 0;
+  double mean_us = 0.0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t max_us = 0;
 };
 
 struct ExperimentResult {
@@ -53,6 +75,14 @@ struct ExperimentResult {
   /// Final state of the speculation flag (self-tuning outcome).
   bool speculation_enabled_at_end = true;
   bool tuner_decided = false;
+  /// Per-phase latency breakdown from the merged "phase.*" timers
+  /// (measurement window only).
+  std::vector<PhaseStat> phases;
+  /// Mean FC - RS over committed transactions (how far a commit lands past
+  /// its snapshot; Precise Clocks shrinks this).
+  double commit_snapshot_distance_mean = 0.0;
+  /// False when a requested trace_out / metrics_out file could not be written.
+  bool exports_ok = true;
 };
 
 /// Run one experiment to completion (one DES instance, one thread).

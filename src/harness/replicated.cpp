@@ -13,6 +13,12 @@ ReplicatedResult run_replicated(const ExperimentConfig& config,
     SweepJob job;
     job.config = config;
     job.config.cluster.seed = config.cluster.seed + 7919ULL * r;
+    // Only the first repetition writes trace/metrics files: the reps run
+    // concurrently and would otherwise race on the same paths.
+    if (r > 0) {
+      job.config.trace_out.clear();
+      job.config.metrics_out.clear();
+    }
     job.factory = factory;
     jobs.push_back(std::move(job));
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <iterator>
 
 namespace str::harness {
 
@@ -50,6 +51,41 @@ std::string Table::fmt_pct(double frac) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.1f%%", frac * 100.0);
   return buf;
+}
+
+void print_phase_table(const std::string& label,
+                       const std::vector<PhaseStat>& phases, std::FILE* out) {
+  if (phases.empty()) return;
+  // Lifecycle order, so the table reads top-to-bottom like a transaction;
+  // phases not listed here land at the end in name order.
+  static const char* kOrder[] = {
+      "time_to_first_read", "read_block",  "gate_stall",
+      "local_cert",         "wan_prepare", "dep_wait",
+      "lock_hold",          "lock_hold_total",
+      "commit_snapshot_distance",
+  };
+  auto rank = [](const std::string& name) {
+    for (std::size_t i = 0; i < std::size(kOrder); ++i) {
+      if (name == kOrder[i]) return i;
+    }
+    return std::size(kOrder);
+  };
+  std::vector<PhaseStat> sorted = phases;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [&](const PhaseStat& a, const PhaseStat& b) {
+                     const std::size_t ra = rank(a.name), rb = rank(b.name);
+                     return ra != rb ? ra < rb : a.name < b.name;
+                   });
+
+  std::fprintf(out, "per-phase latency breakdown: %s\n", label.c_str());
+  Table t({"phase", "count", "mean", "p50", "p99", "max"});
+  for (const PhaseStat& p : sorted) {
+    if (p.count == 0) continue;
+    t.add_row({p.name, std::to_string(p.count),
+               Table::fmt(p.mean_us / 1000.0, 2) + "ms", Table::fmt_ms(p.p50_us),
+               Table::fmt_ms(p.p99_us), Table::fmt_ms(p.max_us)});
+  }
+  t.print(out);
 }
 
 void print_result_row(const std::string& label, const ExperimentResult& r) {

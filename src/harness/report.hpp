@@ -29,4 +29,11 @@ class Table {
 /// One line per experiment in the standard figure format.
 void print_result_row(const std::string& label, const ExperimentResult& r);
 
+/// Per-phase latency breakdown (one row per "phase.*" timer): count, mean,
+/// p50, p99, max in virtual milliseconds. Rows follow the transaction
+/// lifecycle order; phases the run never hit are omitted.
+void print_phase_table(const std::string& label,
+                       const std::vector<PhaseStat>& phases,
+                       std::FILE* out = stdout);
+
 }  // namespace str::harness

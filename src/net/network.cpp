@@ -29,12 +29,32 @@ Timestamp Network::sample_latency(NodeId from, NodeId to) {
   return base + jitter;
 }
 
+void Network::set_registry(obs::Registry* registry) {
+  if (registry == nullptr) {
+    c_messages_ = c_wan_messages_ = c_bytes_ = nullptr;
+    t_latency_ = nullptr;
+    return;
+  }
+  c_messages_ = &registry->counter("net.messages");
+  c_wan_messages_ = &registry->counter("net.wan_messages");
+  c_bytes_ = &registry->counter("net.bytes");
+  t_latency_ = &registry->timer("net.latency");
+}
+
 void Network::send(NodeId from, NodeId to, UniqueFunction<void()> fn,
                    std::size_t size_hint) {
   ++stats_.messages_sent;
   stats_.bytes_sent += size_hint;
-  if (region_of(from) != region_of(to)) ++stats_.wan_messages;
-  sched_.schedule_after(sample_latency(from, to), std::move(fn));
+  const bool wan = region_of(from) != region_of(to);
+  if (wan) ++stats_.wan_messages;
+  const Timestamp latency = sample_latency(from, to);
+  if (c_messages_ != nullptr) {
+    c_messages_->inc();
+    c_bytes_->inc(size_hint);
+    if (wan) c_wan_messages_->inc();
+    t_latency_->record(latency);
+  }
+  sched_.schedule_after(latency, std::move(fn));
 }
 
 }  // namespace str::net

@@ -15,6 +15,7 @@
 #include "common/types.hpp"
 #include "common/unique_function.hpp"
 #include "net/topology.hpp"
+#include "obs/registry.hpp"
 #include "sim/scheduler.hpp"
 
 namespace str::net {
@@ -51,6 +52,10 @@ class Network {
   const Topology& topology() const { return topology_; }
   const NetworkStats& stats() const { return stats_; }
 
+  /// Attach a metrics registry; message/byte counters and the per-message
+  /// latency timer are resolved once and updated on every send.
+  void set_registry(obs::Registry* registry);
+
  private:
   sim::Scheduler& sched_;
   Topology topology_;
@@ -58,6 +63,10 @@ class Network {
   double jitter_frac_;
   std::vector<RegionId> node_region_;
   NetworkStats stats_;
+  obs::Counter* c_messages_ = nullptr;
+  obs::Counter* c_wan_messages_ = nullptr;
+  obs::Counter* c_bytes_ = nullptr;
+  obs::Timer* t_latency_ = nullptr;
 };
 
 }  // namespace str::net

@@ -1,0 +1,42 @@
+// Exporters for the observability layer.
+//
+//  * chrome_trace_json: Chrome trace-event format (the JSON Array Format
+//    wrapped in {"traceEvents": ...}), loadable in Perfetto or
+//    chrome://tracing. One track (tid) per node; each transaction is an
+//    async ("b"/"e") span on its origin node's track, with its lifecycle
+//    events attached as nestable instants ("n") sharing the span id.
+//  * metrics_json / metrics_csv: dump of a (typically cluster-merged)
+//    registry; timers report count/mean/p50/p95/p99/max in virtual us.
+//
+// All output is built from integers and fixed-precision decimals in
+// name-sorted or emission order, so identical runs produce byte-identical
+// files (the determinism tests rely on this).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace str::obs {
+
+/// Serialize the tracer's retained events. `num_nodes` sizes the per-node
+/// track metadata (pass the cluster size; nodes without events still get a
+/// named track).
+std::string chrome_trace_json(const Tracer& tracer, std::uint32_t num_nodes);
+
+/// Registry dump plus optional extra key/value pairs (experiment-level
+/// aggregates) under an "experiment" object. Values in `extra` are emitted
+/// verbatim, so pass pre-formatted numbers.
+std::string metrics_json(
+    const Registry& registry,
+    const std::vector<std::pair<std::string, std::string>>& extra = {});
+
+/// Flat CSV: kind,name,count,value,mean_us,p50_us,p95_us,p99_us,max_us.
+std::string metrics_csv(const Registry& registry);
+
+/// Write `content` to `path`; returns false (and logs) on failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace str::obs

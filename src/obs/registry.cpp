@@ -1,0 +1,35 @@
+#include "obs/registry.hpp"
+
+namespace str::obs {
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Timer* Registry::find_timer(const std::string& name) const {
+  auto it = timers_.find(name);
+  return it == timers_.end() ? nullptr : &it->second;
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].inc(c.value());
+  for (const auto& [name, g] : other.gauges_) gauges_[name].add(g.value());
+  for (const auto& [name, t] : other.timers_) timers_[name].merge(t);
+}
+
+void Registry::reset() {
+  // Counters and timers accumulate and are zeroed at the warmup cutover;
+  // gauges are instantaneous state (live transactions, parked readers) and
+  // must survive the cutover or they would drift negative as pre-window
+  // work completes.
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, t] : timers_) t.reset();
+}
+
+}  // namespace str::obs

@@ -1,0 +1,75 @@
+#include "obs/trace.hpp"
+
+#include "common/assert.hpp"
+
+namespace str::obs {
+
+const char* to_string(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::TxBegin: return "tx_begin";
+    case TraceEventType::ReadIssued: return "read_issued";
+    case TraceEventType::ReadReady: return "read_ready";
+    case TraceEventType::GateParked: return "gate_parked";
+    case TraceEventType::GateReleased: return "gate_released";
+    case TraceEventType::LocalCertStart: return "local_cert_start";
+    case TraceEventType::LocalCertEnd: return "local_cert_end";
+    case TraceEventType::PrepareSent: return "prepare_sent";
+    case TraceEventType::PrepareAck: return "prepare_ack";
+    case TraceEventType::DepWait: return "dep_wait";
+    case TraceEventType::DepResolved: return "dep_resolved";
+    case TraceEventType::TxCommit: return "tx_commit";
+    case TraceEventType::TxAbort: return "tx_abort";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+  STR_ASSERT(capacity_ > 0);
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  STR_ASSERT(capacity > 0);
+  std::vector<TraceEvent> kept = snapshot();
+  if (kept.size() > capacity) {
+    kept.erase(kept.begin(),
+               kept.begin() + static_cast<std::ptrdiff_t>(kept.size() - capacity));
+  }
+  capacity_ = capacity;
+  ring_ = std::move(kept);
+  // The rebuilt ring is chronological (oldest at index 0), so the next
+  // overwrite slot is index 0 whether or not it is already full.
+  head_ = 0;
+}
+
+void Tracer::emit(TraceEvent ev) {
+  if (!enabled_) return;
+  ++emitted_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+    return;
+  }
+  ring_[head_] = ev;
+  head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+    return out;
+  }
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  return out;
+}
+
+void Tracer::clear() {
+  ring_.clear();
+  head_ = 0;
+  emitted_ = 0;
+}
+
+}  // namespace str::obs

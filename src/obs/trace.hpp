@@ -1,0 +1,89 @@
+// Transaction-lifecycle tracer.
+//
+// Records structured events (begin, read issued/ready, gate parked/released,
+// local certification, per-DC prepare traffic, dependency waits, final
+// commit/abort) stamped with virtual time and node id. The cluster owns one
+// tracer; events land in a bounded ring buffer so long runs cannot exhaust
+// memory — when full, the oldest events are overwritten and counted as
+// dropped.
+//
+// Cost model: the tracer is disabled by default. Call sites guard argument
+// evaluation with `if (tracer.enabled())`, so the disabled path is a single
+// predictable branch on a bool — benchmarks pay nothing measurable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace str::obs {
+
+enum class TraceEventType : std::uint8_t {
+  TxBegin,        ///< startTx; a = read snapshot RS
+  ReadIssued,     ///< read requested; a = key, b = 1 when remote
+  ReadReady,      ///< value delivered to the transaction; a = key,
+                  ///< b = 1 when the observed version was speculative
+  GateParked,     ///< value held at the speculation gate (Alg. 1 l. 15); a = key
+  GateReleased,   ///< gate opened, parked value delivered; a = key,
+                  ///< b = park duration (virtual us)
+  LocalCertStart, ///< local certification began; a = write-set size
+  LocalCertEnd,   ///< local certification passed; a = local-commit ts LC
+  PrepareSent,    ///< prepare/replicate sent; a = destination node, b = partition
+  PrepareAck,     ///< prepare/replicate ack received; a = replying node,
+                  ///< b = 1 when the ack refused (certification conflict)
+  DepWait,        ///< commit blocked on unresolved data dependencies (SPSI-4);
+                  ///< a = number of unresolved dependencies
+  DepResolved,    ///< one dependency resolved; a = remaining count
+  TxCommit,       ///< final commit; a = commit ts FC, b = FC - RS distance
+  TxAbort,        ///< final abort; a = AbortReason
+};
+
+const char* to_string(TraceEventType t);
+
+struct TraceEvent {
+  Timestamp at = 0;  ///< virtual time
+  TxId tx;
+  NodeId node = kInvalidNode;  ///< node whose handler emitted the event
+  TraceEventType type = TraceEventType::TxBegin;
+  std::uint64_t a = 0;  ///< type-specific (see enum comments)
+  std::uint64_t b = 0;
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Resize the ring. Existing events are kept (newest first) up to the new
+  /// capacity.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
+
+  void emit(TraceEvent ev);
+
+  std::uint64_t emitted() const { return emitted_; }
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const {
+    return emitted_ <= ring_.size() ? 0 : emitted_ - ring_.size();
+  }
+  std::size_t size() const { return ring_.size(); }
+
+  /// Retained events in emission (= chronological) order.
+  std::vector<TraceEvent> snapshot() const;
+
+  void clear();
+
+ private:
+  bool enabled_ = false;
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;  ///< grows to capacity_, then wraps
+  std::size_t head_ = 0;          ///< next write slot once ring_ is full
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace str::obs

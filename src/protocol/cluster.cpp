@@ -1,6 +1,7 @@
 #include "protocol/cluster.hpp"
 
 #include "common/assert.hpp"
+#include "common/log.hpp"
 
 namespace str::protocol {
 
@@ -12,6 +13,14 @@ Cluster::Cluster(Config config)
       pmap_(config_.num_nodes, config_.partitions_per_node,
             config_.replication_factor) {
   STR_ASSERT(config_.num_nodes >= 1);
+  net_.set_registry(&cluster_obs_);
+  // Log lines carry virtual time while this cluster's DES is live on this
+  // thread (the satellite of the observability layer; see common/log.hpp).
+  Log::set_sim_clock(
+      [](const void* s) {
+        return static_cast<const sim::Scheduler*>(s)->now();
+      },
+      &sched_);
   node_spec_enabled_.assign(config_.num_nodes, 1);
   Rng skew_rng = master_rng_.fork(0x5c3b);
   nodes_.reserve(config_.num_nodes);
@@ -25,6 +34,20 @@ Cluster::Cluster(Config config)
     nodes_.push_back(std::make_unique<Node>(*this, id, region, skew));
   }
   schedule_maintenance();
+}
+
+Cluster::~Cluster() { Log::clear_sim_clock(&sched_); }
+
+obs::Registry Cluster::merged_obs() const {
+  obs::Registry merged;
+  merged.merge(cluster_obs_);
+  for (const auto& n : nodes_) merged.merge(n->obs());
+  return merged;
+}
+
+void Cluster::reset_obs() {
+  cluster_obs_.reset();
+  for (auto& n : nodes_) n->obs().reset();
 }
 
 void Cluster::load(Key key, Value value) {

@@ -12,6 +12,8 @@
 #include "common/types.hpp"
 #include "harness/metrics.hpp"
 #include "net/network.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "net/topology.hpp"
 #include "protocol/config.hpp"
 #include "protocol/node.hpp"
@@ -36,6 +38,9 @@ class Cluster {
   };
 
   explicit Cluster(Config config);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
 
   sim::Scheduler& scheduler() { return sched_; }
   net::Network& network() { return net_; }
@@ -50,6 +55,20 @@ class Cluster {
 
   harness::Metrics& metrics() { return metrics_; }
   RuntimeFlags& flags() { return flags_; }
+
+  /// Transaction-lifecycle tracer (disabled by default; O(1) when off).
+  obs::Tracer& tracer() { return tracer_; }
+
+  /// Registry for node-agnostic subsystems (the network).
+  obs::Registry& cluster_obs() { return cluster_obs_; }
+
+  /// Cluster-wide metrics view: the cluster registry folded together with
+  /// every node's registry (counters/gauges sum, timer histograms merge).
+  obs::Registry merged_obs() const;
+
+  /// Zero all registries (counters/timers; gauges keep their instantaneous
+  /// values). The harness calls this at the warmup/measurement cutover.
+  void reset_obs();
 
   /// True when speculative reads are both configured and currently enabled
   /// cluster-wide.
@@ -87,6 +106,8 @@ class Cluster {
   Config config_;
   sim::Scheduler sched_;
   Rng master_rng_;
+  obs::Registry cluster_obs_;  ///< before net_: the network caches handles
+  obs::Tracer tracer_;
   net::Network net_;
   PartitionMap pmap_;
   harness::Metrics metrics_;

@@ -23,7 +23,22 @@ txn::ReadResult own_write_result(const Value& value, const TxId& self,
 
 }  // namespace
 
-Coordinator::Coordinator(Node& node) : node_(node) {}
+Coordinator::Coordinator(Node& node) : node_(node) {
+  tracer_ = &node.cluster().tracer();
+  obs::Registry& obs = node.obs();
+  c_begins_ = &obs.counter("txn.begins");
+  c_commits_ = &obs.counter("txn.commits");
+  c_aborts_ = &obs.counter("txn.aborts");
+  g_live_ = &obs.gauge("txn.live");
+  t_first_read_ = &obs.timer("phase.time_to_first_read");
+  t_gate_stall_ = &obs.timer("phase.gate_stall");
+  t_local_cert_ = &obs.timer("phase.local_cert");
+  t_wan_prepare_ = &obs.timer("phase.wan_prepare");
+  t_dep_wait_ = &obs.timer("phase.dep_wait");
+  t_lock_hold_ = &obs.timer("phase.lock_hold");
+  t_lock_hold_total_ = &obs.timer("phase.lock_hold_total");
+  t_commit_snap_dist_ = &obs.timer("phase.commit_snapshot_distance");
+}
 
 bool Coordinator::spec_active() const {
   return node_.cluster().spec_active(node_.id());
@@ -31,6 +46,7 @@ bool Coordinator::spec_active() const {
 
 TxId Coordinator::begin(Timestamp first_activation) {
   Cluster& cluster = node_.cluster();
+  ScopedLogNode log_node(node_.id());
   const TxId id{node_.id(), next_seq_++};
   auto rec = std::make_unique<txn::TxnRecord>();
   rec->id = id;
@@ -41,6 +57,12 @@ TxId Coordinator::begin(Timestamp first_activation) {
       first_activation == 0 ? cluster.now() : first_activation;
   if (auto* h = cluster.history()) {
     h->on_begin(verify::BeginEvent{id, node_.id(), rec->rs});
+  }
+  c_begins_->inc();
+  g_live_->add(1);
+  if (tracer_->enabled()) {
+    tracer_->emit({cluster.now(), id, node_.id(), obs::TraceEventType::TxBegin,
+                   rec->rs, 0});
   }
   txns_.emplace(id, std::move(rec));
   return id;
@@ -68,6 +90,7 @@ Timestamp Coordinator::snapshot_of(const TxId& tx) const {
 
 sim::Future<txn::ReadResult> Coordinator::read(const TxId& tx, Key key) {
   Cluster& cluster = node_.cluster();
+  ScopedLogNode log_node(node_.id());
   sim::Promise<txn::ReadResult> promise(cluster.scheduler());
 
   txn::TxnRecord* rec = find(tx);
@@ -87,6 +110,11 @@ sim::Future<txn::ReadResult> Coordinator::read(const TxId& tx, Key key) {
   rec->outstanding_reads.push_back(promise);
   const PartitionId pid = PartitionMap::partition_of(key);
   PartitionActor* local = node_.replica(pid);
+  if (tracer_->enabled()) {
+    tracer_->emit({cluster.now(), tx, node_.id(),
+                   obs::TraceEventType::ReadIssued, key,
+                   local == nullptr ? 1u : 0u});
+  }
   if (local != nullptr) {
     local->serve_local_read(
         tx, key, rec->rs,
@@ -141,6 +169,7 @@ sim::Future<txn::ReadResult> Coordinator::read(const TxId& tx, Key key) {
 }
 
 void Coordinator::on_read_reply(ReadReply reply) {
+  ScopedLogNode log_node(node_.id());
   auto it = pending_remote_.find(reply.req_id);
   if (it == pending_remote_.end()) return;  // reader already gone
   PendingRemoteRead pending = std::move(it->second);
@@ -228,26 +257,48 @@ void Coordinator::record_read_event(const TxId& tx, Key key,
 void Coordinator::gate_or_deliver(txn::TxnRecord& rec, Key key,
                                   txn::ReadResult result,
                                   sim::Promise<txn::ReadResult> promise) {
+  const Timestamp now = node_.cluster().now();
   if (rec.gate_open()) {
     txn::ReadResult copy = result;
     if (promise.try_set_value(std::move(copy))) {
       record_read_event(rec.id, key, result);
+      if (rec.first_read_ready_at == 0) rec.first_read_ready_at = now;
+      if (tracer_->enabled()) {
+        tracer_->emit({now, rec.id, node_.id(),
+                       obs::TraceEventType::ReadReady, key,
+                       result.speculative ? 1u : 0u});
+      }
     }
     return;
   }
   // Alg. 1 line 15: hold the value until min(OLCSet) >= FFC.
+  if (tracer_->enabled()) {
+    tracer_->emit(
+        {now, rec.id, node_.id(), obs::TraceEventType::GateParked, key, 0});
+  }
   rec.gate_waiters.push_back(txn::TxnRecord::GateWaiter{
-      std::move(promise), std::move(result), key});
+      std::move(promise), std::move(result), key, now});
 }
 
 void Coordinator::reeval_gate(txn::TxnRecord& rec) {
   if (rec.gate_waiters.empty() || !rec.gate_open()) return;
+  const Timestamp now = node_.cluster().now();
   auto waiters = std::move(rec.gate_waiters);
   rec.gate_waiters.clear();
   for (auto& w : waiters) {
     txn::ReadResult copy = w.result;
     if (w.promise.try_set_value(std::move(copy))) {
       record_read_event(rec.id, w.key, w.result);
+      const Timestamp stalled = now - w.parked_at;
+      rec.gate_stall_total += stalled;
+      if (rec.first_read_ready_at == 0) rec.first_read_ready_at = now;
+      if (tracer_->enabled()) {
+        tracer_->emit({now, rec.id, node_.id(),
+                       obs::TraceEventType::GateReleased, w.key, stalled});
+        tracer_->emit({now, rec.id, node_.id(),
+                       obs::TraceEventType::ReadReady, w.key,
+                       w.result.speculative ? 1u : 0u});
+      }
     }
   }
 }
@@ -285,6 +336,7 @@ sim::Future<txn::TxFinalResult> Coordinator::outcome_future(const TxId& tx) {
 
 sim::Future<txn::TxFinalResult> Coordinator::commit(const TxId& tx) {
   Cluster& cluster = node_.cluster();
+  ScopedLogNode log_node(node_.id());
   sim::Promise<txn::TxFinalResult> promise(cluster.scheduler());
 
   txn::TxnRecord* rec = find(tx);
@@ -298,6 +350,7 @@ sim::Future<txn::TxFinalResult> Coordinator::commit(const TxId& tx) {
   }
   STR_ASSERT_MSG(!rec->commit_requested, "commit requested twice");
   rec->commit_requested = true;
+  rec->commit_requested_at = cluster.now();
   rec->outcome_waiters.push_back(promise);
 
   if (rec->writes.empty()) {
@@ -338,6 +391,12 @@ bool Coordinator::local_certification(txn::TxnRecord& rec) {
   const std::set<TxId>* chain =
       rec.snapshot_lc_writers.empty() ? nullptr : &rec.snapshot_lc_writers;
 
+  if (tracer_->enabled()) {
+    tracer_->emit({cluster.now(), rec.id, node_.id(),
+                   obs::TraceEventType::LocalCertStart,
+                   rec.write_order.size(), 0});
+  }
+
   // Local 2PC (synchronous: all participants are on this node). Collect
   // proposals; on any conflict, abort (prepared participants are rolled
   // back by the abort path).
@@ -375,10 +434,20 @@ bool Coordinator::local_certification(txn::TxnRecord& rec) {
   rec.lc = lc;
   rec.max_proposed_ts = lc;
   rec.phase = txn::TxnPhase::LocalCommitted;
+  // Pre-commit locks are held from here. Under active speculation the
+  // local-committed versions are immediately observable by local readers,
+  // so the *effective* lock hold ends now; otherwise readers stay blocked
+  // until the final outcome (visible_at set in finalize_commit).
+  rec.cert_at = cluster.now();
+  if (spec_active()) rec.visible_at = rec.cert_at;
   for (auto& [pid, updates] : groups.local) {
     node_.replica(pid)->apply_local_commit(rec.id, lc);
   }
   if (use_cache) node_.cache().local_commit(rec.id, lc);
+  if (tracer_->enabled()) {
+    tracer_->emit({cluster.now(), rec.id, node_.id(),
+                   obs::TraceEventType::LocalCertEnd, lc, 0});
+  }
 
   // An unsafe transaction (updated non-local keys) pins its own read
   // snapshot into its OLCSet (Alg. 1 lines 23-24) so that anyone who reads
@@ -408,6 +477,7 @@ void Coordinator::start_global_certification(txn::TxnRecord& rec) {
   Cluster& cluster = node_.cluster();
   const PartitionMap& pmap = cluster.pmap();
   WriteGroups groups = group_writes(rec);
+  rec.prepares_sent_at = cluster.now();
 
   // Gather all touched partitions (local-replicated and remote-mastered).
   std::vector<std::pair<PartitionId, const std::vector<std::pair<Key, Value>>*>>
@@ -432,6 +502,10 @@ void Coordinator::start_global_certification(txn::TxnRecord& rec) {
         rep.rs = rec.rs;
         rep.updates = *updates;
         ++rec.awaiting_prepares;
+        if (tracer_->enabled()) {
+          tracer_->emit({cluster.now(), rec.id, node_.id(),
+                         obs::TraceEventType::PrepareSent, slave, pid});
+        }
         const std::size_t size = rep.wire_size();
         Cluster* cl = &cluster;
         cluster.network().send(
@@ -457,6 +531,10 @@ void Coordinator::start_global_certification(txn::TxnRecord& rec) {
       for (NodeId n : replicas) {
         if (n != master && n != node_.id()) ++rec.awaiting_prepares;  // slaves
       }
+      if (tracer_->enabled()) {
+        tracer_->emit({cluster.now(), rec.id, node_.id(),
+                       obs::TraceEventType::PrepareSent, master, pid});
+      }
       const std::size_t size = req.wire_size();
       Cluster* cl = &cluster;
       cluster.network().send(
@@ -469,11 +547,19 @@ void Coordinator::start_global_certification(txn::TxnRecord& rec) {
           size);
     }
   }
+  // All-local write set with no remote replicas: the WAN phase is empty.
+  if (rec.awaiting_prepares == 0) rec.prepares_done_at = rec.prepares_sent_at;
 }
 
 void Coordinator::on_prepare_reply(PrepareReply reply) {
+  ScopedLogNode log_node(node_.id());
   txn::TxnRecord* rec = find(reply.tx);
   if (rec == nullptr || rec->finished()) return;  // already decided
+  if (tracer_->enabled()) {
+    tracer_->emit({node_.cluster().now(), reply.tx, node_.id(),
+                   obs::TraceEventType::PrepareAck, reply.from,
+                   reply.prepared ? 0u : 1u});
+  }
   if (!reply.prepared) {
     abort_tx(reply.tx, AbortReason::GlobalCertification);
     return;
@@ -481,13 +567,28 @@ void Coordinator::on_prepare_reply(PrepareReply reply) {
   rec->max_proposed_ts = std::max(rec->max_proposed_ts, reply.proposed_ts);
   STR_ASSERT(rec->awaiting_prepares > 0);
   --rec->awaiting_prepares;
+  if (rec->awaiting_prepares == 0) {
+    rec->prepares_done_at = node_.cluster().now();
+  }
   maybe_finalize(*rec);
 }
 
 void Coordinator::maybe_finalize(txn::TxnRecord& rec) {
   if (!rec.commit_requested || rec.finished()) return;
   if (rec.awaiting_prepares > 0) return;
-  if (!rec.unresolved_deps.empty()) return;  // SPSI-4 wait
+  if (!rec.unresolved_deps.empty()) {
+    // SPSI-4 wait: certification is done but a speculatively-read writer's
+    // final outcome is still unknown.
+    if (rec.dep_wait_start == 0) {
+      rec.dep_wait_start = node_.cluster().now();
+      if (tracer_->enabled()) {
+        tracer_->emit({rec.dep_wait_start, rec.id, node_.id(),
+                       obs::TraceEventType::DepWait,
+                       rec.unresolved_deps.size(), 0});
+      }
+    }
+    return;
+  }
   finalize_commit(rec);
 }
 
@@ -500,6 +601,8 @@ void Coordinator::finalize_commit(txn::TxnRecord& rec) {
                            : std::max(rec.max_proposed_ts, rec.rs + 1);
   rec.fc = ct;
   rec.phase = txn::TxnPhase::Committed;
+  // Without speculation the writes only become observable now.
+  if (rec.cert_at != 0 && rec.visible_at == 0) rec.visible_at = cluster.now();
 
   // Ext-Spec surfaces read-only results at commit time (they have no global
   // certification to speculate over); recording this keeps the speculative-
@@ -562,8 +665,42 @@ void Coordinator::finalize_commit(txn::TxnRecord& rec) {
   }
   cluster.metrics().record_commit(cluster.now(), rec.first_activation,
                                   rec.externalized_at);
+  c_commits_->inc();
+  record_phase_timers(rec, cluster.now());
+  t_commit_snap_dist_->record(ct - rec.rs);
+  if (tracer_->enabled()) {
+    tracer_->emit({cluster.now(), rec.id, node_.id(),
+                   obs::TraceEventType::TxCommit, ct, ct - rec.rs});
+  }
   deliver_outcome(rec);
   erase(rec.id);
+}
+
+void Coordinator::record_phase_timers(const txn::TxnRecord& rec,
+                                      Timestamp final_at) {
+  if (rec.first_read_ready_at != 0) {
+    t_first_read_->record(rec.first_read_ready_at - rec.attempt_start);
+  }
+  // Gate stall is recorded only for transactions that actually parked, so
+  // the timer's mean reads "stall duration when stalled" (its count gives
+  // the stall frequency).
+  if (rec.gate_stall_total != 0) t_gate_stall_->record(rec.gate_stall_total);
+  if (rec.cert_at != 0) {
+    // Local certification is a synchronous local 2PC: zero virtual duration
+    // by construction. Recorded anyway so the breakdown states that fact.
+    t_local_cert_->record(rec.cert_at - rec.commit_requested_at);
+    const Timestamp visible = rec.visible_at != 0 ? rec.visible_at : final_at;
+    t_lock_hold_->record(visible - rec.cert_at);
+    t_lock_hold_total_->record(final_at - rec.cert_at);
+  }
+  if (rec.prepares_sent_at != 0) {
+    const Timestamp done =
+        rec.prepares_done_at != 0 ? rec.prepares_done_at : final_at;
+    t_wan_prepare_->record(done - rec.prepares_sent_at);
+  }
+  if (rec.dep_wait_start != 0) {
+    t_dep_wait_->record(final_at - rec.dep_wait_start);
+  }
 }
 
 void Coordinator::resolve_dependents_on_commit(txn::TxnRecord& rec) {
@@ -578,6 +715,11 @@ void Coordinator::resolve_dependents_on_commit(txn::TxnRecord& rec) {
       reader->olc_set.erase(rec.id);
       reader->ffc = std::max(reader->ffc, ct);
       reader->unresolved_deps.erase(rec.id);
+      if (tracer_->enabled()) {
+        tracer_->emit({node_.cluster().now(), rid, node_.id(),
+                       obs::TraceEventType::DepResolved,
+                       reader->unresolved_deps.size(), 0});
+      }
       reeval_gate(*reader);
       maybe_finalize(*reader);
     } else {
@@ -590,6 +732,7 @@ void Coordinator::resolve_dependents_on_commit(txn::TxnRecord& rec) {
 
 void Coordinator::abort_tx(const TxId& tx, AbortReason reason) {
   Cluster& cluster = node_.cluster();
+  ScopedLogNode log_node(node_.id());
   txn::TxnRecord* rec_ptr = find(tx);
   if (rec_ptr == nullptr || rec_ptr->finished()) return;
   txn::TxnRecord& rec = *rec_ptr;
@@ -647,6 +790,13 @@ void Coordinator::abort_tx(const TxId& tx, AbortReason reason) {
     h->on_abort(verify::AbortEvent{rec.id, reason, cluster.now()});
   }
   cluster.metrics().record_abort(cluster.now(), reason, rec.externalized);
+  c_aborts_->inc();
+  record_phase_timers(rec, cluster.now());
+  if (tracer_->enabled()) {
+    tracer_->emit({cluster.now(), rec.id, node_.id(),
+                   obs::TraceEventType::TxAbort,
+                   static_cast<std::uint64_t>(reason), 0});
+  }
   deliver_outcome(rec);
   erase(rec.id);
 }
@@ -679,7 +829,7 @@ void Coordinator::erase(const TxId& tx) {
   // no entry and is ignored.
   std::erase_if(pending_remote_,
                 [&tx](const auto& kv) { return kv.second.tx == tx; });
-  txns_.erase(tx);
+  if (txns_.erase(tx) != 0) g_live_->add(-1);
 }
 
 }  // namespace str::protocol

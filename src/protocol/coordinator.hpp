@@ -27,6 +27,8 @@
 #include <unordered_map>
 
 #include "common/types.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "protocol/messages.hpp"
 #include "sim/coro.hpp"
 #include "store/mvstore.hpp"
@@ -138,7 +140,26 @@ class Coordinator {
     sim::Promise<txn::ReadResult> promise;
   };
 
+  /// Fold the record's phase timestamps into the "phase.*" timers at the
+  /// final outcome (`final_at` = commit/abort time).
+  void record_phase_timers(const txn::TxnRecord& rec, Timestamp final_at);
+
   Node& node_;
+  // Cached observability instruments (resolved once at construction; see
+  // docs/OBSERVABILITY.md for the phase definitions).
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* c_begins_ = nullptr;
+  obs::Counter* c_commits_ = nullptr;
+  obs::Counter* c_aborts_ = nullptr;
+  obs::Gauge* g_live_ = nullptr;
+  obs::Timer* t_first_read_ = nullptr;
+  obs::Timer* t_gate_stall_ = nullptr;
+  obs::Timer* t_local_cert_ = nullptr;
+  obs::Timer* t_wan_prepare_ = nullptr;
+  obs::Timer* t_dep_wait_ = nullptr;
+  obs::Timer* t_lock_hold_ = nullptr;
+  obs::Timer* t_lock_hold_total_ = nullptr;
+  obs::Timer* t_commit_snap_dist_ = nullptr;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_read_id_ = 1;
   std::unordered_map<TxId, std::unique_ptr<txn::TxnRecord>, TxIdHash> txns_;

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "common/types.hpp"
+#include "obs/registry.hpp"
 #include "protocol/coordinator.hpp"
 #include "protocol/partition_actor.hpp"
 #include "store/cache_partition.hpp"
@@ -39,6 +40,11 @@ class Node {
 
   store::CachePartition& cache() { return cache_; }
 
+  /// This node's metrics registry (counters/gauges/timers); merged
+  /// cluster-wide by Cluster::merged_obs().
+  obs::Registry& obs() { return obs_; }
+  const obs::Registry& obs() const { return obs_; }
+
   /// Periodic GC of committed versions and tombstones on all replicas.
   void maintain();
 
@@ -47,6 +53,9 @@ class Node {
   NodeId id_;
   RegionId region_;
   Timestamp skew_;
+  /// Declared before the partition actors and coordinator: both cache
+  /// instrument references out of this registry during construction.
+  obs::Registry obs_;
   std::unordered_map<PartitionId, std::unique_ptr<PartitionActor>> replicas_;
   store::CachePartition cache_;
   Coordinator coord_;

@@ -10,11 +10,16 @@
 namespace str::protocol {
 
 PartitionActor::PartitionActor(Node& node, PartitionId pid, bool master)
-    : node_(node), pid_(pid), is_master_(master) {}
+    : node_(node), pid_(pid), is_master_(master) {
+  store_.set_registry(&node.obs());
+  t_read_block_ = &node.obs().timer("phase.read_block");
+  g_parked_ = &node.obs().gauge("store.parked_readers");
+}
 
 void PartitionActor::serve_local_read(
     const TxId& reader, Key key, Timestamp rs,
     UniqueFunction<void(store::StoreReadResult)> deliver) {
+  ScopedLogNode log_node(node_.id());
   // LastReader is bumped exactly once, on first arrival (Alg. 2 line 6);
   // re-serves after parking use peek().
   store::StoreReadResult r = store_.read(key, rs);
@@ -29,6 +34,7 @@ void PartitionActor::serve_local_read(
 }
 
 void PartitionActor::handle_remote_read(ReadRequest req) {
+  ScopedLogNode log_node(node_.id());
   // Clock-SI read-delay rule: a snapshot from the future of this node's
   // clock waits until the clock catches up, so that no committed version
   // with ts <= rs can still appear after we serve the read.
@@ -67,6 +73,8 @@ void PartitionActor::route_read(ParkedRead&& rd,
       }
       [[fallthrough]];
     case store::ReadKind::Blocked:
+      if (rd.parked_at == 0) rd.parked_at = node_.cluster().now();
+      g_parked_->add(1);
       parked_[r.writer].push_back(std::move(rd));
       return;
   }
@@ -74,6 +82,11 @@ void PartitionActor::route_read(ParkedRead&& rd,
 
 void PartitionActor::deliver_read(ParkedRead&& rd,
                                   const store::StoreReadResult& r) {
+  // A read that parked behind a pre-commit lock measures the convoy effect
+  // directly: total virtual time from first park to delivery.
+  if (rd.parked_at != 0) {
+    t_read_block_->record(node_.cluster().now() - rd.parked_at);
+  }
   if (!rd.remote) {
     rd.deliver(r);
     return;
@@ -114,6 +127,7 @@ void PartitionActor::apply_local_commit(const TxId& tx, Timestamp lc) {
 }
 
 void PartitionActor::handle_prepare(PrepareRequest req) {
+  ScopedLogNode log_node(node_.id());
   STR_ASSERT_MSG(is_master_, "global prepare must target the master replica");
   Cluster& cluster = node_.cluster();
   PrepareReply reply;
@@ -168,6 +182,7 @@ void PartitionActor::handle_prepare(PrepareRequest req) {
 }
 
 void PartitionActor::handle_replicate(ReplicateRequest req) {
+  ScopedLogNode log_node(node_.id());
   STR_ASSERT_MSG(!is_master_ || node_.id() != req.coordinator,
                  "replicate targets slave replicas");
   Cluster& cluster = node_.cluster();
@@ -218,6 +233,7 @@ void PartitionActor::resolve_writer(const TxId& writer) {
   if (it == parked_.end()) return;
   std::vector<ParkedRead> waiters = std::move(it->second);
   parked_.erase(it);
+  g_parked_->add(-static_cast<std::int64_t>(waiters.size()));
   // Re-serve through the scheduler: resolution can cascade into coordinator
   // logic for other transactions, and deferring keeps event handling
   // non-reentrant and deterministic.

@@ -76,6 +76,7 @@ class PartitionActor {
     Key key = 0;
     Timestamp rs = 0;
     bool remote = false;
+    Timestamp parked_at = 0;  ///< 0 until the read first parks
     UniqueFunction<void(store::StoreReadResult)> deliver;  ///< local only
   };
 
@@ -97,6 +98,10 @@ class PartitionActor {
   store::PartitionStore store_;
   std::unordered_map<TxId, std::vector<ParkedRead>, TxIdHash> parked_;
   std::unordered_map<TxId, Timestamp, TxIdHash> tombstones_;
+  /// Convoy-effect instruments: how long reads sit parked behind
+  /// pre-commit locks, and how many are parked right now.
+  obs::Timer* t_read_block_ = nullptr;
+  obs::Gauge* g_parked_ = nullptr;
 };
 
 }  // namespace str::protocol

@@ -13,6 +13,32 @@ void PartitionStore::load(Key key, Value value) {
       Version{0, VersionState::Committed, kNoTx, std::move(value)});
 }
 
+void PartitionStore::set_registry(obs::Registry* registry) {
+  if (registry == nullptr) {
+    c_read_committed_ = c_read_speculative_ = c_read_blocked_ = nullptr;
+    c_read_notfound_ = c_prepare_conflicts_ = c_versions_inserted_ = nullptr;
+    c_gc_removed_ = nullptr;
+    return;
+  }
+  c_read_committed_ = &registry->counter("store.read.committed");
+  c_read_speculative_ = &registry->counter("store.read.speculative");
+  c_read_blocked_ = &registry->counter("store.read.blocked");
+  c_read_notfound_ = &registry->counter("store.read.notfound");
+  c_prepare_conflicts_ = &registry->counter("store.prepare_conflicts");
+  c_versions_inserted_ = &registry->counter("store.versions_inserted");
+  c_gc_removed_ = &registry->counter("store.gc_removed");
+}
+
+void PartitionStore::count_read(ReadKind kind) {
+  if (c_read_committed_ == nullptr) return;
+  switch (kind) {
+    case ReadKind::Committed: c_read_committed_->inc(); break;
+    case ReadKind::Speculative: c_read_speculative_->inc(); break;
+    case ReadKind::Blocked: c_read_blocked_->inc(); break;
+    case ReadKind::NotFound: c_read_notfound_->inc(); break;
+  }
+}
+
 StoreReadResult PartitionStore::read(Key key, Timestamp rs) {
   auto it = map_.find(key);
   if (it == map_.end()) {
@@ -20,11 +46,14 @@ StoreReadResult PartitionStore::read(Key key, Timestamp rs) {
     // must still be serialized after us (write-after-read on a phantom).
     KeyEntry& entry = map_[key];
     entry.last_reader = std::max(entry.last_reader, rs);
+    count_read(ReadKind::NotFound);
     return StoreReadResult{};
   }
   KeyEntry& entry = it->second;
   entry.last_reader = std::max(entry.last_reader, rs);
-  return peek(key, rs);
+  StoreReadResult out = peek(key, rs);
+  count_read(out.kind);
+  return out;
 }
 
 StoreReadResult PartitionStore::peek(Key key, Timestamp rs) const {
@@ -93,13 +122,19 @@ PrepareResult PartitionStore::prepare(
     for (const Version& v : it->second.versions) {
       if (v.writer == tx) continue;  // idempotent re-prepare
       if (v.state == VersionState::Committed) {
-        if (v.ts > rs) return PrepareResult{false, 0, kNoTx};
+        if (v.ts > rs) {
+          if (c_prepare_conflicts_ != nullptr) c_prepare_conflicts_->inc();
+          return PrepareResult{false, 0, kNoTx};
+        }
         continue;
       }
       const bool chained = v.state == VersionState::LocalCommitted &&
                            v.ts <= rs && chain_allowed != nullptr &&
                            chain_allowed->contains(v.writer);
-      if (!chained) return PrepareResult{false, 0, v.writer};
+      if (!chained) {
+        if (c_prepare_conflicts_ != nullptr) c_prepare_conflicts_->inc();
+        return PrepareResult{false, 0, v.writer};
+      }
     }
   }
   // Timestamp proposal (Precise Clocks rule from §5.3, or the physical-clock
@@ -123,6 +158,7 @@ PrepareResult PartitionStore::prepare(
     ++entry.uncommitted_count;
     mine.push_back(key);
   }
+  if (c_versions_inserted_ != nullptr) c_versions_inserted_->inc(updates.size());
   return PrepareResult{true, proposed, kNoTx};
 }
 
@@ -176,6 +212,7 @@ Timestamp PartitionStore::replicate_finish(
     ++entry.uncommitted_count;
     mine.push_back(key);
   }
+  if (c_versions_inserted_ != nullptr) c_versions_inserted_->inc(updates.size());
   return proposed;
 }
 
@@ -256,6 +293,7 @@ std::vector<TxId> PartitionStore::uncommitted_writers(
 }
 
 void PartitionStore::gc(Timestamp horizon) {
+  const std::uint64_t removed_before = gc_removed_;
   for (auto& [key, entry] : map_) {
     auto& chain = entry.versions;
     if (chain.size() <= 1) continue;
@@ -283,6 +321,7 @@ void PartitionStore::gc(Timestamp horizon) {
     }
     chain = std::move(kept);
   }
+  if (c_gc_removed_ != nullptr) c_gc_removed_->inc(gc_removed_ - removed_before);
 }
 
 Timestamp PartitionStore::last_reader(Key key) const {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/registry.hpp"
 #include "store/version.hpp"
 
 namespace str::store {
@@ -130,6 +131,10 @@ class PartitionStore {
 
   Timestamp last_reader(Key key) const;
 
+  /// Attach a metrics registry (the owning node's): read-outcome and
+  /// certification counters are resolved once and bumped inline afterwards.
+  void set_registry(obs::Registry* registry);
+
   StoreStats stats() const;
 
   /// Bytes of user data + per-version metadata; `include_last_reader` adds
@@ -154,6 +159,16 @@ class PartitionStore {
   /// writer -> keys with an uncommitted version, for O(1) state transitions.
   std::unordered_map<TxId, std::vector<Key>, TxIdHash> uncommitted_;
   std::uint64_t gc_removed_ = 0;
+
+  void count_read(ReadKind kind);
+
+  obs::Counter* c_read_committed_ = nullptr;
+  obs::Counter* c_read_speculative_ = nullptr;
+  obs::Counter* c_read_blocked_ = nullptr;
+  obs::Counter* c_read_notfound_ = nullptr;
+  obs::Counter* c_prepare_conflicts_ = nullptr;
+  obs::Counter* c_versions_inserted_ = nullptr;
+  obs::Counter* c_gc_removed_ = nullptr;
 };
 
 }  // namespace str::store

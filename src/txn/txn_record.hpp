@@ -60,6 +60,22 @@ struct TxnRecord {
   /// Time this attempt started.
   Timestamp attempt_start = 0;
 
+  // -- per-phase latency instrumentation (virtual time; 0 = never) --------
+  // Populated by the coordinator and folded into the origin node's
+  // "phase.*" registry timers at the final outcome (see docs/OBSERVABILITY.md
+  // for the phase definitions).
+  Timestamp first_read_ready_at = 0;  ///< first read value delivered
+  Timestamp gate_stall_total = 0;     ///< accumulated time parked at the gate
+  Timestamp commit_requested_at = 0;  ///< client called commit()
+  Timestamp cert_at = 0;              ///< local certification passed
+                                      ///< (pre-commit locks held from here)
+  Timestamp visible_at = 0;  ///< writes first observable by local readers
+                             ///< (= cert_at under speculation, final commit
+                             ///< otherwise); measures *effective* lock hold
+  Timestamp prepares_sent_at = 0;  ///< global certification fan-out started
+  Timestamp prepares_done_at = 0;  ///< last prepare/replicate ack arrived
+  Timestamp dep_wait_start = 0;    ///< finalize first blocked on SPSI-4 deps
+
   // -- write buffer -------------------------------------------------------
   std::unordered_map<Key, Value> writes;
   std::vector<Key> write_order;  ///< insertion order, deterministic iteration
@@ -103,6 +119,7 @@ struct TxnRecord {
     sim::Promise<ReadResult> promise;
     ReadResult result;
     Key key = 0;
+    Timestamp parked_at = 0;  ///< when the value was held at the gate
   };
   std::vector<GateWaiter> gate_waiters;
   /// Every read promise handed out and not yet fulfilled; all are resolved

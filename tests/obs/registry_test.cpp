@@ -1,0 +1,103 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace str::obs {
+namespace {
+
+TEST(Registry, CounterSemantics) {
+  Registry reg;
+  Counter& c = reg.counter("txn.commits");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Get-or-create returns the same instrument.
+  EXPECT_EQ(&reg.counter("txn.commits"), &c);
+  EXPECT_EQ(reg.find_counter("txn.commits")->value(), 5u);
+  EXPECT_EQ(reg.find_counter("absent"), nullptr);
+}
+
+TEST(Registry, GaugeSemantics) {
+  Registry reg;
+  Gauge& g = reg.gauge("txn.live");
+  g.add(3);
+  g.add(-5);
+  EXPECT_EQ(g.value(), -2);
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(Registry, TimerSemantics) {
+  Registry reg;
+  Timer& t = reg.timer("phase.lock_hold");
+  t.record(100);
+  t.record(300);
+  EXPECT_EQ(t.count(), 2u);
+  EXPECT_NEAR(t.hist().mean(), 200.0, 10.0);
+  EXPECT_GE(t.hist().max(), 300u);
+}
+
+TEST(Registry, MergeAcrossNodes) {
+  // Two "node" registries folded into a cluster-wide view: counters and
+  // gauges add, timer histograms merge so percentiles cover both.
+  Registry a;
+  a.counter("txn.commits").inc(10);
+  a.gauge("txn.live").add(2);
+  a.timer("phase.wan_prepare").record(1000);
+
+  Registry b;
+  b.counter("txn.commits").inc(5);
+  b.counter("txn.aborts").inc(1);  // only in b
+  b.gauge("txn.live").add(3);
+  b.timer("phase.wan_prepare").record(3000);
+
+  Registry merged;
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.find_counter("txn.commits")->value(), 15u);
+  EXPECT_EQ(merged.find_counter("txn.aborts")->value(), 1u);
+  EXPECT_EQ(merged.find_gauge("txn.live")->value(), 5);
+  const Timer* t = merged.find_timer("phase.wan_prepare");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->count(), 2u);
+  EXPECT_NEAR(t->hist().mean(), 2000.0, 100.0);
+  EXPECT_GE(t->hist().max(), 3000u);
+  // Sources are untouched.
+  EXPECT_EQ(a.find_counter("txn.commits")->value(), 10u);
+}
+
+TEST(Registry, ResetKeepsHandlesAndGauges) {
+  Registry reg;
+  Counter& c = reg.counter("n");
+  Gauge& g = reg.gauge("g");
+  Timer& t = reg.timer("t");
+  c.inc(9);
+  g.add(4);
+  t.record(50);
+
+  reg.reset();
+  // Counters and timers restart for the measurement window; gauges hold
+  // instantaneous state (e.g. live transactions) and must survive the
+  // warmup cutover, else they would drift negative as pre-window
+  // transactions finish.
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(g.value(), 4);
+  // Cached references stay wired to the registry.
+  c.inc();
+  EXPECT_EQ(reg.find_counter("n")->value(), 1u);
+}
+
+TEST(Registry, NameSortedIteration) {
+  Registry reg;
+  reg.counter("b");
+  reg.counter("a");
+  reg.counter("c");
+  std::string order;
+  for (const auto& [name, c] : reg.counters()) order += name;
+  EXPECT_EQ(order, "abc");
+}
+
+}  // namespace
+}  // namespace str::obs

@@ -17,6 +17,7 @@
 
 #include "harness/csv.hpp"
 #include "harness/replicated.hpp"
+#include "harness/report.hpp"
 #include "workload/rubis.hpp"
 #include "workload/synthetic.hpp"
 #include "workload/tpcc.hpp"
@@ -37,6 +38,8 @@ struct Options {
   bool tuner = false;
   unsigned reps = 1;
   std::string csv;
+  std::string trace_out;
+  std::string metrics_out;
   bool uniform_topology = false;
   double wan_rtt_ms = 100;
 };
@@ -55,34 +58,74 @@ void usage() {
       "  --tuner        enable the self-tuning controller\n"
       "  --reps N       repetitions (mean/std across seeds)        [1]\n"
       "  --uniform MS   symmetric topology with the given WAN RTT\n"
-      "  --csv PATH     append per-run metrics to a CSV file\n");
+      "  --csv PATH     append per-run metrics to a CSV file\n"
+      "  --trace-out PATH    write a Chrome trace-event JSON (Perfetto /\n"
+      "                      chrome://tracing loadable; first rep only)\n"
+      "  --metrics-out PATH  write the merged metrics registry as JSON\n"
+      "                      (or CSV when PATH ends in .csv; first rep only)\n");
 }
 
 bool parse(int argc, char** argv, Options& opt) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    // Value of a value-taking flag. Reports a usage error (and returns
+    // nullptr) when the flag is the last argument — every use below must
+    // check before dereferencing.
     auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "option %s requires a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
     };
+    const char* v = nullptr;
     if (arg == "--help" || arg == "-h") return false;
-    if (arg == "--workload") { opt.workload = next(); continue; }
-    if (arg == "--protocol") { opt.protocol = next(); continue; }
-    if (arg == "--clients") { opt.clients = std::atoi(next()); continue; }
-    if (arg == "--nodes") { opt.nodes = std::atoi(next()); continue; }
-    if (arg == "--rf") { opt.rf = std::atoi(next()); continue; }
-    if (arg == "--duration") { opt.duration_s = std::atof(next()); continue; }
-    if (arg == "--warmup") { opt.warmup_s = std::atof(next()); continue; }
-    if (arg == "--seed") { opt.seed = std::atoll(next()); continue; }
-    if (arg == "--tuner") { opt.tuner = true; continue; }
-    if (arg == "--reps") { opt.reps = std::atoi(next()); continue; }
-    if (arg == "--csv") { opt.csv = next(); continue; }
-    if (arg == "--uniform") {
+    if (arg == "--workload") {
+      if ((v = next()) == nullptr) return false;
+      opt.workload = v;
+    } else if (arg == "--protocol") {
+      if ((v = next()) == nullptr) return false;
+      opt.protocol = v;
+    } else if (arg == "--clients") {
+      if ((v = next()) == nullptr) return false;
+      opt.clients = std::atoi(v);
+    } else if (arg == "--nodes") {
+      if ((v = next()) == nullptr) return false;
+      opt.nodes = std::atoi(v);
+    } else if (arg == "--rf") {
+      if ((v = next()) == nullptr) return false;
+      opt.rf = std::atoi(v);
+    } else if (arg == "--duration") {
+      if ((v = next()) == nullptr) return false;
+      opt.duration_s = std::atof(v);
+    } else if (arg == "--warmup") {
+      if ((v = next()) == nullptr) return false;
+      opt.warmup_s = std::atof(v);
+    } else if (arg == "--seed") {
+      if ((v = next()) == nullptr) return false;
+      opt.seed = std::atoll(v);
+    } else if (arg == "--tuner") {
+      opt.tuner = true;
+    } else if (arg == "--reps") {
+      if ((v = next()) == nullptr) return false;
+      opt.reps = std::atoi(v);
+    } else if (arg == "--csv") {
+      if ((v = next()) == nullptr) return false;
+      opt.csv = v;
+    } else if (arg == "--trace-out") {
+      if ((v = next()) == nullptr) return false;
+      opt.trace_out = v;
+    } else if (arg == "--metrics-out") {
+      if ((v = next()) == nullptr) return false;
+      opt.metrics_out = v;
+    } else if (arg == "--uniform") {
+      if ((v = next()) == nullptr) return false;
       opt.uniform_topology = true;
-      opt.wan_rtt_ms = std::atof(next());
-      continue;
+      opt.wan_rtt_ms = std::atof(v);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
     }
-    std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-    return false;
   }
   return true;
 }
@@ -164,6 +207,8 @@ int main(int argc, char** argv) {
   cfg.duration = static_cast<Timestamp>(opt.duration_s * 1e6);
   cfg.drain = sec(3);
   cfg.self_tuning = opt.tuner;
+  cfg.trace_out = opt.trace_out;
+  cfg.metrics_out = opt.metrics_out;
 
   auto factory = workload_factory(opt.workload, ok);
   if (!ok) {
@@ -191,6 +236,22 @@ int main(int argc, char** argv) {
   if (opt.tuner && !agg.runs.empty()) {
     std::printf("tuner: speculation %s\n",
                 agg.runs.front().speculation_enabled_at_end ? "on" : "off");
+  }
+  if (!agg.runs.empty()) {
+    std::putchar('\n');
+    harness::print_phase_table(opt.workload + " / " + opt.protocol,
+                               agg.runs.front().phases);
+  }
+  const bool exports_ok = agg.runs.empty() || agg.runs.front().exports_ok;
+  if (!exports_ok) {
+    std::fprintf(stderr, "failed to write trace/metrics output\n");
+    return 1;
+  }
+  if (!opt.trace_out.empty()) {
+    std::printf("wrote trace to %s\n", opt.trace_out.c_str());
+  }
+  if (!opt.metrics_out.empty()) {
+    std::printf("wrote metrics to %s\n", opt.metrics_out.c_str());
   }
 
   if (!opt.csv.empty()) {
