@@ -1,0 +1,195 @@
+// Chaos demo: a two-region STR deployment rides out a WAN partition.
+//
+// Clients in both regions run read-modify-write transactions continuously
+// while the inter-region link is cut for four seconds in the middle of the
+// run. The protocol's recovery machinery (request timeouts, bounded
+// retries, orphan probing — docs/FAULTS.md) keeps every transaction
+// terminating and the store consistent; this program prints a per-phase
+// table showing what that costs: final-commit latency and abort rate
+// before the partition, during it, and after it heals.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "protocol/cluster.hpp"
+#include "sim/coro.hpp"
+
+using namespace str;  // NOLINT
+
+namespace {
+
+constexpr Timestamp kPartitionStart = sec(2);
+constexpr Timestamp kPartitionEnd = sec(6);
+constexpr Timestamp kRunEnd = sec(10);
+constexpr std::uint32_t kKeysPerNode = 32;
+
+enum Phase { kBefore = 0, kDuring = 1, kHealed = 2, kNumPhases = 3 };
+
+const char* phase_name(int p) {
+  switch (p) {
+    case kBefore: return "before";
+    case kDuring: return "partition";
+    default: return "healed";
+  }
+}
+
+Phase phase_of(Timestamp t) {
+  if (t < kPartitionStart) return kBefore;
+  if (t < kPartitionEnd) return kDuring;
+  return kHealed;
+}
+
+struct PhaseStats {
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::vector<Timestamp> latencies;  // begin -> final outcome, committed only
+};
+
+struct ClientState {
+  PhaseStats phases[kNumPhases];
+  bool stopped = false;
+};
+
+/// One client: read a local and a remote key, bump the local one, commit.
+/// Transactions are bucketed by the phase in which they *started*.
+sim::Fiber client_loop(protocol::Cluster& cluster, NodeId home,
+                       std::uint64_t seed, ClientState& state) {
+  auto& coord = cluster.node(home).coordinator();
+  auto& sched = cluster.scheduler();
+  Rng rng(seed);
+  const NodeId remote = home == 0 ? 1 : 0;
+  while (sched.now() < kRunEnd) {
+    const Timestamp begin_at = sched.now();
+    PhaseStats& ps = state.phases[phase_of(begin_at)];
+    const Key mine = protocol::PartitionMap::make_key(
+        home, static_cast<std::uint32_t>(rng.uniform(kKeysPerNode)));
+    const Key theirs = protocol::PartitionMap::make_key(
+        remote, static_cast<std::uint32_t>(rng.uniform(kKeysPerNode)));
+
+    const TxId tx = coord.begin();
+    auto outcome = coord.outcome_future(tx);
+    auto r1 = co_await coord.read(tx, mine);
+    if (!r1.aborted) {
+      auto r2 = co_await coord.read(tx, theirs);
+      if (!r2.aborted) {
+        coord.write(tx, mine, std::to_string(std::stoull(r1.value) + 1));
+        coord.commit(tx);
+      }
+    }
+    const auto res = co_await outcome;
+    if (res.outcome == TxOutcome::Committed) {
+      ++ps.committed;
+      ps.latencies.push_back(sched.now() - begin_at);
+    } else {
+      ++ps.aborted;
+    }
+  }
+  state.stopped = true;
+}
+
+Timestamp percentile(std::vector<Timestamp>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * (v.size() - 1));
+  return v[idx];
+}
+
+std::uint64_t counter(const obs::Registry& reg, const char* name) {
+  const obs::Counter* c = reg.find_counter(name);
+  return c != nullptr ? c->value() : 0;
+}
+
+}  // namespace
+
+int main() {
+  protocol::Cluster::Config cfg;
+  cfg.num_nodes = 2;  // one node per region: region 0 and region 1
+  cfg.replication_factor = 2;
+  cfg.topology = net::Topology::symmetric(2, msec(100));
+  cfg.protocol = protocol::ProtocolConfig::str();
+  cfg.protocol.recovery.enabled = true;
+  cfg.faults.add_partition(0, 1, kPartitionStart, kPartitionEnd);
+  protocol::Cluster cluster(cfg);
+
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    for (std::uint32_t k = 0; k < kKeysPerNode; ++k) {
+      cluster.load(protocol::PartitionMap::make_key(n, k), "0");
+    }
+  }
+  cluster.run_for(msec(10));
+
+  std::printf("two regions, rtt 100ms; partition %.0fs..%.0fs of a %.0fs run\n",
+              kPartitionStart / 1e6, kPartitionEnd / 1e6, kRunEnd / 1e6);
+
+  std::vector<std::unique_ptr<ClientState>> clients;
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    for (int c = 0; c < 4; ++c) {
+      clients.push_back(std::make_unique<ClientState>());
+      client_loop(cluster, n, 1000 + n * 10 + c, *clients.back());
+    }
+  }
+
+  // Snapshot the recovery counters at each phase boundary so the table can
+  // show per-phase deltas.
+  std::uint64_t retries_at[kNumPhases + 1] = {};
+  std::uint64_t timeouts_at[kNumPhases + 1] = {};
+  auto snapshot = [&](int slot) {
+    const obs::Registry reg = cluster.merged_obs();
+    retries_at[slot] = counter(reg, "rpc.retries");
+    timeouts_at[slot] = counter(reg, "rpc.timeouts");
+  };
+  cluster.run_for(kPartitionStart - msec(10));
+  snapshot(1);
+  cluster.run_for(kPartitionEnd - kPartitionStart);
+  snapshot(2);
+  cluster.run_for(kRunEnd - kPartitionEnd);
+  snapshot(3);
+  cluster.run_for(sec(10));  // drain: let retries and orphan probes settle
+
+  for (const auto& c : clients) {
+    if (!c->stopped) {
+      std::printf("a client never finished -- recovery failed\n");
+      return 1;
+    }
+  }
+
+  PhaseStats total[kNumPhases];
+  for (const auto& c : clients) {
+    for (int p = 0; p < kNumPhases; ++p) {
+      total[p].committed += c->phases[p].committed;
+      total[p].aborted += c->phases[p].aborted;
+      total[p].latencies.insert(total[p].latencies.end(),
+                                c->phases[p].latencies.begin(),
+                                c->phases[p].latencies.end());
+    }
+  }
+
+  std::printf("\n%-10s %9s %8s %10s %10s %8s %9s\n", "phase", "committed",
+              "aborted", "p50(ms)", "p95(ms)", "retries", "timeouts");
+  for (int p = 0; p < kNumPhases; ++p) {
+    std::printf("%-10s %9llu %8llu %10.1f %10.1f %8llu %9llu\n",
+                phase_name(p),
+                static_cast<unsigned long long>(total[p].committed),
+                static_cast<unsigned long long>(total[p].aborted),
+                percentile(total[p].latencies, 0.50) / 1e3,
+                percentile(total[p].latencies, 0.95) / 1e3,
+                static_cast<unsigned long long>(retries_at[p + 1] -
+                                                retries_at[p]),
+                static_cast<unsigned long long>(timeouts_at[p + 1] -
+                                                timeouts_at[p]));
+  }
+
+  const auto leak = cluster.quiesce_report();
+  std::printf("\nquiesce: live=%zu parked=%zu locks=%zu orphans=%zu -> %s\n",
+              leak.live_txns, leak.parked_reads, leak.uncommitted_txns,
+              leak.orphans, leak.clean() ? "clean" : "LEAKED");
+  if (!leak.clean()) return 1;
+  if (total[kBefore].committed == 0 || total[kHealed].committed == 0) {
+    std::printf("expected commits both before and after the partition\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,6 +1,6 @@
 // Trace a two-node write-write conflict and dump it as a Chrome trace.
 //
-//   cmake -B build && cmake --build build -j && \
+//   cmake -B build && cmake --build build -j
 //   ./build/examples/trace_conflict trace.json
 //
 // Two transactions on different nodes update the same key concurrently.

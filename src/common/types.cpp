@@ -20,6 +20,8 @@ const char* to_string(AbortReason r) {
     case AbortReason::Misspeculation: return "misspeculation";
     case AbortReason::CascadingAbort: return "cascading-abort";
     case AbortReason::UserAbort: return "user-abort";
+    case AbortReason::Timeout: return "timeout";
+    case AbortReason::NodeCrash: return "node-crash";
   }
   return "?";
 }

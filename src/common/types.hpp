@@ -87,6 +87,8 @@ enum class AbortReason : std::uint8_t {
                       ///< or committed past our snapshot (SPSI-1 violation)
   CascadingAbort,     ///< a transaction we data-depend on aborted
   UserAbort,          ///< workload logic requested rollback
+  Timeout,            ///< RPC retries exhausted (message loss / partition)
+  NodeCrash,          ///< coordinator node crashed with the txn in flight
 };
 
 const char* to_string(AbortReason r);

@@ -1,9 +1,11 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/assert.hpp"
 #include "obs/export.hpp"
+#include "verify/spsi_checker.hpp"
 #include "workload/client.hpp"
 
 namespace str::harness {
@@ -25,7 +27,21 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 
 ExperimentResult run_experiment(const ExperimentConfig& config,
                                 const WorkloadFactory& factory) {
-  protocol::Cluster cluster(config.cluster);
+  protocol::Cluster::Config cluster_config = config.cluster;
+  // A faulty network without timeouts/retries would simply wedge: enable
+  // the recovery machinery whenever a fault plan is present. And unless the
+  // plan says otherwise, stop injecting stochastic drops/dups when the
+  // measurement window ends, so the drain is a recovery period in which the
+  // cluster provably quiesces (an explicit `heal` directive overrides).
+  if (!cluster_config.faults.empty()) {
+    cluster_config.protocol.recovery.enabled = true;
+    if (cluster_config.faults.link.heal_at == kTsInfinity) {
+      cluster_config.faults.link.heal_at = config.warmup + config.duration;
+    }
+  }
+  protocol::Cluster cluster(cluster_config);
+  verify::HistoryRecorder history;
+  if (config.verify) cluster.set_history(&history);
   std::unique_ptr<workload::Workload> wl = factory(cluster);
   wl->load(cluster);
 
@@ -71,7 +87,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   // the drain belong to transactions started inside the window and are
   // kept, matching how the paper's clients are stopped).
   clients.request_stop_all();
-  cluster.run_for(config.drain);
+  // Under faults the drain must also cover orphan recovery: a coordinator
+  // crash near the end of the window leaves prepared participants probing
+  // on second-scale timers.
+  Timestamp drain = config.drain;
+  if (!cluster_config.faults.empty()) drain = std::max(drain, sec(10));
+  cluster.run_for(drain);
 
   const Metrics& m = cluster.metrics();
   ExperimentResult r;
@@ -111,6 +132,26 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   }
   if (const obs::Timer* t = merged.find_timer("phase.commit_snapshot_distance")) {
     r.commit_snapshot_distance_mean = t->hist().mean();
+  }
+
+  // Fault / recovery accounting.
+  const net::NetworkStats& ns = cluster.network().stats();
+  r.net_dropped = ns.dropped;
+  r.net_duplicated = ns.duplicated;
+  r.net_inversions = ns.inversions;
+  if (const obs::Counter* c = merged.find_counter("rpc.timeouts")) {
+    r.rpc_timeouts = c->value();
+  }
+  if (const obs::Counter* c = merged.find_counter("rpc.retries")) {
+    r.rpc_retries = c->value();
+  }
+  if (const obs::Counter* c = merged.find_counter("txn.orphan_aborts")) {
+    r.orphan_aborts = c->value();
+  }
+  r.quiesce = cluster.quiesce_report();
+  if (config.verify) {
+    verify::SpsiChecker checker(history);
+    r.violations = checker.check_all();
   }
 
   if (!config.trace_out.empty()) {

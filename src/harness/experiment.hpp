@@ -42,6 +42,12 @@ struct ExperimentConfig {
   /// When non-empty, write the Chrome trace-event JSON / metrics JSON there.
   std::string trace_out;
   std::string metrics_out;
+
+  // -- verification (chaos mode) -------------------------------------------
+  /// Record the full history (warmup through drain) and run the SPSI
+  /// checker over it after the drain. Safety must hold under every fault
+  /// plan, so chaos runs should always set this.
+  bool verify = false;
 };
 
 /// One "phase.*" timer from the merged registry, for the per-phase latency
@@ -83,6 +89,19 @@ struct ExperimentResult {
   double commit_snapshot_distance_mean = 0.0;
   /// False when a requested trace_out / metrics_out file could not be written.
   bool exports_ok = true;
+
+  // -- fault / recovery accounting (zero on fault-free runs) ---------------
+  std::uint64_t net_dropped = 0;
+  std::uint64_t net_duplicated = 0;
+  std::uint64_t net_inversions = 0;
+  std::uint64_t rpc_timeouts = 0;
+  std::uint64_t rpc_retries = 0;
+  std::uint64_t orphan_aborts = 0;
+  /// End-of-run residue (live txns / parked reads / held locks / orphans).
+  protocol::Cluster::QuiesceReport quiesce;
+  /// SPSI violations found by the checker (empty unless config.verify and
+  /// something is actually wrong).
+  std::vector<std::string> violations;
 };
 
 /// Run one experiment to completion (one DES instance, one thread).

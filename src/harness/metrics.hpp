@@ -66,7 +66,7 @@ class Metrics {
   Timestamp measure_start_ = 0;
   std::uint64_t commits_ = 0;
   std::uint64_t aborts_ = 0;
-  std::array<std::uint64_t, 8> abort_by_reason_{};
+  std::array<std::uint64_t, 16> abort_by_reason_{};
   std::uint64_t externalized_ = 0;
   std::uint64_t ext_misspec_ = 0;
   std::uint64_t reads_ = 0;

@@ -1,0 +1,117 @@
+#include "net/fault.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace str::net {
+
+namespace {
+
+/// Seconds (fractional) of virtual time -> Timestamp microseconds.
+Timestamp from_seconds(double s) {
+  if (s < 0) s = 0;
+  return static_cast<Timestamp>(s * 1e6);
+}
+
+bool fail(std::string& error, std::size_t line_no, const std::string& what) {
+  error = "fault plan line " + std::to_string(line_no) + ": " + what;
+  return false;
+}
+
+}  // namespace
+
+bool FaultPlan::parse(const std::string& text, FaultPlan& out,
+                      std::string& error) {
+  out = FaultPlan{};
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream tok(line);
+    std::string cmd;
+    if (!(tok >> cmd)) continue;  // blank / comment-only line
+    if (cmd == "drop" || cmd == "dup") {
+      double p = 0;
+      if (!(tok >> p) || p < 0.0 || p > 1.0) {
+        return fail(error, line_no, cmd + " needs a probability in [0, 1]");
+      }
+      (cmd == "drop" ? out.link.drop_prob : out.link.dup_prob) = p;
+    } else if (cmd == "heal") {
+      double at = 0;
+      if (!(tok >> at) || at < 0) {
+        return fail(error, line_no, "heal needs a nonnegative time in seconds");
+      }
+      out.link.heal_at = from_seconds(at);
+    } else if (cmd == "partition" || cmd == "partition-oneway") {
+      RegionId a = 0, b = 0;
+      double start = 0, end = 0;
+      if (!(tok >> a >> b >> start >> end) || end < start) {
+        return fail(error, line_no,
+                    cmd + " needs: <regionA> <regionB> <start_s> <end_s>");
+      }
+      if (cmd == "partition") {
+        out.add_partition(a, b, from_seconds(start), from_seconds(end));
+      } else {
+        out.partitions.push_back(
+            {a, b, from_seconds(start), from_seconds(end)});
+      }
+    } else if (cmd == "crash") {
+      NodeId node = 0;
+      double at = 0, restart = -1;
+      if (!(tok >> node >> at)) {
+        return fail(error, line_no, "crash needs: <node> <at_s> [<restart_s>]");
+      }
+      Timestamp restart_ts = kTsInfinity;
+      if (tok >> restart) {
+        if (restart <= at) {
+          return fail(error, line_no, "crash restart precedes the crash");
+        }
+        restart_ts = from_seconds(restart);
+      }
+      out.add_crash(node, from_seconds(at), restart_ts);
+    } else {
+      return fail(error, line_no, "unknown directive '" + cmd + "'");
+    }
+  }
+  return true;
+}
+
+bool FaultPlan::load(const std::string& path, FaultPlan& out,
+                     std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open fault plan file: " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str(), out, error);
+}
+
+std::string FaultPlan::describe() const {
+  if (empty()) return "none";
+  char buf[160];
+  // partitions are stored per direction; report undirected windows as one.
+  std::size_t crash_restarts = 0;
+  for (const CrashEvent& c : crashes) {
+    if (c.restart_at != kTsInfinity) ++crash_restarts;
+  }
+  std::snprintf(buf, sizeof buf,
+                "drop=%.1f%% dup=%.1f%% partition-windows=%zu crashes=%zu "
+                "(restarting=%zu)",
+                link.drop_prob * 100.0, link.dup_prob * 100.0,
+                partitions.size(), crashes.size(), crash_restarts);
+  std::string out = buf;
+  if (link.any() && link.heal_at != kTsInfinity) {
+    std::snprintf(buf, sizeof buf, " heal=%.1fs", link.heal_at / 1e6);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace str::net

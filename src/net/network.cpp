@@ -1,8 +1,20 @@
 #include "net/network.hpp"
 
+#include <memory>
+#include <stdexcept>
+#include <string>
+
 #include "common/assert.hpp"
 
 namespace str::net {
+
+namespace {
+
+std::uint64_t link_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
 
 Network::Network(sim::Scheduler& sched, Topology topology, Rng rng,
                  double jitter_frac)
@@ -17,6 +29,8 @@ void Network::register_node(NodeId node, RegionId region) {
   STR_ASSERT_MSG(node == node_region_.size(), "register nodes in id order");
   STR_ASSERT(region < topology_.num_regions());
   node_region_.push_back(region);
+  node_up_.push_back(1);
+  node_epoch_.push_back(0);
 }
 
 Timestamp Network::sample_latency(NodeId from, NodeId to) {
@@ -29,32 +43,123 @@ Timestamp Network::sample_latency(NodeId from, NodeId to) {
   return base + jitter;
 }
 
+void Network::set_fault_plan(const FaultPlan& plan, Rng fault_rng) {
+  plan_ = plan;
+  fault_rng_ = fault_rng;
+}
+
+void Network::set_node_down(NodeId node, bool down) {
+  STR_ASSERT(node < node_up_.size());
+  if (down && node_up_[node] != 0) {
+    // Bumping the epoch orphans every in-flight message addressed here: the
+    // delivery gate compares epochs and drops mismatches.
+    ++node_epoch_[node];
+  }
+  node_up_[node] = down ? 0 : 1;
+}
+
 void Network::set_registry(obs::Registry* registry) {
   if (registry == nullptr) {
     c_messages_ = c_wan_messages_ = c_bytes_ = nullptr;
+    c_dropped_ = c_duplicated_ = c_inversions_ = nullptr;
     t_latency_ = nullptr;
     return;
   }
   c_messages_ = &registry->counter("net.messages");
   c_wan_messages_ = &registry->counter("net.wan_messages");
   c_bytes_ = &registry->counter("net.bytes");
+  c_dropped_ = &registry->counter("net.dropped");
+  c_duplicated_ = &registry->counter("net.duplicated");
+  c_inversions_ = &registry->counter("net.inversions");
   t_latency_ = &registry->timer("net.latency");
+}
+
+void Network::count_drop() {
+  ++stats_.dropped;
+  if (c_dropped_ != nullptr) c_dropped_->inc();
+}
+
+void Network::note_arrival(NodeId from, NodeId to, Timestamp arrival) {
+  Timestamp& last = last_arrival_[link_key(from, to)];
+  if (arrival < last) {
+    ++stats_.inversions;
+    if (c_inversions_ != nullptr) c_inversions_->inc();
+  } else {
+    last = arrival;
+  }
+}
+
+void Network::schedule_delivery(NodeId to, Timestamp latency,
+                                UniqueFunction<void()> fn) {
+  const std::uint64_t epoch = node_epoch_[to];
+  sched_.schedule_after(
+      latency, [this, to, epoch, fn = std::move(fn)]() mutable {
+        if (node_up_[to] == 0 || node_epoch_[to] != epoch) {
+          // The destination crashed while this message was in flight.
+          count_drop();
+          return;
+        }
+        fn();
+      });
 }
 
 void Network::send(NodeId from, NodeId to, UniqueFunction<void()> fn,
                    std::size_t size_hint) {
+  if (from >= node_region_.size() || to >= node_region_.size()) {
+    throw std::invalid_argument(
+        "Network::send: " +
+        std::string(from >= node_region_.size() ? "source" : "destination") +
+        " node " + std::to_string(from >= node_region_.size() ? from : to) +
+        " is not registered (" + std::to_string(node_region_.size()) +
+        " nodes registered)");
+  }
   ++stats_.messages_sent;
   stats_.bytes_sent += size_hint;
-  const bool wan = region_of(from) != region_of(to);
+  const RegionId ra = region_of(from);
+  const RegionId rb = region_of(to);
+  const bool wan = ra != rb;
   if (wan) ++stats_.wan_messages;
-  const Timestamp latency = sample_latency(from, to);
   if (c_messages_ != nullptr) {
     c_messages_->inc();
     c_bytes_->inc(size_hint);
     if (wan) c_wan_messages_->inc();
-    t_latency_->record(latency);
   }
-  sched_.schedule_after(latency, std::move(fn));
+
+  // Fault gauntlet, cheapest test first. A message from or to a crashed
+  // node never makes it onto the wire; a cut link swallows it silently.
+  if (node_up_[from] == 0 || node_up_[to] == 0) {
+    count_drop();
+    return;
+  }
+  if (!plan_.partitions.empty() && plan_.partitioned(ra, rb, sched_.now())) {
+    count_drop();
+    return;
+  }
+  const bool link_faults = plan_.link.active(sched_.now());
+  if (link_faults && plan_.link.drop_prob > 0.0 &&
+      fault_rng_.chance(plan_.link.drop_prob)) {
+    count_drop();
+    return;
+  }
+
+  const Timestamp latency = sample_latency(from, to);
+  if (t_latency_ != nullptr) t_latency_->record(latency);
+  note_arrival(from, to, latency + sched_.now());
+
+  if (link_faults && plan_.link.dup_prob > 0.0 &&
+      fault_rng_.chance(plan_.link.dup_prob)) {
+    // Deliver the same closure twice. Handlers must tolerate this — the
+    // protocol layer dedups by request/transaction id; see docs/FAULTS.md.
+    ++stats_.duplicated;
+    if (c_duplicated_ != nullptr) c_duplicated_->inc();
+    auto shared = std::make_shared<UniqueFunction<void()>>(std::move(fn));
+    const Timestamp dup_latency = sample_latency(from, to);
+    note_arrival(from, to, dup_latency + sched_.now());
+    schedule_delivery(to, latency, [shared]() { (*shared)(); });
+    schedule_delivery(to, dup_latency, [shared]() { (*shared)(); });
+    return;
+  }
+  schedule_delivery(to, latency, std::move(fn));
 }
 
 }  // namespace str::net

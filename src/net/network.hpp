@@ -6,14 +6,25 @@
 // layer; the protocol layer still defines explicit message structs
 // (protocol/messages.hpp) as the closure payloads, and the network counts
 // messages and approximate bytes so experiments can report traffic.
+//
+// The transport is lossy on demand: an attached FaultPlan (net/fault.hpp)
+// drops and duplicates messages per-link, cuts region pairs during
+// scheduled partition windows, and tracks node liveness so that a crashed
+// node receives nothing — including messages that were already in flight
+// when it crashed (modelled with a per-node delivery epoch that the crash
+// bumps). All stochastic fault decisions draw from a dedicated RNG stream,
+// so enabling faults never perturbs the jitter stream and a fault-free plan
+// leaves behaviour bit-identical to a plan-less network.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "common/unique_function.hpp"
+#include "net/fault.hpp"
 #include "net/topology.hpp"
 #include "obs/registry.hpp"
 #include "sim/scheduler.hpp"
@@ -24,6 +35,10 @@ struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t wan_messages = 0;  ///< messages crossing a region boundary
+  std::uint64_t dropped = 0;       ///< lost to faults (any cause)
+  std::uint64_t duplicated = 0;    ///< extra copies delivered
+  std::uint64_t inversions = 0;    ///< deliveries overtaking an earlier send
+                                   ///< on the same link (jitter reordering)
 };
 
 class Network {
@@ -43,6 +58,9 @@ class Network {
 
   /// Deliver `fn` at node `to` after the simulated latency from `from`.
   /// `size_hint` approximates the wire size for traffic accounting.
+  /// Throws std::invalid_argument when either endpoint is not a registered
+  /// node — a protocol-layer routing bug, reported eagerly instead of as a
+  /// bare std::out_of_range from deep inside the region lookup.
   void send(NodeId from, NodeId to, UniqueFunction<void()> fn,
             std::size_t size_hint = 64);
 
@@ -52,20 +70,55 @@ class Network {
   const Topology& topology() const { return topology_; }
   const NetworkStats& stats() const { return stats_; }
 
+  // -- fault injection ------------------------------------------------------
+
+  /// Attach a fault plan; `fault_rng` feeds every stochastic fault decision
+  /// (keep it a dedicated fork of the experiment seed). Scheduled events in
+  /// the plan (partitions are time-checked per send; crashes) are the
+  /// cluster's job to trigger via set_node_down.
+  void set_fault_plan(const FaultPlan& plan, Rng fault_rng);
+  const FaultPlan& fault_plan() const { return plan_; }
+
+  /// Crash (down=true) or restart (down=false) a node. Crashing bumps the
+  /// node's delivery epoch so in-flight messages addressed to it are
+  /// dropped at delivery time.
+  void set_node_down(NodeId node, bool down);
+  bool node_up(NodeId node) const { return node_up_.at(node) != 0; }
+
   /// Attach a metrics registry; message/byte counters and the per-message
   /// latency timer are resolved once and updated on every send.
   void set_registry(obs::Registry* registry);
 
  private:
+  /// Schedule one delivery of `fn` to `to` after `latency`, gated on the
+  /// destination still being alive in the same epoch at delivery time.
+  void schedule_delivery(NodeId to, Timestamp latency,
+                         UniqueFunction<void()> fn);
+
+  /// Record a delivery time on the directed link and count an inversion if
+  /// it overtakes an earlier send.
+  void note_arrival(NodeId from, NodeId to, Timestamp arrival);
+
+  void count_drop();
+
   sim::Scheduler& sched_;
   Topology topology_;
   Rng rng_;
   double jitter_frac_;
   std::vector<RegionId> node_region_;
   NetworkStats stats_;
+  FaultPlan plan_;
+  Rng fault_rng_{0};
+  std::vector<char> node_up_;
+  std::vector<std::uint64_t> node_epoch_;
+  /// Latest scheduled arrival per directed link (key: from << 32 | to).
+  std::unordered_map<std::uint64_t, Timestamp> last_arrival_;
   obs::Counter* c_messages_ = nullptr;
   obs::Counter* c_wan_messages_ = nullptr;
   obs::Counter* c_bytes_ = nullptr;
+  obs::Counter* c_dropped_ = nullptr;
+  obs::Counter* c_duplicated_ = nullptr;
+  obs::Counter* c_inversions_ = nullptr;
   obs::Timer* t_latency_ = nullptr;
 };
 

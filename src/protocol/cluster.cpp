@@ -33,6 +33,23 @@ Cluster::Cluster(Config config)
             : skew_rng.uniform(config_.max_clock_skew + 1);
     nodes_.push_back(std::make_unique<Node>(*this, id, region, skew));
   }
+  if (!config_.faults.empty()) {
+    // The fault RNG is a dedicated fork: plans with zero probabilities
+    // consume nothing from it, so adding an empty plan (or only scheduled
+    // partitions/crashes) leaves the rest of the run bit-identical.
+    net_.set_fault_plan(config_.faults, master_rng_.fork(0xfa117));
+    for (const net::CrashEvent& ev : config_.faults.crashes) {
+      STR_ASSERT_MSG(ev.node < config_.num_nodes,
+                     "fault plan crashes an unknown node");
+      sched_.schedule_at(ev.at, [this, id = ev.node]() { crash_node(id); });
+      if (ev.restart_at != kTsInfinity) {
+        STR_ASSERT_MSG(ev.restart_at > ev.at,
+                       "restart must come after the crash");
+        sched_.schedule_at(ev.restart_at,
+                           [this, id = ev.node]() { restart_node(id); });
+      }
+    }
+  }
   schedule_maintenance();
 }
 
@@ -57,6 +74,38 @@ void Cluster::load(Key key, Value value) {
     STR_ASSERT(actor != nullptr);
     actor->store().load(key, value);
   }
+}
+
+void Cluster::crash_node(NodeId id) {
+  Node& n = node(id);
+  if (!n.up()) return;
+  STR_INFO("node %u crashes", static_cast<unsigned>(id));
+  // Network first: in-flight deliveries and the crash-time abort fan-out
+  // from the node's own coordinator must both hit a dead endpoint.
+  net_.set_node_down(id, true);
+  n.crash();
+}
+
+void Cluster::restart_node(NodeId id) {
+  Node& n = node(id);
+  if (n.up()) return;
+  STR_INFO("node %u restarts", static_cast<unsigned>(id));
+  net_.set_node_down(id, false);
+  n.restart();
+}
+
+Cluster::QuiesceReport Cluster::quiesce_report() const {
+  QuiesceReport r;
+  for (const auto& n : nodes_) {
+    if (!n->up()) continue;
+    r.live_txns += n->coordinator().live_transactions();
+    for (const auto& [pid, actor] : n->replicas()) {
+      r.parked_reads += actor->parked_readers();
+      r.uncommitted_txns += actor->store().uncommitted_txn_count();
+      r.orphans += actor->awaiting_decisions();
+    }
+  }
+  return r;
 }
 
 void Cluster::schedule_maintenance() {

@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "harness/metrics.hpp"
+#include "net/fault.hpp"
 #include "net/network.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -35,6 +36,10 @@ class Cluster {
     double jitter_frac = 0.05;
     /// Node i's clock skew is drawn uniformly from [0, max_clock_skew].
     Timestamp max_clock_skew = msec(1);
+    /// Deterministic fault plan: link drops/dups, partition windows, node
+    /// crashes. Empty (the default) injects nothing and leaves every run
+    /// bit-identical to a fault-free build.
+    net::FaultPlan faults;
   };
 
   explicit Cluster(Config config);
@@ -101,6 +106,38 @@ class Cluster {
 
   /// Deterministic per-consumer RNG streams derived from the config seed.
   Rng fork_rng(std::uint64_t stream) const { return master_rng_.fork(stream); }
+
+  // -- fault injection -------------------------------------------------------
+
+  bool node_up(NodeId id) const { return nodes_.at(id)->up(); }
+
+  /// Fail-stop crash: the network drops the node's in-flight and future
+  /// messages first, then the node aborts its live transactions and clears
+  /// volatile replica state. Idempotent (crashing a down node is a no-op).
+  void crash_node(NodeId id);
+
+  /// Rejoin after a crash; prepared-but-undecided transactions re-enter
+  /// orphan recovery. Idempotent.
+  void restart_node(NodeId id);
+
+  /// End-of-run residue check: anything here but zeros means a leak — a
+  /// transaction stuck live, a reader parked forever, a pre-commit lock
+  /// never released, or an orphan still waiting for a decision.
+  struct QuiesceReport {
+    std::size_t live_txns = 0;         ///< coordinator records still open
+    std::size_t parked_reads = 0;      ///< readers parked behind locks
+    std::size_t uncommitted_txns = 0;  ///< pre-commit locks still held
+    std::size_t orphans = 0;           ///< prepared txns awaiting decisions
+
+    bool clean() const {
+      return live_txns == 0 && parked_reads == 0 && uncommitted_txns == 0 &&
+             orphans == 0;
+    }
+  };
+
+  /// Inspect every UP node (a crashed-for-good node's durable prepared
+  /// state is unreachable and excluded — see docs/FAULTS.md).
+  QuiesceReport quiesce_report() const;
 
  private:
   Config config_;

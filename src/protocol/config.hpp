@@ -13,6 +13,39 @@
 
 namespace str::protocol {
 
+/// Timeout/retry/recovery knobs. Defaults are sized for the built-in WAN
+/// topologies (max one-way ~150ms): a request timeout of 500ms exceeds any
+/// healthy RTT, so retries fire only under injected loss.
+struct RecoveryConfig {
+  /// Master switch. Off (the default) preserves the seed's fail-free
+  /// behaviour exactly: no timers are armed and no RNG stream is consumed.
+  bool enabled = false;
+
+  /// Initial per-attempt timeout for ReadRequest / PrepareRequest RPCs;
+  /// doubles per retry up to `timeout_cap` (bounded exponential backoff).
+  Timestamp request_timeout = msec(500);
+  Timestamp timeout_cap = sec(2);
+
+  /// Retry budgets. Exhaustion aborts the transaction with
+  /// AbortReason::Timeout.
+  std::uint32_t max_read_retries = 4;
+  std::uint32_t max_prepare_retries = 4;
+
+  /// A participant holding a prepared-but-undecided transaction probes the
+  /// coordinator after `orphan_timeout`, backing off up to
+  /// `orphan_interval_cap`. If the coordinator node is down for
+  /// `orphan_down_probes` consecutive probes, the participant unilaterally
+  /// aborts the orphan (perfect failure detector assumption; docs/FAULTS.md).
+  Timestamp orphan_timeout = sec(1);
+  Timestamp orphan_interval_cap = sec(2);
+  std::uint32_t orphan_down_probes = 3;
+
+  /// How long a coordinator's durable decision log answers DecisionRequests
+  /// after the transaction finished. Must exceed the longest plausible
+  /// partition window + orphan probe interval.
+  Timestamp decision_log_retention = sec(30);
+};
+
 struct ProtocolConfig {
   /// Allow transactions to observe local-committed versions created by
   /// transactions of the same node (STR's internal speculation).
@@ -33,6 +66,9 @@ struct ProtocolConfig {
   /// the largest possible read-snapshot staleness (max one-way latency plus
   /// clock skew); the default is safe for every built-in topology.
   Timestamp gc_horizon = sec(4);
+
+  /// Timeout / retry / orphan-recovery machinery (off by default).
+  RecoveryConfig recovery;
 
   static ProtocolConfig clocksi_rep() {
     ProtocolConfig c;

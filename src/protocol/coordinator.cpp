@@ -38,6 +38,8 @@ Coordinator::Coordinator(Node& node) : node_(node) {
   t_lock_hold_ = &obs.timer("phase.lock_hold");
   t_lock_hold_total_ = &obs.timer("phase.lock_hold_total");
   t_commit_snap_dist_ = &obs.timer("phase.commit_snapshot_distance");
+  c_rpc_timeouts_ = &obs.counter("rpc.timeouts");
+  c_rpc_retries_ = &obs.counter("rpc.retries");
 }
 
 bool Coordinator::spec_active() const {
@@ -48,6 +50,12 @@ TxId Coordinator::begin(Timestamp first_activation) {
   Cluster& cluster = node_.cluster();
   ScopedLogNode log_node(node_.id());
   const TxId id{node_.id(), next_seq_++};
+  if (!node_.up()) {
+    // A crashed node accepts nothing: hand out an id that is never
+    // registered, so reads and the outcome future resolve aborted
+    // immediately and the client backs off until the restart.
+    return id;
+  }
   auto rec = std::make_unique<txn::TxnRecord>();
   rec->id = id;
   rec->origin = node_.id();
@@ -135,37 +143,93 @@ sim::Future<txn::ReadResult> Coordinator::read(const TxId& tx, Key key) {
     }
   }
 
-  // Remote read: pick the lowest-latency replica (ties by node id).
+  // Remote read: replicas ordered by latency (ties keep the partition map's
+  // order). The head is the first target; retries rotate through the rest
+  // (replica failover).
   const auto& replicas = cluster.pmap().replicas(pid);
   STR_ASSERT(!replicas.empty());
-  NodeId best = replicas.front();
-  Timestamp best_lat = kTsInfinity;
-  for (NodeId n : replicas) {
-    const Timestamp lat = cluster.network().topology().one_way(
-        node_.region(), cluster.node(n).region());
-    if (lat < best_lat) {
-      best_lat = lat;
-      best = n;
+  std::vector<NodeId> candidates(replicas.begin(), replicas.end());
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](NodeId a, NodeId b) {
+                     const auto& topo = cluster.network().topology();
+                     return topo.one_way(node_.region(),
+                                         cluster.node(a).region()) <
+                            topo.one_way(node_.region(),
+                                         cluster.node(b).region());
+                   });
+  const std::uint64_t req_id = next_read_id_++;
+  PendingRemoteRead pending{tx,      key, promise,
+                            rec->rs, 0,   std::move(candidates)};
+  auto [it2, inserted] = pending_remote_.emplace(req_id, std::move(pending));
+  STR_ASSERT(inserted);
+  send_read_request(req_id, it2->second);
+  if (cluster.protocol().recovery.enabled) arm_read_timer(req_id);
+  return promise.future();
+}
+
+void Coordinator::send_read_request(std::uint64_t req_id,
+                                    const PendingRemoteRead& p) {
+  Cluster& cluster = node_.cluster();
+  // Rotate through the failover order; skip replicas the failure detector
+  // reports down (if all are down, send anyway — the drop is counted and
+  // the retry budget eventually converts it into a Timeout abort).
+  const std::size_t n = p.candidates.size();
+  NodeId target = p.candidates[p.attempts % n];
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId cand = p.candidates[(p.attempts + i) % n];
+    if (cluster.network().node_up(cand)) {
+      target = cand;
+      break;
     }
   }
   ReadRequest req;
-  req.reader = tx;
+  req.reader = p.tx;
   req.reader_node = node_.id();
-  req.req_id = next_read_id_++;
-  req.key = key;
-  req.rs = rec->rs;
-  pending_remote_.emplace(req.req_id, PendingRemoteRead{tx, key, promise});
+  req.req_id = req_id;
+  req.key = p.key;
+  req.rs = p.rs;
+  const PartitionId pid = PartitionMap::partition_of(p.key);
   const std::size_t size = req.wire_size();
   Cluster* cl = &cluster;
   cluster.network().send(
-      node_.id(), best,
-      [cl, best, pid, req]() {
-        PartitionActor* actor = cl->node(best).replica(pid);
+      node_.id(), target,
+      [cl, target, pid, req]() {
+        PartitionActor* actor = cl->node(target).replica(pid);
         STR_ASSERT(actor != nullptr);
         actor->handle_remote_read(req);
       },
       size);
-  return promise.future();
+}
+
+Timestamp Coordinator::backoff(std::uint32_t attempt) const {
+  const RecoveryConfig& rc = node_.cluster().protocol().recovery;
+  const Timestamp base = rc.request_timeout;
+  Timestamp t = base;
+  for (std::uint32_t i = 0; i < attempt && t < rc.timeout_cap; ++i) t *= 2;
+  return std::min(t, rc.timeout_cap);
+}
+
+void Coordinator::arm_read_timer(std::uint64_t req_id) {
+  const std::uint32_t attempt =
+      pending_remote_.find(req_id)->second.attempts;
+  node_.cluster().scheduler().schedule_after(backoff(attempt), [this,
+                                                               req_id]() {
+    auto it = pending_remote_.find(req_id);
+    if (it == pending_remote_.end()) return;  // answered (or tx finished)
+    ScopedLogNode log_node(node_.id());
+    c_rpc_timeouts_->inc();
+    PendingRemoteRead& p = it->second;
+    const RecoveryConfig& rc = node_.cluster().protocol().recovery;
+    if (p.attempts >= rc.max_read_retries) {
+      // Retry budget exhausted: the transaction cannot make progress.
+      abort_tx(p.tx, AbortReason::Timeout);  // erases the pending entry
+      return;
+    }
+    ++p.attempts;
+    c_rpc_retries_->inc();
+    send_read_request(req_id, p);
+    arm_read_timer(req_id);
+  });
 }
 
 void Coordinator::on_read_reply(ReadReply reply) {
@@ -495,66 +559,143 @@ void Coordinator::start_global_certification(txn::TxnRecord& rec) {
       // pre-commit to the slaves; each slave replies with a proposal.
       for (NodeId slave : replicas) {
         if (slave == node_.id()) continue;
-        ReplicateRequest rep;
-        rep.tx = rec.id;
-        rep.coordinator = node_.id();
-        rep.partition = pid;
-        rep.rs = rec.rs;
-        rep.updates = *updates;
         ++rec.awaiting_prepares;
-        if (tracer_->enabled()) {
-          tracer_->emit({cluster.now(), rec.id, node_.id(),
-                         obs::TraceEventType::PrepareSent, slave, pid});
-        }
-        const std::size_t size = rep.wire_size();
-        Cluster* cl = &cluster;
-        cluster.network().send(
-            node_.id(), slave,
-            [cl, slave, rep = std::move(rep)]() mutable {
-              PartitionActor* actor = cl->node(slave).replica(rep.partition);
-              STR_ASSERT(actor != nullptr);
-              actor->handle_replicate(std::move(rep));
-            },
-            size);
+        rec.prepare_expected.emplace(pid, slave);
+        send_replicate(rec, pid, slave, *updates);
       }
     } else {
       // Remote master certifies; it replicates to its slaves, each of which
       // (except this node, already covered by local certification) replies.
       const NodeId master = pmap.master(pid);
-      PrepareRequest req;
-      req.tx = rec.id;
-      req.coordinator = node_.id();
-      req.partition = pid;
-      req.rs = rec.rs;
-      req.updates = *updates;
       ++rec.awaiting_prepares;  // master's reply
+      rec.prepare_expected.emplace(pid, master);
       for (NodeId n : replicas) {
-        if (n != master && n != node_.id()) ++rec.awaiting_prepares;  // slaves
+        if (n != master && n != node_.id()) {
+          ++rec.awaiting_prepares;  // slaves
+          rec.prepare_expected.emplace(pid, n);
+        }
       }
-      if (tracer_->enabled()) {
-        tracer_->emit({cluster.now(), rec.id, node_.id(),
-                       obs::TraceEventType::PrepareSent, master, pid});
-      }
-      const std::size_t size = req.wire_size();
-      Cluster* cl = &cluster;
-      cluster.network().send(
-          node_.id(), master,
-          [cl, master, req = std::move(req)]() mutable {
-            PartitionActor* actor = cl->node(master).replica(req.partition);
-            STR_ASSERT(actor != nullptr);
-            actor->handle_prepare(std::move(req));
-          },
-          size);
+      send_prepare(rec, pid, *updates);
     }
   }
   // All-local write set with no remote replicas: the WAN phase is empty.
-  if (rec.awaiting_prepares == 0) rec.prepares_done_at = rec.prepares_sent_at;
+  if (rec.awaiting_prepares == 0) {
+    rec.prepares_done_at = rec.prepares_sent_at;
+  } else if (cluster.protocol().recovery.enabled) {
+    arm_prepare_timer(rec.id);
+  }
+}
+
+void Coordinator::send_prepare(
+    const txn::TxnRecord& rec, PartitionId pid,
+    const std::vector<std::pair<Key, Value>>& updates) {
+  Cluster& cluster = node_.cluster();
+  const NodeId master = cluster.pmap().master(pid);
+  PrepareRequest req;
+  req.tx = rec.id;
+  req.coordinator = node_.id();
+  req.partition = pid;
+  req.rs = rec.rs;
+  req.updates = updates;
+  if (tracer_->enabled()) {
+    tracer_->emit({cluster.now(), rec.id, node_.id(),
+                   obs::TraceEventType::PrepareSent, master, pid});
+  }
+  const std::size_t size = req.wire_size();
+  Cluster* cl = &cluster;
+  cluster.network().send(
+      node_.id(), master,
+      [cl, master, req = std::move(req)]() mutable {
+        PartitionActor* actor = cl->node(master).replica(req.partition);
+        STR_ASSERT(actor != nullptr);
+        actor->handle_prepare(std::move(req));
+      },
+      size);
+}
+
+void Coordinator::send_replicate(
+    const txn::TxnRecord& rec, PartitionId pid, NodeId slave,
+    const std::vector<std::pair<Key, Value>>& updates) {
+  Cluster& cluster = node_.cluster();
+  ReplicateRequest rep;
+  rep.tx = rec.id;
+  rep.coordinator = node_.id();
+  rep.partition = pid;
+  rep.rs = rec.rs;
+  rep.updates = updates;
+  if (tracer_->enabled()) {
+    tracer_->emit({cluster.now(), rec.id, node_.id(),
+                   obs::TraceEventType::PrepareSent, slave, pid});
+  }
+  const std::size_t size = rep.wire_size();
+  Cluster* cl = &cluster;
+  cluster.network().send(
+      node_.id(), slave,
+      [cl, slave, rep = std::move(rep)]() mutable {
+        PartitionActor* actor = cl->node(slave).replica(rep.partition);
+        STR_ASSERT(actor != nullptr);
+        actor->handle_replicate(std::move(rep));
+      },
+      size);
+}
+
+void Coordinator::resend_prepares(txn::TxnRecord& rec) {
+  Cluster& cluster = node_.cluster();
+  const PartitionMap& pmap = cluster.pmap();
+  WriteGroups groups = group_writes(rec);
+  // Partitions with at least one missing ack. For partitions mastered here
+  // the replicate goes straight to the silent slave; for remote-mastered
+  // partitions the prepare is re-sent to the master, which re-answers
+  // idempotently and re-replicates to its slaves (any of which may be the
+  // one whose reply was lost).
+  std::set<PartitionId> remote_missing;
+  for (const auto& [pid, n] : rec.prepare_expected) {
+    if (rec.prepare_acks.contains({pid, n})) continue;
+    if (pmap.is_master(node_.id(), pid)) {
+      c_rpc_retries_->inc();
+      send_replicate(rec, pid, n, groups.local.at(pid));
+    } else {
+      remote_missing.insert(pid);
+    }
+  }
+  for (PartitionId pid : remote_missing) {
+    c_rpc_retries_->inc();
+    const auto& updates = groups.local.contains(pid) ? groups.local.at(pid)
+                                                     : groups.remote.at(pid);
+    send_prepare(rec, pid, updates);
+  }
+}
+
+void Coordinator::arm_prepare_timer(const TxId& tx) {
+  txn::TxnRecord* rec = find(tx);
+  STR_ASSERT(rec != nullptr);
+  const std::uint64_t round = rec->prepare_round;
+  node_.cluster().scheduler().schedule_after(
+      backoff(rec->prepare_attempts), [this, tx, round]() {
+        txn::TxnRecord* r = find(tx);
+        if (r == nullptr || r->finished()) return;
+        if (r->awaiting_prepares == 0 || r->prepare_round != round) return;
+        ScopedLogNode log_node(node_.id());
+        c_rpc_timeouts_->inc();
+        const RecoveryConfig& rc = node_.cluster().protocol().recovery;
+        if (r->prepare_attempts >= rc.max_prepare_retries) {
+          abort_tx(tx, AbortReason::Timeout);
+          return;
+        }
+        ++r->prepare_attempts;
+        ++r->prepare_round;
+        resend_prepares(*r);
+        arm_prepare_timer(tx);
+      });
 }
 
 void Coordinator::on_prepare_reply(PrepareReply reply) {
   ScopedLogNode log_node(node_.id());
   txn::TxnRecord* rec = find(reply.tx);
   if (rec == nullptr || rec->finished()) return;  // already decided
+  // Idempotence: duplicated deliveries and re-sent prepares both produce a
+  // second reply from the same (partition, node); only the first counts.
+  if (!rec->prepare_acks.emplace(reply.partition, reply.from).second) return;
   if (tracer_->enabled()) {
     tracer_->emit({node_.cluster().now(), reply.tx, node_.id(),
                    obs::TraceEventType::PrepareAck, reply.from,
@@ -601,6 +742,10 @@ void Coordinator::finalize_commit(txn::TxnRecord& rec) {
                            : std::max(rec.max_proposed_ts, rec.rs + 1);
   rec.fc = ct;
   rec.phase = txn::TxnPhase::Committed;
+  if (cluster.protocol().recovery.enabled) {
+    // Durable decision record: answers participant probes after a crash.
+    decided_[rec.id] = Decision{TxDecision::Committed, ct, cluster.now()};
+  }
   // Without speculation the writes only become observable now.
   if (rec.cert_at != 0 && rec.visible_at == 0) rec.visible_at = cluster.now();
 
@@ -738,6 +883,9 @@ void Coordinator::abort_tx(const TxId& tx, AbortReason reason) {
   txn::TxnRecord& rec = *rec_ptr;
   rec.phase = txn::TxnPhase::Aborted;
   rec.abort_reason = reason;
+  if (cluster.protocol().recovery.enabled) {
+    decided_[rec.id] = Decision{TxDecision::Aborted, 0, cluster.now()};
+  }
 
   // Remove this transaction's uncommitted versions from local replicas and
   // the cache; parked readers re-route to older versions.
@@ -799,6 +947,54 @@ void Coordinator::abort_tx(const TxId& tx, AbortReason reason) {
   }
   deliver_outcome(rec);
   erase(rec.id);
+}
+
+void Coordinator::on_decision_request(DecisionRequest req) {
+  ScopedLogNode log_node(node_.id());
+  Cluster& cluster = node_.cluster();
+  DecisionReply rep;
+  rep.tx = req.tx;
+  rep.partition = req.partition;
+  if (auto it = decided_.find(req.tx); it != decided_.end()) {
+    rep.decision = it->second.decision;
+    rep.commit_ts = it->second.commit_ts;
+  } else if (find(req.tx) != nullptr) {
+    rep.decision = TxDecision::Unknown;  // still in flight; keep waiting
+  } else {
+    // No live record and no durable decision: this coordinator never logged
+    // a commit for the transaction, so it cannot have committed anywhere —
+    // presumed abort.
+    rep.decision = TxDecision::Aborted;
+  }
+  const NodeId to = req.from;
+  Cluster* cl = &cluster;
+  cluster.network().send(
+      node_.id(), to,
+      [cl, to, rep]() {
+        PartitionActor* actor = cl->node(to).replica(rep.partition);
+        STR_ASSERT(actor != nullptr);
+        actor->on_decision_reply(rep);
+      },
+      rep.wire_size());
+}
+
+void Coordinator::on_crash() {
+  // Abort in sorted TxId order: txns_ is an unordered_map and the abort path
+  // has observable side effects (metrics, history, cascades).
+  std::vector<TxId> live;
+  live.reserve(txns_.size());
+  for (const auto& [id, rec] : txns_) live.push_back(id);
+  std::sort(live.begin(), live.end());
+  for (const TxId& id : live) abort_tx(id, AbortReason::NodeCrash);
+  pending_remote_.clear();
+}
+
+void Coordinator::maintain(Timestamp now) {
+  if (decided_.empty()) return;
+  const Timestamp keep = node_.cluster().protocol().recovery.decision_log_retention;
+  const Timestamp cutoff = now > keep ? now - keep : 0;
+  std::erase_if(decided_,
+                [cutoff](const auto& kv) { return kv.second.at < cutoff; });
 }
 
 void Coordinator::deliver_outcome(txn::TxnRecord& rec) {

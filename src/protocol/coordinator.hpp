@@ -74,9 +74,22 @@ class Coordinator {
   void on_read_reply(ReadReply reply);
   void on_prepare_reply(PrepareReply reply);
 
+  /// A participant holding a prepared-but-undecided transaction of this
+  /// coordinator asks for its fate. Answered from the live record, from the
+  /// durable decision log, or — with neither — as presumed abort.
+  void on_decision_request(DecisionRequest req);
+
   /// Abort a transaction of this node (also called by partition actors when
   /// replicated remote pre-commits evict local speculation).
   void abort_tx(const TxId& tx, AbortReason reason);
+
+  /// Fail-stop crash: every live transaction aborts (reason NodeCrash) with
+  /// its decision durably logged; volatile read/prepare bookkeeping clears.
+  /// next_seq_ survives — TxIds stay unique across restarts.
+  void on_crash();
+
+  /// Periodic upkeep: prune decision-log entries past their retention.
+  void maintain(Timestamp now);
 
   txn::TxnRecord* find(const TxId& tx);
   const txn::TxnRecord* find(const TxId& tx) const;
@@ -138,7 +151,31 @@ class Coordinator {
     TxId tx;
     Key key = 0;
     sim::Promise<txn::ReadResult> promise;
+    // Retry state (RecoveryConfig; unused when recovery is disabled).
+    Timestamp rs = 0;
+    std::uint32_t attempts = 0;
+    std::vector<NodeId> candidates;  ///< replicas by latency (failover order)
   };
+
+  /// Dispatch the read to its current candidate replica (retries rotate
+  /// through `candidates`, skipping nodes known down).
+  void send_read_request(std::uint64_t req_id, const PendingRemoteRead& p);
+  void arm_read_timer(std::uint64_t req_id);
+
+  /// One prepare / replicate message of the global-certification fan-out
+  /// (no bookkeeping — start_global_certification and resend_prepares own
+  /// the expected/awaiting accounting).
+  void send_prepare(const txn::TxnRecord& rec, PartitionId pid,
+                    const std::vector<std::pair<Key, Value>>& updates);
+  void send_replicate(const txn::TxnRecord& rec, PartitionId pid, NodeId slave,
+                      const std::vector<std::pair<Key, Value>>& updates);
+
+  /// Re-send the fan-out to every (partition, node) that has not acked.
+  void resend_prepares(txn::TxnRecord& rec);
+  void arm_prepare_timer(const TxId& tx);
+
+  /// Bounded exponential backoff: request_timeout << attempt, capped.
+  Timestamp backoff(std::uint32_t attempt) const;
 
   /// Fold the record's phase timestamps into the "phase.*" timers at the
   /// final outcome (`final_at` = commit/abort time).
@@ -160,10 +197,22 @@ class Coordinator {
   obs::Timer* t_lock_hold_ = nullptr;
   obs::Timer* t_lock_hold_total_ = nullptr;
   obs::Timer* t_commit_snap_dist_ = nullptr;
+  obs::Counter* c_rpc_timeouts_ = nullptr;
+  obs::Counter* c_rpc_retries_ = nullptr;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_read_id_ = 1;
   std::unordered_map<TxId, std::unique_ptr<txn::TxnRecord>, TxIdHash> txns_;
   std::unordered_map<std::uint64_t, PendingRemoteRead> pending_remote_;
+
+  /// Durable decision log (the WAL-with-data assumption, docs/FAULTS.md):
+  /// survives crashes, answers DecisionRequests, pruned by retention.
+  /// Populated only when recovery is enabled.
+  struct Decision {
+    TxDecision decision = TxDecision::Unknown;
+    Timestamp commit_ts = 0;
+    Timestamp at = 0;  ///< when decided (for retention pruning)
+  };
+  std::unordered_map<TxId, Decision, TxIdHash> decided_;
 };
 
 /// Thin value handle passed to workload transaction bodies.

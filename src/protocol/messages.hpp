@@ -89,4 +89,34 @@ struct AbortMessage {
   std::size_t wire_size() const { return 24; }
 };
 
+/// What the coordinator (or its durable decision log) knows about a
+/// transaction's fate. `Unknown` means "no record": under presumed-abort,
+/// a participant receiving Unknown for a prepared transaction may only act
+/// on it once the coordinator is known to have lost its volatile state.
+enum class TxDecision : std::uint8_t {
+  Unknown,
+  Committed,
+  Aborted,
+};
+
+/// Participant -> coordinator: "transaction `tx` has been prepared here for
+/// a while and no decision arrived — what happened to it?" Sent by the
+/// orphan-recovery timer (docs/FAULTS.md).
+struct DecisionRequest {
+  TxId tx;
+  PartitionId partition = kInvalidPartition;
+  NodeId from = kInvalidNode;
+
+  std::size_t wire_size() const { return 28; }
+};
+
+struct DecisionReply {
+  TxId tx;
+  PartitionId partition = kInvalidPartition;
+  TxDecision decision = TxDecision::Unknown;
+  Timestamp commit_ts = 0;
+
+  std::size_t wire_size() const { return 33; }
+};
+
 }  // namespace str::protocol

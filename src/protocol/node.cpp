@@ -27,6 +27,21 @@ void Node::maintain() {
   const Timestamp now = physical_now();
   const Timestamp horizon = now > horizon_len ? now - horizon_len : 0;
   for (auto& [pid, actor] : replicas_) actor->maintain(horizon);
+  coord_.maintain(now);
+}
+
+void Node::crash() {
+  up_ = false;
+  // Coordinator first: aborting its live transactions cleans their versions
+  // out of the local replicas and the cache before the actors drop their
+  // volatile bookkeeping.
+  coord_.on_crash();
+  for (auto& [pid, actor] : replicas_) actor->on_crash();
+}
+
+void Node::restart() {
+  up_ = true;
+  for (auto& [pid, actor] : replicas_) actor->on_restart();
 }
 
 }  // namespace str::protocol

@@ -34,9 +34,16 @@ class Node {
   const Cluster& cluster() const { return cluster_; }
 
   Coordinator& coordinator() { return coord_; }
+  const Coordinator& coordinator() const { return coord_; }
 
   /// The replica of partition p hosted here, or nullptr.
   PartitionActor* replica(PartitionId p);
+
+  /// All partition replicas hosted here (quiesce inspection).
+  const std::unordered_map<PartitionId, std::unique_ptr<PartitionActor>>&
+  replicas() const {
+    return replicas_;
+  }
 
   store::CachePartition& cache() { return cache_; }
 
@@ -48,11 +55,28 @@ class Node {
   /// Periodic GC of committed versions and tombstones on all replicas.
   void maintain();
 
+  // -- crash / restart (fault injection) -----------------------------------
+
+  bool up() const { return up_; }
+
+  /// Fail-stop crash: abort every live transaction coordinated here (their
+  /// durable abort decisions survive), then drop all volatile replica state
+  /// (parked readers, tombstones, orphan timers). The MV store keeps
+  /// committed data and prepared (pre-commit) versions — 2PC participants
+  /// force-write their prepare record. The caller (Cluster) must mark the
+  /// node down in the network first so crash-time fan-outs are dropped.
+  void crash();
+
+  /// Rejoin after a crash: prepared-but-undecided remote transactions found
+  /// in the durable store re-enter orphan recovery.
+  void restart();
+
  private:
   Cluster& cluster_;
   NodeId id_;
   RegionId region_;
   Timestamp skew_;
+  bool up_ = true;
   /// Declared before the partition actors and coordinator: both cache
   /// instrument references out of this registry during construction.
   obs::Registry obs_;

@@ -14,6 +14,7 @@ PartitionActor::PartitionActor(Node& node, PartitionId pid, bool master)
   store_.set_registry(&node.obs());
   t_read_block_ = &node.obs().timer("phase.read_block");
   g_parked_ = &node.obs().gauge("store.parked_readers");
+  c_orphan_aborts_ = &node.obs().counter("txn.orphan_aborts");
 }
 
 void PartitionActor::serve_local_read(
@@ -135,8 +136,17 @@ void PartitionActor::handle_prepare(PrepareRequest req) {
   reply.partition = pid_;
   reply.from = node_.id();
 
+  bool fan_out = false;
   if (tombstoned(req.tx)) {
     reply.prepared = false;
+  } else if (store_.has_uncommitted(req.tx)) {
+    // Duplicate or re-sent prepare for a transaction already prepared here
+    // (possibly across a crash — the prepared state is durable, the reply
+    // is not): re-answer with the recorded proposal, and re-replicate in
+    // case the original replicates were the messages that were lost.
+    reply.prepared = true;
+    reply.proposed_ts = store_.uncommitted_ts(req.tx);
+    fan_out = true;
   } else {
     // Remote transactions cannot data-depend on this node's speculation, so
     // no chaining is admissible here: any uncommitted version conflicts
@@ -146,28 +156,30 @@ void PartitionActor::handle_prepare(PrepareRequest req) {
                        cluster.protocol().precise_clocks, node_.physical_now());
     reply.prepared = pr.ok;
     reply.proposed_ts = pr.proposed_ts;
-    if (pr.ok) {
-      // Synchronous replication: fan the pre-commit out to every slave
-      // except the coordinator's node (its replica, if any, was certified
-      // during the coordinator's local 2PC).
-      for (NodeId slave : cluster.pmap().replicas(pid_)) {
-        if (slave == node_.id() || slave == req.coordinator) continue;
-        ReplicateRequest rep;
-        rep.tx = req.tx;
-        rep.coordinator = req.coordinator;
-        rep.partition = pid_;
-        rep.rs = req.rs;
-        rep.updates = req.updates;
-        const std::size_t size = rep.wire_size();
-        cluster.network().send(
-            node_.id(), slave,
-            [&cluster, slave, rep = std::move(rep)]() mutable {
-              PartitionActor* actor = cluster.node(slave).replica(rep.partition);
-              STR_ASSERT(actor != nullptr);
-              actor->handle_replicate(std::move(rep));
-            },
-            size);
-      }
+    fan_out = pr.ok;
+    if (pr.ok) track_orphan(req.tx, req.coordinator);
+  }
+  if (fan_out) {
+    // Synchronous replication: fan the pre-commit out to every slave
+    // except the coordinator's node (its replica, if any, was certified
+    // during the coordinator's local 2PC).
+    for (NodeId slave : cluster.pmap().replicas(pid_)) {
+      if (slave == node_.id() || slave == req.coordinator) continue;
+      ReplicateRequest rep;
+      rep.tx = req.tx;
+      rep.coordinator = req.coordinator;
+      rep.partition = pid_;
+      rep.rs = req.rs;
+      rep.updates = req.updates;
+      const std::size_t size = rep.wire_size();
+      cluster.network().send(
+          node_.id(), slave,
+          [&cluster, slave, rep = std::move(rep)]() mutable {
+            PartitionActor* actor = cluster.node(slave).replica(rep.partition);
+            STR_ASSERT(actor != nullptr);
+            actor->handle_replicate(std::move(rep));
+          },
+          size);
     }
   }
 
@@ -188,6 +200,26 @@ void PartitionActor::handle_replicate(ReplicateRequest req) {
   Cluster& cluster = node_.cluster();
   if (tombstoned(req.tx)) return;  // late replicate of an aborted tx
 
+  if (store_.has_uncommitted(req.tx)) {
+    // Duplicate delivery or master re-send: the pre-commit is already in
+    // place, so just re-ack with the recorded proposal.
+    PrepareReply reply;
+    reply.tx = req.tx;
+    reply.partition = pid_;
+    reply.from = node_.id();
+    reply.prepared = true;
+    reply.proposed_ts = store_.uncommitted_ts(req.tx);
+    const NodeId to = req.coordinator;
+    const std::size_t size = reply.wire_size();
+    cluster.network().send(
+        node_.id(), to,
+        [&cluster, to, reply]() {
+          cluster.node(to).coordinator().on_prepare_reply(reply);
+        },
+        size);
+    return;
+  }
+
   auto rr = store_.replicate_insert(req.tx, req.updates,
                                     cluster.protocol().precise_clocks,
                                     node_.physical_now());
@@ -199,6 +231,7 @@ void PartitionActor::handle_replicate(ReplicateRequest req) {
   }
   const Timestamp proposed =
       store_.replicate_finish(req.tx, req.updates, rr.proposed_ts);
+  track_orphan(req.tx, req.coordinator);
 
   PrepareReply reply;
   reply.tx = req.tx;
@@ -219,13 +252,106 @@ void PartitionActor::handle_replicate(ReplicateRequest req) {
 void PartitionActor::apply_commit(const TxId& tx, Timestamp ct) {
   store_.final_commit(tx, ct);
   tombstones_.emplace(tx, node_.physical_now());
+  awaiting_decision_.erase(tx);
   resolve_writer(tx);
 }
 
 void PartitionActor::apply_abort(const TxId& tx) {
   store_.abort_tx(tx);
   tombstones_.emplace(tx, node_.physical_now());
+  awaiting_decision_.erase(tx);
   resolve_writer(tx);
+}
+
+void PartitionActor::track_orphan(const TxId& tx, NodeId coordinator) {
+  const RecoveryConfig& rc = node_.cluster().protocol().recovery;
+  if (!rc.enabled) return;
+  if (coordinator == node_.id()) return;  // local 2PC, decided synchronously
+  auto [it, inserted] = awaiting_decision_.try_emplace(tx);
+  if (!inserted) return;
+  it->second.coordinator = coordinator;
+  node_.cluster().scheduler().schedule_after(
+      rc.orphan_timeout, [this, tx]() { orphan_check(tx); });
+}
+
+void PartitionActor::orphan_check(const TxId& tx) {
+  auto it = awaiting_decision_.find(tx);
+  if (it == awaiting_decision_.end()) return;  // decided meanwhile
+  ScopedLogNode log_node(node_.id());
+  Cluster& cluster = node_.cluster();
+  const RecoveryConfig& rc = cluster.protocol().recovery;
+  Orphan& o = it->second;
+  const NodeId coordinator = o.coordinator;
+  if (!cluster.node(coordinator).up()) {
+    // Perfect failure detector (docs/FAULTS.md): only after seeing the
+    // coordinator down on several consecutive probes do we presume abort
+    // unilaterally and release the pre-commit lock.
+    if (++o.down_probes >= rc.orphan_down_probes) {
+      c_orphan_aborts_->inc();
+      apply_abort(tx);
+      return;
+    }
+  } else {
+    o.down_probes = 0;
+    ++o.probes;
+    DecisionRequest req;
+    req.tx = tx;
+    req.partition = pid_;
+    req.from = node_.id();
+    const std::size_t size = req.wire_size();
+    cluster.network().send(
+        node_.id(), coordinator,
+        [&cluster, coordinator, req]() {
+          cluster.node(coordinator).coordinator().on_decision_request(req);
+        },
+        size);
+  }
+  // Bounded backoff between probes, capped at orphan_interval_cap.
+  Timestamp wait = rc.orphan_timeout;
+  for (std::uint32_t i = 0; i < o.probes && wait < rc.orphan_interval_cap;
+       ++i) {
+    wait *= 2;
+  }
+  if (wait > rc.orphan_interval_cap) wait = rc.orphan_interval_cap;
+  cluster.scheduler().schedule_after(wait, [this, tx]() { orphan_check(tx); });
+}
+
+void PartitionActor::on_decision_reply(DecisionReply rep) {
+  ScopedLogNode log_node(node_.id());
+  auto it = awaiting_decision_.find(rep.tx);
+  if (it == awaiting_decision_.end()) return;  // resolved meanwhile
+  switch (rep.decision) {
+    case TxDecision::Committed:
+      apply_commit(rep.tx, rep.commit_ts);
+      break;
+    case TxDecision::Aborted:
+      c_orphan_aborts_->inc();
+      apply_abort(rep.tx);
+      break;
+    case TxDecision::Unknown:
+      // The coordinator is still deciding; keep waiting (the orphan timer
+      // stays armed).
+      break;
+  }
+}
+
+void PartitionActor::on_crash() {
+  // Volatile state is lost. The store is NOT cleared: committed data and
+  // prepared (pre-committed) versions survive — 2PC participants force-write
+  // the prepare record before acking (docs/FAULTS.md).
+  g_parked_->add(-static_cast<std::int64_t>(parked_readers()));
+  parked_.clear();
+  tombstones_.clear();
+  awaiting_decision_.clear();
+}
+
+void PartitionActor::on_restart() {
+  if (!node_.cluster().protocol().recovery.enabled) return;
+  // Prepared-but-undecided transactions found in the durable store re-enter
+  // orphan recovery. A TxId names its coordinator: tx.node.
+  for (const TxId& tx : store_.uncommitted_txns()) {
+    if (tx.node != node_.id()) track_orphan(tx, tx.node);
+  }
 }
 
 void PartitionActor::resolve_writer(const TxId& writer) {

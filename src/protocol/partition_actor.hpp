@@ -63,10 +63,25 @@ class PartitionActor {
   void apply_commit(const TxId& tx, Timestamp ct);
   void apply_abort(const TxId& tx);
 
+  /// Answer to an orphan probe (DecisionRequest) sent to the coordinator.
+  void on_decision_reply(DecisionReply rep);
+
+  /// Fail-stop crash: volatile state (parked readers, tombstones, orphan
+  /// probes) is lost; the store keeps committed data and prepared versions
+  /// (2PC participants force-write the prepare record).
+  void on_crash();
+
+  /// Rejoin: prepared-but-undecided remote transactions found in the
+  /// durable store re-enter orphan recovery.
+  void on_restart();
+
   /// Periodic maintenance: GC committed versions and expire tombstones.
   void maintain(Timestamp horizon);
 
   std::size_t parked_readers() const;
+
+  /// Prepared remote transactions currently awaiting a coordinator decision.
+  std::size_t awaiting_decisions() const { return awaiting_decision_.size(); }
 
  private:
   struct ParkedRead {
@@ -92,16 +107,33 @@ class PartitionActor {
 
   bool tombstoned(const TxId& tx) const { return tombstones_.contains(tx); }
 
+  /// Begin orphan surveillance of a prepared remote transaction: probe the
+  /// coordinator after orphan_timeout (bounded backoff), unilaterally abort
+  /// if the coordinator stays down. No-op unless recovery is enabled.
+  void track_orphan(const TxId& tx, NodeId coordinator);
+  void orphan_check(const TxId& tx);
+
   Node& node_;
   PartitionId pid_;
   bool is_master_;
   store::PartitionStore store_;
   std::unordered_map<TxId, std::vector<ParkedRead>, TxIdHash> parked_;
   std::unordered_map<TxId, Timestamp, TxIdHash> tombstones_;
+
+  /// Prepared-but-undecided remote transactions (the 2PC in-doubt window).
+  struct Orphan {
+    NodeId coordinator = kInvalidNode;
+    std::uint32_t probes = 0;       ///< DecisionRequests sent
+    std::uint32_t down_probes = 0;  ///< consecutive probes finding the
+                                    ///< coordinator down
+  };
+  std::unordered_map<TxId, Orphan, TxIdHash> awaiting_decision_;
+
   /// Convoy-effect instruments: how long reads sit parked behind
   /// pre-commit locks, and how many are parked right now.
   obs::Timer* t_read_block_ = nullptr;
   obs::Gauge* g_parked_ = nullptr;
+  obs::Counter* c_orphan_aborts_ = nullptr;
 };
 
 }  // namespace str::protocol

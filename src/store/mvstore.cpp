@@ -276,6 +276,30 @@ bool PartitionStore::has_uncommitted(const TxId& tx) const {
   return uncommitted_.contains(tx);
 }
 
+Timestamp PartitionStore::uncommitted_ts(const TxId& tx) const {
+  auto it = uncommitted_.find(tx);
+  if (it == uncommitted_.end()) return 0;
+  Timestamp ts = 0;
+  for (Key key : it->second) {
+    auto kit = map_.find(key);
+    if (kit == map_.end()) continue;
+    for (const Version& v : kit->second.versions) {
+      if (v.writer == tx && v.state != VersionState::Committed) {
+        ts = std::max(ts, v.ts);
+      }
+    }
+  }
+  return ts;
+}
+
+std::vector<TxId> PartitionStore::uncommitted_txns() const {
+  std::vector<TxId> txns;
+  txns.reserve(uncommitted_.size());
+  for (const auto& [tx, keys] : uncommitted_) txns.push_back(tx);
+  std::sort(txns.begin(), txns.end());
+  return txns;
+}
+
 std::vector<TxId> PartitionStore::uncommitted_writers(
     const std::vector<Key>& keys) const {
   std::vector<TxId> writers;

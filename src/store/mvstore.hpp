@@ -121,6 +121,20 @@ class PartitionStore {
   /// True if `tx` currently has uncommitted versions here.
   bool has_uncommitted(const TxId& tx) const;
 
+  /// Prepare timestamp of tx's uncommitted versions (max over its keys);
+  /// 0 when tx holds nothing here. Lets a participant re-answer a duplicated
+  /// or re-sent prepare/replicate without re-inserting versions — including
+  /// after a crash, since the prepared state is durable (2PC participants
+  /// force-write their prepare record) while the reply caches are not.
+  Timestamp uncommitted_ts(const TxId& tx) const;
+
+  /// Writers currently holding uncommitted versions, sorted by TxId so
+  /// crash-recovery iteration is deterministic.
+  std::vector<TxId> uncommitted_txns() const;
+
+  /// Number of transactions holding pre-commit locks here (leak probe).
+  std::size_t uncommitted_txn_count() const { return uncommitted_.size(); }
+
   /// Uncommitted writers holding versions on any of `keys` (conflict probe).
   std::vector<TxId> uncommitted_writers(const std::vector<Key>& keys) const;
 

@@ -110,6 +110,15 @@ struct TxnRecord {
   bool externalized = false;      ///< Ext-Spec surfaced results already
   Timestamp externalized_at = 0;
 
+  // -- timeout/retry bookkeeping (RecoveryConfig; unused when disabled) ---
+  /// Every (partition, node) expected to ack the prepare/replicate fan-out,
+  /// and the subset that acked. Ack dedup (duplicated deliveries, re-sent
+  /// prepares) keys on the pair; the missing set drives timeout re-sends.
+  std::set<std::pair<PartitionId, NodeId>> prepare_expected;
+  std::set<std::pair<PartitionId, NodeId>> prepare_acks;
+  std::uint32_t prepare_attempts = 0;  ///< timeout re-sends so far
+  std::uint64_t prepare_round = 0;     ///< invalidates stale prepare timers
+
   // -- suspended consumers -------------------------------------------------
   /// Reads whose value is known but which wait at the speculation gate
   /// (min OLCSet >= FFC, Alg. 1 line 15). The pending history event is

@@ -34,6 +34,13 @@ sim::Fiber Client::loop() {
     std::uint32_t attempts = 0;
     bool tx_committed = false;
     for (;;) {
+      // A crashed home node serves nothing: back off until it rejoins
+      // (begin() on a down node hands out a never-registered TxId whose
+      // outcome resolves aborted, which would otherwise spin here).
+      while (!stop_ && !cluster_.node_up(node_)) {
+        co_await sim::sleep_for(cluster_.scheduler(), msec(100));
+      }
+      if (stop_) break;
       ++attempts;
       // Client-side processing cost per attempt (request marshalling and,
       // on retry, transaction re-execution). Besides realism, this

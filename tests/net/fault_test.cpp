@@ -1,0 +1,298 @@
+// Deterministic fault injection at the network layer: drops, duplication,
+// partition windows, crash semantics (in-flight loss), inversion counting,
+// and the fault-plan parser.
+#include "net/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace str::net {
+namespace {
+
+Network make_network(sim::Scheduler& sched, double jitter = 0.0) {
+  Network net(sched, Topology::symmetric(2, msec(100)), Rng(1), jitter);
+  net.register_node(0, 0);
+  net.register_node(1, 1);
+  net.register_node(2, 0);
+  return net;
+}
+
+TEST(Fault, SendToUnregisteredNodeThrowsInvalidArgument) {
+  sim::Scheduler sched;
+  Network net = make_network(sched);
+  EXPECT_THROW(net.send(0, 7, []() {}), std::invalid_argument);
+  EXPECT_THROW(net.send(7, 0, []() {}), std::invalid_argument);
+  // Registered endpoints still work after the failed sends.
+  int delivered = 0;
+  net.send(0, 1, [&]() { ++delivered; });
+  sched.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Fault, DropProbabilityLosesMessages) {
+  sim::Scheduler sched;
+  Network net = make_network(sched);
+  FaultPlan plan;
+  plan.link.drop_prob = 0.5;
+  net.set_fault_plan(plan, Rng(99));
+  int delivered = 0;
+  constexpr int kSends = 1000;
+  for (int i = 0; i < kSends; ++i) {
+    net.send(0, 1, [&]() { ++delivered; });
+  }
+  sched.run();
+  EXPECT_EQ(delivered + static_cast<int>(net.stats().dropped), kSends);
+  // Binomial(1000, 0.5): anything outside [400, 600] means the RNG is wired
+  // wrong, not bad luck.
+  EXPECT_GT(delivered, 400);
+  EXPECT_LT(delivered, 600);
+}
+
+TEST(Fault, DuplicationDeliversTwiceAndCounts) {
+  sim::Scheduler sched;
+  Network net = make_network(sched);
+  FaultPlan plan;
+  plan.link.dup_prob = 1.0;
+  net.set_fault_plan(plan, Rng(7));
+  int delivered = 0;
+  net.send(0, 1, [&]() { ++delivered; });
+  sched.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(net.stats().duplicated, 1u);
+  EXPECT_EQ(net.stats().messages_sent, 1u);  // one logical message
+}
+
+TEST(Fault, PartitionWindowCutsBothDirectionsThenHeals) {
+  sim::Scheduler sched;
+  Network net = make_network(sched);
+  FaultPlan plan;
+  plan.add_partition(0, 1, msec(10), msec(500));
+  net.set_fault_plan(plan, Rng(1));
+  int delivered = 0;
+
+  // Before the window: flows.
+  net.send(0, 1, [&]() { ++delivered; });
+  sched.run();
+  EXPECT_EQ(delivered, 1);
+
+  // Inside the window: both directions cut, intra-region unaffected.
+  sched.schedule_at(msec(100), [&]() {
+    net.send(0, 1, [&]() { ++delivered; });
+    net.send(1, 0, [&]() { ++delivered; });
+    net.send(0, 2, [&]() { ++delivered; });  // same region, stays up
+  });
+  sched.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(net.stats().dropped, 2u);
+
+  // After the window: heals.
+  sched.schedule_at(msec(600), [&]() {
+    net.send(0, 1, [&]() { ++delivered; });
+  });
+  sched.run();
+  EXPECT_EQ(delivered, 3);
+}
+
+TEST(Fault, OneWayPartitionCutsOnlyOneDirection) {
+  sim::Scheduler sched;
+  Network net = make_network(sched);
+  FaultPlan plan;
+  plan.partitions.push_back({0, 1, 0, msec(500)});
+  net.set_fault_plan(plan, Rng(1));
+  int forward = 0, backward = 0;
+  net.send(0, 1, [&]() { ++forward; });
+  net.send(1, 0, [&]() { ++backward; });
+  sched.run();
+  EXPECT_EQ(forward, 0);
+  EXPECT_EQ(backward, 1);
+}
+
+TEST(Fault, CrashDropsInFlightAndInboundUntilRestart) {
+  sim::Scheduler sched;
+  Network net = make_network(sched);
+  int delivered = 0;
+  // In flight when the crash lands (one-way latency is 50ms).
+  net.send(0, 1, [&]() { ++delivered; });
+  sched.schedule_at(msec(10), [&]() { net.set_node_down(1, true); });
+  // Sent while down.
+  sched.schedule_at(msec(100), [&]() { net.send(0, 1, [&]() { ++delivered; }); });
+  sched.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_FALSE(net.node_up(1));
+  EXPECT_EQ(net.stats().dropped, 2u);
+
+  // After restart, messages flow again.
+  net.set_node_down(1, false);
+  net.send(0, 1, [&]() { ++delivered; });
+  sched.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_TRUE(net.node_up(1));
+}
+
+TEST(Fault, CrashedSourceMessagesNeverReachTheWire) {
+  // Fail-stop: a dead node sends nothing. The cluster relies on this — it
+  // marks a node down *before* running its crash handler, so the
+  // crash-time abort fan-out is swallowed like any other dead-node output.
+  sim::Scheduler sched;
+  Network net = make_network(sched);
+  net.set_node_down(0, true);
+  int delivered = 0;
+  net.send(0, 2, [&]() { ++delivered; });
+  sched.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.stats().dropped, 1u);
+  // Unrelated links keep working.
+  net.send(1, 2, [&]() { ++delivered; });
+  sched.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Fault, HealStopsStochasticFaultsAtTheGivenTime) {
+  sim::Scheduler sched;
+  Network net = make_network(sched);
+  FaultPlan plan;
+  plan.link.drop_prob = 1.0;
+  plan.link.heal_at = msec(10);
+  net.set_fault_plan(plan, Rng(5));
+  int delivered = 0;
+  net.send(0, 1, [&]() { ++delivered; });  // before heal: certain drop
+  sched.schedule_at(msec(20), [&]() {      // after heal: certain delivery
+    net.send(0, 1, [&]() { ++delivered; });
+  });
+  sched.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.stats().dropped, 1u);
+}
+
+TEST(Fault, JitterReorderingCountsInversions) {
+  sim::Scheduler sched;
+  // 30% jitter on a 50ms one-way latency: back-to-back sends overtake each
+  // other often.
+  Network net = make_network(sched, 0.30);
+  for (int i = 0; i < 200; ++i) {
+    net.send(0, 1, []() {});
+  }
+  sched.run();
+  EXPECT_GT(net.stats().inversions, 0u);
+  // Zero jitter cannot invert.
+  sim::Scheduler sched2;
+  Network net2 = make_network(sched2, 0.0);
+  for (int i = 0; i < 200; ++i) {
+    net2.send(0, 1, []() {});
+  }
+  sched2.run();
+  EXPECT_EQ(net2.stats().inversions, 0u);
+}
+
+TEST(Fault, FaultFreePlanIsBitIdenticalToNoPlan) {
+  // Attaching a plan with no stochastic faults must not perturb delivery
+  // times: the fault RNG is only consumed when a probability is nonzero.
+  auto run = [](bool with_plan) {
+    sim::Scheduler sched;
+    Network net = make_network(sched, 0.10);
+    if (with_plan) {
+      FaultPlan plan;
+      plan.add_crash(2, sec(999));  // scheduled-only plan, no link faults
+      net.set_fault_plan(plan, Rng(1234));
+    }
+    std::vector<Timestamp> arrivals;
+    for (int i = 0; i < 100; ++i) {
+      net.send(0, 1, [&, i]() { arrivals.push_back(sched.now()); });
+    }
+    sched.run();
+    return arrivals;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Fault, SameSeedSameFaultDecisions) {
+  auto run = [](std::uint64_t seed) {
+    sim::Scheduler sched;
+    Network net = make_network(sched);
+    FaultPlan plan;
+    plan.link.drop_prob = 0.3;
+    plan.link.dup_prob = 0.2;
+    net.set_fault_plan(plan, Rng(seed));
+    std::vector<int> delivered;
+    for (int i = 0; i < 300; ++i) {
+      net.send(0, 1, [&, i]() { delivered.push_back(i); });
+    }
+    sched.run();
+    return delivered;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(FaultPlanParse, FullSpecRoundTrip) {
+  const std::string spec =
+      "# chaos plan\n"
+      "drop 0.05\n"
+      "dup 0.02\n"
+      "heal 15.0\n"
+      "\n"
+      "partition 0 1 2.0 12.0\n"
+      "partition-oneway 2 3 1 4\n"
+      "crash 3 5.0 8.0\n"
+      "crash 4 6.0\n";
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::parse(spec, plan, error)) << error;
+  EXPECT_DOUBLE_EQ(plan.link.drop_prob, 0.05);
+  EXPECT_DOUBLE_EQ(plan.link.dup_prob, 0.02);
+  EXPECT_EQ(plan.link.heal_at, sec(15));
+  ASSERT_EQ(plan.partitions.size(), 3u);  // symmetric pair + one-way
+  EXPECT_TRUE(plan.partitioned(0, 1, sec(5)));
+  EXPECT_TRUE(plan.partitioned(1, 0, sec(5)));
+  EXPECT_FALSE(plan.partitioned(0, 1, sec(13)));
+  EXPECT_TRUE(plan.partitioned(2, 3, sec(2)));
+  EXPECT_FALSE(plan.partitioned(3, 2, sec(2)));
+  ASSERT_EQ(plan.crashes.size(), 2u);
+  EXPECT_EQ(plan.crashes[0].node, 3u);
+  EXPECT_EQ(plan.crashes[0].at, sec(5));
+  EXPECT_EQ(plan.crashes[0].restart_at, sec(8));
+  EXPECT_EQ(plan.crashes[1].restart_at, kTsInfinity);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanParse, ErrorsCarryLineNumbers) {
+  FaultPlan plan;
+  std::string error;
+  EXPECT_FALSE(FaultPlan::parse("drop 0.05\nbogus 1 2\n", plan, error));
+  EXPECT_NE(error.find('2'), std::string::npos) << error;
+  EXPECT_FALSE(FaultPlan::parse("drop notanumber\n", plan, error));
+  EXPECT_FALSE(FaultPlan::parse("drop 1.5\n", plan, error));       // prob > 1
+  EXPECT_FALSE(FaultPlan::parse("partition 0 1 9 2\n", plan, error));  // end<start
+  EXPECT_FALSE(FaultPlan::parse("crash 1 8 5\n", plan, error));    // restart<at
+  EXPECT_FALSE(FaultPlan::parse("heal -1\n", plan, error));        // negative
+}
+
+TEST(FaultPlanParse, EmptyAndCommentOnlySpecsAreEmptyPlans) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::parse("", plan, error));
+  EXPECT_TRUE(plan.empty());
+  ASSERT_TRUE(FaultPlan::parse("# nothing\n\n  # more\n", plan, error));
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlanParse, DescribeMentionsEveryFaultClass) {
+  FaultPlan plan;
+  plan.link.drop_prob = 0.05;
+  plan.link.dup_prob = 0.02;
+  plan.add_partition(0, 1, sec(2), sec(12));
+  plan.add_crash(3, sec(5), sec(8));
+  const std::string d = plan.describe();
+  EXPECT_NE(d.find("drop"), std::string::npos) << d;
+  EXPECT_NE(d.find("dup"), std::string::npos) << d;
+  EXPECT_NE(d.find("partition"), std::string::npos) << d;
+  EXPECT_NE(d.find("crash"), std::string::npos) << d;
+}
+
+}  // namespace
+}  // namespace str::net

@@ -15,9 +15,12 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "harness/csv.hpp"
 #include "harness/replicated.hpp"
 #include "harness/report.hpp"
+#include "net/fault.hpp"
 #include "workload/rubis.hpp"
 #include "workload/synthetic.hpp"
 #include "workload/tpcc.hpp"
@@ -42,6 +45,11 @@ struct Options {
   std::string metrics_out;
   bool uniform_topology = false;
   double wan_rtt_ms = 100;
+  // Chaos mode (see docs/FAULTS.md).
+  std::string fault_plan_path;
+  net::FaultPlan faults;
+  bool verify = false;
+  double drain_s = 3;
 };
 
 void usage() {
@@ -62,7 +70,38 @@ void usage() {
       "  --trace-out PATH    write a Chrome trace-event JSON (Perfetto /\n"
       "                      chrome://tracing loadable; first rep only)\n"
       "  --metrics-out PATH  write the merged metrics registry as JSON\n"
-      "                      (or CSV when PATH ends in .csv; first rep only)\n");
+      "                      (or CSV when PATH ends in .csv; first rep only)\n"
+      "chaos mode (docs/FAULTS.md; any fault flag enables recovery):\n"
+      "  --fault-plan PATH   load a fault-plan spec file\n"
+      "  --drop-prob P       per-message drop probability, every link\n"
+      "  --dup-prob P        per-message duplication probability\n"
+      "  --partition A:B:S:E cut regions A <-> B from S to E seconds\n"
+      "  --crash-node N:T[:R] crash node N at T s (restart at R s)\n"
+      "  --heal S            stop drops/dups at S seconds; defaults to the\n"
+      "                      end of the measurement window so the drain is\n"
+      "                      a fault-free recovery period\n"
+      "  --verify            record the history and run the SPSI checker\n"
+      "                      (exit 2 on violations, 3 on leaked state)\n"
+      "  --drain S           drain seconds after the window              [3]\n");
+}
+
+/// Split "a:b:c" into its numeric fields; false on count or parse errors.
+bool split_fields(const std::string& s, std::vector<double>& out,
+                  std::size_t min_fields, std::size_t max_fields) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t colon = s.find(':', pos);
+    const std::string field =
+        s.substr(pos, colon == std::string::npos ? colon : colon - pos);
+    if (field.empty()) return false;
+    char* end = nullptr;
+    out.push_back(std::strtod(field.c_str(), &end));
+    if (end == nullptr || *end != '\0') return false;
+    if (colon == std::string::npos) break;
+    pos = colon + 1;
+  }
+  return out.size() >= min_fields && out.size() <= max_fields;
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -122,6 +161,52 @@ bool parse(int argc, char** argv, Options& opt) {
       if ((v = next()) == nullptr) return false;
       opt.uniform_topology = true;
       opt.wan_rtt_ms = std::atof(v);
+    } else if (arg == "--fault-plan") {
+      if ((v = next()) == nullptr) return false;
+      opt.fault_plan_path = v;
+      std::string error;
+      if (!net::FaultPlan::load(opt.fault_plan_path, opt.faults, error)) {
+        std::fprintf(stderr, "--fault-plan %s: %s\n", v, error.c_str());
+        return false;
+      }
+    } else if (arg == "--drop-prob") {
+      if ((v = next()) == nullptr) return false;
+      opt.faults.link.drop_prob = std::atof(v);
+    } else if (arg == "--dup-prob") {
+      if ((v = next()) == nullptr) return false;
+      opt.faults.link.dup_prob = std::atof(v);
+    } else if (arg == "--partition") {
+      if ((v = next()) == nullptr) return false;
+      std::vector<double> f;
+      if (!split_fields(v, f, 4, 4)) {
+        std::fprintf(stderr, "--partition wants A:B:START:END, got %s\n", v);
+        return false;
+      }
+      opt.faults.add_partition(static_cast<RegionId>(f[0]),
+                               static_cast<RegionId>(f[1]),
+                               static_cast<Timestamp>(f[2] * 1e6),
+                               static_cast<Timestamp>(f[3] * 1e6));
+    } else if (arg == "--crash-node") {
+      if ((v = next()) == nullptr) return false;
+      std::vector<double> f;
+      if (!split_fields(v, f, 2, 3)) {
+        std::fprintf(stderr, "--crash-node wants NODE:AT[:RESTART], got %s\n",
+                     v);
+        return false;
+      }
+      opt.faults.add_crash(static_cast<NodeId>(f[0]),
+                           static_cast<Timestamp>(f[1] * 1e6),
+                           f.size() == 3
+                               ? static_cast<Timestamp>(f[2] * 1e6)
+                               : kTsInfinity);
+    } else if (arg == "--heal") {
+      if ((v = next()) == nullptr) return false;
+      opt.faults.link.heal_at = static_cast<Timestamp>(std::atof(v) * 1e6);
+    } else if (arg == "--verify") {
+      opt.verify = true;
+    } else if (arg == "--drain") {
+      if ((v = next()) == nullptr) return false;
+      opt.drain_s = std::atof(v);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -202,13 +287,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   cfg.cluster.seed = opt.seed;
+  cfg.cluster.faults = opt.faults;
   cfg.total_clients = opt.clients;
   cfg.warmup = static_cast<Timestamp>(opt.warmup_s * 1e6);
   cfg.duration = static_cast<Timestamp>(opt.duration_s * 1e6);
-  cfg.drain = sec(3);
+  cfg.drain = static_cast<Timestamp>(opt.drain_s * 1e6);
   cfg.self_tuning = opt.tuner;
   cfg.trace_out = opt.trace_out;
   cfg.metrics_out = opt.metrics_out;
+  cfg.verify = opt.verify;
 
   auto factory = workload_factory(opt.workload, ok);
   if (!ok) {
@@ -220,6 +307,10 @@ int main(int argc, char** argv) {
               opt.workload.c_str(), opt.protocol.c_str(), opt.nodes,
               cfg.cluster.replication_factor, opt.clients, opt.reps,
               opt.tuner ? " tuner=on" : "");
+  if (!opt.faults.empty()) {
+    std::printf("faults: %s%s\n", opt.faults.describe().c_str(),
+                opt.verify ? " (verify on)" : "");
+  }
 
   const auto agg = harness::run_replicated(cfg, factory, opt.reps);
   std::printf(
@@ -271,5 +362,47 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %zu rows to %s\n", agg.runs.size(), opt.csv.c_str());
   }
-  return 0;
+
+  // Chaos-mode verdicts: safety (the SPSI checker) and cleanup (no state
+  // leaked past the drain) must both hold under every fault plan.
+  int rc = 0;
+  if ((!opt.faults.empty() || opt.verify) && !agg.runs.empty()) {
+    std::uint64_t violations = 0, leaks = 0;
+    for (const auto& res : agg.runs) {
+      violations += res.violations.size();
+      if (!res.quiesce.clean()) ++leaks;
+    }
+    const auto& first = agg.runs.front();
+    std::printf(
+        "\nfaults: dropped=%llu duplicated=%llu inversions=%llu\n"
+        "recovery: rpc_timeouts=%llu rpc_retries=%llu orphan_aborts=%llu\n"
+        "quiesce: live=%zu parked=%zu locks=%zu orphans=%zu\n",
+        static_cast<unsigned long long>(first.net_dropped),
+        static_cast<unsigned long long>(first.net_duplicated),
+        static_cast<unsigned long long>(first.net_inversions),
+        static_cast<unsigned long long>(first.rpc_timeouts),
+        static_cast<unsigned long long>(first.rpc_retries),
+        static_cast<unsigned long long>(first.orphan_aborts),
+        first.quiesce.live_txns, first.quiesce.parked_reads,
+        first.quiesce.uncommitted_txns, first.quiesce.orphans);
+    if (opt.verify) {
+      std::printf("spsi: %llu violation(s)\n",
+                  static_cast<unsigned long long>(violations));
+      for (const auto& res : agg.runs) {
+        for (const std::string& viol : res.violations) {
+          std::fprintf(stderr, "SPSI VIOLATION: %s\n", viol.c_str());
+        }
+      }
+    }
+    if (leaks != 0) {
+      std::fprintf(stderr, "LEAK: %llu run(s) did not quiesce clean\n",
+                   static_cast<unsigned long long>(leaks));
+    }
+    if (violations != 0) {
+      rc = 2;
+    } else if (leaks != 0) {
+      rc = 3;
+    }
+  }
+  return rc;
 }
