@@ -88,7 +88,8 @@ enum class AbortReason : std::uint8_t {
   CascadingAbort,     ///< a transaction we data-depend on aborted
   UserAbort,          ///< workload logic requested rollback
   Timeout,            ///< RPC retries exhausted (message loss / partition)
-  NodeCrash,          ///< coordinator node crashed with the txn in flight
+  NodeCrash,          ///< coordinator node crashed or was down: txn in
+                      ///< flight at the crash, or begun while down
 };
 
 const char* to_string(AbortReason r);

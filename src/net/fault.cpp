@@ -77,6 +77,14 @@ bool FaultPlan::parse(const std::string& text, FaultPlan& out,
     } else {
       return fail(error, line_no, "unknown directive '" + cmd + "'");
     }
+    // Anything left on the line is a typo, not a directive: 'crash 3 5.0
+    // oops' must not silently become a permanent crash. (clear() resets the
+    // failbit a missing optional field left behind.)
+    tok.clear();
+    std::string junk;
+    if (tok >> junk) {
+      return fail(error, line_no, "unexpected trailing token '" + junk + "'");
+    }
   }
   return true;
 }

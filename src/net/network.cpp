@@ -150,11 +150,13 @@ void Network::send(NodeId from, NodeId to, UniqueFunction<void()> fn,
       fault_rng_.chance(plan_.link.dup_prob)) {
     // Deliver the same closure twice. Handlers must tolerate this — the
     // protocol layer dedups by request/transaction id; see docs/FAULTS.md.
+    // Only the primary copy was fed to note_arrival above: net.inversions
+    // measures jitter reordering between distinct messages, and a duplicate
+    // racing its own primary is not that.
     ++stats_.duplicated;
     if (c_duplicated_ != nullptr) c_duplicated_->inc();
     auto shared = std::make_shared<UniqueFunction<void()>>(std::move(fn));
     const Timestamp dup_latency = sample_latency(from, to);
-    note_arrival(from, to, dup_latency + sched_.now());
     schedule_delivery(to, latency, [shared]() { (*shared)(); });
     schedule_delivery(to, dup_latency, [shared]() { (*shared)(); });
     return;

@@ -58,6 +58,10 @@ class Network {
 
   /// Deliver `fn` at node `to` after the simulated latency from `from`.
   /// `size_hint` approximates the wire size for traffic accounting.
+  /// Under duplication faults the SAME closure object is invoked once per
+  /// delivered copy, so `fn` must be invocable multiple times: capture the
+  /// message payload by value and hand the handler a copy — never move a
+  /// capture out in the body.
   /// Throws std::invalid_argument when either endpoint is not a registered
   /// node — a protocol-layer routing bug, reported eagerly instead of as a
   /// bare std::out_of_range from deep inside the region lookup.

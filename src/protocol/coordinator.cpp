@@ -388,9 +388,12 @@ sim::Future<txn::TxFinalResult> Coordinator::outcome_future(const TxId& tx) {
   sim::Promise<txn::TxFinalResult> promise(node_.cluster().scheduler());
   txn::TxnRecord* rec = find(tx);
   if (rec == nullptr) {
+    // Never registered: begin() was called on a down node (clients obtain
+    // the outcome future immediately after begin(), so an erased record
+    // cannot be the cause here). Attribute to the crash, not a cascade.
     txn::TxFinalResult dead;
     dead.outcome = TxOutcome::Aborted;
-    dead.abort_reason = AbortReason::CascadingAbort;
+    dead.abort_reason = AbortReason::NodeCrash;
     promise.set_value(dead);
   } else {
     rec->outcome_waiters.push_back(promise);
@@ -405,10 +408,14 @@ sim::Future<txn::TxFinalResult> Coordinator::commit(const TxId& tx) {
 
   txn::TxnRecord* rec = find(tx);
   if (rec == nullptr || rec->phase == txn::TxnPhase::Aborted) {
+    // rec == nullptr is almost always a TxId handed out by begin() on a
+    // down node (never registered), so attribute it to the crash. A record
+    // torn down by a racing abort also lands here, but its true reason was
+    // already delivered through the outcome future registered at begin time.
     txn::TxFinalResult dead;
     dead.outcome = TxOutcome::Aborted;
     dead.abort_reason =
-        rec == nullptr ? AbortReason::CascadingAbort : rec->abort_reason;
+        rec == nullptr ? AbortReason::NodeCrash : rec->abort_reason;
     promise.set_value(dead);
     return promise.future();
   }
@@ -603,12 +610,15 @@ void Coordinator::send_prepare(
   }
   const std::size_t size = req.wire_size();
   Cluster* cl = &cluster;
+  // Pass a copy per invocation: under duplication faults the network runs
+  // this closure twice, so moving the request out would hand the second
+  // delivery an empty write set.
   cluster.network().send(
       node_.id(), master,
-      [cl, master, req = std::move(req)]() mutable {
+      [cl, master, req = std::move(req)]() {
         PartitionActor* actor = cl->node(master).replica(req.partition);
         STR_ASSERT(actor != nullptr);
-        actor->handle_prepare(std::move(req));
+        actor->handle_prepare(req);
       },
       size);
 }
@@ -629,12 +639,13 @@ void Coordinator::send_replicate(
   }
   const std::size_t size = rep.wire_size();
   Cluster* cl = &cluster;
+  // Copy per invocation: the closure may run twice under duplication.
   cluster.network().send(
       node_.id(), slave,
-      [cl, slave, rep = std::move(rep)]() mutable {
+      [cl, slave, rep = std::move(rep)]() {
         PartitionActor* actor = cl->node(slave).replica(rep.partition);
         STR_ASSERT(actor != nullptr);
-        actor->handle_replicate(std::move(rep));
+        actor->handle_replicate(rep);
       },
       size);
 }

@@ -105,8 +105,8 @@ void PartitionActor::deliver_read(ParkedRead&& rd,
   const std::size_t size = reply.wire_size();
   cluster.network().send(
       node_.id(), to,
-      [&cluster, to, reply = std::move(reply)]() mutable {
-        cluster.node(to).coordinator().on_read_reply(std::move(reply));
+      [&cluster, to, reply = std::move(reply)]() {
+        cluster.node(to).coordinator().on_read_reply(reply);
       },
       size);
 }
@@ -127,9 +127,13 @@ void PartitionActor::apply_local_commit(const TxId& tx, Timestamp lc) {
   resolve_writer(tx);
 }
 
-void PartitionActor::handle_prepare(PrepareRequest req) {
+void PartitionActor::handle_prepare(const PrepareRequest& req) {
   ScopedLogNode log_node(node_.id());
   STR_ASSERT_MSG(is_master_, "global prepare must target the master replica");
+  // Prepares are only ever built from nonempty write groups; an empty one
+  // means a delivery path handed us a moved-from request, which would
+  // trivially pass certification and must never reach the store.
+  STR_ASSERT_MSG(!req.updates.empty(), "prepare with an empty write set");
   Cluster& cluster = node_.cluster();
   PrepareReply reply;
   reply.tx = req.tx;
@@ -172,12 +176,13 @@ void PartitionActor::handle_prepare(PrepareRequest req) {
       rep.rs = req.rs;
       rep.updates = req.updates;
       const std::size_t size = rep.wire_size();
+      // Copy per invocation: the closure may run twice under duplication.
       cluster.network().send(
           node_.id(), slave,
-          [&cluster, slave, rep = std::move(rep)]() mutable {
+          [&cluster, slave, rep = std::move(rep)]() {
             PartitionActor* actor = cluster.node(slave).replica(rep.partition);
             STR_ASSERT(actor != nullptr);
-            actor->handle_replicate(std::move(rep));
+            actor->handle_replicate(rep);
           },
           size);
     }
@@ -193,10 +198,11 @@ void PartitionActor::handle_prepare(PrepareRequest req) {
       size);
 }
 
-void PartitionActor::handle_replicate(ReplicateRequest req) {
+void PartitionActor::handle_replicate(const ReplicateRequest& req) {
   ScopedLogNode log_node(node_.id());
   STR_ASSERT_MSG(!is_master_ || node_.id() != req.coordinator,
                  "replicate targets slave replicas");
+  STR_ASSERT_MSG(!req.updates.empty(), "replicate with an empty write set");
   Cluster& cluster = node_.cluster();
   if (tombstoned(req.tx)) return;  // late replicate of an aborted tx
 

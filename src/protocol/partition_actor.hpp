@@ -53,10 +53,13 @@ class PartitionActor {
   void apply_local_commit(const TxId& tx, Timestamp lc);
 
   /// Master-side global certification of a remote transaction's updates.
-  void handle_prepare(PrepareRequest req);
+  /// Duplicate-delivery tolerant: the request is taken by reference and
+  /// never consumed, so a network-duplicated closure can replay it intact.
+  void handle_prepare(const PrepareRequest& req);
 
-  /// Slave-side application of a master-certified pre-commit.
-  void handle_replicate(ReplicateRequest req);
+  /// Slave-side application of a master-certified pre-commit. Duplicate
+  /// deliveries re-ack idempotently from the stored proposal.
+  void handle_replicate(const ReplicateRequest& req);
 
   /// Final commit/abort application (from the coordinator's fan-out or the
   /// local synchronous path).

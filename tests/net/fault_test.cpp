@@ -67,6 +67,44 @@ TEST(Fault, DuplicationDeliversTwiceAndCounts) {
   EXPECT_EQ(net.stats().messages_sent, 1u);  // one logical message
 }
 
+TEST(Fault, DuplicatedDeliveriesEachSeeTheClosureCapturesIntact) {
+  // Duplication reuses ONE closure object for both deliveries (send's
+  // documented contract): every invocation must find the captured payload
+  // intact. Call sites therefore copy the payload out instead of moving it;
+  // a moved-out capture would hand the second delivery an empty message.
+  sim::Scheduler sched;
+  Network net = make_network(sched);
+  FaultPlan plan;
+  plan.link.dup_prob = 1.0;
+  net.set_fault_plan(plan, Rng(7));
+  std::vector<std::string> seen;
+  const std::string payload = "full-payload";
+  net.send(0, 1, [payload, &seen]() { seen.push_back(payload); });
+  sched.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "full-payload");
+  EXPECT_EQ(seen[1], "full-payload");
+}
+
+TEST(Fault, DuplicateCopiesDoNotCountAsInversions) {
+  // net.inversions is documented as jitter-induced reordering between
+  // distinct messages. A lone duplicated message has nothing to invert
+  // against: whichever copy the jitter favors, the counter stays zero.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Scheduler sched;
+    Network net(sched, Topology::symmetric(2, msec(100)), Rng(seed), 0.5);
+    net.register_node(0, 0);
+    net.register_node(1, 1);
+    FaultPlan plan;
+    plan.link.dup_prob = 1.0;
+    net.set_fault_plan(plan, Rng(seed));
+    net.send(0, 1, []() {});
+    sched.run();
+    ASSERT_EQ(net.stats().duplicated, 1u);
+    EXPECT_EQ(net.stats().inversions, 0u) << "seed " << seed;
+  }
+}
+
 TEST(Fault, PartitionWindowCutsBothDirectionsThenHeals) {
   sim::Scheduler sched;
   Network net = make_network(sched);
@@ -270,6 +308,26 @@ TEST(FaultPlanParse, ErrorsCarryLineNumbers) {
   EXPECT_FALSE(FaultPlan::parse("partition 0 1 9 2\n", plan, error));  // end<start
   EXPECT_FALSE(FaultPlan::parse("crash 1 8 5\n", plan, error));    // restart<at
   EXPECT_FALSE(FaultPlan::parse("heal -1\n", plan, error));        // negative
+}
+
+TEST(FaultPlanParse, TrailingGarbageIsAParseError) {
+  // 'crash 3 5.0 oops' must not silently become a permanent crash, and no
+  // directive may swallow stray tokens.
+  FaultPlan plan;
+  std::string error;
+  EXPECT_FALSE(FaultPlan::parse("crash 3 5.0 oops\n", plan, error));
+  EXPECT_NE(error.find("oops"), std::string::npos) << error;
+  EXPECT_FALSE(FaultPlan::parse("crash 3 5.0 8.0 junk\n", plan, error));
+  EXPECT_FALSE(FaultPlan::parse("drop 0.05 0.02\n", plan, error));
+  EXPECT_FALSE(FaultPlan::parse("heal 15 soon\n", plan, error));
+  EXPECT_FALSE(FaultPlan::parse("partition 0 1 2.0 12.0 x\n", plan, error));
+  // Comments after a directive are still fine; so is trailing whitespace.
+  ASSERT_TRUE(FaultPlan::parse("drop 0.05 # half\ncrash 3 5.0   \n", plan,
+                               error))
+      << error;
+  EXPECT_DOUBLE_EQ(plan.link.drop_prob, 0.05);
+  ASSERT_EQ(plan.crashes.size(), 1u);
+  EXPECT_EQ(plan.crashes[0].restart_at, kTsInfinity);
 }
 
 TEST(FaultPlanParse, EmptyAndCommentOnlySpecsAreEmptyPlans) {
