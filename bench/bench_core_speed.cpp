@@ -1,0 +1,231 @@
+// DES core-speed baseline: how fast does the simulator itself run?
+//
+// Every result in the repo comes out of the discrete-event simulator, so
+// events/sec *is* experiment throughput. This harness drives a fixed-seed
+// 9-region synthetic run and reports, for the measurement window only:
+//
+//   events/sec            scheduler events executed per wall-clock second
+//   txns/sec              committed transactions per wall-clock second
+//   allocs/event          heap allocations per event, via the interposing
+//                         operator-new counter below
+//   peak versions/key     longest MV version chain observed on any key
+//
+// The numbers are written to BENCH_CORE.json; the copy committed at the
+// repo root is the regression baseline that CI's bench-smoke job compares
+// against (scripts/check_bench_regression.py). The event/commit counts and
+// peak chain length are fully deterministic for a given seed; wall-clock
+// rates and the alloc count depend on the machine/stdlib. See
+// docs/PERFORMANCE.md for the schema and how to regenerate the baseline.
+//
+// Usage: bench_core_speed [--quick] [--out PATH] [--duration SEC] [--seed N]
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "protocol/cluster.hpp"
+#include "workload/client.hpp"
+#include "workload/synthetic.hpp"
+
+// ---------------------------------------------------------------------------
+// Interposing allocation counter: every global operator new in the process
+// bumps these. The DES is single-threaded but the counters are atomics so
+// the interposition is safe no matter what the runtime does.
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc(std::size_t size, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size == 0 ? align : size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+// ---------------------------------------------------------------------------
+
+using namespace str;  // NOLINT
+
+namespace {
+
+struct Options {
+  bool quick = false;
+  const char* out = "BENCH_CORE.json";
+  std::uint64_t seed = 42;
+  Timestamp duration = sec(10);
+  std::uint32_t clients = 180;
+};
+
+std::uint64_t peak_versions_per_key(protocol::Cluster& cluster) {
+  std::uint64_t peak = 0;
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    for (const auto& [pid, actor] : cluster.node(n).replicas()) {
+      peak = std::max(peak, actor->store().stats().peak_chain);
+    }
+  }
+  return peak;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opt.quick = true;
+      opt.duration = sec(3);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opt.out = argv[++i];
+    } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
+      opt.duration = sec(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out PATH] [--duration SEC] "
+                   "[--seed N]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  protocol::Cluster::Config cfg;
+  cfg.num_nodes = 9;
+  cfg.partitions_per_node = 1;
+  cfg.replication_factor = 6;
+  cfg.topology = net::Topology::ec2_nine_regions();
+  cfg.protocol = protocol::ProtocolConfig::str();
+  cfg.seed = opt.seed;
+
+  protocol::Cluster cluster(cfg);
+  workload::SyntheticWorkload wl(cluster,
+                                 workload::SyntheticConfig::synth_a());
+  wl.load(cluster);
+  auto pool = workload::ClientPool::with_total(cluster, wl, opt.clients);
+  pool.start_all();
+
+  const Timestamp warmup = sec(1);
+  cluster.run_for(warmup);
+  cluster.metrics().set_measurement_start(cluster.now());
+
+  const std::uint64_t events_before = cluster.scheduler().executed();
+  const std::uint64_t allocs_before = g_allocs.load();
+  const std::uint64_t bytes_before = g_alloc_bytes.load();
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  cluster.run_for(opt.duration);
+
+  const auto wall_end = std::chrono::steady_clock::now();
+  const std::uint64_t events = cluster.scheduler().executed() - events_before;
+  const std::uint64_t allocs = g_allocs.load() - allocs_before;
+  const std::uint64_t alloc_bytes = g_alloc_bytes.load() - bytes_before;
+  const std::uint64_t commits = cluster.metrics().commits();
+
+  // Drain (excluded from the window) so teardown is clean.
+  pool.request_stop_all();
+  cluster.run_for(sec(3));
+
+  const std::uint64_t peak_chain = peak_versions_per_key(cluster);
+  const double wall_s =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  const double events_per_sec =
+      wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+  const double txns_per_sec =
+      wall_s > 0.0 ? static_cast<double>(commits) / wall_s : 0.0;
+  const double allocs_per_event =
+      events > 0 ? static_cast<double>(allocs) / static_cast<double>(events)
+                 : 0.0;
+
+  std::printf("=== DES core speed (seed %llu, %u clients, %llu s virtual) "
+              "===\n",
+              static_cast<unsigned long long>(opt.seed), opt.clients,
+              static_cast<unsigned long long>(opt.duration / sec(1)));
+  std::printf("  events            %12llu\n",
+              static_cast<unsigned long long>(events));
+  std::printf("  wall seconds      %12.3f\n", wall_s);
+  std::printf("  events/sec        %12.0f\n", events_per_sec);
+  std::printf("  commits           %12llu\n",
+              static_cast<unsigned long long>(commits));
+  std::printf("  txns/sec          %12.0f\n", txns_per_sec);
+  std::printf("  allocs            %12llu\n",
+              static_cast<unsigned long long>(allocs));
+  std::printf("  allocs/event      %12.3f\n", allocs_per_event);
+  std::printf("  peak versions/key %12llu\n",
+              static_cast<unsigned long long>(peak_chain));
+
+  std::FILE* f = std::fopen(opt.out, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", opt.out);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"core_speed\",\n"
+               "  \"schema_version\": 1,\n"
+               "  \"seed\": %llu,\n"
+               "  \"quick\": %s,\n"
+               "  \"clients\": %u,\n"
+               "  \"virtual_warmup_s\": %llu,\n"
+               "  \"virtual_duration_s\": %llu,\n"
+               "  \"events\": %llu,\n"
+               "  \"wall_s\": %.6f,\n"
+               "  \"events_per_sec\": %.1f,\n"
+               "  \"commits\": %llu,\n"
+               "  \"txns_per_sec\": %.1f,\n"
+               "  \"allocs\": %llu,\n"
+               "  \"alloc_bytes\": %llu,\n"
+               "  \"allocs_per_event\": %.4f,\n"
+               "  \"peak_versions_per_key\": %llu\n"
+               "}\n",
+               static_cast<unsigned long long>(opt.seed),
+               opt.quick ? "true" : "false", opt.clients,
+               static_cast<unsigned long long>(warmup / sec(1)),
+               static_cast<unsigned long long>(opt.duration / sec(1)),
+               static_cast<unsigned long long>(events), wall_s,
+               events_per_sec, static_cast<unsigned long long>(commits),
+               txns_per_sec, static_cast<unsigned long long>(allocs),
+               static_cast<unsigned long long>(alloc_bytes), allocs_per_event,
+               static_cast<unsigned long long>(peak_chain));
+  std::fclose(f);
+  return 0;
+}

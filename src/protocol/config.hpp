@@ -64,8 +64,18 @@ struct ProtocolConfig {
   Timestamp gc_interval = sec(2);
   /// Committed versions older than now-horizon are collectable. Must exceed
   /// the largest possible read-snapshot staleness (max one-way latency plus
-  /// clock skew); the default is safe for every built-in topology.
+  /// clock skew); the default is safe for every built-in topology. Tombstones
+  /// (abort markers) always expire on this horizon, pruning or not.
   Timestamp gc_horizon = sec(4);
+
+  /// Prune committed versions up to the cluster-wide stable-snapshot
+  /// watermark (min over virtual now and every live transaction's read
+  /// snapshot) instead of only the fixed time horizon. Strictly more
+  /// aggressive and — because no current or future snapshot can fall below
+  /// the watermark — observably behaviour-neutral; the golden-determinism
+  /// test asserts the toggle does not move the execution hash. Speculative
+  /// (PreCommitted/LocalCommitted) versions are never pruned.
+  bool watermark_pruning = true;
 
   /// Timeout / retry / orphan-recovery machinery (off by default).
   RecoveryConfig recovery;

@@ -11,6 +11,7 @@ void PartitionStore::load(Key key, Value value) {
   STR_ASSERT_MSG(entry.versions.empty(), "load on an already-populated key");
   entry.versions.push_back(
       Version{0, VersionState::Committed, kNoTx, std::move(value)});
+  peak_chain_ = std::max<std::uint64_t>(peak_chain_, 1);
 }
 
 void PartitionStore::set_registry(obs::Registry* registry) {
@@ -357,6 +358,7 @@ StoreStats PartitionStore::stats() const {
   StoreStats s;
   s.keys = map_.size();
   s.gc_removed = gc_removed_;
+  s.peak_chain = peak_chain_;
   for (const auto& [key, entry] : map_) {
     s.versions += entry.versions.size();
     for (const Version& v : entry.versions) s.value_bytes += v.value.size();
@@ -384,6 +386,7 @@ void PartitionStore::insert_sorted(std::vector<Version>& chain, Version v) {
       chain.begin(), chain.end(), v.ts,
       [](Timestamp ts, const Version& existing) { return ts < existing.ts; });
   chain.insert(pos, std::move(v));
+  peak_chain_ = std::max<std::uint64_t>(peak_chain_, chain.size());
 }
 
 }  // namespace str::store

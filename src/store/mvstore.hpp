@@ -54,6 +54,10 @@ struct StoreStats {
   std::uint64_t versions = 0;
   std::uint64_t value_bytes = 0;
   std::uint64_t gc_removed = 0;
+  /// Longest version chain ever observed on any key (high-water mark; GC
+  /// trims chains but never rewinds this). The §5 storage-overhead
+  /// discussion and bench_core_speed report it as "peak versions/key".
+  std::uint64_t peak_chain = 0;
 };
 
 class PartitionStore {
@@ -167,12 +171,13 @@ class PartitionStore {
   };
 
   /// Insert keeping the chain sorted (versions mostly append).
-  static void insert_sorted(std::vector<Version>& chain, Version v);
+  void insert_sorted(std::vector<Version>& chain, Version v);
 
   std::unordered_map<Key, KeyEntry> map_;
   /// writer -> keys with an uncommitted version, for O(1) state transitions.
   std::unordered_map<TxId, std::vector<Key>, TxIdHash> uncommitted_;
   std::uint64_t gc_removed_ = 0;
+  std::uint64_t peak_chain_ = 0;
 
   void count_read(ReadKind kind);
 

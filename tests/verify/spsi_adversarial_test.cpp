@@ -1,0 +1,241 @@
+// Adversarial checker tests: inject violations into REAL histories.
+//
+// spsi_checker_test.cpp proves the checker on small hand-built histories;
+// property_test.cpp proves real executions come out clean. Neither proves
+// the checker still has teeth at scale — a vacuous checker (wrong index,
+// over-permissive exemption) would sail through both. Here we record a
+// genuine multi-node execution, assert it is clean, then surgically corrupt
+// single events (read-beyond-snapshot and stale-read for SPSI-1, a
+// write-write overlap between concurrent transactions for SPSI-2, a
+// cross-node speculative observation for SPSI-1(ii)) and require the
+// checker to flag every corruption. The mutations are built by replaying
+// the recorded history into a fresh recorder with one event rewritten.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "protocol/cluster.hpp"
+#include "verify/spsi_checker.hpp"
+#include "workload/client.hpp"
+#include "workload/synthetic.hpp"
+
+namespace str::verify {
+namespace {
+
+using protocol::Cluster;
+
+// The transaction id used for synthesized "evil" writers. Node 99 does not
+// exist in the recorded cluster, so it can never collide with a real txn.
+const TxId kEvil{99, 1};
+
+class SpsiAdversarialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Cluster::Config cfg;
+    cfg.num_nodes = 5;
+    cfg.partitions_per_node = 1;
+    cfg.replication_factor = 3;
+    cfg.topology = net::Topology::symmetric(5, msec(60));
+    cfg.seed = 11;
+    history_ = new HistoryRecorder;
+    Cluster cluster(cfg);
+    cluster.set_history(history_);
+    workload::SyntheticConfig wcfg;
+    wcfg.keys_per_txn = 4;
+    wcfg.keys_per_half = 100;
+    wcfg.local_hotspot = 2;
+    wcfg.remote_hotspot = 2;
+    workload::SyntheticWorkload wl(cluster, wcfg);
+    wl.load(cluster);
+    workload::ClientPool pool(cluster, wl, /*clients_per_node=*/3);
+    pool.start_all();
+    cluster.run_for(sec(4));
+    pool.request_stop_all();
+    cluster.run_for(sec(2));
+  }
+
+  static void TearDownTestSuite() {
+    delete history_;
+    history_ = nullptr;
+  }
+
+  static const HistoryRecorder& history() { return *history_; }
+
+  // Snapshot of a transaction's begin event, found by linear scan (the
+  // recorder's index() is one-shot, and we replay into fresh recorders).
+  static std::optional<BeginEvent> begin_of(const TxId& tx) {
+    for (const auto& b : history().begins()) {
+      if (b.tx == tx) return b;
+    }
+    return std::nullopt;
+  }
+
+  // Replays the recorded history into `dst`, replacing the read at index
+  // `mutate_index` (into reads(); SIZE_MAX = none) with `replacement`.
+  static void replay(HistoryRecorder& dst, std::size_t mutate_index,
+                     const ReadEvent& replacement) {
+    const HistoryRecorder& src = history();
+    for (const auto& e : src.begins()) dst.on_begin(e);
+    for (std::size_t i = 0; i < src.reads().size(); ++i) {
+      dst.on_read(i == mutate_index ? replacement : src.reads()[i]);
+    }
+    for (const auto& e : src.local_commits()) dst.on_local_commit(e);
+    for (const auto& e : src.final_commits()) dst.on_final_commit(e);
+    for (const auto& e : src.aborts()) dst.on_abort(e);
+  }
+
+  static WriteSetEvent commit_event(TxId tx, Timestamp ts, Timestamp at,
+                                    std::vector<Key> keys) {
+    WriteSetEvent e;
+    e.tx = tx;
+    e.ts = ts;
+    e.at = at;
+    e.keys = std::move(keys);
+    return e;
+  }
+
+  static HistoryRecorder* history_;
+};
+
+HistoryRecorder* SpsiAdversarialTest::history_ = nullptr;
+
+TEST_F(SpsiAdversarialTest, RecordedHistoryIsCleanAndNonTrivial) {
+  HistoryRecorder h;
+  replay(h, SIZE_MAX, ReadEvent{});
+  SpsiChecker checker(h);
+  EXPECT_TRUE(checker.check_all().empty());
+  // The mutations below need material to corrupt.
+  EXPECT_GT(history().reads().size(), 100u);
+  EXPECT_GT(history().final_commits().size(), 50u);
+}
+
+TEST_F(SpsiAdversarialTest, FlagsInjectedReadBeyondSnapshot) {
+  // Rewrite one committed read to observe a synthesized writer that
+  // final-committed ABOVE the reader's snapshot but before the read was
+  // served — exactly the SPSI-1(i) violation speculation could cause if the
+  // visibility gate broke.
+  const auto& reads = history().reads();
+  std::size_t victim = SIZE_MAX;
+  std::optional<BeginEvent> reader;
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    if (reads[i].writer_state != VersionState::Committed) continue;
+    if (reads[i].at == 0) continue;
+    reader = begin_of(reads[i].reader);
+    if (reader) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_NE(victim, SIZE_MAX) << "no committed read with a recorded begin";
+
+  ReadEvent evil = reads[victim];
+  const Timestamp evil_fc = reader->rs + 1000;
+  evil.writer = kEvil;
+  evil.version_ts = evil_fc;
+
+  HistoryRecorder h;
+  replay(h, victim, evil);
+  h.on_begin(BeginEvent{kEvil, reader->node, 0});
+  h.on_final_commit(
+      commit_event(kEvil, evil_fc, reads[victim].at - 1, {evil.key}));
+
+  SpsiChecker checker(h);
+  EXPECT_FALSE(checker.check_snapshot_reads().empty())
+      << "read of a version committed beyond the snapshot not flagged";
+}
+
+TEST_F(SpsiAdversarialTest, FlagsInjectedStaleRead) {
+  // Keep a real read as-is but synthesize a committed writer of the same
+  // key strictly between the observed version and the reader's snapshot,
+  // committed before the read was served. The read is now stale: it missed
+  // a version it was required to see.
+  const auto& reads = history().reads();
+  std::size_t victim = SIZE_MAX;
+  std::optional<BeginEvent> reader;
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    const ReadEvent& r = reads[i];
+    if (r.writer_state != VersionState::Committed) continue;
+    if (r.at == 0) continue;
+    reader = begin_of(r.reader);
+    if (reader && reader->rs > r.version_ts + 1) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_NE(victim, SIZE_MAX) << "no read with headroom below its snapshot";
+
+  HistoryRecorder h;
+  replay(h, SIZE_MAX, ReadEvent{});
+  h.on_begin(BeginEvent{kEvil, reader->node, 0});
+  h.on_final_commit(commit_event(kEvil, reader->rs,
+                                 reads[victim].at - 1, {reads[victim].key}));
+
+  SpsiChecker checker(h);
+  EXPECT_FALSE(checker.check_snapshot_reads().empty())
+      << "read that missed a visible committed version not flagged";
+}
+
+TEST_F(SpsiAdversarialTest, FlagsInjectedWriteWriteOverlap) {
+  // Synthesize a transaction concurrent with a real committed transaction
+  // (its snapshot is below the real one's commit timestamp) that commits an
+  // overlapping write set — the SPSI-2 / SI-2 violation certification
+  // exists to prevent.
+  const WriteSetEvent* target = nullptr;
+  for (const auto& c : history().final_commits()) {
+    if (!c.keys.empty() && c.ts > 0) {
+      target = &c;
+      break;
+    }
+  }
+  ASSERT_NE(target, nullptr) << "no committed transaction with writes";
+
+  HistoryRecorder h;
+  replay(h, SIZE_MAX, ReadEvent{});
+  h.on_begin(BeginEvent{kEvil, 0, target->ts - 1});  // concurrent with target
+  h.on_final_commit(
+      commit_event(kEvil, target->ts + 1, target->at + 1, {target->keys[0]}));
+
+  SpsiChecker checker(h);
+  EXPECT_FALSE(checker.check_ww_disjoint().empty())
+      << "concurrent overlapping write sets not flagged";
+}
+
+TEST_F(SpsiAdversarialTest, FlagsInjectedCrossNodeSpeculation) {
+  // Rewrite one read into a speculative observation of a writer that
+  // local-committed on a DIFFERENT node — SPSI-1(ii) forbids observing
+  // remote speculative state.
+  const auto& reads = history().reads();
+  std::size_t victim = SIZE_MAX;
+  std::optional<BeginEvent> reader;
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    if (reads[i].at == 0) continue;
+    reader = begin_of(reads[i].reader);
+    if (reader) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_NE(victim, SIZE_MAX);
+
+  const NodeId other = (reader->node + 1) % 5;
+  ReadEvent evil = reads[victim];
+  evil.writer = kEvil;
+  evil.writer_state = VersionState::LocalCommitted;
+  evil.version_ts = reader->rs > 0 ? reader->rs - 1 : 0;  // inside snapshot
+
+  HistoryRecorder h;
+  replay(h, victim, evil);
+  h.on_begin(BeginEvent{kEvil, other, 0});
+  WriteSetEvent lc = commit_event(kEvil, evil.version_ts,
+                                  reads[victim].at - 1, {evil.key});
+  h.on_local_commit(lc);
+
+  SpsiChecker checker(h);
+  EXPECT_FALSE(checker.check_speculative_reads().empty())
+      << "speculative read of a remote node's local commit not flagged";
+}
+
+}  // namespace
+}  // namespace str::verify
