@@ -92,8 +92,8 @@ void BM_MvStorePrepareCommit(benchmark::State& state) {
   Timestamp ts = 10;
   for (auto _ : state) {
     TxId tx{0, seq++};
-    std::vector<std::pair<Key, Value>> upd{
-        {rng.uniform(1000), "updated-value"}};
+    std::vector<std::pair<Key, SharedValue>> upd{
+        {rng.uniform(1000), std::make_shared<Value>("updated-value")}};
     auto pr = s.prepare(tx, ts, upd, true, ts);
     if (pr.ok) {
       s.local_commit(tx, pr.proposed_ts);
@@ -113,7 +113,8 @@ void BM_MvStoreVersionChainScan(benchmark::State& state) {
   Timestamp ts = 1;
   for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
     TxId tx{0, static_cast<std::uint64_t>(i + 1)};
-    std::vector<std::pair<Key, Value>> upd{{1, "v"}};
+    std::vector<std::pair<Key, SharedValue>> upd{
+        {1, std::make_shared<Value>("v")}};
     auto pr = s.prepare(tx, ts, upd, true, ts);
     s.final_commit(tx, pr.proposed_ts);
     ts = pr.proposed_ts + 1;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <string>
 
 namespace str {
@@ -52,6 +53,12 @@ using Key = std::uint64_t;
 
 /// Values are opaque byte strings; workloads serialize records into them.
 using Value = std::string;
+
+/// Shared immutable payload handle. A write's value is heap-allocated once
+/// at the coordinator and then aliased by every message, version-chain entry
+/// and read result that carries it — in a real system these would all point
+/// at the same serialized buffer. Empty handle = "no payload".
+using SharedValue = std::shared_ptr<const Value>;
 
 /// Lifecycle of a data item version (and of the transaction that wrote it).
 ///

@@ -91,16 +91,30 @@ void Network::note_arrival(NodeId from, NodeId to, Timestamp arrival) {
 
 void Network::schedule_delivery(NodeId to, Timestamp latency,
                                 UniqueFunction<void()> fn) {
+  // Park the handler in a pooled slot so the scheduled closure captures
+  // four words instead of a whole UniqueFunction — keeping it inside the
+  // scheduler's small-buffer and off the heap. The slot is vacated before
+  // the handler runs: the handler may send again and reuse it.
   const std::uint64_t epoch = node_epoch_[to];
-  sched_.schedule_after(
-      latency, [this, to, epoch, fn = std::move(fn)]() mutable {
-        if (node_up_[to] == 0 || node_epoch_[to] != epoch) {
-          // The destination crashed while this message was in flight.
-          count_drop();
-          return;
-        }
-        fn();
-      });
+  std::uint32_t slot;
+  if (!msg_free_.empty()) {
+    slot = msg_free_.back();
+    msg_free_.pop_back();
+    msg_pool_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(msg_pool_.size());
+    msg_pool_.push_back(std::move(fn));
+  }
+  sched_.schedule_after(latency, [this, to, epoch, slot] {
+    UniqueFunction<void()> handler = std::move(msg_pool_[slot]);
+    msg_free_.push_back(slot);
+    if (node_up_[to] == 0 || node_epoch_[to] != epoch) {
+      // The destination crashed while this message was in flight.
+      count_drop();
+      return;
+    }
+    handler();
+  });
 }
 
 void Network::send(NodeId from, NodeId to, UniqueFunction<void()> fn,

@@ -117,6 +117,10 @@ class Network {
   std::vector<std::uint64_t> node_epoch_;
   /// Latest scheduled arrival per directed link (key: from << 32 | to).
   std::unordered_map<std::uint64_t, Timestamp> last_arrival_;
+  /// In-flight message handlers, indexed by the slot the scheduled delivery
+  /// closure captures (see schedule_delivery). Slots recycle via msg_free_.
+  std::vector<UniqueFunction<void()>> msg_pool_;
+  std::vector<std::uint32_t> msg_free_;
   obs::Counter* c_messages_ = nullptr;
   obs::Counter* c_wan_messages_ = nullptr;
   obs::Counter* c_bytes_ = nullptr;

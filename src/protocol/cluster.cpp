@@ -1,5 +1,7 @@
 #include "protocol/cluster.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "common/log.hpp"
 
@@ -13,6 +15,11 @@ Cluster::Cluster(Config config)
       pmap_(config_.num_nodes, config_.partitions_per_node,
             config_.replication_factor) {
   STR_ASSERT(config_.num_nodes >= 1);
+  // Longest time a snapshot can ride the network unseen by any coordinator
+  // or actor: one-way flight plus the worst clock skew (+1 so a boundary
+  // arrival is still strictly inside the window).
+  flight_slack_ =
+      config_.topology.max_one_way() + config_.max_clock_skew + 1;
   net_.set_registry(&cluster_obs_);
   // Log lines carry virtual time while this cluster's DES is live on this
   // thread (the satellite of the observability layer; see common/log.hpp).
@@ -110,9 +117,43 @@ Cluster::QuiesceReport Cluster::quiesce_report() const {
 
 void Cluster::schedule_maintenance() {
   sched_.schedule_after(config_.protocol.gc_interval, [this]() {
-    for (auto& n : nodes_) n->maintain();
+    advance_watermark();
+    for (auto& n : nodes_) n->maintain(watermark_);
     schedule_maintenance();
   });
+}
+
+void Cluster::advance_watermark() {
+  // Candidate for this tick: the lowest snapshot any read could currently
+  // be using — live transactions' rs on every coordinator, plus parked and
+  // in-flight re-served readers on every actor (their owning transactions
+  // may already be gone, but the reads still hit the store).
+  const Timestamp now = sched_.now();
+  Timestamp candidate = kTsInfinity;
+  for (auto& n : nodes_) {
+    candidate = std::min(candidate, n->coordinator().min_active_rs());
+    for (auto& [pid, actor] : n->replicas()) {
+      candidate = std::min(candidate, actor->min_reader_rs());
+    }
+  }
+  wm_candidates_.emplace_back(now, candidate);
+  // Keep every candidate younger than flight_slack_ plus the most recent
+  // older one (u0). The published watermark is min(u0's tick time, all
+  // retained candidates): a request served after this tick was sent at most
+  // max_one_way() ago by a transaction that was either already live at u0
+  // (so its rs is folded into u0's candidate) or began after u0 (so its
+  // rs — begin time plus non-negative skew — is at least u0's tick time).
+  while (wm_candidates_.size() >= 2 &&
+         wm_candidates_[1].first + flight_slack_ <= now) {
+    wm_candidates_.pop_front();
+  }
+  Timestamp w = wm_candidates_.front().first + flight_slack_ <= now
+                    ? wm_candidates_.front().first
+                    : 0;
+  for (const auto& [at, c] : wm_candidates_) w = std::min(w, c);
+  // Monotonic publish: an older, larger watermark stays safe forever (its
+  // in-flight window has only receded further into the past).
+  watermark_ = std::max(watermark_, w);
 }
 
 }  // namespace str::protocol

@@ -5,7 +5,9 @@
 // and advance virtual time with run_for().
 #pragma once
 
+#include <deque>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -139,6 +141,13 @@ class Cluster {
   /// state is unreachable and excluded — see docs/FAULTS.md).
   QuiesceReport quiesce_report() const;
 
+  /// Cluster-wide stable-snapshot watermark: no read — live, parked, or
+  /// still in flight — can observe a snapshot below this timestamp, so
+  /// committed versions dominated by a newer committed version at or below
+  /// it are unreachable and safe to prune (ProtocolConfig::watermark_pruning).
+  /// Monotonic; recomputed on every maintenance tick. Exposed for tests.
+  Timestamp stable_watermark() const { return watermark_; }
+
  private:
   Config config_;
   sim::Scheduler sched_;
@@ -153,7 +162,18 @@ class Cluster {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<char> node_spec_enabled_;
 
+  /// Watermark bookkeeping: per-tick candidates (tick time, min observable
+  /// snapshot at that tick). A candidate only becomes the published
+  /// watermark once it is at least flight_slack_ old — a request in flight
+  /// now was sent by a transaction that was either live at that older tick
+  /// (its rs is in the candidate) or born after it (its rs exceeds the tick
+  /// time). See advance_watermark() for the full argument.
+  std::deque<std::pair<Timestamp, Timestamp>> wm_candidates_;
+  Timestamp flight_slack_ = 0;
+  Timestamp watermark_ = 0;
+
   void schedule_maintenance();
+  void advance_watermark();
 };
 
 }  // namespace str::protocol

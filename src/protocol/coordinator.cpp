@@ -56,7 +56,13 @@ TxId Coordinator::begin(Timestamp first_activation) {
     // immediately and the client backs off until the restart.
     return id;
   }
-  auto rec = std::make_unique<txn::TxnRecord>();
+  std::unique_ptr<txn::TxnRecord> rec;
+  if (!record_pool_.empty()) {
+    rec = std::move(record_pool_.back());
+    record_pool_.pop_back();
+  } else {
+    rec = std::make_unique<txn::TxnRecord>();
+  }
   rec->id = id;
   rec->origin = node_.id();
   rec->rs = node_.physical_now();
@@ -109,10 +115,13 @@ sim::Future<txn::ReadResult> Coordinator::read(const TxId& tx, Key key) {
     return promise.future();
   }
 
-  // Read-your-own-writes from the private buffer.
-  if (auto it = rec->writes.find(key); it != rec->writes.end()) {
-    promise.set_value(own_write_result(it->second, tx, rec->rs));
-    return promise.future();
+  // Read-your-own-writes from the private buffer (linear scan: write sets
+  // are small and the buffer is a flat vector).
+  for (const auto& [wkey, wvalue] : rec->writes) {
+    if (wkey == key) {
+      promise.set_value(own_write_result(wvalue, tx, rec->rs));
+      return promise.future();
+    }
   }
 
   rec->outstanding_reads.push_back(promise);
@@ -262,7 +271,9 @@ void Coordinator::on_read_value(const TxId& tx, Key key,
 
   txn::ReadResult result;
   result.found = r.kind != store::ReadKind::NotFound;
-  result.value = r.value;
+  // The one place a read materializes the payload: the client-facing result
+  // owns a plain string, everything upstream shared the stored buffer.
+  if (r.value) result.value = *r.value;
   result.writer = r.writer;
   result.version_ts = r.ts;
 
@@ -303,17 +314,18 @@ void Coordinator::on_read_value(const TxId& tx, Key key,
 }
 
 void Coordinator::record_read_event(const TxId& tx, Key key,
-                                    const txn::ReadResult& result) {
+                                    const TxId& writer, Timestamp version_ts,
+                                    bool speculative) {
   Cluster& cluster = node_.cluster();
   auto* h = cluster.history();
   if (h == nullptr) return;
   verify::ReadEvent ev;
   ev.reader = tx;
   ev.key = key;
-  ev.writer = result.writer;
-  ev.version_ts = result.version_ts;
-  ev.writer_state = result.speculative ? VersionState::LocalCommitted
-                                       : VersionState::Committed;
+  ev.writer = writer;
+  ev.version_ts = version_ts;
+  ev.writer_state =
+      speculative ? VersionState::LocalCommitted : VersionState::Committed;
   ev.at = cluster.now();
   h->on_read(ev);
 }
@@ -323,14 +335,18 @@ void Coordinator::gate_or_deliver(txn::TxnRecord& rec, Key key,
                                   sim::Promise<txn::ReadResult> promise) {
   const Timestamp now = node_.cluster().now();
   if (rec.gate_open()) {
-    txn::ReadResult copy = result;
-    if (promise.try_set_value(std::move(copy))) {
-      record_read_event(rec.id, key, result);
+    // Save the event fields, then hand the result itself to the promise —
+    // the payload string is never duplicated for bookkeeping.
+    const TxId writer = result.writer;
+    const Timestamp version_ts = result.version_ts;
+    const bool speculative = result.speculative;
+    if (promise.try_set_value(std::move(result))) {
+      record_read_event(rec.id, key, writer, version_ts, speculative);
       if (rec.first_read_ready_at == 0) rec.first_read_ready_at = now;
       if (tracer_->enabled()) {
         tracer_->emit({now, rec.id, node_.id(),
                        obs::TraceEventType::ReadReady, key,
-                       result.speculative ? 1u : 0u});
+                       speculative ? 1u : 0u});
       }
     }
     return;
@@ -350,9 +366,11 @@ void Coordinator::reeval_gate(txn::TxnRecord& rec) {
   auto waiters = std::move(rec.gate_waiters);
   rec.gate_waiters.clear();
   for (auto& w : waiters) {
-    txn::ReadResult copy = w.result;
-    if (w.promise.try_set_value(std::move(copy))) {
-      record_read_event(rec.id, w.key, w.result);
+    const TxId writer = w.result.writer;
+    const Timestamp version_ts = w.result.version_ts;
+    const bool speculative = w.result.speculative;
+    if (w.promise.try_set_value(std::move(w.result))) {
+      record_read_event(rec.id, w.key, writer, version_ts, speculative);
       const Timestamp stalled = now - w.parked_at;
       rec.gate_stall_total += stalled;
       if (rec.first_read_ready_at == 0) rec.first_read_ready_at = now;
@@ -361,7 +379,7 @@ void Coordinator::reeval_gate(txn::TxnRecord& rec) {
                        obs::TraceEventType::GateReleased, w.key, stalled});
         tracer_->emit({now, rec.id, node_.id(),
                        obs::TraceEventType::ReadReady, w.key,
-                       w.result.speculative ? 1u : 0u});
+                       speculative ? 1u : 0u});
       }
     }
   }
@@ -372,12 +390,13 @@ void Coordinator::write(const TxId& tx, Key key, Value value) {
   if (rec == nullptr || rec->finished()) return;  // writes of dead txns no-op
   STR_ASSERT_MSG(rec->phase == txn::TxnPhase::Active,
                  "write after commit request");
-  auto [it, inserted] = rec->writes.emplace(key, std::move(value));
-  if (inserted) {
-    rec->write_order.push_back(key);
-  } else {
-    it->second = std::move(value);
+  for (auto& [wkey, wvalue] : rec->writes) {
+    if (wkey == key) {
+      wvalue = std::move(value);
+      return;
+    }
   }
+  rec->writes.emplace_back(key, std::move(value));
 }
 
 void Coordinator::user_abort(const TxId& tx) {
@@ -430,10 +449,13 @@ sim::Future<txn::TxFinalResult> Coordinator::commit(const TxId& tx) {
     return promise.future();
   }
 
-  if (!local_certification(*rec)) {
+  // One write-set grouping serves both certification phases; the shared
+  // per-partition lists then ride every message of the fan-out.
+  const WriteGroups groups = group_writes(*rec);
+  if (!local_certification(*rec, groups)) {
     return promise.future();  // aborted inside local_certification
   }
-  start_global_certification(*rec);
+  start_global_certification(*rec, groups);
   maybe_finalize(*rec);  // all-local write sets may be ready immediately
   return promise.future();
 }
@@ -443,29 +465,50 @@ Coordinator::WriteGroups Coordinator::group_writes(
   WriteGroups g;
   const Node& node = node_;
   const PartitionMap& pmap = node.cluster().pmap();
-  for (Key key : rec.write_order) {
+  for (const auto& [key, value] : rec.writes) {
     const PartitionId pid = PartitionMap::partition_of(key);
-    const Value& value = rec.writes.at(key);
+    // One heap payload per write; the update lists, the cache entry, every
+    // fan-out message and every replica's version chain all share it.
+    SharedValue shared = std::make_shared<Value>(value);
     if (pmap.replicates(node.id(), pid)) {
-      g.local[pid].emplace_back(key, value);
+      auto& updates = g.local[pid];
+      if (!updates) updates = std::make_shared<UpdateList>();
+      updates->emplace_back(key, std::move(shared));
     } else {
-      g.remote[pid].emplace_back(key, value);
-      g.cache.emplace_back(key, value);
+      auto& updates = g.remote[pid];
+      if (!updates) updates = std::make_shared<UpdateList>();
+      updates->emplace_back(key, shared);
+      g.cache.emplace_back(key, std::move(shared));
     }
   }
   return g;
 }
 
-bool Coordinator::local_certification(txn::TxnRecord& rec) {
+Coordinator::TouchedPartitions Coordinator::touched_partitions(
+    const txn::TxnRecord& rec) const {
+  TouchedPartitions t;
+  const PartitionMap& pmap = node_.cluster().pmap();
+  for (const auto& [key, value] : rec.writes) {
+    const PartitionId pid = PartitionMap::partition_of(key);
+    if (pmap.replicates(node_.id(), pid)) {
+      t.local[pid] = true;
+    } else {
+      t.remote[pid] = true;
+    }
+  }
+  return t;
+}
+
+bool Coordinator::local_certification(txn::TxnRecord& rec,
+                                      const WriteGroups& groups) {
   Cluster& cluster = node_.cluster();
-  WriteGroups groups = group_writes(rec);
-  const std::set<TxId>* chain =
+  const FlatSet<TxId>* chain =
       rec.snapshot_lc_writers.empty() ? nullptr : &rec.snapshot_lc_writers;
 
   if (tracer_->enabled()) {
     tracer_->emit({cluster.now(), rec.id, node_.id(),
-                   obs::TraceEventType::LocalCertStart,
-                   rec.write_order.size(), 0});
+                   obs::TraceEventType::LocalCertStart, rec.writes.size(),
+                   0});
   }
 
   // Local 2PC (synchronous: all participants are on this node). Collect
@@ -474,10 +517,11 @@ bool Coordinator::local_certification(txn::TxnRecord& rec) {
   Timestamp lc = rec.rs + 1;
   std::vector<PartitionId> prepared_local;
   bool conflict = false;
-  for (auto& [pid, updates] : groups.local) {
+  for (const auto& [pid, updates] : groups.local) {
     PartitionActor* actor = node_.replica(pid);
     STR_ASSERT(actor != nullptr);
-    store::PrepareResult pr = actor->prepare_local(rec.id, rec.rs, updates, chain);
+    store::PrepareResult pr =
+        actor->prepare_local(rec.id, rec.rs, *updates, chain);
     if (!pr.ok) {
       conflict = true;
       break;
@@ -511,7 +555,7 @@ bool Coordinator::local_certification(txn::TxnRecord& rec) {
   // until the final outcome (visible_at set in finalize_commit).
   rec.cert_at = cluster.now();
   if (spec_active()) rec.visible_at = rec.cert_at;
-  for (auto& [pid, updates] : groups.local) {
+  for (const auto& [pid, updates] : groups.local) {
     node_.replica(pid)->apply_local_commit(rec.id, lc);
   }
   if (use_cache) node_.cache().local_commit(rec.id, lc);
@@ -538,23 +582,28 @@ bool Coordinator::local_certification(txn::TxnRecord& rec) {
     ev.tx = rec.id;
     ev.ts = lc;
     ev.at = cluster.now();
-    ev.keys = rec.write_order;
+    ev.keys.reserve(rec.writes.size());
+    for (const auto& [key, value] : rec.writes) ev.keys.push_back(key);
     h->on_local_commit(ev);
   }
   return true;
 }
 
-void Coordinator::start_global_certification(txn::TxnRecord& rec) {
+void Coordinator::start_global_certification(txn::TxnRecord& rec,
+                                             const WriteGroups& groups) {
   Cluster& cluster = node_.cluster();
   const PartitionMap& pmap = cluster.pmap();
-  WriteGroups groups = group_writes(rec);
   rec.prepares_sent_at = cluster.now();
 
   // Gather all touched partitions (local-replicated and remote-mastered).
-  std::vector<std::pair<PartitionId, const std::vector<std::pair<Key, Value>>*>>
+  std::vector<std::pair<PartitionId, const std::shared_ptr<UpdateList>*>>
       parts;
-  for (const auto& [pid, updates] : groups.local) parts.emplace_back(pid, &updates);
-  for (const auto& [pid, updates] : groups.remote) parts.emplace_back(pid, &updates);
+  for (const auto& [pid, updates] : groups.local) {
+    parts.emplace_back(pid, &updates);
+  }
+  for (const auto& [pid, updates] : groups.remote) {
+    parts.emplace_back(pid, &updates);
+  }
 
   for (const auto& [pid, updates] : parts) {
     const auto& replicas = pmap.replicas(pid);
@@ -593,9 +642,8 @@ void Coordinator::start_global_certification(txn::TxnRecord& rec) {
   }
 }
 
-void Coordinator::send_prepare(
-    const txn::TxnRecord& rec, PartitionId pid,
-    const std::vector<std::pair<Key, Value>>& updates) {
+void Coordinator::send_prepare(const txn::TxnRecord& rec, PartitionId pid,
+                               SharedUpdates updates) {
   Cluster& cluster = node_.cluster();
   const NodeId master = cluster.pmap().master(pid);
   PrepareRequest req;
@@ -603,16 +651,16 @@ void Coordinator::send_prepare(
   req.coordinator = node_.id();
   req.partition = pid;
   req.rs = rec.rs;
-  req.updates = updates;
+  req.updates = std::move(updates);
   if (tracer_->enabled()) {
     tracer_->emit({cluster.now(), rec.id, node_.id(),
                    obs::TraceEventType::PrepareSent, master, pid});
   }
   const std::size_t size = req.wire_size();
   Cluster* cl = &cluster;
-  // Pass a copy per invocation: under duplication faults the network runs
-  // this closure twice, so moving the request out would hand the second
-  // delivery an empty write set.
+  // The request is only read by the handler (updates are shared and
+  // immutable), so running the closure twice under duplication faults hands
+  // both deliveries the same intact payload.
   cluster.network().send(
       node_.id(), master,
       [cl, master, req = std::move(req)]() {
@@ -623,23 +671,22 @@ void Coordinator::send_prepare(
       size);
 }
 
-void Coordinator::send_replicate(
-    const txn::TxnRecord& rec, PartitionId pid, NodeId slave,
-    const std::vector<std::pair<Key, Value>>& updates) {
+void Coordinator::send_replicate(const txn::TxnRecord& rec, PartitionId pid,
+                                 NodeId slave, SharedUpdates updates) {
   Cluster& cluster = node_.cluster();
   ReplicateRequest rep;
   rep.tx = rec.id;
   rep.coordinator = node_.id();
   rep.partition = pid;
   rep.rs = rec.rs;
-  rep.updates = updates;
+  rep.updates = std::move(updates);
   if (tracer_->enabled()) {
     tracer_->emit({cluster.now(), rec.id, node_.id(),
                    obs::TraceEventType::PrepareSent, slave, pid});
   }
   const std::size_t size = rep.wire_size();
   Cluster* cl = &cluster;
-  // Copy per invocation: the closure may run twice under duplication.
+  // Read-only closure; safe to run twice under duplication faults.
   cluster.network().send(
       node_.id(), slave,
       [cl, slave, rep = std::move(rep)]() {
@@ -659,7 +706,7 @@ void Coordinator::resend_prepares(txn::TxnRecord& rec) {
   // partitions the prepare is re-sent to the master, which re-answers
   // idempotently and re-replicates to its slaves (any of which may be the
   // one whose reply was lost).
-  std::set<PartitionId> remote_missing;
+  FlatSet<PartitionId> remote_missing;
   for (const auto& [pid, n] : rec.prepare_expected) {
     if (rec.prepare_acks.contains({pid, n})) continue;
     if (pmap.is_master(node_.id(), pid)) {
@@ -769,8 +816,9 @@ void Coordinator::finalize_commit(txn::TxnRecord& rec) {
   }
 
   // Apply locally: flip local-committed versions to committed, drop the
-  // cached remote-key copies (Alg. 1 line 44).
-  WriteGroups groups = group_writes(rec);
+  // cached remote-key copies (Alg. 1 line 44). Only partition ids are
+  // needed from here on — not the values, so skip the write-set copy.
+  const TouchedPartitions groups = touched_partitions(rec);
   for (const auto& [pid, updates] : groups.local) {
     node_.replica(pid)->apply_commit(rec.id, ct);
   }
@@ -816,7 +864,8 @@ void Coordinator::finalize_commit(txn::TxnRecord& rec) {
     ev.tx = rec.id;
     ev.ts = ct;
     ev.at = cluster.now();
-    ev.keys = rec.write_order;
+    ev.keys.reserve(rec.writes.size());
+    for (const auto& [key, value] : rec.writes) ev.keys.push_back(key);
     h->on_final_commit(ev);
   }
   cluster.metrics().record_commit(cluster.now(), rec.first_activation,
@@ -899,8 +948,9 @@ void Coordinator::abort_tx(const TxId& tx, AbortReason reason) {
   }
 
   // Remove this transaction's uncommitted versions from local replicas and
-  // the cache; parked readers re-route to older versions.
-  WriteGroups groups = group_writes(rec);
+  // the cache; parked readers re-route to older versions. Partition ids
+  // only — no value copies.
+  const TouchedPartitions groups = touched_partitions(rec);
   for (const auto& [pid, updates] : groups.local) {
     node_.replica(pid)->apply_abort(rec.id);
   }
@@ -1036,7 +1086,14 @@ void Coordinator::erase(const TxId& tx) {
   // no entry and is ignored.
   std::erase_if(pending_remote_,
                 [&tx](const auto& kv) { return kv.second.tx == tx; });
-  if (txns_.erase(tx) != 0) g_live_->add(-1);
+  auto it = txns_.find(tx);
+  if (it == txns_.end()) return;
+  // Recycle the record: reset now (released promises and shared payloads
+  // should not outlive the transaction), park it for the next begin().
+  it->second->reset();
+  record_pool_.push_back(std::move(it->second));
+  txns_.erase(it);
+  g_live_->add(-1);
 }
 
 }  // namespace str::protocol

@@ -23,6 +23,7 @@
 // ever left suspended.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
 
@@ -96,6 +97,16 @@ class Coordinator {
 
   std::size_t live_transactions() const { return txns_.size(); }
 
+  /// Lowest read snapshot among this node's live transactions (kTsInfinity
+  /// when none). Feeds the cluster-wide stable-snapshot watermark: no
+  /// request is ever sent for a dead transaction, so every future read of
+  /// this coordinator carries a snapshot at or above this bound.
+  Timestamp min_active_rs() const {
+    Timestamp m = kTsInfinity;
+    for (const auto& [tx, rec] : txns_) m = std::min(m, rec->rs);
+    return m;
+  }
+
  private:
   /// A read value (from a local replica, the cache, or a remote reply) is
   /// ready: apply OLCSet/FFC updates, dependency edges, then pass the gate.
@@ -109,17 +120,40 @@ class Coordinator {
   void gate_or_deliver(txn::TxnRecord& rec, Key key, txn::ReadResult result,
                        sim::Promise<txn::ReadResult> promise);
 
-  void record_read_event(const TxId& tx, Key key,
-                         const txn::ReadResult& result);
+  void record_read_event(const TxId& tx, Key key, const TxId& writer,
+                         Timestamp version_ts, bool speculative);
 
   /// Re-check parked gate waiters after OLCSet/FFC changed.
   void reeval_gate(txn::TxnRecord& rec);
 
-  /// Synchronous local certification; returns false (and aborts) on
-  /// conflict. On success the transaction is LocalCommitted.
-  bool local_certification(txn::TxnRecord& rec);
+  /// Partitions of the write set replicated at this node, with the updates
+  /// grouped; and the remote-key subset for the cache partition. The
+  /// per-partition lists are heap-shared so the whole prepare/replicate
+  /// fan-out (and any duplicated delivery) carries one copy of the values.
+  struct WriteGroups {
+    std::unordered_map<PartitionId, std::shared_ptr<UpdateList>> local;
+    std::unordered_map<PartitionId, std::shared_ptr<UpdateList>> remote;
+    UpdateList cache;  ///< keys not replicated here
+  };
+  WriteGroups group_writes(const txn::TxnRecord& rec) const;
 
-  void start_global_certification(txn::TxnRecord& rec);
+  /// Just the touched partition ids (same first-touch insertion order as
+  /// group_writes, hence the map: identical iteration order matters for
+  /// deterministic message ordering). For the commit/abort fan-outs, which
+  /// never look at the values.
+  struct TouchedPartitions {
+    std::unordered_map<PartitionId, bool> local;
+    std::unordered_map<PartitionId, bool> remote;
+  };
+  TouchedPartitions touched_partitions(const txn::TxnRecord& rec) const;
+
+  /// Synchronous local certification; returns false (and aborts) on
+  /// conflict. On success the transaction is LocalCommitted. `groups` is
+  /// computed once in commit() and shared with the global phase.
+  bool local_certification(txn::TxnRecord& rec, const WriteGroups& groups);
+
+  void start_global_certification(txn::TxnRecord& rec,
+                                  const WriteGroups& groups);
 
   /// Commit once prepares are in and dependencies resolved (SPSI-4).
   void maybe_finalize(txn::TxnRecord& rec);
@@ -137,15 +171,6 @@ class Coordinator {
   void erase(const TxId& tx);
 
   bool spec_active() const;
-
-  /// Partitions of the write set replicated at this node, with the updates
-  /// grouped; and the remote-key subset for the cache partition.
-  struct WriteGroups {
-    std::unordered_map<PartitionId, std::vector<std::pair<Key, Value>>> local;
-    std::unordered_map<PartitionId, std::vector<std::pair<Key, Value>>> remote;
-    std::vector<std::pair<Key, Value>> cache;  ///< keys not replicated here
-  };
-  WriteGroups group_writes(const txn::TxnRecord& rec) const;
 
   struct PendingRemoteRead {
     TxId tx;
@@ -166,9 +191,9 @@ class Coordinator {
   /// (no bookkeeping — start_global_certification and resend_prepares own
   /// the expected/awaiting accounting).
   void send_prepare(const txn::TxnRecord& rec, PartitionId pid,
-                    const std::vector<std::pair<Key, Value>>& updates);
+                    SharedUpdates updates);
   void send_replicate(const txn::TxnRecord& rec, PartitionId pid, NodeId slave,
-                      const std::vector<std::pair<Key, Value>>& updates);
+                      SharedUpdates updates);
 
   /// Re-send the fan-out to every (partition, node) that has not acked.
   void resend_prepares(txn::TxnRecord& rec);
@@ -202,6 +227,11 @@ class Coordinator {
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_read_id_ = 1;
   std::unordered_map<TxId, std::unique_ptr<txn::TxnRecord>, TxIdHash> txns_;
+  /// Free list of finished records: a TxnRecord is a fat object (write
+  /// buffer, SPSI sets, certification bookkeeping — all flat vectors), so
+  /// recycling one keeps every container's capacity and makes begin()
+  /// allocation-free in steady state. Records are reset() on release.
+  std::vector<std::unique_ptr<txn::TxnRecord>> record_pool_;
   std::unordered_map<std::uint64_t, PendingRemoteRead> pending_remote_;
 
   /// Durable decision log (the WAL-with-data assumption, docs/FAULTS.md):

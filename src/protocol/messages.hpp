@@ -6,12 +6,25 @@
 // accounting) are provided per message.
 #pragma once
 
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/types.hpp"
 
 namespace str::protocol {
+
+/// A transaction's updates for one partition: (key, new value) pairs in
+/// write order. Values are shared handles — the payload string is allocated
+/// once per write at the coordinator.
+using UpdateList = std::vector<std::pair<Key, SharedValue>>;
+
+/// Write-set payload carried by prepare/replicate messages. Built once per
+/// transaction and partition, then shared by every message of the fan-out
+/// (and by duplicated deliveries of the same message), so it is immutable
+/// by construction — in a real system this would be the serialized wire
+/// bytes, which are equally share-and-forget.
+using SharedUpdates = std::shared_ptr<const UpdateList>;
 
 struct ReadRequest {
   TxId reader;
@@ -28,11 +41,13 @@ struct ReadReply {
   std::uint64_t req_id = 0;
   Key key = 0;
   bool found = false;
-  Value value;
+  SharedValue value;
   TxId writer;
   Timestamp version_ts = 0;
 
-  std::size_t wire_size() const { return 56 + value.size(); }
+  std::size_t wire_size() const {
+    return 56 + (value ? value->size() : 0);
+  }
 };
 
 struct PrepareRequest {
@@ -40,11 +55,13 @@ struct PrepareRequest {
   NodeId coordinator = kInvalidNode;
   PartitionId partition = kInvalidPartition;
   Timestamp rs = 0;
-  std::vector<std::pair<Key, Value>> updates;
+  SharedUpdates updates;
 
   std::size_t wire_size() const {
     std::size_t s = 48;
-    for (const auto& [k, v] : updates) s += 16 + v.size();
+    if (updates) {
+      for (const auto& [k, v] : *updates) s += 16 + (v ? v->size() : 0);
+    }
     return s;
   }
 };
@@ -65,11 +82,13 @@ struct ReplicateRequest {
   NodeId coordinator = kInvalidNode;
   PartitionId partition = kInvalidPartition;
   Timestamp rs = 0;
-  std::vector<std::pair<Key, Value>> updates;
+  SharedUpdates updates;
 
   std::size_t wire_size() const {
     std::size_t s = 48;
-    for (const auto& [k, v] : updates) s += 16 + v.size();
+    if (updates) {
+      for (const auto& [k, v] : *updates) s += 16 + (v ? v->size() : 0);
+    }
     return s;
   }
 };

@@ -53,7 +53,11 @@ class Node {
   const obs::Registry& obs() const { return obs_; }
 
   /// Periodic GC of committed versions and tombstones on all replicas.
-  void maintain();
+  /// `watermark` is the cluster-wide stable-snapshot watermark; when
+  /// watermark pruning is enabled and the watermark is ahead of the time
+  /// horizon, committed versions are pruned up to it. Tombstones always
+  /// expire on the time horizon alone.
+  void maintain(Timestamp watermark);
 
   // -- crash / restart (fault injection) -----------------------------------
 

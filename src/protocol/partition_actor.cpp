@@ -1,5 +1,6 @@
 #include "protocol/partition_actor.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -112,9 +113,8 @@ void PartitionActor::deliver_read(ParkedRead&& rd,
 }
 
 store::PrepareResult PartitionActor::prepare_local(
-    const TxId& tx, Timestamp rs,
-    const std::vector<std::pair<Key, Value>>& updates,
-    const std::set<TxId>* chain_allowed) {
+    const TxId& tx, Timestamp rs, const UpdateList& updates,
+    const FlatSet<TxId>* chain_allowed) {
   return store_.prepare(tx, rs, updates,
                         node_.cluster().protocol().precise_clocks,
                         node_.physical_now(), chain_allowed);
@@ -133,7 +133,8 @@ void PartitionActor::handle_prepare(const PrepareRequest& req) {
   // Prepares are only ever built from nonempty write groups; an empty one
   // means a delivery path handed us a moved-from request, which would
   // trivially pass certification and must never reach the store.
-  STR_ASSERT_MSG(!req.updates.empty(), "prepare with an empty write set");
+  STR_ASSERT_MSG(req.updates && !req.updates->empty(),
+                 "prepare with an empty write set");
   Cluster& cluster = node_.cluster();
   PrepareReply reply;
   reply.tx = req.tx;
@@ -156,7 +157,7 @@ void PartitionActor::handle_prepare(const PrepareRequest& req) {
     // no chaining is admissible here: any uncommitted version conflicts
     // (Alg. 2 line 16 — first writer in the store wins at the master).
     store::PrepareResult pr =
-        store_.prepare(req.tx, req.rs, req.updates,
+        store_.prepare(req.tx, req.rs, *req.updates,
                        cluster.protocol().precise_clocks, node_.physical_now());
     reply.prepared = pr.ok;
     reply.proposed_ts = pr.proposed_ts;
@@ -174,9 +175,9 @@ void PartitionActor::handle_prepare(const PrepareRequest& req) {
       rep.coordinator = req.coordinator;
       rep.partition = pid_;
       rep.rs = req.rs;
-      rep.updates = req.updates;
+      rep.updates = req.updates;  // shared payload: a pointer bump, no copy
       const std::size_t size = rep.wire_size();
-      // Copy per invocation: the closure may run twice under duplication.
+      // Read-only closure; safe to run twice under duplication faults.
       cluster.network().send(
           node_.id(), slave,
           [&cluster, slave, rep = std::move(rep)]() {
@@ -202,7 +203,8 @@ void PartitionActor::handle_replicate(const ReplicateRequest& req) {
   ScopedLogNode log_node(node_.id());
   STR_ASSERT_MSG(!is_master_ || node_.id() != req.coordinator,
                  "replicate targets slave replicas");
-  STR_ASSERT_MSG(!req.updates.empty(), "replicate with an empty write set");
+  STR_ASSERT_MSG(req.updates && !req.updates->empty(),
+                 "replicate with an empty write set");
   Cluster& cluster = node_.cluster();
   if (tombstoned(req.tx)) return;  // late replicate of an aborted tx
 
@@ -226,7 +228,7 @@ void PartitionActor::handle_replicate(const ReplicateRequest& req) {
     return;
   }
 
-  auto rr = store_.replicate_insert(req.tx, req.updates,
+  auto rr = store_.replicate_insert(req.tx, *req.updates,
                                     cluster.protocol().precise_clocks,
                                     node_.physical_now());
   // Abort this node's own local-committed transactions that lost to the
@@ -236,7 +238,7 @@ void PartitionActor::handle_replicate(const ReplicateRequest& req) {
     node_.coordinator().abort_tx(loser, AbortReason::RemoteReplication);
   }
   const Timestamp proposed =
-      store_.replicate_finish(req.tx, req.updates, rr.proposed_ts);
+      store_.replicate_finish(req.tx, *req.updates, rr.proposed_ts);
   track_orphan(req.tx, req.coordinator);
 
   PrepareReply reply;
@@ -257,14 +259,14 @@ void PartitionActor::handle_replicate(const ReplicateRequest& req) {
 
 void PartitionActor::apply_commit(const TxId& tx, Timestamp ct) {
   store_.final_commit(tx, ct);
-  tombstones_.emplace(tx, node_.physical_now());
+  tombstones_.try_emplace(tx, node_.physical_now());
   awaiting_decision_.erase(tx);
   resolve_writer(tx);
 }
 
 void PartitionActor::apply_abort(const TxId& tx) {
   store_.abort_tx(tx);
-  tombstones_.emplace(tx, node_.physical_now());
+  tombstones_.try_emplace(tx, node_.physical_now());
   awaiting_decision_.erase(tx);
   resolve_writer(tx);
 }
@@ -368,26 +370,44 @@ void PartitionActor::resolve_writer(const TxId& writer) {
   g_parked_->add(-static_cast<std::int64_t>(waiters.size()));
   // Re-serve through the scheduler: resolution can cascade into coordinator
   // logic for other transactions, and deferring keeps event handling
-  // non-reentrant and deterministic.
+  // non-reentrant and deterministic. Pin each snapshot until its closure
+  // runs — a maintenance tick at this same instant sits between us and the
+  // closure in the event queue, and its GC must still see these readers.
   for (ParkedRead& rd : waiters) {
+    inflight_reserve_rs_.push_back(rd.rs);
     node_.cluster().scheduler().schedule_now(
         [this, rd = std::move(rd)]() mutable {
+          auto pin = std::find(inflight_reserve_rs_.begin(),
+                               inflight_reserve_rs_.end(), rd.rs);
+          STR_ASSERT(pin != inflight_reserve_rs_.end());
+          inflight_reserve_rs_.erase(pin);
           store::StoreReadResult r = store_.peek(rd.key, rd.rs);
           route_read(std::move(rd), r);
         });
   }
 }
 
-void PartitionActor::maintain(Timestamp horizon) {
-  store_.gc(horizon);
-  std::erase_if(tombstones_,
-                [horizon](const auto& kv) { return kv.second < horizon; });
+void PartitionActor::maintain(Timestamp prune_horizon,
+                              Timestamp tombstone_horizon) {
+  store_.gc(prune_horizon);
+  tombstones_.erase_if([tombstone_horizon](const TxId&, Timestamp at) {
+    return at < tombstone_horizon;
+  });
 }
 
 std::size_t PartitionActor::parked_readers() const {
   std::size_t n = 0;
   for (const auto& [writer, list] : parked_) n += list.size();
   return n;
+}
+
+Timestamp PartitionActor::min_reader_rs() const {
+  Timestamp m = kTsInfinity;
+  for (const auto& [writer, list] : parked_) {
+    for (const ParkedRead& rd : list) m = std::min(m, rd.rs);
+  }
+  for (Timestamp rs : inflight_reserve_rs_) m = std::min(m, rs);
+  return m;
 }
 
 }  // namespace str::protocol

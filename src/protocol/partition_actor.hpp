@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/open_map.hpp"
 #include "common/types.hpp"
 #include "common/unique_function.hpp"
 #include "protocol/messages.hpp"
@@ -43,10 +44,9 @@ class PartitionActor {
 
   /// Local-certification prepare (synchronous, same node). `chain_allowed`
   /// lists the preparing transaction's data dependencies.
-  store::PrepareResult prepare_local(
-      const TxId& tx, Timestamp rs,
-      const std::vector<std::pair<Key, Value>>& updates,
-      const std::set<TxId>* chain_allowed);
+  store::PrepareResult prepare_local(const TxId& tx, Timestamp rs,
+                                     const UpdateList& updates,
+                                     const FlatSet<TxId>* chain_allowed);
 
   /// Transition tx's pre-committed versions to local-committed (end of the
   /// synchronous local 2PC) and wake readers that may now speculate.
@@ -78,10 +78,20 @@ class PartitionActor {
   /// durable store re-enter orphan recovery.
   void on_restart();
 
-  /// Periodic maintenance: GC committed versions and expire tombstones.
-  void maintain(Timestamp horizon);
+  /// Periodic maintenance: GC committed versions up to `prune_horizon`
+  /// (time horizon, possibly extended by the cluster watermark) and expire
+  /// tombstones past `tombstone_horizon` (always the pure time horizon —
+  /// a tombstone guards against arbitrarily late redeliveries, which the
+  /// watermark says nothing about).
+  void maintain(Timestamp prune_horizon, Timestamp tombstone_horizon);
 
   std::size_t parked_readers() const;
+
+  /// Lowest snapshot of any read this actor still owes an answer: parked
+  /// readers plus reads pinned between writer resolution and their
+  /// re-serve. Feeds the cluster stable-snapshot watermark; kTsInfinity
+  /// when idle.
+  Timestamp min_reader_rs() const;
 
   /// Prepared remote transactions currently awaiting a coordinator decision.
   std::size_t awaiting_decisions() const { return awaiting_decision_.size(); }
@@ -121,7 +131,15 @@ class PartitionActor {
   bool is_master_;
   store::PartitionStore store_;
   std::unordered_map<TxId, std::vector<ParkedRead>, TxIdHash> parked_;
-  std::unordered_map<TxId, Timestamp, TxIdHash> tombstones_;
+  /// Snapshots of reads between resolve_writer() moving them out of
+  /// parked_ and the deferred re-serve closure running. Maintenance can
+  /// fire in that same-instant gap, and the watermark must not pass a read
+  /// that is about to hit the store.
+  std::vector<Timestamp> inflight_reserve_rs_;
+  /// Flat table: one tombstone is written per transaction per replica on
+  /// every commit/abort, so node-per-entry maps would allocate on the
+  /// hottest path in the actor.
+  OpenMap<TxId, Timestamp, TxIdHash> tombstones_;
 
   /// Prepared-but-undecided remote transactions (the 2PC in-doubt window).
   struct Orphan {

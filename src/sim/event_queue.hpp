@@ -1,10 +1,24 @@
-// Deterministic min-heap of timed events.
+// Deterministic min-queue of timed events.
 //
 // std::priority_queue cannot hold move-only payloads (top() is const), so we
-// implement the binary heap directly. Ties on the timestamp are broken by a
+// implement the ordering directly. Ties on the timestamp are broken by a
 // monotonically increasing sequence number, which makes event order — and
 // therefore every simulation — fully deterministic and FIFO among
 // same-instant events.
+//
+// Layout is tuned for the scheduler's traffic, where this queue is the
+// hottest structure in the repo:
+//
+//   * The heap orders 24-byte trivially-copyable handles; the closures
+//     themselves live in a slot pool (free-list recycled) and never move
+//     during sift operations. Sifting is a hole-percolation over raw
+//     copies — no UniqueFunction vtable moves, no swaps.
+//   * Same-instant pushes (schedule_now cascades: RPC handling, promise
+//     deliveries — the bulk of all traffic) bypass the heap entirely and go
+//     to a FIFO side-buffer. All FIFO entries share one timestamp with
+//     strictly increasing seq, so the buffer's front is its minimum; the
+//     global minimum is whichever of {heap root, FIFO front} orders first
+//     by (at, seq). Pop order is therefore bit-identical to a pure heap.
 #pragma once
 
 #include <cstdint>
@@ -30,54 +44,142 @@ class EventQueue {
   };
 
   void push(Timestamp at, UniqueFunction<void()> fn) {
-    heap_.push_back(Event{at, next_seq_++, std::move(fn)});
+    const std::uint64_t seq = next_seq_++;
+    const std::uint32_t slot = alloc_slot(std::move(fn));
+    if (fifo_head_ < fifo_.size() ? at == fifo_at_ : at == current_instant_) {
+      if (fifo_head_ >= fifo_.size()) fifo_at_ = at;
+      fifo_.push_back(FifoEntry{seq, slot});
+      return;
+    }
+    heap_.push_back(Handle{at, seq, slot});
     sift_up(heap_.size() - 1);
   }
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty() && fifo_head_ >= fifo_.size(); }
+
+  std::size_t size() const {
+    return heap_.size() + (fifo_.size() - fifo_head_);
+  }
 
   Timestamp next_time() const {
-    STR_ASSERT(!heap_.empty());
-    return heap_.front().at;
+    STR_ASSERT(!empty());
+    if (fifo_head_ >= fifo_.size()) return heap_.front().at;
+    if (heap_.empty()) return fifo_at_;
+    return heap_.front().at < fifo_at_ ? heap_.front().at : fifo_at_;
   }
 
   Event pop() {
-    STR_ASSERT(!heap_.empty());
-    Event top = std::move(heap_.front());
-    heap_.front() = std::move(heap_.back());
-    heap_.pop_back();
-    if (!heap_.empty()) sift_down(0);
-    return top;
+    STR_ASSERT(!empty());
+    Handle h;
+    const bool fifo_has = fifo_head_ < fifo_.size();
+    if (fifo_has &&
+        (heap_.empty() ||
+         !heap_.front().before(
+             Handle{fifo_at_, fifo_[fifo_head_].seq, 0}))) {
+      const FifoEntry e = fifo_[fifo_head_++];
+      if (fifo_head_ >= fifo_.size()) {
+        fifo_.clear();
+        fifo_head_ = 0;
+      }
+      h = Handle{fifo_at_, e.seq, e.slot};
+    } else {
+      h = heap_.front();
+      pop_heap_root();
+    }
+    current_instant_ = h.at;
+    Event ev{h.at, h.seq, std::move(pool_[h.slot])};
+    free_.push_back(h.slot);
+    return ev;
   }
 
-  void clear() { heap_.clear(); }
+  void clear() {
+    heap_.clear();
+    fifo_.clear();
+    fifo_head_ = 0;
+    pool_.clear();
+    free_.clear();
+  }
 
  private:
+  struct Handle {
+    Timestamp at = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+
+    bool before(const Handle& other) const {
+      return at != other.at ? at < other.at : seq < other.seq;
+    }
+  };
+
+  struct FifoEntry {
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+  };
+
+  std::uint32_t alloc_slot(UniqueFunction<void()> fn) {
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      pool_[slot] = std::move(fn);
+      return slot;
+    }
+    pool_.push_back(std::move(fn));
+    return static_cast<std::uint32_t>(pool_.size() - 1);
+  }
+
   void sift_up(std::size_t i) {
+    const Handle h = heap_[i];
     while (i > 0) {
       const std::size_t parent = (i - 1) / 2;
-      if (!heap_[i].before(heap_[parent])) break;
-      std::swap(heap_[i], heap_[parent]);
+      if (!h.before(heap_[parent])) break;
+      heap_[i] = heap_[parent];
       i = parent;
     }
+    heap_[i] = h;
   }
 
-  void sift_down(std::size_t i) {
-    const std::size_t n = heap_.size();
+  // Removes the root: percolate the hole down to a leaf, drop the last
+  // element into it, and bubble it back up.
+  void pop_heap_root() {
+    const std::size_t n = heap_.size() - 1;
+    if (n == 0) {
+      heap_.pop_back();
+      return;
+    }
+    const Handle last = heap_[n];
+    heap_.pop_back();
+    std::size_t i = 0;
     while (true) {
       const std::size_t l = 2 * i + 1;
-      const std::size_t r = 2 * i + 2;
+      const std::size_t r = l + 1;
       std::size_t smallest = i;
-      if (l < n && heap_[l].before(heap_[smallest])) smallest = l;
-      if (r < n && heap_[r].before(heap_[smallest])) smallest = r;
+      const Handle* best = &last;
+      if (l < n && heap_[l].before(*best)) {
+        smallest = l;
+        best = &heap_[l];
+      }
+      if (r < n && heap_[r].before(*best)) {
+        smallest = r;
+        best = &heap_[r];
+      }
       if (smallest == i) break;
-      std::swap(heap_[i], heap_[smallest]);
+      heap_[i] = heap_[smallest];
       i = smallest;
     }
+    heap_[i] = last;
   }
 
-  std::vector<Event> heap_;
+  std::vector<Handle> heap_;
+  std::vector<UniqueFunction<void()>> pool_;  ///< closure slots, by Handle::slot
+  std::vector<std::uint32_t> free_;           ///< recycled pool slots
+
+  // Same-instant side buffer. All entries share fifo_at_; seq is strictly
+  // increasing in push order, so fifo_[fifo_head_] is the buffer's minimum.
+  std::vector<FifoEntry> fifo_;
+  std::size_t fifo_head_ = 0;
+  Timestamp fifo_at_ = 0;
+
+  Timestamp current_instant_ = 0;  ///< timestamp of the last popped event
   std::uint64_t next_seq_ = 0;
 };
 

@@ -25,9 +25,9 @@ class CachePartition {
   /// Certification + pre-committed insert for the remote-key subset of a
   /// local transaction's write set. Same contract as PartitionStore::prepare.
   PrepareResult prepare(const TxId& tx, Timestamp rs,
-                        const std::vector<std::pair<Key, Value>>& updates,
+                        const std::vector<std::pair<Key, SharedValue>>& updates,
                         bool precise_clocks, Timestamp physical_now,
-                        const std::set<TxId>* chain_allowed = nullptr) {
+                        const FlatSet<TxId>* chain_allowed = nullptr) {
     return store_.prepare(tx, rs, updates, precise_clocks, physical_now,
                           chain_allowed);
   }

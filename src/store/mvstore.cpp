@@ -9,8 +9,8 @@ namespace str::store {
 void PartitionStore::load(Key key, Value value) {
   KeyEntry& entry = map_[key];
   STR_ASSERT_MSG(entry.versions.empty(), "load on an already-populated key");
-  entry.versions.push_back(
-      Version{0, VersionState::Committed, kNoTx, std::move(value)});
+  entry.versions.push_back(Version{0, VersionState::Committed, kNoTx,
+                                   std::make_shared<Value>(std::move(value))});
   peak_chain_ = std::max<std::uint64_t>(peak_chain_, 1);
 }
 
@@ -41,8 +41,8 @@ void PartitionStore::count_read(ReadKind kind) {
 }
 
 StoreReadResult PartitionStore::read(Key key, Timestamp rs) {
-  auto it = map_.find(key);
-  if (it == map_.end()) {
+  KeyEntry* found = map_.find(key);
+  if (found == nullptr) {
     // Track the reader even for missing keys: a later insert of this key
     // must still be serialized after us (write-after-read on a phantom).
     KeyEntry& entry = map_[key];
@@ -50,17 +50,31 @@ StoreReadResult PartitionStore::read(Key key, Timestamp rs) {
     count_read(ReadKind::NotFound);
     return StoreReadResult{};
   }
-  KeyEntry& entry = it->second;
-  entry.last_reader = std::max(entry.last_reader, rs);
+  found->last_reader = std::max(found->last_reader, rs);
   StoreReadResult out = peek(key, rs);
   count_read(out.kind);
   return out;
 }
 
 StoreReadResult PartitionStore::peek(Key key, Timestamp rs) const {
-  auto it = map_.find(key);
-  if (it == map_.end()) return StoreReadResult{};
-  const auto& chain = it->second.versions;
+  const KeyEntry* entry = map_.find(key);
+  if (entry == nullptr) return StoreReadResult{};
+  const auto& chain = entry->versions;
+  if (chain.empty()) return StoreReadResult{};
+  // Latest-committed fast path: under watermark pruning the chain usually
+  // holds exactly the newest committed version, and most snapshots sit
+  // above it. One branch resolves the read with no scan and no §5.1
+  // wait-rule walk (the per-key uncommitted counter vouches for it).
+  if (const Version& newest = chain.back();
+      newest.state == VersionState::Committed && newest.ts <= rs &&
+      entry->uncommitted_count == 0) {
+    StoreReadResult out;
+    out.writer = newest.writer;
+    out.ts = newest.ts;
+    out.kind = ReadKind::Committed;
+    out.value = newest.value;
+    return out;
+  }
   // Latest version with ts <= rs. Chains are short (GC) so a reverse linear
   // scan beats binary search in practice.
   for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
@@ -79,7 +93,7 @@ StoreReadResult PartitionStore::peek(Key key, Timestamp rs) const {
         // timestamps). Reading past it would be a stale read, so block on
         // the newest such version instead. The per-key uncommitted counter
         // short-circuits the scan on the common all-committed path.
-        if (it->second.uncommitted_count == 0) {
+        if (entry->uncommitted_count == 0) {
           out.kind = ReadKind::Committed;
           out.value = rit->value;
           return out;
@@ -109,18 +123,52 @@ StoreReadResult PartitionStore::peek(Key key, Timestamp rs) const {
   return StoreReadResult{};
 }
 
+std::vector<Key>& PartitionStore::uncommitted_keys(const TxId& tx) {
+  for (UncommittedEntry& e : uncommitted_) {
+    if (e.tx == tx) return e.keys;
+  }
+  UncommittedEntry& e = uncommitted_.emplace_back();
+  e.tx = tx;
+  if (!key_pool_.empty()) {
+    e.keys = std::move(key_pool_.back());
+    key_pool_.pop_back();
+  }
+  return e.keys;
+}
+
+const PartitionStore::UncommittedEntry* PartitionStore::find_uncommitted(
+    const TxId& tx) const {
+  for (const UncommittedEntry& e : uncommitted_) {
+    if (e.tx == tx) return &e;
+  }
+  return nullptr;
+}
+
+void PartitionStore::erase_uncommitted(const TxId& tx) {
+  for (UncommittedEntry& e : uncommitted_) {
+    if (e.tx == tx) {
+      e.keys.clear();
+      key_pool_.push_back(std::move(e.keys));
+      e = std::move(uncommitted_.back());
+      uncommitted_.pop_back();
+      return;
+    }
+  }
+}
+
 PrepareResult PartitionStore::prepare(
     const TxId& tx, Timestamp rs,
-    const std::vector<std::pair<Key, Value>>& updates, bool precise_clocks,
-    Timestamp physical_now, const std::set<TxId>* chain_allowed) {
+    const std::vector<std::pair<Key, SharedValue>>& updates,
+    bool precise_clocks, Timestamp physical_now,
+    const FlatSet<TxId>* chain_allowed) {
   // Certification pass: no uncommitted version by a concurrent writer may
   // exist on any updated key, and no committed version newer than our
   // snapshot. Local-committed versions inside tx's speculative snapshot
   // (chain_allowed) are not concurrent.
   for (const auto& [key, value] : updates) {
-    auto it = map_.find(key);
-    if (it == map_.end()) continue;
-    for (const Version& v : it->second.versions) {
+    const KeyEntry* entry = map_.find(key);
+    if (entry == nullptr) continue;
+    for (const Version& v : entry->versions) {
       if (v.writer == tx) continue;  // idempotent re-prepare
       if (v.state == VersionState::Committed) {
         if (v.ts > rs) {
@@ -151,7 +199,7 @@ PrepareResult PartitionStore::prepare(
     }
   }
   // Insert pre-committed versions at the proposed timestamp.
-  std::vector<Key>& mine = uncommitted_[tx];
+  std::vector<Key>& mine = uncommitted_keys(tx);
   for (const auto& [key, value] : updates) {
     KeyEntry& entry = map_[key];
     insert_sorted(entry.versions,
@@ -164,7 +212,7 @@ PrepareResult PartitionStore::prepare(
 }
 
 PartitionStore::ReplicateResult PartitionStore::replicate_insert(
-    const TxId& tx, const std::vector<std::pair<Key, Value>>& updates,
+    const TxId& tx, const std::vector<std::pair<Key, SharedValue>>& updates,
     bool precise_clocks, Timestamp physical_now) {
   ReplicateResult out;
   // Evict conflicting local speculation: the master-certified pre-commit is
@@ -172,9 +220,9 @@ PartitionStore::ReplicateResult PartitionStore::replicate_insert(
   // lose (Alg. 2 line 31). Pre-committed versions from other replicated
   // transactions are master-approved chains and stay.
   for (const auto& [key, value] : updates) {
-    auto it = map_.find(key);
-    if (it == map_.end()) continue;
-    for (const Version& v : it->second.versions) {
+    const KeyEntry* entry = map_.find(key);
+    if (entry == nullptr) continue;
+    for (const Version& v : entry->versions) {
       if (v.writer == tx) continue;
       if (v.state == VersionState::LocalCommitted &&
           std::find(out.evicted.begin(), out.evicted.end(), v.writer) ==
@@ -197,7 +245,7 @@ PartitionStore::ReplicateResult PartitionStore::replicate_insert(
 /// Completes replicate_insert after evictions: inserts the pre-committed
 /// versions at a timestamp clamped above the surviving chain.
 Timestamp PartitionStore::replicate_finish(
-    const TxId& tx, const std::vector<std::pair<Key, Value>>& updates,
+    const TxId& tx, const std::vector<std::pair<Key, SharedValue>>& updates,
     Timestamp proposed) {
   for (const auto& [key, value] : updates) {
     KeyEntry& entry = map_[key];
@@ -205,7 +253,7 @@ Timestamp PartitionStore::replicate_finish(
       proposed = std::max(proposed, entry.versions.back().ts + 1);
     }
   }
-  std::vector<Key>& mine = uncommitted_[tx];
+  std::vector<Key>& mine = uncommitted_keys(tx);
   for (const auto& [key, value] : updates) {
     KeyEntry& entry = map_[key];
     insert_sorted(entry.versions,
@@ -218,18 +266,16 @@ Timestamp PartitionStore::replicate_finish(
 }
 
 void PartitionStore::local_commit(const TxId& tx, Timestamp lc) {
-  auto it = uncommitted_.find(tx);
-  if (it == uncommitted_.end()) return;
-  for (Key key : it->second) {
+  const UncommittedEntry* e = find_uncommitted(tx);
+  if (e == nullptr) return;
+  for (Key key : e->keys) {
     auto& chain = map_[key].versions;
     for (auto vit = chain.begin(); vit != chain.end(); ++vit) {
       if (vit->writer == tx) {
         STR_ASSERT(vit->state == VersionState::PreCommitted);
-        Version v = std::move(*vit);
-        chain.erase(vit);
-        v.state = VersionState::LocalCommitted;
-        v.ts = lc;
-        insert_sorted(chain, std::move(v));
+        vit->state = VersionState::LocalCommitted;
+        vit->ts = lc;
+        reposition(chain, vit);
         break;
       }
     }
@@ -237,54 +283,55 @@ void PartitionStore::local_commit(const TxId& tx, Timestamp lc) {
 }
 
 void PartitionStore::final_commit(const TxId& tx, Timestamp fc) {
-  auto it = uncommitted_.find(tx);
-  if (it == uncommitted_.end()) return;
-  for (Key key : it->second) {
+  const UncommittedEntry* e = find_uncommitted(tx);
+  if (e == nullptr) return;
+  for (Key key : e->keys) {
     KeyEntry& entry = map_[key];
     auto& chain = entry.versions;
     for (auto vit = chain.begin(); vit != chain.end(); ++vit) {
       if (vit->writer == tx) {
         STR_ASSERT(vit->state != VersionState::Committed);
-        Version v = std::move(*vit);
-        chain.erase(vit);
-        v.state = VersionState::Committed;
-        v.ts = fc;
-        insert_sorted(chain, std::move(v));
+        vit->state = VersionState::Committed;
+        vit->ts = fc;
+        reposition(chain, vit);
         STR_ASSERT(entry.uncommitted_count > 0);
         --entry.uncommitted_count;
         break;
       }
     }
   }
-  uncommitted_.erase(it);
+  erase_uncommitted(tx);
 }
 
 void PartitionStore::abort_tx(const TxId& tx) {
-  auto it = uncommitted_.find(tx);
-  if (it == uncommitted_.end()) return;
-  for (Key key : it->second) {
+  const UncommittedEntry* e = find_uncommitted(tx);
+  if (e == nullptr) return;
+  for (Key key : e->keys) {
     KeyEntry& entry = map_[key];
-    const auto removed = std::erase_if(entry.versions, [&](const Version& v) {
+    auto& chain = entry.versions;
+    auto keep = std::remove_if(chain.begin(), chain.end(), [&](const Version& v) {
       return v.writer == tx && v.state != VersionState::Committed;
     });
+    const auto removed = static_cast<std::uint32_t>(chain.end() - keep);
+    chain.erase(keep, chain.end());
     STR_ASSERT(entry.uncommitted_count >= removed);
-    entry.uncommitted_count -= static_cast<std::uint32_t>(removed);
+    entry.uncommitted_count -= removed;
   }
-  uncommitted_.erase(it);
+  erase_uncommitted(tx);
 }
 
 bool PartitionStore::has_uncommitted(const TxId& tx) const {
-  return uncommitted_.contains(tx);
+  return find_uncommitted(tx) != nullptr;
 }
 
 Timestamp PartitionStore::uncommitted_ts(const TxId& tx) const {
-  auto it = uncommitted_.find(tx);
-  if (it == uncommitted_.end()) return 0;
+  const UncommittedEntry* e = find_uncommitted(tx);
+  if (e == nullptr) return 0;
   Timestamp ts = 0;
-  for (Key key : it->second) {
-    auto kit = map_.find(key);
-    if (kit == map_.end()) continue;
-    for (const Version& v : kit->second.versions) {
+  for (Key key : e->keys) {
+    const KeyEntry* entry = map_.find(key);
+    if (entry == nullptr) continue;
+    for (const Version& v : entry->versions) {
       if (v.writer == tx && v.state != VersionState::Committed) {
         ts = std::max(ts, v.ts);
       }
@@ -296,7 +343,7 @@ Timestamp PartitionStore::uncommitted_ts(const TxId& tx) const {
 std::vector<TxId> PartitionStore::uncommitted_txns() const {
   std::vector<TxId> txns;
   txns.reserve(uncommitted_.size());
-  for (const auto& [tx, keys] : uncommitted_) txns.push_back(tx);
+  for (const UncommittedEntry& e : uncommitted_) txns.push_back(e.tx);
   std::sort(txns.begin(), txns.end());
   return txns;
 }
@@ -305,9 +352,9 @@ std::vector<TxId> PartitionStore::uncommitted_writers(
     const std::vector<Key>& keys) const {
   std::vector<TxId> writers;
   for (Key key : keys) {
-    auto it = map_.find(key);
-    if (it == map_.end()) continue;
-    for (const Version& v : it->second.versions) {
+    const KeyEntry* entry = map_.find(key);
+    if (entry == nullptr) continue;
+    for (const Version& v : entry->versions) {
       if (v.state != VersionState::Committed &&
           std::find(writers.begin(), writers.end(), v.writer) == writers.end()) {
         writers.push_back(v.writer);
@@ -319,8 +366,8 @@ std::vector<TxId> PartitionStore::uncommitted_writers(
 
 void PartitionStore::gc(Timestamp horizon) {
   const std::uint64_t removed_before = gc_removed_;
-  for (auto& [key, entry] : map_) {
-    auto& chain = entry.versions;
+  for (auto& slot : map_) {
+    auto& chain = slot.value.versions;
     if (chain.size() <= 1) continue;
     // Find the newest committed version at or below the horizon; everything
     // committed strictly older than it is unreachable for any reader with
@@ -334,24 +381,25 @@ void PartitionStore::gc(Timestamp horizon) {
     }
     if (keep_from == 0) continue;
     // Only drop committed versions below keep_from (uncommitted ones are
-    // still subject to in-flight certification).
-    std::vector<Version> kept;
-    kept.reserve(chain.size() - keep_from + 1);
+    // still subject to in-flight certification). Compact in place: the
+    // chain keeps its capacity, so post-GC inserts don't regrow the vector.
+    std::size_t out = 0;
     for (std::size_t i = 0; i < chain.size(); ++i) {
       if (i < keep_from && chain[i].state == VersionState::Committed) {
         ++gc_removed_;
         continue;
       }
-      kept.push_back(std::move(chain[i]));
+      if (out != i) chain[out] = std::move(chain[i]);
+      ++out;
     }
-    chain = std::move(kept);
+    chain.resize(out);
   }
   if (c_gc_removed_ != nullptr) c_gc_removed_->inc(gc_removed_ - removed_before);
 }
 
 Timestamp PartitionStore::last_reader(Key key) const {
-  auto it = map_.find(key);
-  return it == map_.end() ? 0 : it->second.last_reader;
+  const KeyEntry* entry = map_.find(key);
+  return entry == nullptr ? 0 : entry->last_reader;
 }
 
 StoreStats PartitionStore::stats() const {
@@ -359,9 +407,11 @@ StoreStats PartitionStore::stats() const {
   s.keys = map_.size();
   s.gc_removed = gc_removed_;
   s.peak_chain = peak_chain_;
-  for (const auto& [key, entry] : map_) {
-    s.versions += entry.versions.size();
-    for (const Version& v : entry.versions) s.value_bytes += v.value.size();
+  for (const auto& slot : map_) {
+    s.versions += slot.value.versions.size();
+    for (const Version& v : slot.value.versions) {
+      s.value_bytes += v.value ? v.value->size() : 0;
+    }
   }
   return s;
 }
@@ -371,17 +421,46 @@ std::uint64_t PartitionStore::storage_bytes(bool include_last_reader) const {
   constexpr std::uint64_t kVersionOverhead =
       sizeof(Timestamp) + sizeof(VersionState) + sizeof(TxId);
   std::uint64_t bytes = 0;
-  for (const auto& [key, entry] : map_) {
+  for (const auto& slot : map_) {
     bytes += sizeof(Key);
     if (include_last_reader) bytes += sizeof(Timestamp);
-    for (const Version& v : entry.versions) {
-      bytes += kVersionOverhead + v.value.size();
+    for (const Version& v : slot.value.versions) {
+      bytes += kVersionOverhead + (v.value ? v.value->size() : 0);
     }
   }
   return bytes;
 }
 
-void PartitionStore::insert_sorted(std::vector<Version>& chain, Version v) {
+Timestamp PartitionStore::newest_committed_at_or_below(
+    Key key, Timestamp horizon) const {
+  const KeyEntry* entry = map_.find(key);
+  if (entry == nullptr) return 0;
+  Timestamp best = 0;
+  for (const Version& v : entry->versions) {
+    if (v.state == VersionState::Committed && v.ts <= horizon) {
+      best = std::max(best, v.ts);
+    }
+  }
+  return best;
+}
+
+void PartitionStore::reposition(VersionChain& chain,
+                                VersionChain::iterator vit) {
+  // Slide *vit to its sorted slot in place (one rotate instead of the
+  // erase + shifted re-insert). Stable: the element lands after every other
+  // version with the same timestamp, exactly where insert_sorted would have
+  // put it after an erase.
+  auto dst = std::upper_bound(
+      chain.begin(), chain.end(), vit->ts,
+      [](Timestamp ts, const Version& existing) { return ts < existing.ts; });
+  if (dst > vit + 1) {
+    std::rotate(vit, vit + 1, dst);
+  } else if (dst < vit) {
+    std::rotate(dst, vit, vit + 1);
+  }
+}
+
+void PartitionStore::insert_sorted(VersionChain& chain, Version v) {
   auto pos = std::upper_bound(
       chain.begin(), chain.end(), v.ts,
       [](Timestamp ts, const Version& existing) { return ts < existing.ts; });

@@ -16,10 +16,11 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_set.hpp"
+#include "common/open_map.hpp"
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 #include "obs/registry.hpp"
 #include "store/version.hpp"
@@ -37,9 +38,15 @@ enum class ReadKind : std::uint8_t {
 
 struct StoreReadResult {
   ReadKind kind = ReadKind::NotFound;
-  Value value;       ///< valid for Committed/Speculative
-  TxId writer;       ///< writer of the version (Committed/Speculative/Blocked)
-  Timestamp ts = 0;  ///< timestamp of the version
+  SharedValue value;  ///< valid for Committed/Speculative (shared, not copied)
+  TxId writer;        ///< writer of the version (Committed/Speculative/Blocked)
+  Timestamp ts = 0;   ///< timestamp of the version
+
+  /// Payload as a string (empty when absent) — test/assertion convenience.
+  const Value& value_str() const {
+    static const Value kEmpty;
+    return value ? *value : kEmpty;
+  }
 };
 
 struct PrepareResult {
@@ -87,9 +94,9 @@ class PartitionStore {
   /// past tx's snapshot or aborts, tx is aborted by the dependency rules, so
   /// chaining never violates SPSI-2/3.)
   PrepareResult prepare(const TxId& tx, Timestamp rs,
-                        const std::vector<std::pair<Key, Value>>& updates,
+                        const std::vector<std::pair<Key, SharedValue>>& updates,
                         bool precise_clocks, Timestamp physical_now,
-                        const std::set<TxId>* chain_allowed = nullptr);
+                        const FlatSet<TxId>* chain_allowed = nullptr);
 
   struct ReplicateResult {
     Timestamp proposed_ts = 0;
@@ -103,15 +110,15 @@ class PartitionStore {
   /// Conflicting local-committed versions (this node's own speculation) are
   /// evicted and their writers reported for cascading abort.
   ReplicateResult replicate_insert(
-      const TxId& tx, const std::vector<std::pair<Key, Value>>& updates,
+      const TxId& tx, const std::vector<std::pair<Key, SharedValue>>& updates,
       bool precise_clocks, Timestamp physical_now);
 
   /// Second half of the replicate path, run after the caller aborted the
   /// evicted writers: inserts the pre-committed versions and returns the
   /// final proposal (clamped above surviving versions).
-  Timestamp replicate_finish(const TxId& tx,
-                             const std::vector<std::pair<Key, Value>>& updates,
-                             Timestamp proposed);
+  Timestamp replicate_finish(
+      const TxId& tx, const std::vector<std::pair<Key, SharedValue>>& updates,
+      Timestamp proposed);
 
   /// Transition tx's versions PreCommitted -> LocalCommitted at LC.
   void local_commit(const TxId& tx, Timestamp lc);
@@ -139,6 +146,10 @@ class PartitionStore {
   /// Number of transactions holding pre-commit locks here (leak probe).
   std::size_t uncommitted_txn_count() const { return uncommitted_.size(); }
 
+  /// Largest committed timestamp <= `horizon` on `key`'s chain, or 0. Lets
+  /// maintenance probe how far a key could be pruned (tests/debugging).
+  Timestamp newest_committed_at_or_below(Key key, Timestamp horizon) const;
+
   /// Uncommitted writers holding versions on any of `keys` (conflict probe).
   std::vector<TxId> uncommitted_writers(const std::vector<Key>& keys) const;
 
@@ -161,8 +172,13 @@ class PartitionStore {
   std::uint64_t storage_bytes(bool include_last_reader) const;
 
  private:
+  /// A chain of 2 (the committed version plus one in-flight pre-commit —
+  /// the overwhelmingly common case) lives inline in the key-table slot, so
+  /// the standard write lifecycle allocates nothing per key.
+  using VersionChain = SmallVec<Version, 2>;
+
   struct KeyEntry {
-    std::vector<Version> versions;  ///< sorted ascending by ts
+    VersionChain versions;  ///< sorted ascending by ts
     Timestamp last_reader = 0;
     /// Number of non-Committed versions in the chain. Lets reads skip the
     /// uncommitted-below-committed scan (§5.1's wait rule) on the common
@@ -171,11 +187,33 @@ class PartitionStore {
   };
 
   /// Insert keeping the chain sorted (versions mostly append).
-  void insert_sorted(std::vector<Version>& chain, Version v);
+  void insert_sorted(VersionChain& chain, Version v);
 
-  std::unordered_map<Key, KeyEntry> map_;
-  /// writer -> keys with an uncommitted version, for O(1) state transitions.
-  std::unordered_map<TxId, std::vector<Key>, TxIdHash> uncommitted_;
+  /// Re-sort a single element whose ts just changed, in place (state
+  /// transitions re-timestamp one version; a rotate beats erase+insert).
+  static void reposition(VersionChain& chain, VersionChain::iterator vit);
+
+  /// Flat open-addressing table: entries (chain included, up to the inline
+  /// capacity) live in the slot array, so first-touch inserts on the write
+  /// and read paths allocate nothing in steady state.
+  OpenMap<Key, KeyEntry, std::hash<Key>> map_;
+  /// writer -> keys with an uncommitted version, for fast state transitions.
+  /// A flat vector (few writers hold locks on one partition replica at a
+  /// time) whose per-writer key vectors recycle through `key_pool_`, so the
+  /// steady-state prepare/commit cycle allocates nothing here.
+  struct UncommittedEntry {
+    TxId tx;
+    std::vector<Key> keys;
+  };
+  std::vector<UncommittedEntry> uncommitted_;
+  std::vector<std::vector<Key>> key_pool_;
+
+  /// Find-or-create the entry for `tx` (keys vector reused from the pool).
+  std::vector<Key>& uncommitted_keys(const TxId& tx);
+  const UncommittedEntry* find_uncommitted(const TxId& tx) const;
+  /// Drop `tx`'s entry (swap-erase; order is irrelevant, every ordered
+  /// consumer sorts), recycling its keys vector.
+  void erase_uncommitted(const TxId& tx);
   std::uint64_t gc_removed_ = 0;
   std::uint64_t peak_chain_ = 0;
 

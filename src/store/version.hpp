@@ -12,7 +12,9 @@ struct Version {
   Timestamp ts = 0;
   VersionState state = VersionState::Committed;
   TxId writer;
-  Value value;
+  /// Shared with the update list the version was inserted from (and with
+  /// every replica's chain): storing a version never copies the payload.
+  SharedValue value;
 };
 
 }  // namespace str::store

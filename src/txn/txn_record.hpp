@@ -8,11 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/flat_set.hpp"
 #include "common/types.hpp"
 #include "sim/coro.hpp"
 
@@ -77,25 +76,28 @@ struct TxnRecord {
   Timestamp dep_wait_start = 0;    ///< finalize first blocked on SPSI-4 deps
 
   // -- write buffer -------------------------------------------------------
-  std::unordered_map<Key, Value> writes;
-  std::vector<Key> write_order;  ///< insertion order, deterministic iteration
+  /// (key, value) pairs in first-write order (deterministic iteration);
+  /// keys unique, re-writes overwrite in place. Write sets are small, so
+  /// lookups are a linear scan and the buffer is one flat allocation that
+  /// pooled records reuse.
+  std::vector<std::pair<Key, Value>> writes;
 
   // -- SPSI speculation-safety state (Alg. 1) -----------------------------
   /// OLCSet: writer -> recorded OLC value. Only finite entries are stored;
   /// an empty set means "{<bottom, infinity>}".
-  std::map<TxId, Timestamp> olc_set;
+  FlatMap<TxId, Timestamp> olc_set;
   Timestamp ffc = 0;  ///< Freshest Final Commit observed
 
   /// Local-committed transactions this one speculatively read from and whose
   /// final outcome is still unknown (data dependencies, SPSI-4).
-  std::set<TxId> unresolved_deps;
+  FlatSet<TxId> unresolved_deps;
   /// Every local-committed transaction in this one's speculative snapshot,
   /// directly or transitively (a speculative read from T inherits T's set;
   /// T's set is final because T finished executing before local commit).
   /// Used as the write-write "chaining" set during local certification:
   /// overwriting a version that is atomically part of our own snapshot is
   /// not a concurrent conflict.
-  std::set<TxId> snapshot_lc_writers;
+  FlatSet<TxId> snapshot_lc_writers;
   /// Local transactions that speculatively read from this one.
   std::vector<TxId> dependents;
 
@@ -106,7 +108,7 @@ struct TxnRecord {
   Timestamp max_proposed_ts = 0;  ///< running max of prepare proposals
   /// Remote nodes that hold replicas of updated partitions (commit/abort
   /// fan-out targets).
-  std::set<NodeId> remote_replica_nodes;
+  FlatSet<NodeId> remote_replica_nodes;
   bool externalized = false;      ///< Ext-Spec surfaced results already
   Timestamp externalized_at = 0;
 
@@ -114,8 +116,8 @@ struct TxnRecord {
   /// Every (partition, node) expected to ack the prepare/replicate fan-out,
   /// and the subset that acked. Ack dedup (duplicated deliveries, re-sent
   /// prepares) keys on the pair; the missing set drives timeout re-sends.
-  std::set<std::pair<PartitionId, NodeId>> prepare_expected;
-  std::set<std::pair<PartitionId, NodeId>> prepare_acks;
+  FlatSet<std::pair<PartitionId, NodeId>> prepare_expected;
+  FlatSet<std::pair<PartitionId, NodeId>> prepare_acks;
   std::uint32_t prepare_attempts = 0;  ///< timeout re-sends so far
   std::uint64_t prepare_round = 0;     ///< invalidates stale prepare timers
 
@@ -153,6 +155,13 @@ struct TxnRecord {
   }
 
   void add_dependent(const TxId& reader);
+
+  /// Return the record to its default-constructed state while keeping every
+  /// container's capacity, so a pooled record (Coordinator's free list)
+  /// reaches steady state with no per-transaction allocations. Must cover
+  /// every field — a survivor would leak one transaction's state into the
+  /// next and break determinism.
+  void reset();
 };
 
 }  // namespace str::txn

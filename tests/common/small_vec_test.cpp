@@ -1,0 +1,108 @@
+#include "common/small_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace str {
+namespace {
+
+TEST(SmallVec, StaysInlineUpToN) {
+  SmallVec<int, 2> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  v.push_back(2);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v.back(), 2);
+}
+
+TEST(SmallVec, SpillsToHeapPastN) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, InsertShiftsTail) {
+  SmallVec<int, 2> v;
+  v.push_back(1);
+  v.push_back(3);
+  v.insert(v.begin() + 1, 2);  // forces a grow mid-insert
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+  v.insert(v.begin(), 0);
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[3], 3);
+}
+
+TEST(SmallVec, EraseRangeShiftsLeft) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 6; ++i) v.push_back(i);
+  auto it = v.erase(v.begin() + 1, v.begin() + 4);  // {0, 4, 5}
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(*it, 4);
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[2], 5);
+}
+
+TEST(SmallVec, ReverseIterationMatchesVector) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i);
+  int expect = 4;
+  for (auto rit = v.rbegin(); rit != v.rend(); ++rit) EXPECT_EQ(*rit, expect--);
+  EXPECT_EQ(expect, -1);
+}
+
+TEST(SmallVec, NonTrivialElementsDestructCorrectly) {
+  // shared_ptr use-counts expose any missed destructor or double-destroy.
+  auto probe = std::make_shared<int>(42);
+  {
+    SmallVec<std::shared_ptr<int>, 2> v;
+    for (int i = 0; i < 10; ++i) v.push_back(probe);
+    EXPECT_EQ(probe.use_count(), 11);
+    v.erase(v.begin(), v.begin() + 5);
+    EXPECT_EQ(probe.use_count(), 6);
+    v.resize(2);
+    EXPECT_EQ(probe.use_count(), 3);
+  }
+  EXPECT_EQ(probe.use_count(), 1);
+}
+
+TEST(SmallVec, CopyIsDeep) {
+  SmallVec<std::string, 2> a;
+  a.push_back("x");
+  a.push_back("y");
+  a.push_back("z");  // heap mode
+  SmallVec<std::string, 2> b(a);
+  b[0] = "changed";
+  EXPECT_EQ(a[0], "x");
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[2], "z");
+  a = b;  // copy-assign over existing contents
+  EXPECT_EQ(a[0], "changed");
+}
+
+TEST(SmallVec, MoveStealsHeapAndEmptiesSource) {
+  SmallVec<std::string, 2> a;
+  for (int i = 0; i < 8; ++i) a.push_back(std::to_string(i));
+  SmallVec<std::string, 2> b(std::move(a));
+  EXPECT_TRUE(a.empty());
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(b[7], "7");
+  // Inline-mode move: element-wise, source cleared.
+  SmallVec<std::string, 2> c;
+  c.push_back("only");
+  SmallVec<std::string, 2> d(std::move(c));
+  EXPECT_TRUE(c.empty());
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], "only");
+}
+
+}  // namespace
+}  // namespace str

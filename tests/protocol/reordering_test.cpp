@@ -30,14 +30,15 @@ TEST(Reordering, AbortBeforeReplicateLeavesNoLock) {
   rep.coordinator = 0;
   rep.partition = 0;
   rep.rs = cluster.node(1).physical_now();
-  rep.updates = {{key_at(0, 1), "ghost-write"}};
+  rep.updates = std::make_shared<protocol::UpdateList>(
+      protocol::UpdateList{{key_at(0, 1), std::make_shared<Value>("ghost-write")}});
   slave->handle_replicate(rep);
 
   // No pre-commit lock: a fresh read sees the committed value immediately.
   auto r = slave->store().read(key_at(0, 1),
                                cluster.node(1).physical_now());
   EXPECT_EQ(r.kind, store::ReadKind::Committed);
-  EXPECT_EQ(r.value, "v");
+  EXPECT_EQ(r.value_str(), "v");
   EXPECT_FALSE(slave->store().has_uncommitted(ghost));
 }
 
@@ -57,7 +58,8 @@ TEST(Reordering, AbortBeforePrepareAtMasterRefusesPrepare) {
   req.coordinator = 0;
   req.partition = 1;
   req.rs = cluster.node(1).physical_now();
-  req.updates = {{key_at(1, 1), "ghost"}};
+  req.updates = std::make_shared<protocol::UpdateList>(
+      protocol::UpdateList{{key_at(1, 1), std::make_shared<Value>("ghost")}});
   master->handle_prepare(req);
   cluster.run_for(msec(200));  // let the (refusal) reply flow
 
@@ -80,7 +82,8 @@ TEST(Reordering, DuplicateCommitAndAbortAreIdempotent) {
   rep.coordinator = 0;
   rep.partition = 0;
   rep.rs = cluster.node(1).physical_now();
-  rep.updates = {{key_at(0, 1), "w"}};
+  rep.updates = std::make_shared<protocol::UpdateList>(
+      protocol::UpdateList{{key_at(0, 1), std::make_shared<Value>("w")}});
   slave->handle_replicate(rep);
   const Timestamp ct = cluster.node(1).physical_now() + 10;
   slave->apply_commit(tx, ct);
@@ -88,7 +91,7 @@ TEST(Reordering, DuplicateCommitAndAbortAreIdempotent) {
   slave->apply_abort(tx);       // late abort after commit: must not undo it
   auto r = slave->store().read(key_at(0, 1), ct + 100);
   EXPECT_EQ(r.kind, store::ReadKind::Committed);
-  EXPECT_EQ(r.value, "w");
+  EXPECT_EQ(r.value_str(), "w");
 }
 
 TEST(Reordering, HighJitterRunStaysCorrect) {

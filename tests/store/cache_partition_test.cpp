@@ -8,8 +8,8 @@ namespace {
 const TxId kTx1{0, 1};
 const TxId kTx2{0, 2};
 
-std::vector<std::pair<Key, Value>> upd(Key k, Value v) {
-  return {{k, std::move(v)}};
+std::vector<std::pair<Key, SharedValue>> upd(Key k, Value v) {
+  return {{k, std::make_shared<Value>(std::move(v))}};
 }
 
 TEST(CachePartition, LocalCommittedVisibleToSpeculativeReads) {
@@ -18,7 +18,7 @@ TEST(CachePartition, LocalCommittedVisibleToSpeculativeReads) {
   cache.local_commit(kTx1, 120);
   auto r = cache.read(1, 200);
   EXPECT_EQ(r.kind, ReadKind::Speculative);
-  EXPECT_EQ(r.value, "x");
+  EXPECT_EQ(r.value_str(), "x");
   EXPECT_TRUE(cache.holds(1, 200));
 }
 
@@ -60,7 +60,7 @@ TEST(CachePartition, ChainedUnsafeTransactions) {
   CachePartition cache;
   ASSERT_TRUE(cache.prepare(kTx1, 100, upd(1, "x"), true, 0).ok);
   cache.local_commit(kTx1, 120);
-  std::set<TxId> deps{kTx1};
+  FlatSet<TxId> deps{kTx1};
   EXPECT_TRUE(cache.prepare(kTx2, 200, upd(1, "y"), true, 0, &deps).ok);
 }
 
@@ -69,7 +69,7 @@ TEST(CachePartition, TracksLastReaderForPreciseClocks) {
   ASSERT_TRUE(cache.prepare(kTx1, 100, upd(1, "x"), true, 0).ok);
   cache.local_commit(kTx1, 120);
   cache.read(1, 300);
-  std::set<TxId> deps{kTx1};
+  FlatSet<TxId> deps{kTx1};
   auto pr = cache.prepare(kTx2, 400, upd(1, "y"), true, 0, &deps);
   ASSERT_TRUE(pr.ok);
   EXPECT_GE(pr.proposed_ts, 301u);

@@ -9,8 +9,8 @@ const TxId kTx1{0, 1};
 const TxId kTx2{0, 2};
 const TxId kTx3{1, 1};
 
-std::vector<std::pair<Key, Value>> upd(Key k, Value v) {
-  return {{k, std::move(v)}};
+std::vector<std::pair<Key, SharedValue>> upd(Key k, Value v) {
+  return {{k, std::make_shared<Value>(std::move(v))}};
 }
 
 TEST(MvStore, LoadThenRead) {
@@ -18,7 +18,7 @@ TEST(MvStore, LoadThenRead) {
   s.load(1, "a");
   auto r = s.read(1, 100);
   EXPECT_EQ(r.kind, ReadKind::Committed);
-  EXPECT_EQ(r.value, "a");
+  EXPECT_EQ(r.value_str(), "a");
   EXPECT_EQ(r.writer, kNoTx);
   EXPECT_EQ(r.ts, 0u);
 }
@@ -124,7 +124,7 @@ TEST(MvStore, ChainAllowedPermitsDependencyOverwrite) {
   s.load(1, "a");
   ASSERT_TRUE(s.prepare(kTx1, 100, upd(1, "b"), true, 0).ok);
   s.local_commit(kTx1, 101);
-  std::set<TxId> deps{kTx1};
+  FlatSet<TxId> deps{kTx1};
   // Without the chain, conflict:
   EXPECT_FALSE(s.prepare(kTx2, 200, upd(1, "c"), true, 0).ok);
   // With kTx1 in the dependency set, tx2 may pre-commit on top.
@@ -137,7 +137,7 @@ TEST(MvStore, ChainNotAllowedForPreCommitted) {
   PartitionStore s;
   s.load(1, "a");
   ASSERT_TRUE(s.prepare(kTx1, 100, upd(1, "b"), true, 0).ok);
-  std::set<TxId> deps{kTx1};
+  FlatSet<TxId> deps{kTx1};
   // Still pre-committed (not local-committed): no chaining.
   EXPECT_FALSE(s.prepare(kTx2, 200, upd(1, "c"), true, 0, &deps).ok);
 }
@@ -147,7 +147,7 @@ TEST(MvStore, ChainNotAllowedBeyondSnapshot) {
   s.load(1, "a");
   ASSERT_TRUE(s.prepare(kTx1, 300, upd(1, "b"), true, 0).ok);
   s.local_commit(kTx1, 301);
-  std::set<TxId> deps{kTx1};
+  FlatSet<TxId> deps{kTx1};
   // kTx2's snapshot (200) is below the local-commit timestamp (301).
   EXPECT_FALSE(s.prepare(kTx2, 200, upd(1, "c"), true, 0, &deps).ok);
 }
@@ -159,7 +159,7 @@ TEST(MvStore, LocalCommitMakesSpeculative) {
   s.local_commit(kTx1, 120);
   auto r = s.read(1, 200);
   EXPECT_EQ(r.kind, ReadKind::Speculative);
-  EXPECT_EQ(r.value, "b");
+  EXPECT_EQ(r.value_str(), "b");
   EXPECT_EQ(r.ts, 120u);
 }
 
@@ -171,12 +171,12 @@ TEST(MvStore, FinalCommitMakesCommittedWithNewTimestamp) {
   s.final_commit(kTx1, 180);
   auto r = s.read(1, 200);
   EXPECT_EQ(r.kind, ReadKind::Committed);
-  EXPECT_EQ(r.value, "b");
+  EXPECT_EQ(r.value_str(), "b");
   EXPECT_EQ(r.ts, 180u);
   // Snapshot below the commit timestamp sees the old version.
   auto old = s.read(1, 150);
   EXPECT_EQ(old.kind, ReadKind::Committed);
-  EXPECT_EQ(old.value, "a");
+  EXPECT_EQ(old.value_str(), "a");
 }
 
 TEST(MvStore, AbortRemovesVersions) {
@@ -187,7 +187,7 @@ TEST(MvStore, AbortRemovesVersions) {
   s.abort_tx(kTx1);
   auto r = s.read(1, 200);
   EXPECT_EQ(r.kind, ReadKind::Committed);
-  EXPECT_EQ(r.value, "a");
+  EXPECT_EQ(r.value_str(), "a");
   EXPECT_FALSE(s.has_uncommitted(kTx1));
 }
 
@@ -199,10 +199,10 @@ TEST(MvStore, SnapshotReadPicksLatestAtOrBelow) {
     ASSERT_TRUE(s.prepare(tx, i * 100, upd(1, "v" + std::to_string(i)), true, 0).ok);
     s.final_commit(tx, i * 100);
   }
-  EXPECT_EQ(s.read(1, 250).value, "v2");
-  EXPECT_EQ(s.read(1, 300).value, "v3");
-  EXPECT_EQ(s.read(1, 99).value, "v0");
-  EXPECT_EQ(s.read(1, 10000).value, "v5");
+  EXPECT_EQ(s.read(1, 250).value_str(), "v2");
+  EXPECT_EQ(s.read(1, 300).value_str(), "v3");
+  EXPECT_EQ(s.read(1, 99).value_str(), "v0");
+  EXPECT_EQ(s.read(1, 10000).value_str(), "v5");
 }
 
 TEST(MvStore, ReplicateEvictsLocalCommitted) {
@@ -248,8 +248,8 @@ TEST(MvStore, GcKeepsNewestReachable) {
   }
   s.gc(/*horizon=*/550);
   // Versions at 500 and above survive; reads at the horizon still work.
-  EXPECT_EQ(s.read(1, 560).value, "v5");
-  EXPECT_EQ(s.read(1, 1000).value, "v10");
+  EXPECT_EQ(s.read(1, 560).value_str(), "v5");
+  EXPECT_EQ(s.read(1, 1000).value_str(), "v10");
   EXPECT_GT(s.stats().gc_removed, 0u);
 }
 
@@ -294,7 +294,7 @@ TEST(MvStore, CommittedAboveUncommittedStillBlocks) {
   s.load(1, "a");
   ASSERT_TRUE(s.prepare(kTx1, 100, upd(1, "b"), true, 0).ok);  // proposal ~1
   // A second writer chained above commits first, with a larger timestamp.
-  std::set<TxId> deps{kTx1};
+  FlatSet<TxId> deps{kTx1};
   s.local_commit(kTx1, 101);
   ASSERT_TRUE(s.prepare(kTx2, 200, upd(1, "c"), true, 0, &deps).ok);
   s.local_commit(kTx2, 150);
@@ -307,7 +307,7 @@ TEST(MvStore, CommittedAboveUncommittedStillBlocks) {
   s.final_commit(kTx1, 120);
   auto r2 = s.read(1, 500);
   EXPECT_EQ(r2.kind, ReadKind::Committed);
-  EXPECT_EQ(r2.value, "c");
+  EXPECT_EQ(r2.value_str(), "c");
 }
 
 TEST(MvStore, UncommittedAboveSnapshotDoesNotBlockCommittedRead) {
@@ -322,7 +322,7 @@ TEST(MvStore, UncommittedAboveSnapshotDoesNotBlockCommittedRead) {
   ASSERT_TRUE(s.prepare(kTx2, 400, upd(1, "c"), true, 0).ok);
   auto r = s.read(1, 200);
   EXPECT_EQ(r.kind, ReadKind::Committed);
-  EXPECT_EQ(r.value, "b");
+  EXPECT_EQ(r.value_str(), "b");
 }
 
 
