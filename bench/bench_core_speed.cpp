@@ -90,6 +90,7 @@ namespace {
 
 struct Options {
   bool quick = false;
+  bool wire = false;
   const char* out = "BENCH_CORE.json";
   std::uint64_t seed = 42;
   Timestamp duration = sec(10);
@@ -114,6 +115,11 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       opt.quick = true;
       opt.duration = sec(3);
+    } else if (std::strcmp(argv[i], "--wire") == 0) {
+      // Wire codec mode: same events and commits (the transport is
+      // behaviour-neutral), but every message pays encode + decode, so the
+      // wall-clock and allocation numbers report the codec overhead.
+      opt.wire = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       opt.out = argv[++i];
     } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
@@ -122,8 +128,8 @@ int main(int argc, char** argv) {
       opt.seed = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--out PATH] [--duration SEC] "
-                   "[--seed N]\n",
+                   "usage: %s [--quick] [--wire] [--out PATH] "
+                   "[--duration SEC] [--seed N]\n",
                    argv[0]);
       return 1;
     }
@@ -136,6 +142,7 @@ int main(int argc, char** argv) {
   cfg.topology = net::Topology::ec2_nine_regions();
   cfg.protocol = protocol::ProtocolConfig::str();
   cfg.seed = opt.seed;
+  cfg.wire_codec = opt.wire;
 
   protocol::Cluster cluster(cfg);
   workload::SyntheticWorkload wl(cluster,
@@ -176,10 +183,11 @@ int main(int argc, char** argv) {
       events > 0 ? static_cast<double>(allocs) / static_cast<double>(events)
                  : 0.0;
 
-  std::printf("=== DES core speed (seed %llu, %u clients, %llu s virtual) "
+  std::printf("=== DES core speed (seed %llu, %u clients, %llu s virtual%s) "
               "===\n",
               static_cast<unsigned long long>(opt.seed), opt.clients,
-              static_cast<unsigned long long>(opt.duration / sec(1)));
+              static_cast<unsigned long long>(opt.duration / sec(1)),
+              opt.wire ? ", wire codec" : "");
   std::printf("  events            %12llu\n",
               static_cast<unsigned long long>(events));
   std::printf("  wall seconds      %12.3f\n", wall_s);
@@ -204,6 +212,7 @@ int main(int argc, char** argv) {
                "  \"schema_version\": 1,\n"
                "  \"seed\": %llu,\n"
                "  \"quick\": %s,\n"
+               "  \"wire\": %s,\n"
                "  \"clients\": %u,\n"
                "  \"virtual_warmup_s\": %llu,\n"
                "  \"virtual_duration_s\": %llu,\n"
@@ -218,7 +227,8 @@ int main(int argc, char** argv) {
                "  \"peak_versions_per_key\": %llu\n"
                "}\n",
                static_cast<unsigned long long>(opt.seed),
-               opt.quick ? "true" : "false", opt.clients,
+               opt.quick ? "true" : "false", opt.wire ? "true" : "false",
+               opt.clients,
                static_cast<unsigned long long>(warmup / sec(1)),
                static_cast<unsigned long long>(opt.duration / sec(1)),
                static_cast<unsigned long long>(events), wall_s,

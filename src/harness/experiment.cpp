@@ -138,6 +138,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   const net::NetworkStats& ns = cluster.network().stats();
   r.net_dropped = ns.dropped;
   r.net_duplicated = ns.duplicated;
+  r.net_corrupted = ns.corrupted;
   r.net_inversions = ns.inversions;
   if (const obs::Counter* c = merged.find_counter("rpc.timeouts")) {
     r.rpc_timeouts = c->value();

@@ -93,6 +93,8 @@ struct ExperimentResult {
   // -- fault / recovery accounting (zero on fault-free runs) ---------------
   std::uint64_t net_dropped = 0;
   std::uint64_t net_duplicated = 0;
+  std::uint64_t net_corrupted = 0;  ///< deliveries rejected by the frame
+                                    ///< integrity check (bit-flip faults)
   std::uint64_t net_inversions = 0;
   std::uint64_t rpc_timeouts = 0;
   std::uint64_t rpc_retries = 0;

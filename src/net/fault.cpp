@@ -35,12 +35,14 @@ bool FaultPlan::parse(const std::string& text, FaultPlan& out,
     std::istringstream tok(line);
     std::string cmd;
     if (!(tok >> cmd)) continue;  // blank / comment-only line
-    if (cmd == "drop" || cmd == "dup") {
+    if (cmd == "drop" || cmd == "dup" || cmd == "corrupt") {
       double p = 0;
       if (!(tok >> p) || p < 0.0 || p > 1.0) {
         return fail(error, line_no, cmd + " needs a probability in [0, 1]");
       }
-      (cmd == "drop" ? out.link.drop_prob : out.link.dup_prob) = p;
+      (cmd == "drop"  ? out.link.drop_prob
+       : cmd == "dup" ? out.link.dup_prob
+                      : out.link.corrupt_prob) = p;
     } else if (cmd == "heal") {
       double at = 0;
       if (!(tok >> at) || at < 0) {
@@ -110,10 +112,11 @@ std::string FaultPlan::describe() const {
     if (c.restart_at != kTsInfinity) ++crash_restarts;
   }
   std::snprintf(buf, sizeof buf,
-                "drop=%.1f%% dup=%.1f%% partition-windows=%zu crashes=%zu "
-                "(restarting=%zu)",
+                "drop=%.1f%% dup=%.1f%% corrupt=%.1f%% partition-windows=%zu "
+                "crashes=%zu (restarting=%zu)",
                 link.drop_prob * 100.0, link.dup_prob * 100.0,
-                partitions.size(), crashes.size(), crash_restarts);
+                link.corrupt_prob * 100.0, partitions.size(), crashes.size(),
+                crash_restarts);
   std::string out = buf;
   if (link.any() && link.heal_at != kTsInfinity) {
     std::snprintf(buf, sizeof buf, " heal=%.1fs", link.heal_at / 1e6);

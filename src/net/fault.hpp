@@ -14,6 +14,7 @@
 //   # comment
 //   drop 0.05                 # drop probability, every link
 //   dup 0.02                  # duplication probability, every link
+//   corrupt 0.01              # single-bit-flip probability, every link
 //   heal 9.0                  # drops/dups stop at t=9s (recovery window)
 //   partition 0 1 2.0 12.0    # cut regions 0 <-> 1 from t=2s to t=12s
 //   partition-oneway 0 1 2 12 # cut only messages flowing region 0 -> 1
@@ -39,9 +40,17 @@ namespace str::net {
 struct LinkFaults {
   double drop_prob = 0.0;  ///< probability a message vanishes on the wire
   double dup_prob = 0.0;   ///< probability a message is delivered twice
-  Timestamp heal_at = kTsInfinity;  ///< drop/dup are inert from here on
+  /// Probability a message arrives with one bit flipped. In wire mode
+  /// (--wire) the flip lands in the encoded frame and the decoder rejects
+  /// it via checksum; in closure mode the delivery is rejected symmetrically
+  /// (same RNG draws, same net.corrupted count). A rejected frame is NOT a
+  /// drop: it reaches the destination, fails integrity, and is discarded.
+  double corrupt_prob = 0.0;
+  Timestamp heal_at = kTsInfinity;  ///< drop/dup/corrupt are inert from here on
 
-  bool any() const { return drop_prob > 0.0 || dup_prob > 0.0; }
+  bool any() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || corrupt_prob > 0.0;
+  }
   bool active(Timestamp now) const { return any() && now < heal_at; }
 };
 

@@ -61,7 +61,7 @@ void Network::set_node_down(NodeId node, bool down) {
 void Network::set_registry(obs::Registry* registry) {
   if (registry == nullptr) {
     c_messages_ = c_wan_messages_ = c_bytes_ = nullptr;
-    c_dropped_ = c_duplicated_ = c_inversions_ = nullptr;
+    c_dropped_ = c_duplicated_ = c_corrupted_ = c_inversions_ = nullptr;
     t_latency_ = nullptr;
     return;
   }
@@ -70,6 +70,7 @@ void Network::set_registry(obs::Registry* registry) {
   c_bytes_ = &registry->counter("net.bytes");
   c_dropped_ = &registry->counter("net.dropped");
   c_duplicated_ = &registry->counter("net.duplicated");
+  c_corrupted_ = &registry->counter("net.corrupted");
   c_inversions_ = &registry->counter("net.inversions");
   t_latency_ = &registry->timer("net.latency");
 }
@@ -117,8 +118,7 @@ void Network::schedule_delivery(NodeId to, Timestamp latency,
   });
 }
 
-void Network::send(NodeId from, NodeId to, UniqueFunction<void()> fn,
-                   std::size_t size_hint) {
+bool Network::begin_send(NodeId from, NodeId to, std::size_t bytes) {
   if (from >= node_region_.size() || to >= node_region_.size()) {
     throw std::invalid_argument(
         "Network::send: " +
@@ -128,14 +128,14 @@ void Network::send(NodeId from, NodeId to, UniqueFunction<void()> fn,
         " nodes registered)");
   }
   ++stats_.messages_sent;
-  stats_.bytes_sent += size_hint;
+  stats_.bytes_sent += bytes;
   const RegionId ra = region_of(from);
   const RegionId rb = region_of(to);
   const bool wan = ra != rb;
   if (wan) ++stats_.wan_messages;
   if (c_messages_ != nullptr) {
     c_messages_->inc();
-    c_bytes_->inc(size_hint);
+    c_bytes_->inc(bytes);
     if (wan) c_wan_messages_->inc();
   }
 
@@ -143,24 +143,42 @@ void Network::send(NodeId from, NodeId to, UniqueFunction<void()> fn,
   // node never makes it onto the wire; a cut link swallows it silently.
   if (node_up_[from] == 0 || node_up_[to] == 0) {
     count_drop();
-    return;
+    return false;
   }
   if (!plan_.partitions.empty() && plan_.partitioned(ra, rb, sched_.now())) {
     count_drop();
-    return;
+    return false;
   }
-  const bool link_faults = plan_.link.active(sched_.now());
-  if (link_faults && plan_.link.drop_prob > 0.0 &&
+  if (plan_.link.active(sched_.now()) && plan_.link.drop_prob > 0.0 &&
       fault_rng_.chance(plan_.link.drop_prob)) {
     count_drop();
-    return;
+    return false;
   }
+  return true;
+}
 
+bool Network::corrupt_draw(std::size_t bytes, std::uint64_t& bit_index) {
+  if (!plan_.link.active(sched_.now()) || plan_.link.corrupt_prob <= 0.0 ||
+      !fault_rng_.chance(plan_.link.corrupt_prob)) {
+    return false;
+  }
+  // The bit index is drawn even when the closure transport cannot flip a
+  // physical bit: both modes must consume identical fault-stream draws.
+  bit_index = fault_rng_.uniform(static_cast<std::uint64_t>(bytes) * 8);
+  return true;
+}
+
+void Network::count_corrupted() {
+  ++stats_.corrupted;
+  if (c_corrupted_ != nullptr) c_corrupted_->inc();
+}
+
+void Network::finish_send(NodeId from, NodeId to, UniqueFunction<void()> fn) {
   const Timestamp latency = sample_latency(from, to);
   if (t_latency_ != nullptr) t_latency_->record(latency);
   note_arrival(from, to, latency + sched_.now());
 
-  if (link_faults && plan_.link.dup_prob > 0.0 &&
+  if (plan_.link.active(sched_.now()) && plan_.link.dup_prob > 0.0 &&
       fault_rng_.chance(plan_.link.dup_prob)) {
     // Deliver the same closure twice. Handlers must tolerate this — the
     // protocol layer dedups by request/transaction id; see docs/FAULTS.md.
@@ -176,6 +194,33 @@ void Network::send(NodeId from, NodeId to, UniqueFunction<void()> fn,
     return;
   }
   schedule_delivery(to, latency, std::move(fn));
+}
+
+void Network::send(NodeId from, NodeId to, UniqueFunction<void()> fn,
+                   std::size_t size_hint) {
+  if (!begin_send(from, to, size_hint)) return;
+  std::uint64_t bit_index = 0;
+  if (corrupt_draw(size_hint, bit_index)) {
+    // No physical bytes to damage on this transport, so model the outcome:
+    // the delivery is replaced by an integrity rejection. Counted at
+    // delivery (per copy, and not at all if the destination crashes first),
+    // exactly like a checksum-rejected frame in wire mode.
+    fn = [this]() { count_corrupted(); };
+  }
+  finish_send(from, to, std::move(fn));
+}
+
+void Network::send_frame(NodeId from, NodeId to,
+                         std::vector<std::uint8_t> frame) {
+  STR_ASSERT_MSG(frame_handler_, "send_frame without a frame handler");
+  if (!begin_send(from, to, frame.size())) return;
+  std::uint64_t bit_index = 0;
+  if (corrupt_draw(frame.size(), bit_index)) {
+    frame[bit_index / 8] ^= static_cast<std::uint8_t>(1u << (bit_index % 8));
+  }
+  finish_send(from, to, [this, to, frame = std::move(frame)]() {
+    if (!frame_handler_(to, frame.data(), frame.size())) count_corrupted();
+  });
 }
 
 }  // namespace str::net

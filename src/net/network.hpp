@@ -5,7 +5,11 @@
 // jitter. Closures keep the transport type-safe without a serialization
 // layer; the protocol layer still defines explicit message structs
 // (protocol/messages.hpp) as the closure payloads, and the network counts
-// messages and approximate bytes so experiments can report traffic.
+// messages and exact encoded bytes (wire/messages.hpp frame sizes) so
+// experiments can report traffic. A second transport, send_frame + an
+// installed FrameHandler, carries real encoded bytes instead of closures
+// (the --wire codec mode; see docs/WIRE.md) through the same latency and
+// fault pipeline.
 //
 // The transport is lossy on demand: an attached FaultPlan (net/fault.hpp)
 // drops and duplicates messages per-link, cuts region pairs during
@@ -37,6 +41,9 @@ struct NetworkStats {
   std::uint64_t wan_messages = 0;  ///< messages crossing a region boundary
   std::uint64_t dropped = 0;       ///< lost to faults (any cause)
   std::uint64_t duplicated = 0;    ///< extra copies delivered
+  std::uint64_t corrupted = 0;     ///< deliveries rejected by the integrity
+                                   ///< check (bit-flip faults; counted at
+                                   ///< delivery, once per rejected copy)
   std::uint64_t inversions = 0;    ///< deliveries overtaking an earlier send
                                    ///< on the same link (jitter reordering)
 };
@@ -67,6 +74,28 @@ class Network {
   /// bare std::out_of_range from deep inside the region lookup.
   void send(NodeId from, NodeId to, UniqueFunction<void()> fn,
             std::size_t size_hint = 64);
+
+  /// Receiver side of the encoded transport: invoked at delivery time with
+  /// the destination node and the raw frame bytes. Returns true when the
+  /// frame decoded and was routed; false rejects it (counted as corrupted).
+  /// Deliberately knows nothing about the wire layer's types, so net/ does
+  /// not depend on wire/ — the Cluster installs a handler that calls
+  /// wire::dispatch_frame.
+  using FrameHandler =
+      UniqueFunction<bool(NodeId to, const std::uint8_t* data,
+                          std::size_t size)>;
+
+  /// Install the frame handler; required before the first send_frame.
+  void set_frame_handler(FrameHandler handler) {
+    frame_handler_ = std::move(handler);
+  }
+
+  /// Ship an encoded frame through the same latency/fault pipeline as
+  /// send(). Byte accounting uses the exact frame size; a bit-flip fault
+  /// mutates the frame itself, so the receiver's checksum does the
+  /// rejecting. The same RNG draws are made as for a closure send of equal
+  /// size, keeping both transport modes on one deterministic trajectory.
+  void send_frame(NodeId from, NodeId to, std::vector<std::uint8_t> frame);
 
   /// One-way latency sample between two nodes (includes jitter).
   Timestamp sample_latency(NodeId from, NodeId to);
@@ -99,6 +128,22 @@ class Network {
   void schedule_delivery(NodeId to, Timestamp latency,
                          UniqueFunction<void()> fn);
 
+  /// Shared send front end: traffic counting plus the pre-flight fault
+  /// gauntlet (endpoint down, partition window, drop draw). Returns false
+  /// when the message dies before the wire.
+  bool begin_send(NodeId from, NodeId to, std::size_t bytes);
+
+  /// Corruption draw (identical in both transport modes): returns true and
+  /// sets `bit_index` in [0, bytes*8) when this message is to arrive with
+  /// one bit flipped.
+  bool corrupt_draw(std::size_t bytes, std::uint64_t& bit_index);
+
+  /// Shared send back end: latency sample, arrival bookkeeping, duplication
+  /// draw, delivery scheduling. `fn` must tolerate multiple invocations.
+  void finish_send(NodeId from, NodeId to, UniqueFunction<void()> fn);
+
+  void count_corrupted();
+
   /// Record a delivery time on the directed link and count an inversion if
   /// it overtakes an earlier send.
   void note_arrival(NodeId from, NodeId to, Timestamp arrival);
@@ -121,11 +166,13 @@ class Network {
   /// closure captures (see schedule_delivery). Slots recycle via msg_free_.
   std::vector<UniqueFunction<void()>> msg_pool_;
   std::vector<std::uint32_t> msg_free_;
+  FrameHandler frame_handler_;
   obs::Counter* c_messages_ = nullptr;
   obs::Counter* c_wan_messages_ = nullptr;
   obs::Counter* c_bytes_ = nullptr;
   obs::Counter* c_dropped_ = nullptr;
   obs::Counter* c_duplicated_ = nullptr;
+  obs::Counter* c_corrupted_ = nullptr;
   obs::Counter* c_inversions_ = nullptr;
   obs::Timer* t_latency_ = nullptr;
 };

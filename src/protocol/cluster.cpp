@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include <string>
+
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "wire/dispatch.hpp"
 
 namespace str::protocol {
 
@@ -21,6 +24,25 @@ Cluster::Cluster(Config config)
   flight_slack_ =
       config_.topology.max_one_way() + config_.max_clock_skew + 1;
   net_.set_registry(&cluster_obs_);
+  // Per-message-type traffic counters (slot 0 is a never-hit placeholder so
+  // the arrays index directly by MessageType).
+  c_wire_msgs_[0] = &cluster_obs_.counter("wire.msgs.invalid");
+  c_wire_bytes_[0] = &cluster_obs_.counter("wire.bytes.invalid");
+  for (std::uint8_t t = wire::kMinMessageType; t <= wire::kMaxMessageType;
+       ++t) {
+    const char* name = wire::to_string(static_cast<wire::MessageType>(t));
+    c_wire_msgs_[t] =
+        &cluster_obs_.counter(std::string("wire.msgs.") + name);
+    c_wire_bytes_[t] =
+        &cluster_obs_.counter(std::string("wire.bytes.") + name);
+  }
+  if (config_.wire_codec) {
+    net_.set_frame_handler(
+        [this](NodeId to, const std::uint8_t* data, std::size_t size) {
+          return wire::dispatch_frame(*this, to, data, size) ==
+                 wire::DecodeStatus::kOk;
+        });
+  }
   // Log lines carry virtual time while this cluster's DES is live on this
   // thread (the satellite of the observability layer; see common/log.hpp).
   Log::set_sim_clock(

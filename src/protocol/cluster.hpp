@@ -5,6 +5,7 @@
 // and advance virtual time with run_for().
 #pragma once
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <utility>
@@ -23,6 +24,7 @@
 #include "protocol/partition_map.hpp"
 #include "sim/scheduler.hpp"
 #include "verify/history.hpp"
+#include "wire/messages.hpp"
 
 namespace str::protocol {
 
@@ -38,10 +40,16 @@ class Cluster {
     double jitter_frac = 0.05;
     /// Node i's clock skew is drawn uniformly from [0, max_clock_skew].
     Timestamp max_clock_skew = msec(1);
-    /// Deterministic fault plan: link drops/dups, partition windows, node
-    /// crashes. Empty (the default) injects nothing and leaves every run
-    /// bit-identical to a fault-free build.
+    /// Deterministic fault plan: link drops/dups/corruption, partition
+    /// windows, node crashes. Empty (the default) injects nothing and leaves
+    /// every run bit-identical to a fault-free build.
     net::FaultPlan faults;
+    /// Wire codec mode (str_sim --wire): every message is encoded into a
+    /// checksummed binary frame at send and decoded + dispatched at
+    /// delivery, instead of travelling as a closure. Both modes make the
+    /// same RNG draws and charge the same exact frame sizes to the byte
+    /// counters, so a run is bit-identical across modes (docs/WIRE.md).
+    bool wire_codec = false;
   };
 
   explicit Cluster(Config config);
@@ -62,6 +70,18 @@ class Cluster {
 
   harness::Metrics& metrics() { return metrics_; }
   RuntimeFlags& flags() { return flags_; }
+
+  /// True when messages travel as encoded frames (Config::wire_codec).
+  bool wire_mode() const { return config_.wire_codec; }
+
+  /// Per-message-type traffic accounting ("wire.msgs.<type>" and
+  /// "wire.bytes.<type>" in the cluster registry). Called by wire::post on
+  /// every send, in both transport modes.
+  void count_wire_message(wire::MessageType type, std::size_t bytes) {
+    const auto i = static_cast<std::size_t>(type);
+    c_wire_msgs_[i]->inc();
+    c_wire_bytes_[i]->inc(bytes);
+  }
 
   /// Transaction-lifecycle tracer (disabled by default; O(1) when off).
   obs::Tracer& tracer() { return tracer_; }
@@ -161,6 +181,11 @@ class Cluster {
   verify::HistorySink* history_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<char> node_spec_enabled_;
+  /// Per-message-type traffic counters, indexed by wire::MessageType
+  /// (slot 0 unused). Resolved once at construction — count_wire_message
+  /// sits on the send hot path.
+  std::array<obs::Counter*, wire::kNumMessageTypes> c_wire_msgs_{};
+  std::array<obs::Counter*, wire::kNumMessageTypes> c_wire_bytes_{};
 
   /// Watermark bookkeeping: per-tick candidates (tick time, min observable
   /// snapshot at that tick). A candidate only becomes the published

@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "protocol/cluster.hpp"
 #include "protocol/node.hpp"
+#include "wire/dispatch.hpp"
 
 namespace str::protocol {
 
@@ -197,17 +198,7 @@ void Coordinator::send_read_request(std::uint64_t req_id,
   req.req_id = req_id;
   req.key = p.key;
   req.rs = p.rs;
-  const PartitionId pid = PartitionMap::partition_of(p.key);
-  const std::size_t size = req.wire_size();
-  Cluster* cl = &cluster;
-  cluster.network().send(
-      node_.id(), target,
-      [cl, target, pid, req]() {
-        PartitionActor* actor = cl->node(target).replica(pid);
-        STR_ASSERT(actor != nullptr);
-        actor->handle_remote_read(req);
-      },
-      size);
+  wire::post(cluster, node_.id(), target, std::move(req));
 }
 
 Timestamp Coordinator::backoff(std::uint32_t attempt) const {
@@ -656,19 +647,9 @@ void Coordinator::send_prepare(const txn::TxnRecord& rec, PartitionId pid,
     tracer_->emit({cluster.now(), rec.id, node_.id(),
                    obs::TraceEventType::PrepareSent, master, pid});
   }
-  const std::size_t size = req.wire_size();
-  Cluster* cl = &cluster;
   // The request is only read by the handler (updates are shared and
-  // immutable), so running the closure twice under duplication faults hands
-  // both deliveries the same intact payload.
-  cluster.network().send(
-      node_.id(), master,
-      [cl, master, req = std::move(req)]() {
-        PartitionActor* actor = cl->node(master).replica(req.partition);
-        STR_ASSERT(actor != nullptr);
-        actor->handle_prepare(req);
-      },
-      size);
+  // immutable), so a duplicated delivery replays the same intact payload.
+  wire::post(cluster, node_.id(), master, std::move(req));
 }
 
 void Coordinator::send_replicate(const txn::TxnRecord& rec, PartitionId pid,
@@ -684,17 +665,7 @@ void Coordinator::send_replicate(const txn::TxnRecord& rec, PartitionId pid,
     tracer_->emit({cluster.now(), rec.id, node_.id(),
                    obs::TraceEventType::PrepareSent, slave, pid});
   }
-  const std::size_t size = rep.wire_size();
-  Cluster* cl = &cluster;
-  // Read-only closure; safe to run twice under duplication faults.
-  cluster.network().send(
-      node_.id(), slave,
-      [cl, slave, rep = std::move(rep)]() {
-        PartitionActor* actor = cl->node(slave).replica(rep.partition);
-        STR_ASSERT(actor != nullptr);
-        actor->handle_replicate(rep);
-      },
-      size);
+  wire::post(cluster, node_.id(), slave, std::move(rep));
 }
 
 void Coordinator::resend_prepares(txn::TxnRecord& rec) {
@@ -831,31 +802,13 @@ void Coordinator::finalize_commit(txn::TxnRecord& rec) {
   for (const auto& [pid, updates] : groups.local) {
     for (NodeId n : cluster.pmap().replicas(pid)) {
       if (n == node_.id()) continue;
-      CommitMessage msg{rec.id, pid, ct};
-      Cluster* cl = &cluster;
-      cluster.network().send(
-          node_.id(), n,
-          [cl, n, msg]() {
-            PartitionActor* actor = cl->node(n).replica(msg.partition);
-            STR_ASSERT(actor != nullptr);
-            actor->apply_commit(msg.tx, msg.commit_ts);
-          },
-          msg.wire_size());
+      wire::post(cluster, node_.id(), n, CommitMessage{rec.id, pid, ct});
     }
   }
   for (const auto& [pid, updates] : groups.remote) {
     for (NodeId n : cluster.pmap().replicas(pid)) {
       if (n == node_.id()) continue;
-      CommitMessage msg{rec.id, pid, ct};
-      Cluster* cl = &cluster;
-      cluster.network().send(
-          node_.id(), n,
-          [cl, n, msg]() {
-            PartitionActor* actor = cl->node(n).replica(msg.partition);
-            STR_ASSERT(actor != nullptr);
-            actor->apply_commit(msg.tx, msg.commit_ts);
-          },
-          msg.wire_size());
+      wire::post(cluster, node_.id(), n, CommitMessage{rec.id, pid, ct});
     }
   }
 
@@ -967,29 +920,11 @@ void Coordinator::abort_tx(const TxId& tx, AbortReason reason) {
   for (NodeId n : rec.remote_replica_nodes) {
     for (const auto& [pid, updates] : groups.local) {
       if (!cluster.pmap().replicates(n, pid)) continue;
-      AbortMessage msg{rec.id, pid};
-      Cluster* cl = &cluster;
-      cluster.network().send(
-          node_.id(), n,
-          [cl, n, msg]() {
-            PartitionActor* actor = cl->node(n).replica(msg.partition);
-            STR_ASSERT(actor != nullptr);
-            actor->apply_abort(msg.tx);
-          },
-          msg.wire_size());
+      wire::post(cluster, node_.id(), n, AbortMessage{rec.id, pid});
     }
     for (const auto& [pid, updates] : groups.remote) {
       if (!cluster.pmap().replicates(n, pid)) continue;
-      AbortMessage msg{rec.id, pid};
-      Cluster* cl = &cluster;
-      cluster.network().send(
-          node_.id(), n,
-          [cl, n, msg]() {
-            PartitionActor* actor = cl->node(n).replica(msg.partition);
-            STR_ASSERT(actor != nullptr);
-            actor->apply_abort(msg.tx);
-          },
-          msg.wire_size());
+      wire::post(cluster, node_.id(), n, AbortMessage{rec.id, pid});
     }
   }
 
@@ -1027,16 +962,7 @@ void Coordinator::on_decision_request(DecisionRequest req) {
     // presumed abort.
     rep.decision = TxDecision::Aborted;
   }
-  const NodeId to = req.from;
-  Cluster* cl = &cluster;
-  cluster.network().send(
-      node_.id(), to,
-      [cl, to, rep]() {
-        PartitionActor* actor = cl->node(to).replica(rep.partition);
-        STR_ASSERT(actor != nullptr);
-        actor->on_decision_reply(rep);
-      },
-      rep.wire_size());
+  wire::post(cluster, node_.id(), req.from, std::move(rep));
 }
 
 void Coordinator::on_crash() {

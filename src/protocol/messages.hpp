@@ -1,9 +1,11 @@
 // Message payloads exchanged between nodes.
 //
-// The simulated network transports closures, but every inter-node
-// interaction is expressed through one of these structs so the protocol
-// reads like its wire format. Approximate serialized sizes (for traffic
-// accounting) are provided per message.
+// Every inter-node interaction is expressed through one of these structs.
+// Their binary encoding — frame layout, type tags, exact sizes — lives in
+// the wire subsystem (wire/messages.hpp, docs/WIRE.md); the structs here
+// stay codec-agnostic so the protocol layer reads like its wire format
+// without depending on it. Sends go through wire::post, which charges the
+// exact encoded frame size to the traffic counters in both transport modes.
 #pragma once
 
 #include <memory>
@@ -32,8 +34,6 @@ struct ReadRequest {
   std::uint64_t req_id = 0;  ///< pairs the reply with the reader's promise
   Key key = 0;
   Timestamp rs = 0;
-
-  std::size_t wire_size() const { return 48; }
 };
 
 struct ReadReply {
@@ -44,10 +44,6 @@ struct ReadReply {
   SharedValue value;
   TxId writer;
   Timestamp version_ts = 0;
-
-  std::size_t wire_size() const {
-    return 56 + (value ? value->size() : 0);
-  }
 };
 
 struct PrepareRequest {
@@ -56,14 +52,6 @@ struct PrepareRequest {
   PartitionId partition = kInvalidPartition;
   Timestamp rs = 0;
   SharedUpdates updates;
-
-  std::size_t wire_size() const {
-    std::size_t s = 48;
-    if (updates) {
-      for (const auto& [k, v] : *updates) s += 16 + (v ? v->size() : 0);
-    }
-    return s;
-  }
 };
 
 struct PrepareReply {
@@ -72,8 +60,6 @@ struct PrepareReply {
   NodeId from = kInvalidNode;
   bool prepared = false;
   Timestamp proposed_ts = 0;
-
-  std::size_t wire_size() const { return 40; }
 };
 
 /// Master -> slave synchronous replication of an accepted pre-commit.
@@ -83,29 +69,17 @@ struct ReplicateRequest {
   PartitionId partition = kInvalidPartition;
   Timestamp rs = 0;
   SharedUpdates updates;
-
-  std::size_t wire_size() const {
-    std::size_t s = 48;
-    if (updates) {
-      for (const auto& [k, v] : *updates) s += 16 + (v ? v->size() : 0);
-    }
-    return s;
-  }
 };
 
 struct CommitMessage {
   TxId tx;
   PartitionId partition = kInvalidPartition;
   Timestamp commit_ts = 0;
-
-  std::size_t wire_size() const { return 32; }
 };
 
 struct AbortMessage {
   TxId tx;
   PartitionId partition = kInvalidPartition;
-
-  std::size_t wire_size() const { return 24; }
 };
 
 /// What the coordinator (or its durable decision log) knows about a
@@ -125,8 +99,6 @@ struct DecisionRequest {
   TxId tx;
   PartitionId partition = kInvalidPartition;
   NodeId from = kInvalidNode;
-
-  std::size_t wire_size() const { return 28; }
 };
 
 struct DecisionReply {
@@ -134,8 +106,6 @@ struct DecisionReply {
   PartitionId partition = kInvalidPartition;
   TxDecision decision = TxDecision::Unknown;
   Timestamp commit_ts = 0;
-
-  std::size_t wire_size() const { return 33; }
 };
 
 }  // namespace str::protocol

@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "protocol/cluster.hpp"
 #include "protocol/node.hpp"
+#include "wire/dispatch.hpp"
 
 namespace str::protocol {
 
@@ -101,15 +102,7 @@ void PartitionActor::deliver_read(ParkedRead&& rd,
   reply.value = r.value;
   reply.writer = r.writer;
   reply.version_ts = r.ts;
-  Cluster& cluster = node_.cluster();
-  const NodeId to = rd.reader_node;
-  const std::size_t size = reply.wire_size();
-  cluster.network().send(
-      node_.id(), to,
-      [&cluster, to, reply = std::move(reply)]() {
-        cluster.node(to).coordinator().on_read_reply(reply);
-      },
-      size);
+  wire::post(node_.cluster(), node_.id(), rd.reader_node, std::move(reply));
 }
 
 store::PrepareResult PartitionActor::prepare_local(
@@ -176,27 +169,11 @@ void PartitionActor::handle_prepare(const PrepareRequest& req) {
       rep.partition = pid_;
       rep.rs = req.rs;
       rep.updates = req.updates;  // shared payload: a pointer bump, no copy
-      const std::size_t size = rep.wire_size();
-      // Read-only closure; safe to run twice under duplication faults.
-      cluster.network().send(
-          node_.id(), slave,
-          [&cluster, slave, rep = std::move(rep)]() {
-            PartitionActor* actor = cluster.node(slave).replica(rep.partition);
-            STR_ASSERT(actor != nullptr);
-            actor->handle_replicate(rep);
-          },
-          size);
+      wire::post(cluster, node_.id(), slave, std::move(rep));
     }
   }
 
-  const NodeId to = req.coordinator;
-  const std::size_t size = reply.wire_size();
-  cluster.network().send(
-      node_.id(), to,
-      [&cluster, to, reply]() {
-        cluster.node(to).coordinator().on_prepare_reply(reply);
-      },
-      size);
+  wire::post(cluster, node_.id(), req.coordinator, std::move(reply));
 }
 
 void PartitionActor::handle_replicate(const ReplicateRequest& req) {
@@ -217,14 +194,7 @@ void PartitionActor::handle_replicate(const ReplicateRequest& req) {
     reply.from = node_.id();
     reply.prepared = true;
     reply.proposed_ts = store_.uncommitted_ts(req.tx);
-    const NodeId to = req.coordinator;
-    const std::size_t size = reply.wire_size();
-    cluster.network().send(
-        node_.id(), to,
-        [&cluster, to, reply]() {
-          cluster.node(to).coordinator().on_prepare_reply(reply);
-        },
-        size);
+    wire::post(cluster, node_.id(), req.coordinator, std::move(reply));
     return;
   }
 
@@ -247,14 +217,7 @@ void PartitionActor::handle_replicate(const ReplicateRequest& req) {
   reply.from = node_.id();
   reply.prepared = true;
   reply.proposed_ts = proposed;
-  const NodeId to = req.coordinator;
-  const std::size_t size = reply.wire_size();
-  cluster.network().send(
-      node_.id(), to,
-      [&cluster, to, reply]() {
-        cluster.node(to).coordinator().on_prepare_reply(reply);
-      },
-      size);
+  wire::post(cluster, node_.id(), req.coordinator, std::move(reply));
 }
 
 void PartitionActor::apply_commit(const TxId& tx, Timestamp ct) {
@@ -306,13 +269,7 @@ void PartitionActor::orphan_check(const TxId& tx) {
     req.tx = tx;
     req.partition = pid_;
     req.from = node_.id();
-    const std::size_t size = req.wire_size();
-    cluster.network().send(
-        node_.id(), coordinator,
-        [&cluster, coordinator, req]() {
-          cluster.node(coordinator).coordinator().on_decision_request(req);
-        },
-        size);
+    wire::post(cluster, node_.id(), coordinator, std::move(req));
   }
   // Bounded backoff between probes, capped at orphan_interval_cap.
   Timestamp wait = rc.orphan_timeout;

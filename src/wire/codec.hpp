@@ -1,0 +1,190 @@
+// Binary wire-codec primitives: varints, zigzag, length-prefixed frames
+// with a per-frame checksum.
+//
+// This is the bottom layer of the wire subsystem (docs/WIRE.md). It knows
+// nothing about protocol messages — only how to put integers and byte
+// strings into a buffer and get them back out without ever reading past the
+// end of untrusted input. The typed message codec (wire/messages.hpp) and
+// the dispatch table (wire/dispatch.hpp) build on it.
+//
+// Encoding conventions:
+//   * unsigned integers  : LEB128 varints (7 bits per byte, LSB first)
+//   * signed integers    : zigzag-mapped, then varint
+//   * byte strings       : varint length prefix + raw bytes
+//   * fixed 32-bit fields: little-endian (frame length and checksum only)
+//
+// Frame layout (all multi-byte fields little-endian):
+//
+//   +----------------+------+----------------+-------------------+
+//   | u32 rest_len   | type | body ...       | u32 FNV-1a(type + |
+//   | (type..cksum)  | (u8) | (per-type)     |      body)        |
+//   +----------------+------+----------------+-------------------+
+//
+// The length prefix makes the format self-delimiting on a byte stream; the
+// checksum rejects corrupted frames before any field is interpreted.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace str::wire {
+
+using Buffer = std::vector<std::uint8_t>;
+
+/// Frame overhead around the body: length prefix + type tag + checksum.
+inline constexpr std::size_t kFrameLenBytes = 4;
+inline constexpr std::size_t kFrameTypeBytes = 1;
+inline constexpr std::size_t kFrameChecksumBytes = 4;
+inline constexpr std::size_t kFrameOverhead =
+    kFrameLenBytes + kFrameTypeBytes + kFrameChecksumBytes;
+/// Smallest well-formed frame: empty body.
+inline constexpr std::size_t kMinFrameSize = kFrameOverhead;
+
+/// Encoded size of an unsigned varint (1..10 bytes).
+inline std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Zigzag mapping: small-magnitude signed values become small unsigned ones.
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// FNV-1a over a byte range, folded to 32 bits. Cheap, deterministic, and
+/// sensitive to single-bit flips — exactly what a per-frame integrity check
+/// needs in a deterministic simulator (a real backend would use CRC32C).
+inline std::uint32_t checksum32(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+/// Append-only encoder over a caller-owned Buffer.
+class Writer {
+ public:
+  explicit Writer(Buffer& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u32le(std::uint32_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v >> 16));
+    out_.push_back(static_cast<std::uint8_t>(v >> 24));
+  }
+
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void zigzag(std::int64_t v) { varint(zigzag_encode(v)); }
+
+  /// varint length prefix + raw bytes.
+  void bytes(const void* data, std::size_t size) {
+    varint(size);
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + size);
+  }
+
+  void str(const std::string& s) { bytes(s.data(), s.size()); }
+
+  Buffer& buffer() { return out_; }
+
+ private:
+  Buffer& out_;
+};
+
+/// Bounds-checked decoder over untrusted bytes. Every accessor returns a
+/// neutral value and latches `ok() == false` on underflow or malformed
+/// input; it NEVER reads outside [data, data + size). Callers check ok()
+/// once at the end (reads after a failure are harmless no-ops).
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : p_(data), end_(data + size) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+
+  std::uint8_t u8() {
+    if (remaining() < 1) return fail_u8();
+    return *p_++;
+  }
+
+  std::uint32_t u32le() {
+    if (remaining() < 4) {
+      fail_u8();
+      return 0;
+    }
+    std::uint32_t v = static_cast<std::uint32_t>(p_[0]) |
+                      (static_cast<std::uint32_t>(p_[1]) << 8) |
+                      (static_cast<std::uint32_t>(p_[2]) << 16) |
+                      (static_cast<std::uint32_t>(p_[3]) << 24);
+    p_ += 4;
+    return v;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (std::size_t shift = 0; shift < 64; shift += 7) {
+      if (remaining() < 1) return fail_u8();
+      const std::uint8_t byte = *p_++;
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        // The 10th byte of a u64 varint carries one significant bit; a
+        // larger final byte would encode bits beyond 64 (overlong/overflow).
+        if (shift == 63 && byte > 1) return fail_u8();
+        return v;
+      }
+    }
+    return fail_u8();  // continuation bit set past 10 bytes
+  }
+
+  std::int64_t zigzag() { return zigzag_decode(varint()); }
+
+  /// varint length prefix + raw bytes; rejects lengths past the buffer end
+  /// BEFORE allocating, so a corrupted length can never trigger a huge
+  /// reservation or an out-of-bounds copy.
+  bool str(std::string& out) {
+    const std::uint64_t len = varint();
+    if (!ok_ || len > remaining()) {
+      fail_u8();
+      return false;
+    }
+    out.assign(reinterpret_cast<const char*>(p_), static_cast<std::size_t>(len));
+    p_ += len;
+    return true;
+  }
+
+ private:
+  std::uint8_t fail_u8() {
+    ok_ = false;
+    p_ = end_;
+    return 0;
+  }
+
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+  bool ok_ = true;
+};
+
+}  // namespace str::wire

@@ -1,0 +1,120 @@
+#include "wire/dispatch.hpp"
+
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+#include "common/assert.hpp"
+#include "protocol/cluster.hpp"
+#include "protocol/coordinator.hpp"
+#include "protocol/node.hpp"
+#include "protocol/partition_actor.hpp"
+#include "protocol/partition_map.hpp"
+
+namespace str::wire {
+
+using protocol::Cluster;
+using protocol::PartitionActor;
+
+namespace {
+
+/// Replica of `pid` on node `to`; a miss is a routing bug, not bad input —
+/// frames only reach dispatch after the checksum proved them intact.
+PartitionActor* replica_of(Cluster& cl, NodeId to, PartitionId pid) {
+  PartitionActor* actor = cl.node(to).replica(pid);
+  STR_ASSERT(actor != nullptr);
+  return actor;
+}
+
+}  // namespace
+
+void deliver(Cluster& cl, NodeId to, const protocol::ReadRequest& m) {
+  const PartitionId pid = protocol::PartitionMap::partition_of(m.key);
+  replica_of(cl, to, pid)->handle_remote_read(m);
+}
+
+void deliver(Cluster& cl, NodeId to, const protocol::ReadReply& m) {
+  cl.node(to).coordinator().on_read_reply(m);
+}
+
+void deliver(Cluster& cl, NodeId to, const protocol::PrepareRequest& m) {
+  replica_of(cl, to, m.partition)->handle_prepare(m);
+}
+
+void deliver(Cluster& cl, NodeId to, const protocol::PrepareReply& m) {
+  cl.node(to).coordinator().on_prepare_reply(m);
+}
+
+void deliver(Cluster& cl, NodeId to, const protocol::ReplicateRequest& m) {
+  replica_of(cl, to, m.partition)->handle_replicate(m);
+}
+
+void deliver(Cluster& cl, NodeId to, const protocol::CommitMessage& m) {
+  replica_of(cl, to, m.partition)->apply_commit(m.tx, m.commit_ts);
+}
+
+void deliver(Cluster& cl, NodeId to, const protocol::AbortMessage& m) {
+  replica_of(cl, to, m.partition)->apply_abort(m.tx);
+}
+
+void deliver(Cluster& cl, NodeId to, const protocol::DecisionRequest& m) {
+  cl.node(to).coordinator().on_decision_request(m);
+}
+
+void deliver(Cluster& cl, NodeId to, const protocol::DecisionReply& m) {
+  replica_of(cl, to, m.partition)->on_decision_reply(m);
+}
+
+DecodeStatus dispatch_frame(Cluster& cl, NodeId to, const std::uint8_t* data,
+                            std::size_t size) {
+  AnyMessage msg;
+  const DecodeStatus st = decode_frame(data, size, msg);
+  if (st != DecodeStatus::kOk) return st;
+  std::visit(
+      [&](const auto& m) {
+        if constexpr (!std::is_same_v<std::decay_t<decltype(m)>,
+                                      std::monostate>) {
+          deliver(cl, to, m);
+        }
+      },
+      msg);
+  return st;
+}
+
+template <class M>
+void post(Cluster& cl, NodeId from, NodeId to, M msg) {
+  const std::size_t size = frame_size(msg);
+  cl.count_wire_message(type_tag<M>(), size);
+  if (cl.wire_mode()) {
+    cl.network().send_frame(from, to, encode_frame(msg));
+    return;
+  }
+  // Closure transport: same routing table, same exact byte accounting. The
+  // message is captured by value and passed by const reference, so a
+  // network-duplicated delivery replays it intact.
+  Cluster* c = &cl;
+  cl.network().send(
+      from, to, [c, to, msg = std::move(msg)]() { deliver(*c, to, msg); },
+      size);
+}
+
+template void post<protocol::ReadRequest>(Cluster&, NodeId, NodeId,
+                                          protocol::ReadRequest);
+template void post<protocol::ReadReply>(Cluster&, NodeId, NodeId,
+                                        protocol::ReadReply);
+template void post<protocol::PrepareRequest>(Cluster&, NodeId, NodeId,
+                                             protocol::PrepareRequest);
+template void post<protocol::PrepareReply>(Cluster&, NodeId, NodeId,
+                                           protocol::PrepareReply);
+template void post<protocol::ReplicateRequest>(Cluster&, NodeId, NodeId,
+                                               protocol::ReplicateRequest);
+template void post<protocol::CommitMessage>(Cluster&, NodeId, NodeId,
+                                            protocol::CommitMessage);
+template void post<protocol::AbortMessage>(Cluster&, NodeId, NodeId,
+                                           protocol::AbortMessage);
+template void post<protocol::DecisionRequest>(Cluster&, NodeId, NodeId,
+                                              protocol::DecisionRequest);
+template void post<protocol::DecisionReply>(Cluster&, NodeId, NodeId,
+                                            protocol::DecisionReply);
+
+}  // namespace str::wire

@@ -1,0 +1,89 @@
+// Typed RPC dispatch over the wire codec (docs/WIRE.md).
+//
+// Two entry points:
+//
+//  * `post(cluster, from, to, msg)` — the one way the protocol layer sends
+//    a message. In wire mode (`Cluster::Config::wire_codec`) the message is
+//    encoded into a checksummed frame and shipped as bytes through
+//    `Network::send_frame`, then decoded and routed at the destination. In
+//    the default closure mode it travels as a closure whose byte accounting
+//    uses the exact frame size — so both modes report identical traffic and
+//    stay on the same RNG draw sequence.
+//
+//  * `dispatch_frame(cluster, to, data, size)` — decode one received frame
+//    and route it to the owning handler on node `to` (the routing table is
+//    the `deliver` overload set below). Installed as the Network's
+//    FrameHandler by the Cluster when wire mode is on.
+//
+// Correlation is carried in the messages themselves (ReadRequest::req_id,
+// TxId + partition for votes and decisions), not in captured continuations,
+// which is what makes the serialized path possible at all.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "protocol/messages.hpp"
+#include "wire/messages.hpp"
+
+namespace str::protocol {
+class Cluster;
+}
+
+namespace str::wire {
+
+// -- routing table ------------------------------------------------------------
+// One overload per message type: route a decoded message to its handler on
+// node `to`. Used by both transports (closure payloads call these directly;
+// wire frames go through dispatch_frame).
+
+void deliver(protocol::Cluster& cl, NodeId to, const protocol::ReadRequest& m);
+void deliver(protocol::Cluster& cl, NodeId to, const protocol::ReadReply& m);
+void deliver(protocol::Cluster& cl, NodeId to,
+             const protocol::PrepareRequest& m);
+void deliver(protocol::Cluster& cl, NodeId to, const protocol::PrepareReply& m);
+void deliver(protocol::Cluster& cl, NodeId to,
+             const protocol::ReplicateRequest& m);
+void deliver(protocol::Cluster& cl, NodeId to, const protocol::CommitMessage& m);
+void deliver(protocol::Cluster& cl, NodeId to, const protocol::AbortMessage& m);
+void deliver(protocol::Cluster& cl, NodeId to,
+             const protocol::DecisionRequest& m);
+void deliver(protocol::Cluster& cl, NodeId to, const protocol::DecisionReply& m);
+
+/// Decode one received frame and route it. Returns kOk when the message was
+/// delivered; any other status means the frame was rejected (and the caller
+/// should count it).
+DecodeStatus dispatch_frame(protocol::Cluster& cl, NodeId to,
+                            const std::uint8_t* data, std::size_t size);
+
+/// Send `msg` from `from` to `to` through the cluster's transport mode.
+/// Explicitly instantiated in dispatch.cpp for every message type.
+template <class M>
+void post(protocol::Cluster& cl, NodeId from, NodeId to, M msg);
+
+extern template void post<protocol::ReadRequest>(protocol::Cluster&, NodeId,
+                                                 NodeId, protocol::ReadRequest);
+extern template void post<protocol::ReadReply>(protocol::Cluster&, NodeId,
+                                               NodeId, protocol::ReadReply);
+extern template void post<protocol::PrepareRequest>(protocol::Cluster&, NodeId,
+                                                    NodeId,
+                                                    protocol::PrepareRequest);
+extern template void post<protocol::PrepareReply>(protocol::Cluster&, NodeId,
+                                                  NodeId,
+                                                  protocol::PrepareReply);
+extern template void post<protocol::ReplicateRequest>(
+    protocol::Cluster&, NodeId, NodeId, protocol::ReplicateRequest);
+extern template void post<protocol::CommitMessage>(protocol::Cluster&, NodeId,
+                                                   NodeId,
+                                                   protocol::CommitMessage);
+extern template void post<protocol::AbortMessage>(protocol::Cluster&, NodeId,
+                                                  NodeId,
+                                                  protocol::AbortMessage);
+extern template void post<protocol::DecisionRequest>(protocol::Cluster&, NodeId,
+                                                     NodeId,
+                                                     protocol::DecisionRequest);
+extern template void post<protocol::DecisionReply>(protocol::Cluster&, NodeId,
+                                                   NodeId,
+                                                   protocol::DecisionReply);
+
+}  // namespace str::wire

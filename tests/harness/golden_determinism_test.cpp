@@ -42,6 +42,7 @@ class Fnv {
 
 struct RunOptions {
   bool watermark_pruning = true;
+  bool wire_codec = false;
 };
 
 std::uint64_t run_and_hash(const RunOptions& opt) {
@@ -56,6 +57,7 @@ std::uint64_t run_and_hash(const RunOptions& opt) {
   // of this test to bite.
   cfg.protocol.gc_interval = msec(500);
   cfg.seed = 7;
+  cfg.wire_codec = opt.wire_codec;
 
   protocol::Cluster cluster(cfg);
   verify::HistoryRecorder history;
@@ -121,7 +123,7 @@ std::uint64_t run_and_hash(const RunOptions& opt) {
 
 // The committed golden value. Regenerate (docs/PERFORMANCE.md) only for an
 // intentional behaviour change, and say so in the commit message.
-constexpr std::uint64_t kGoldenHash = 0x07897dcb6495dc04ULL;
+constexpr std::uint64_t kGoldenHash = 0xd1f54884abf60fd6ULL;
 
 TEST(GoldenDeterminism, FixedSeedRunMatchesCommittedHash) {
   const std::uint64_t h = run_and_hash({});
@@ -138,6 +140,19 @@ TEST(GoldenDeterminism, WatermarkPruningIsBehaviourNeutral) {
   off.watermark_pruning = false;
   EXPECT_EQ(run_and_hash(off), kGoldenHash)
       << "disabling watermark pruning changed observable behaviour";
+}
+
+// Encoding every message to bytes and decoding it at delivery (--wire) must
+// not move a single event or counter: both transports make identical RNG
+// draws and charge identical (exact) frame sizes, so the run is bit-identical
+// to the closure-mode golden hash. This makes the whole suite a wire-format
+// conformance test — any lossy or non-deterministic encode/decode shows up
+// here as a hash mismatch.
+TEST(GoldenDeterminism, WireCodecIsBehaviourNeutral) {
+  RunOptions wire;
+  wire.wire_codec = true;
+  EXPECT_EQ(run_and_hash(wire), kGoldenHash)
+      << "wire codec round-tripping changed observable behaviour";
 }
 
 }  // namespace

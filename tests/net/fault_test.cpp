@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -103,6 +104,74 @@ TEST(Fault, DuplicateCopiesDoNotCountAsInversions) {
     ASSERT_EQ(net.stats().duplicated, 1u);
     EXPECT_EQ(net.stats().inversions, 0u) << "seed " << seed;
   }
+}
+
+TEST(Fault, CorruptionPoisonsClosureDeliveriesAndCounts) {
+  // Closure transport has no bytes to flip: a corruption hit replaces the
+  // delivery with a counted rejection, mirroring what the checksum does to
+  // a flipped frame in wire mode. The message still occupies the link (it
+  // is NOT a drop) and arrives — as garbage.
+  sim::Scheduler sched;
+  Network net = make_network(sched);
+  FaultPlan plan;
+  plan.link.corrupt_prob = 1.0;
+  net.set_fault_plan(plan, Rng(3));
+  int delivered = 0;
+  constexpr int kSends = 10;
+  for (int i = 0; i < kSends; ++i) {
+    net.send(0, 1, [&]() { ++delivered; });
+  }
+  sched.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.stats().corrupted, static_cast<std::uint64_t>(kSends));
+  EXPECT_EQ(net.stats().dropped, 0u);
+  EXPECT_EQ(net.stats().messages_sent, static_cast<std::uint64_t>(kSends));
+}
+
+TEST(Fault, CorruptionOfADuplicatedMessageRejectsBothCopies) {
+  // One corruption draw per logical message: the flipped payload is what
+  // gets duplicated, so each delivered copy is rejected and counted.
+  sim::Scheduler sched;
+  Network net = make_network(sched);
+  FaultPlan plan;
+  plan.link.corrupt_prob = 1.0;
+  plan.link.dup_prob = 1.0;
+  net.set_fault_plan(plan, Rng(3));
+  int delivered = 0;
+  net.send(0, 1, [&]() { ++delivered; });
+  sched.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.stats().duplicated, 1u);
+  EXPECT_EQ(net.stats().corrupted, 2u);
+}
+
+TEST(Fault, SendFrameFlipsARealBitUnderCorruption) {
+  // Frame transport: corruption flips one physical bit; the handler sees
+  // the damaged bytes, rejects them, and the network counts the rejection.
+  sim::Scheduler sched;
+  Network net = make_network(sched);
+  const std::vector<std::uint8_t> original = {0x10, 0x20, 0x30, 0x40};
+  int intact = 0, damaged = 0;
+  net.set_frame_handler([&](NodeId, const std::uint8_t* data,
+                            std::size_t size) {
+    const bool same = size == original.size() &&
+                      std::equal(data, data + size, original.begin());
+    (same ? intact : damaged) += 1;
+    return same;
+  });
+
+  net.send_frame(0, 1, std::vector<std::uint8_t>(original));
+  sched.run();
+  EXPECT_EQ(intact, 1);
+  EXPECT_EQ(net.stats().corrupted, 0u);
+
+  FaultPlan plan;
+  plan.link.corrupt_prob = 1.0;
+  net.set_fault_plan(plan, Rng(3));
+  net.send_frame(0, 1, std::vector<std::uint8_t>(original));
+  sched.run();
+  EXPECT_EQ(damaged, 1);  // exactly one bit differs -> handler refused it
+  EXPECT_EQ(net.stats().corrupted, 1u);
 }
 
 TEST(Fault, PartitionWindowCutsBothDirectionsThenHeals) {
@@ -272,6 +341,7 @@ TEST(FaultPlanParse, FullSpecRoundTrip) {
       "# chaos plan\n"
       "drop 0.05\n"
       "dup 0.02\n"
+      "corrupt 0.01\n"
       "heal 15.0\n"
       "\n"
       "partition 0 1 2.0 12.0\n"
@@ -283,6 +353,7 @@ TEST(FaultPlanParse, FullSpecRoundTrip) {
   ASSERT_TRUE(FaultPlan::parse(spec, plan, error)) << error;
   EXPECT_DOUBLE_EQ(plan.link.drop_prob, 0.05);
   EXPECT_DOUBLE_EQ(plan.link.dup_prob, 0.02);
+  EXPECT_DOUBLE_EQ(plan.link.corrupt_prob, 0.01);
   EXPECT_EQ(plan.link.heal_at, sec(15));
   ASSERT_EQ(plan.partitions.size(), 3u);  // symmetric pair + one-way
   EXPECT_TRUE(plan.partitioned(0, 1, sec(5)));
@@ -305,6 +376,7 @@ TEST(FaultPlanParse, ErrorsCarryLineNumbers) {
   EXPECT_NE(error.find('2'), std::string::npos) << error;
   EXPECT_FALSE(FaultPlan::parse("drop notanumber\n", plan, error));
   EXPECT_FALSE(FaultPlan::parse("drop 1.5\n", plan, error));       // prob > 1
+  EXPECT_FALSE(FaultPlan::parse("corrupt 1.5\n", plan, error));    // prob > 1
   EXPECT_FALSE(FaultPlan::parse("partition 0 1 9 2\n", plan, error));  // end<start
   EXPECT_FALSE(FaultPlan::parse("crash 1 8 5\n", plan, error));    // restart<at
   EXPECT_FALSE(FaultPlan::parse("heal -1\n", plan, error));        // negative
@@ -343,11 +415,13 @@ TEST(FaultPlanParse, DescribeMentionsEveryFaultClass) {
   FaultPlan plan;
   plan.link.drop_prob = 0.05;
   plan.link.dup_prob = 0.02;
+  plan.link.corrupt_prob = 0.01;
   plan.add_partition(0, 1, sec(2), sec(12));
   plan.add_crash(3, sec(5), sec(8));
   const std::string d = plan.describe();
   EXPECT_NE(d.find("drop"), std::string::npos) << d;
   EXPECT_NE(d.find("dup"), std::string::npos) << d;
+  EXPECT_NE(d.find("corrupt"), std::string::npos) << d;
   EXPECT_NE(d.find("partition"), std::string::npos) << d;
   EXPECT_NE(d.find("crash"), std::string::npos) << d;
 }

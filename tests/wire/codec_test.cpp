@@ -1,0 +1,178 @@
+// Wire-codec primitives: varint/zigzag mappings, checksum sensitivity, and
+// the bounds-latched Reader that must never read past untrusted input.
+#include "wire/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace str::wire {
+namespace {
+
+std::uint64_t roundtrip_varint(std::uint64_t v, std::size_t* encoded_size) {
+  Buffer buf;
+  Writer w(buf);
+  w.varint(v);
+  if (encoded_size != nullptr) *encoded_size = buf.size();
+  Reader r(buf.data(), buf.size());
+  const std::uint64_t out = r.varint();
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+  return out;
+}
+
+TEST(Codec, VarintRoundTripAtBoundaries) {
+  // Each 7-bit group boundary changes the encoded length by one byte.
+  const struct {
+    std::uint64_t value;
+    std::size_t size;
+  } cases[] = {
+      {0, 1},
+      {1, 1},
+      {0x7f, 1},
+      {0x80, 2},
+      {0x3fff, 2},
+      {0x4000, 3},
+      {std::numeric_limits<std::uint32_t>::max(), 5},
+      {std::numeric_limits<std::uint64_t>::max(), 10},
+  };
+  for (const auto& c : cases) {
+    std::size_t size = 0;
+    EXPECT_EQ(roundtrip_varint(c.value, &size), c.value);
+    EXPECT_EQ(size, c.size) << "value " << c.value;
+    EXPECT_EQ(varint_size(c.value), c.size) << "value " << c.value;
+  }
+}
+
+TEST(Codec, VarintRejectsOverlongAndOverflow) {
+  // 11 bytes of continuation: no u64 varint is that long.
+  {
+    Buffer buf(11, 0x80);
+    Reader r(buf.data(), buf.size());
+    r.varint();
+    EXPECT_FALSE(r.ok());
+  }
+  // 10-byte encoding whose final byte carries more than the single bit a
+  // u64 has left: would encode bits 64+.
+  {
+    Buffer buf(9, 0x80);
+    buf.push_back(0x02);
+    Reader r(buf.data(), buf.size());
+    r.varint();
+    EXPECT_FALSE(r.ok());
+  }
+  // The canonical 10-byte max encoding is accepted.
+  {
+    Buffer buf(9, 0xff);
+    buf.push_back(0x01);
+    Reader r(buf.data(), buf.size());
+    EXPECT_EQ(r.varint(), std::numeric_limits<std::uint64_t>::max());
+    EXPECT_TRUE(r.ok());
+  }
+  // Truncated mid-varint: continuation bit set, then end of buffer.
+  {
+    Buffer buf = {0x80, 0x80};
+    Reader r(buf.data(), buf.size());
+    r.varint();
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+TEST(Codec, ZigzagMapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  EXPECT_EQ(zigzag_encode(2), 4u);
+  const std::int64_t values[] = {0, 1, -1, 42, -42,
+                                 std::numeric_limits<std::int64_t>::max(),
+                                 std::numeric_limits<std::int64_t>::min()};
+  for (std::int64_t v : values) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v) << v;
+  }
+  Buffer buf;
+  Writer w(buf);
+  w.zigzag(-7);
+  Reader r(buf.data(), buf.size());
+  EXPECT_EQ(r.zigzag(), -7);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Codec, ChecksumIsSensitiveToEverySingleBitFlip) {
+  std::uint8_t data[32];
+  for (std::size_t i = 0; i < sizeof data; ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  const std::uint32_t base = checksum32(data, sizeof data);
+  for (std::size_t bit = 0; bit < sizeof(data) * 8; ++bit) {
+    data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_NE(checksum32(data, sizeof data), base) << "bit " << bit;
+    data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  EXPECT_EQ(checksum32(data, sizeof data), base);  // restored
+  EXPECT_NE(checksum32(data, sizeof data - 1), base);  // length matters
+}
+
+TEST(Codec, ReaderLatchesFailureAndStopsAtTheEnd) {
+  Buffer buf = {0x01, 0x02};
+  Reader r(buf.data(), buf.size());
+  EXPECT_EQ(r.u32le(), 0u);  // needs 4 bytes, only 2 available
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);  // latched to the end
+  // Every subsequent read is a harmless zero, never a re-read of the data.
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_EQ(r.varint(), 0u);
+  std::string s;
+  EXPECT_FALSE(r.str(s));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, ReaderStrRejectsForgedLengthBeforeAllocating) {
+  // Length prefix claims ~1 EiB with 3 bytes of payload behind it: str()
+  // must refuse before touching memory, not allocate-then-fault.
+  Buffer buf;
+  Writer w(buf);
+  w.varint(std::uint64_t{1} << 60);
+  buf.push_back('a');
+  buf.push_back('b');
+  buf.push_back('c');
+  Reader r(buf.data(), buf.size());
+  std::string out = "untouched";
+  EXPECT_FALSE(r.str(out));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(out, "untouched");
+}
+
+TEST(Codec, StrRoundTripsEmptyAndEmbeddedNul) {
+  const std::string cases[] = {"", std::string("a\0b", 3),
+                               std::string(300, 'x')};
+  for (const std::string& s : cases) {
+    Buffer buf;
+    Writer w(buf);
+    w.str(s);
+    Reader r(buf.data(), buf.size());
+    std::string out;
+    ASSERT_TRUE(r.str(out));
+    EXPECT_EQ(out, s);
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(Codec, U32leRoundTripIsLittleEndian) {
+  Buffer buf;
+  Writer w(buf);
+  w.u32le(0x12345678u);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x78);
+  EXPECT_EQ(buf[1], 0x56);
+  EXPECT_EQ(buf[2], 0x34);
+  EXPECT_EQ(buf[3], 0x12);
+  Reader r(buf.data(), buf.size());
+  EXPECT_EQ(r.u32le(), 0x12345678u);
+  EXPECT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace str::wire

@@ -45,6 +45,7 @@ struct Options {
   std::string metrics_out;
   bool uniform_topology = false;
   double wan_rtt_ms = 100;
+  bool wire = false;
   // Chaos mode (see docs/FAULTS.md).
   std::string fault_plan_path;
   net::FaultPlan faults;
@@ -66,6 +67,10 @@ void usage() {
       "  --tuner        enable the self-tuning controller\n"
       "  --reps N       repetitions (mean/std across seeds)        [1]\n"
       "  --uniform MS   symmetric topology with the given WAN RTT\n"
+      "  --wire         encode every message into a checksummed binary\n"
+      "                 frame and decode it at delivery (wire codec mode,\n"
+      "                 docs/WIRE.md); bit-identical to the default\n"
+      "                 closure transport\n"
       "  --csv PATH     append per-run metrics to a CSV file\n"
       "  --trace-out PATH    write a Chrome trace-event JSON (Perfetto /\n"
       "                      chrome://tracing loadable; first rep only)\n"
@@ -75,6 +80,9 @@ void usage() {
       "  --fault-plan PATH   load a fault-plan spec file\n"
       "  --drop-prob P       per-message drop probability, every link\n"
       "  --dup-prob P        per-message duplication probability\n"
+      "  --corrupt-prob P    per-message single-bit-flip probability; the\n"
+      "                      receiver rejects the frame via checksum\n"
+      "                      (counted as net.corrupted)\n"
       "  --partition A:B:S:E cut regions A <-> B from S to E seconds\n"
       "  --crash-node N:T[:R] crash node N at T s (restart at R s)\n"
       "  --heal S            stop drops/dups at S seconds; defaults to the\n"
@@ -175,6 +183,11 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (arg == "--dup-prob") {
       if ((v = next()) == nullptr) return false;
       opt.faults.link.dup_prob = std::atof(v);
+    } else if (arg == "--corrupt-prob") {
+      if ((v = next()) == nullptr) return false;
+      opt.faults.link.corrupt_prob = std::atof(v);
+    } else if (arg == "--wire") {
+      opt.wire = true;
     } else if (arg == "--partition") {
       if ((v = next()) == nullptr) return false;
       std::vector<double> f;
@@ -288,6 +301,7 @@ int main(int argc, char** argv) {
   }
   cfg.cluster.seed = opt.seed;
   cfg.cluster.faults = opt.faults;
+  cfg.cluster.wire_codec = opt.wire;
   cfg.total_clients = opt.clients;
   cfg.warmup = static_cast<Timestamp>(opt.warmup_s * 1e6);
   cfg.duration = static_cast<Timestamp>(opt.duration_s * 1e6);
@@ -303,10 +317,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("workload=%s protocol=%s nodes=%u rf=%u clients=%u reps=%u%s\n",
+  std::printf("workload=%s protocol=%s nodes=%u rf=%u clients=%u reps=%u%s%s\n",
               opt.workload.c_str(), opt.protocol.c_str(), opt.nodes,
               cfg.cluster.replication_factor, opt.clients, opt.reps,
-              opt.tuner ? " tuner=on" : "");
+              opt.tuner ? " tuner=on" : "", opt.wire ? " wire=on" : "");
   if (!opt.faults.empty()) {
     std::printf("faults: %s%s\n", opt.faults.describe().c_str(),
                 opt.verify ? " (verify on)" : "");
@@ -374,11 +388,13 @@ int main(int argc, char** argv) {
     }
     const auto& first = agg.runs.front();
     std::printf(
-        "\nfaults: dropped=%llu duplicated=%llu inversions=%llu\n"
+        "\nfaults: dropped=%llu duplicated=%llu corrupted=%llu "
+        "inversions=%llu\n"
         "recovery: rpc_timeouts=%llu rpc_retries=%llu orphan_aborts=%llu\n"
         "quiesce: live=%zu parked=%zu locks=%zu orphans=%zu\n",
         static_cast<unsigned long long>(first.net_dropped),
         static_cast<unsigned long long>(first.net_duplicated),
+        static_cast<unsigned long long>(first.net_corrupted),
         static_cast<unsigned long long>(first.net_inversions),
         static_cast<unsigned long long>(first.rpc_timeouts),
         static_cast<unsigned long long>(first.rpc_retries),
