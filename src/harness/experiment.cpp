@@ -106,6 +106,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   r.throughput = span_sec <= 0 ? 0.0 : static_cast<double>(r.commits) / span_sec;
   r.final_latency_mean = m.final_latency().mean();
   r.final_latency_p50 = m.final_latency().p50();
+  r.final_latency_p95 = m.final_latency().p95();
   r.final_latency_p99 = m.final_latency().p99();
   r.speculative_latency_mean = m.speculative_latency().mean();
   r.speculative_latency_p50 = m.speculative_latency().p50();
@@ -117,7 +118,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   r.tuner_decided = tuner != nullptr && tuner->decided();
 
   // Per-phase latency breakdown from the cluster-merged registry.
-  const obs::Registry merged = cluster.merged_obs();
+  obs::Registry merged = cluster.merged_obs();
+  // Surface trace loss in the merged metrics: analyses downstream of a
+  // truncated ring are partial, so the signal must travel with the data.
+  if (cluster.tracer().enabled()) {
+    r.trace_dropped =
+        cluster.tracer().dropped() + cluster.tracer().spans_dropped();
+    merged.counter("trace.dropped").inc(r.trace_dropped);
+    if (r.trace_dropped != 0) {
+      std::fprintf(stderr,
+                   "WARNING: tracer dropped %llu record(s) (ring capacity "
+                   "%zu); trace analysis will be partial\n",
+                   static_cast<unsigned long long>(r.trace_dropped),
+                   cluster.tracer().capacity());
+    }
+  }
   static const std::string kPhasePrefix = "phase.";
   for (const auto& [name, timer] : merged.timers()) {
     if (name.rfind(kPhasePrefix, 0) != 0) continue;
@@ -126,6 +141,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     p.count = timer.count();
     p.mean_us = timer.hist().mean();
     p.p50_us = timer.hist().p50();
+    p.p95_us = timer.hist().p95();
     p.p99_us = timer.hist().p99();
     p.max_us = timer.hist().max();
     r.phases.push_back(std::move(p));

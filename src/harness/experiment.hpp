@@ -57,6 +57,7 @@ struct PhaseStat {
   std::uint64_t count = 0;
   double mean_us = 0.0;
   std::uint64_t p50_us = 0;
+  std::uint64_t p95_us = 0;
   std::uint64_t p99_us = 0;
   std::uint64_t max_us = 0;
 };
@@ -71,6 +72,7 @@ struct ExperimentResult {
   // Latencies in microseconds of virtual time.
   double final_latency_mean = 0.0;
   std::uint64_t final_latency_p50 = 0;
+  std::uint64_t final_latency_p95 = 0;
   std::uint64_t final_latency_p99 = 0;
   double speculative_latency_mean = 0.0;
   std::uint64_t speculative_latency_p50 = 0;
@@ -89,6 +91,10 @@ struct ExperimentResult {
   double commit_snapshot_distance_mean = 0.0;
   /// False when a requested trace_out / metrics_out file could not be written.
   bool exports_ok = true;
+  /// Trace records (events + spans) lost to ring overflow; nonzero means
+  /// downstream trace analysis sees a truncated causal history. Also
+  /// surfaced as the "trace.dropped" counter in the merged metrics.
+  std::uint64_t trace_dropped = 0;
 
   // -- fault / recovery accounting (zero on fault-free runs) ---------------
   std::uint64_t net_dropped = 0;

@@ -54,7 +54,8 @@ std::string Table::fmt_pct(double frac) {
 }
 
 void print_phase_table(const std::string& label,
-                       const std::vector<PhaseStat>& phases, std::FILE* out) {
+                       const std::vector<PhaseStat>& phases, std::FILE* out,
+                       bool percentiles) {
   if (phases.empty()) return;
   // Lifecycle order, so the table reads top-to-bottom like a transaction;
   // phases not listed here land at the end in name order.
@@ -78,12 +79,18 @@ void print_phase_table(const std::string& label,
                    });
 
   std::fprintf(out, "per-phase latency breakdown: %s\n", label.c_str());
-  Table t({"phase", "count", "mean", "p50", "p99", "max"});
+  std::vector<std::string> headers = {"phase", "count", "mean", "p50"};
+  if (percentiles) headers.push_back("p95");
+  headers.insert(headers.end(), {"p99", "max"});
+  Table t(std::move(headers));
   for (const PhaseStat& p : sorted) {
     if (p.count == 0) continue;
-    t.add_row({p.name, std::to_string(p.count),
-               Table::fmt(p.mean_us / 1000.0, 2) + "ms", Table::fmt_ms(p.p50_us),
-               Table::fmt_ms(p.p99_us), Table::fmt_ms(p.max_us)});
+    std::vector<std::string> row = {p.name, std::to_string(p.count),
+                                    Table::fmt(p.mean_us / 1000.0, 2) + "ms",
+                                    Table::fmt_ms(p.p50_us)};
+    if (percentiles) row.push_back(Table::fmt_ms(p.p95_us));
+    row.insert(row.end(), {Table::fmt_ms(p.p99_us), Table::fmt_ms(p.max_us)});
+    t.add_row(std::move(row));
   }
   t.print(out);
 }

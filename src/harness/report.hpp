@@ -31,9 +31,11 @@ void print_result_row(const std::string& label, const ExperimentResult& r);
 
 /// Per-phase latency breakdown (one row per "phase.*" timer): count, mean,
 /// p50, p99, max in virtual milliseconds. Rows follow the transaction
-/// lifecycle order; phases the run never hit are omitted.
+/// lifecycle order; phases the run never hit are omitted. With
+/// `percentiles` set the table also carries the p95 column (str_sim
+/// --summary-percentiles).
 void print_phase_table(const std::string& label,
                        const std::vector<PhaseStat>& phases,
-                       std::FILE* out = stdout);
+                       std::FILE* out = stdout, bool percentiles = false);
 
 }  // namespace str::harness

@@ -1,0 +1,147 @@
+// Causal trace analysis: per-transaction critical paths, aggregate edge
+// attribution, and speculation-lineage graphs.
+//
+// The critical path of a committed transaction is the longest causal chain
+// from TxBegin to TxCommit, reconstructed from the tracer's event stream by
+// a cursor walk: each event that completes later than the cursor contributes
+// an edge [cursor, t] attributed to what the transaction was waiting on
+// (local compute, a local or WAN read, the speculation gate, local
+// certification, the WAN prepare fan-in, the SPSI-4 dependency wait, or the
+// final commit application). Edges are consecutive by construction, so for
+// every committed transaction they partition [begin, commit] exactly — in
+// virtual microseconds, with no rounding slack. check_critical_paths()
+// verifies that invariant and is wired into CI.
+//
+// The lineage graph records who observed whose speculative versions
+// (ReadReady.other) and how aborts cascade (TxAbort.other names the cascade
+// parent), attributing every CascadingAbort to the root-cause transaction
+// whose own abort started the tree.
+//
+// Everything here is tool/test-side: the simulation hot path never calls it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/trace.hpp"
+
+namespace str::obs {
+
+/// What a committed transaction was waiting on during one critical-path edge.
+enum class EdgeClass : std::uint8_t {
+  LocalCompute,  ///< client think time / coordinator-local work
+  ReadLocal,     ///< read served by a replica on the origin node
+  ReadWan,       ///< read served over the network
+  GateStall,     ///< value held at the speculation gate (Alg. 1 l. 15)
+  LocalCert,     ///< synchronous local certification (local 2PC)
+  PrepareWan,    ///< global-certification prepare/replicate fan-in
+  DepWait,       ///< SPSI-4 wait for data dependencies
+  Finalize,      ///< last ack / dependency -> final commit application
+};
+inline constexpr std::size_t kNumEdgeClasses = 8;
+
+const char* to_string(EdgeClass c);
+
+struct CriticalEdge {
+  EdgeClass cls = EdgeClass::LocalCompute;
+  Timestamp from = 0;
+  Timestamp to = 0;
+  std::uint64_t detail = 0;  ///< key (reads/gate) or 0
+
+  Timestamp duration() const { return to - from; }
+  friend bool operator==(const CriticalEdge&, const CriticalEdge&) = default;
+};
+
+struct CriticalPath {
+  TxId tx;
+  Timestamp begin = 0;
+  Timestamp commit = 0;
+  std::vector<CriticalEdge> edges;  ///< consecutive, cover [begin, commit]
+};
+
+/// Critical paths of every committed transaction whose TxBegin is in
+/// `events` (transactions whose begin fell off the ring, e.g. across the
+/// warmup cutover, are skipped — a partial path cannot cover the interval).
+/// `events` must be in emission (chronological) order, as snapshot() returns.
+std::vector<CriticalPath> critical_paths(const std::vector<TraceEvent>& events);
+
+/// Exact-coverage check: for each path, edges are consecutive with positive
+/// width, start at begin, end at commit, and their durations sum to
+/// commit - begin. Returns one message per violation (empty = all good).
+std::vector<std::string> check_critical_paths(
+    const std::vector<CriticalPath>& paths);
+
+struct EdgeClassStats {
+  std::uint64_t count = 0;     ///< edges of this class
+  std::uint64_t txns = 0;      ///< committed txns with >= 1 such edge
+  Timestamp total_us = 0;      ///< summed duration
+  double mean_us = 0.0;        ///< per edge
+  Timestamp p50_us = 0;
+  Timestamp p99_us = 0;
+  Timestamp max_us = 0;
+};
+
+struct PathAggregate {
+  std::uint64_t committed = 0;
+  Timestamp total_latency_us = 0;  ///< summed commit - begin
+  Timestamp latency_p50_us = 0;
+  Timestamp latency_p99_us = 0;
+  std::array<EdgeClassStats, kNumEdgeClasses> per_class;
+};
+
+/// Exact (sorted, nearest-rank) aggregation over the given paths.
+PathAggregate aggregate(const std::vector<CriticalPath>& paths);
+
+/// One cascade-abort tree, attributed to its root cause.
+struct CascadeTree {
+  TxId root;                  ///< the transaction whose abort started it
+  AbortReason root_reason = AbortReason::None;  ///< why the root aborted
+  std::uint64_t size = 0;     ///< cascading aborts in the tree (root excluded)
+  std::uint64_t max_depth = 0;  ///< longest root->leaf chain
+};
+
+struct LineageStats {
+  std::uint64_t spec_reads = 0;    ///< speculative ReadReady observations
+  std::uint64_t spec_edges = 0;    ///< distinct writer -> reader pairs
+  std::uint64_t spec_writers = 0;  ///< distinct writers observed speculatively
+  std::uint64_t max_fanout = 0;    ///< most readers of one writer
+  double mean_fanout = 0.0;        ///< spec_edges / spec_writers
+  std::uint64_t aborts = 0;             ///< all aborts seen
+  std::uint64_t cascading_aborts = 0;   ///< reason == CascadingAbort
+  std::uint64_t unattributed = 0;  ///< cascades whose root fell off the ring
+  std::vector<std::uint64_t> depth_histogram;  ///< [d] = cascades at depth d+1
+  Timestamp aborted_work_us = 0;  ///< summed begin->abort virtual time
+  std::vector<CascadeTree> trees;  ///< sorted by root TxId
+};
+
+LineageStats lineage(const std::vector<TraceEvent>& events);
+
+/// A Chrome trace re-parsed into structured records (inverse of
+/// chrome_trace_json for files we wrote ourselves).
+struct ParsedTrace {
+  std::vector<TraceEvent> events;
+  std::vector<SpanRecord> spans;
+  struct Flow {
+    std::uint64_t id = 0;  ///< child span id
+    NodeId src_node = kInvalidNode;
+    Timestamp src_ts = 0;
+    NodeId dst_node = kInvalidNode;
+    Timestamp dst_ts = 0;
+    bool has_src = false;
+    bool has_dst = false;
+  };
+  std::vector<Flow> flows;  ///< s/f pairs merged by flow id
+  std::uint32_t num_nodes = 0;
+  std::uint64_t dropped_events = 0;
+  std::uint64_t dropped_spans = 0;
+};
+
+/// Parse a chrome_trace_json() document back into events/spans/flows.
+/// Returns false (with `error` set) on malformed input or unknown schema.
+bool parse_chrome_trace(const std::string& json_text, ParsedTrace& out,
+                        std::string& error);
+
+}  // namespace str::obs

@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <unordered_map>
 
 #include "common/log.hpp"
 
@@ -54,6 +55,21 @@ ArgNames arg_names(TraceEventType t) {
     case TraceEventType::DepResolved: return {"remaining", nullptr};
     case TraceEventType::TxCommit: return {"fc", "fc_minus_rs"};
     case TraceEventType::TxAbort: return {"reason", nullptr};
+    case TraceEventType::CommitRequested: return {"write_set", nullptr};
+  }
+  return {"a", "b"};
+}
+
+ArgNames span_arg_names(SpanKind k) {
+  switch (k) {
+    case SpanKind::Txn: return {"committed", "final"};
+    case SpanKind::Read: return {"key", "speculative"};
+    case SpanKind::GateStall: return {"key", nullptr};
+    case SpanKind::LocalCert: return {"write_set", nullptr};
+    case SpanKind::PrepareLeg: return {"partition", "node"};
+    case SpanKind::DepWait: return {nullptr, nullptr};
+    case SpanKind::Handle: return {"msg", "partition"};
+    case SpanKind::Probe: return {"msg", "partition"};
   }
   return {"a", "b"};
 }
@@ -81,6 +97,30 @@ void append_event(std::string& out, const TraceEvent& ev, bool& first) {
     append(out, ",\"%s\":%" PRIu64, names.a, ev.a);
     if (names.b != nullptr) append(out, ",\"%s\":%" PRIu64, names.b, ev.b);
   }
+  if (ev.other.valid()) {
+    // Causal cross-transaction edge: the speculative writer observed by a
+    // ReadReady, or the cascade parent of a CascadingAbort.
+    const char* role =
+        ev.type == TraceEventType::TxAbort ? "cascade_of" : "writer";
+    append(out, ",\"%s\":\"%u.%" PRIu64 "\"", role, ev.other.node,
+           ev.other.seq);
+  }
+  out.append("}}");
+}
+
+void append_span(std::string& out, const SpanRecord& sp, bool& first) {
+  if (!first) out.append(",\n");
+  first = false;
+  append(out,
+         "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":0,"
+         "\"tid\":%u,\"ts\":%" PRIu64 ",\"dur\":%" PRIu64 ",\"args\":{",
+         to_string(sp.kind), sp.node, sp.start, sp.end - sp.start);
+  append(out, "\"tx\":\"%u.%" PRIu64 "\",\"span\":%" PRIu64
+              ",\"parent\":%" PRIu64,
+         sp.tx.node, sp.tx.seq, sp.id, sp.parent);
+  const ArgNames names = span_arg_names(sp.kind);
+  if (names.a != nullptr) append(out, ",\"%s\":%" PRIu64, names.a, sp.a);
+  if (names.b != nullptr) append(out, ",\"%s\":%" PRIu64, names.b, sp.b);
   out.append("}}");
 }
 
@@ -118,9 +158,35 @@ std::string chrome_trace_json(const Tracer& tracer, std::uint32_t num_nodes) {
            n, n);
   }
   for (const TraceEvent& ev : events) append_event(out, ev, first);
+  // Causal spans as complete ("X") slices, with flow events ("s"/"f")
+  // stitching cross-node parent->child edges. A flow pair is emitted only
+  // when the parent span was retained and lives on a different node; the
+  // flow id is the child span id (unique, so arrows never merge).
+  const std::vector<SpanRecord> spans = tracer.span_snapshot();
+  std::unordered_map<std::uint64_t, const SpanRecord*> by_id;
+  by_id.reserve(spans.size());
+  for (const SpanRecord& sp : spans) by_id.emplace(sp.id, &sp);
+  for (const SpanRecord& sp : spans) {
+    append_span(out, sp, first);
+    if (sp.parent == 0) continue;
+    const auto pit = by_id.find(sp.parent);
+    if (pit == by_id.end() || pit->second->node == sp.node) continue;
+    const SpanRecord& parent = *pit->second;
+    out.append(",\n");
+    append(out,
+           "{\"name\":\"causal\",\"cat\":\"flow\",\"ph\":\"s\",\"pid\":0,"
+           "\"tid\":%u,\"ts\":%" PRIu64 ",\"id\":%" PRIu64 "}",
+           parent.node, parent.start, sp.id);
+    out.append(",\n");
+    append(out,
+           "{\"name\":\"causal\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\","
+           "\"pid\":0,\"tid\":%u,\"ts\":%" PRIu64 ",\"id\":%" PRIu64 "}",
+           sp.node, sp.start, sp.id);
+  }
   append(out, "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
-              "\"dropped_events\":%" PRIu64 "}}\n",
-         tracer.dropped());
+              "\"dropped_events\":%" PRIu64 ",\"dropped_spans\":%" PRIu64
+              "}}\n",
+         tracer.dropped(), tracer.spans_dropped());
   return out;
 }
 
@@ -185,6 +251,11 @@ std::string metrics_csv(const Registry& registry) {
 }
 
 bool write_file(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    const std::size_t n = std::fwrite(content.data(), 1, content.size(), stdout);
+    std::fflush(stdout);
+    return n == content.size();
+  }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     STR_ERROR("cannot open %s for writing", path.c_str());

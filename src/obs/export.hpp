@@ -5,6 +5,8 @@
 //    chrome://tracing. One track (tid) per node; each transaction is an
 //    async ("b"/"e") span on its origin node's track, with its lifecycle
 //    events attached as nestable instants ("n") sharing the span id.
+//    Causal spans are complete ("X") slices carrying span/parent ids, with
+//    flow events ("s"/"f") drawing cross-node parent->child arrows.
 //  * metrics_json / metrics_csv: dump of a (typically cluster-merged)
 //    registry; timers report count/mean/p50/p95/p99/max in virtual us.
 //
@@ -36,7 +38,8 @@ std::string metrics_json(
 /// Flat CSV: kind,name,count,value,mean_us,p50_us,p95_us,p99_us,max_us.
 std::string metrics_csv(const Registry& registry);
 
-/// Write `content` to `path`; returns false (and logs) on failure.
+/// Write `content` to `path` ("-" = stdout); returns false (and logs) on
+/// failure.
 bool write_file(const std::string& path, const std::string& content);
 
 }  // namespace str::obs

@@ -1,0 +1,196 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace str::obs::json {
+
+const Value* Value::find(const std::string& key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string& error;
+
+  bool fail(const char* what) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s at byte %zu", what, pos);
+    error = buf;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos) {
+      if (pos >= text.size() || text[pos] != *p) return false;
+    }
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) break;
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            // Our exporters never emit \u escapes; decode as a raw code
+            // unit truncated to one byte so round-trips stay lossless for
+            // ASCII.
+            if (pos + 4 > text.size()) return fail("truncated \\u escape");
+            char hex[5] = {text[pos], text[pos + 1], text[pos + 2],
+                           text[pos + 3], '\0'};
+            pos += 4;
+            out.push_back(static_cast<char>(std::strtoul(hex, nullptr, 16)));
+            break;
+          }
+          default: return fail("bad escape");
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    bool integral = true;
+    if (pos < text.size() && text[pos] == '.') {
+      integral = false;
+      ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      integral = false;
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos == start) return fail("expected number");
+    const std::string tok = text.substr(start, pos - start);
+    if (integral && tok[0] != '-') {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        out.kind = Value::Kind::Uint;
+        out.uint_value = v;
+        out.number = static_cast<double>(v);
+        return true;
+      }
+    }
+    out.kind = Value::Kind::Number;
+    out.number = std::strtod(tok.c_str(), nullptr);
+    return true;
+  }
+
+  bool parse_value(Value& out, int depth) {
+    if (depth > 64) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out.kind = Value::Kind::Object;
+      skip_ws();
+      if (consume('}')) return true;
+      while (true) {
+        std::string key;
+        if (!parse_string(key)) return false;
+        if (!consume(':')) return fail("expected ':'");
+        Value v;
+        if (!parse_value(v, depth + 1)) return false;
+        out.object.emplace_back(std::move(key), std::move(v));
+        if (consume(',')) continue;
+        if (consume('}')) return true;
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out.kind = Value::Kind::Array;
+      skip_ws();
+      if (consume(']')) return true;
+      while (true) {
+        Value v;
+        if (!parse_value(v, depth + 1)) return false;
+        out.array.push_back(std::move(v));
+        if (consume(',')) continue;
+        if (consume(']')) return true;
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out.kind = Value::Kind::String;
+      return parse_string(out.string);
+    }
+    if (c == 't') {
+      if (!literal("true")) return fail("bad literal");
+      out.kind = Value::Kind::Bool;
+      out.boolean = true;
+      return true;
+    }
+    if (c == 'f') {
+      if (!literal("false")) return fail("bad literal");
+      out.kind = Value::Kind::Bool;
+      out.boolean = false;
+      return true;
+    }
+    if (c == 'n') {
+      if (!literal("null")) return fail("bad literal");
+      out.kind = Value::Kind::Null;
+      return true;
+    }
+    return parse_number(out);
+  }
+};
+
+}  // namespace
+
+bool parse(const std::string& text, Value& out, std::string& error) {
+  Parser p{text, 0, error};
+  if (!p.parse_value(out, 0)) return false;
+  p.skip_ws();
+  if (p.pos != text.size()) return p.fail("trailing garbage");
+  return true;
+}
+
+}  // namespace str::obs::json

@@ -1,0 +1,48 @@
+// Minimal recursive-descent JSON parser for the trace-analysis tooling.
+//
+// Parses the subset of JSON our own exporters emit (objects, arrays,
+// strings with backslash escapes, integers, decimals, booleans, null) into
+// a tree of Value nodes. Unsigned integers that fit std::uint64_t are kept
+// exactly (is_uint/u) so virtual-time arithmetic in the analyzer never goes
+// through a double; everything else numeric falls back to a double.
+//
+// This is a tool-side dependency only — nothing on the simulation hot path
+// includes it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace str::obs::json {
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Uint, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  std::uint64_t uint_value = 0;   ///< valid when kind == Uint
+  double number = 0.0;            ///< valid for Uint and Number
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  ///< insertion order
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_uint() const { return kind == Kind::Uint; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_object() const { return kind == Kind::Object; }
+
+  std::uint64_t u() const { return uint_value; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Value* find(const std::string& key) const;
+};
+
+/// Parse `text` into `out`. On failure returns false and sets `error` to a
+/// message with a byte offset.
+bool parse(const std::string& text, Value& out, std::string& error);
+
+}  // namespace str::obs::json

@@ -19,8 +19,47 @@ const char* to_string(TraceEventType t) {
     case TraceEventType::DepResolved: return "dep_resolved";
     case TraceEventType::TxCommit: return "tx_commit";
     case TraceEventType::TxAbort: return "tx_abort";
+    case TraceEventType::CommitRequested: return "commit_requested";
   }
   return "?";
+}
+
+bool trace_event_type_from_string(const std::string& s, TraceEventType& out) {
+  for (std::uint8_t i = 0;
+       i <= static_cast<std::uint8_t>(TraceEventType::CommitRequested); ++i) {
+    const auto t = static_cast<TraceEventType>(i);
+    if (s == to_string(t)) {
+      out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* to_string(SpanKind k) {
+  switch (k) {
+    case SpanKind::Txn: return "txn";
+    case SpanKind::Read: return "read";
+    case SpanKind::GateStall: return "gate_stall";
+    case SpanKind::LocalCert: return "local_cert";
+    case SpanKind::PrepareLeg: return "prepare_leg";
+    case SpanKind::DepWait: return "dep_wait_span";
+    case SpanKind::Handle: return "handle";
+    case SpanKind::Probe: return "probe";
+  }
+  return "?";
+}
+
+bool span_kind_from_string(const std::string& s, SpanKind& out) {
+  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(SpanKind::Probe);
+       ++i) {
+    const auto k = static_cast<SpanKind>(i);
+    if (s == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
 }
 
 Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
@@ -34,11 +73,19 @@ void Tracer::set_capacity(std::size_t capacity) {
     kept.erase(kept.begin(),
                kept.begin() + static_cast<std::ptrdiff_t>(kept.size() - capacity));
   }
+  std::vector<SpanRecord> kept_spans = span_snapshot();
+  if (kept_spans.size() > capacity) {
+    kept_spans.erase(kept_spans.begin(),
+                     kept_spans.begin() + static_cast<std::ptrdiff_t>(
+                                              kept_spans.size() - capacity));
+  }
   capacity_ = capacity;
   ring_ = std::move(kept);
-  // The rebuilt ring is chronological (oldest at index 0), so the next
-  // overwrite slot is index 0 whether or not it is already full.
+  span_ring_ = std::move(kept_spans);
+  // The rebuilt rings are chronological (oldest at index 0), so the next
+  // overwrite slot is index 0 whether or not they are already full.
   head_ = 0;
+  span_head_ = 0;
 }
 
 void Tracer::emit(TraceEvent ev) {
@@ -66,10 +113,40 @@ std::vector<TraceEvent> Tracer::snapshot() const {
   return out;
 }
 
+void Tracer::emit_span(SpanRecord span) {
+  if (!enabled_) return;
+  ++spans_emitted_;
+  if (span_ring_.size() < capacity_) {
+    span_ring_.push_back(span);
+    return;
+  }
+  span_ring_[span_head_] = span;
+  span_head_ = span_head_ + 1 == capacity_ ? 0 : span_head_ + 1;
+}
+
+std::vector<SpanRecord> Tracer::span_snapshot() const {
+  std::vector<SpanRecord> out;
+  out.reserve(span_ring_.size());
+  if (span_ring_.size() < capacity_) {
+    out = span_ring_;
+    return out;
+  }
+  out.insert(out.end(),
+             span_ring_.begin() + static_cast<std::ptrdiff_t>(span_head_),
+             span_ring_.end());
+  out.insert(out.end(), span_ring_.begin(),
+             span_ring_.begin() + static_cast<std::ptrdiff_t>(span_head_));
+  return out;
+}
+
 void Tracer::clear() {
   ring_.clear();
   head_ = 0;
   emitted_ = 0;
+  span_ring_.clear();
+  span_head_ = 0;
+  spans_emitted_ = 0;
+  next_span_ = 1;
 }
 
 }  // namespace str::obs

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -36,10 +37,13 @@ enum class TraceEventType : std::uint8_t {
                   ///< a = number of unresolved dependencies
   DepResolved,    ///< one dependency resolved; a = remaining count
   TxCommit,       ///< final commit; a = commit ts FC, b = FC - RS distance
-  TxAbort,        ///< final abort; a = AbortReason
+  TxAbort,        ///< final abort; a = AbortReason,
+                  ///< other = cascade parent when reason is CascadingAbort
+  CommitRequested,///< client called commit; a = write-set size
 };
 
 const char* to_string(TraceEventType t);
+bool trace_event_type_from_string(const std::string& s, TraceEventType& out);
 
 struct TraceEvent {
   Timestamp at = 0;  ///< virtual time
@@ -48,6 +52,47 @@ struct TraceEvent {
   TraceEventType type = TraceEventType::TxBegin;
   std::uint64_t a = 0;  ///< type-specific (see enum comments)
   std::uint64_t b = 0;
+  TxId other = kNoTx;  ///< causally related transaction: the speculative
+                       ///< writer on ReadReady, the cascade parent on TxAbort
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Causal span kinds, one per leg of the transaction lifecycle. A span is a
+/// closed virtual-time interval on one node; `parent` links it into a DAG
+/// per transaction. Cross-node edges (Handle spans whose parent lives on the
+/// sending node) are stitched via the trace context carried on protocol
+/// messages — see docs/OBSERVABILITY.md.
+enum class SpanKind : std::uint8_t {
+  Txn,        ///< whole attempt, begin -> final outcome; a = committed (0/1),
+              ///< b = AbortReason (commit: commit ts FC)
+  Read,       ///< read issued -> value delivered; a = key, b = speculative
+  GateStall,  ///< value parked at the speculation gate; a = key
+  LocalCert,  ///< commit requested -> local certification done; a = write set
+  PrepareLeg, ///< prepare/replicate sent -> ack received, one per
+              ///< (partition, node); a = partition, b = replying node
+  DepWait,    ///< all acks in -> last data dependency resolved; a = deps
+  Handle,     ///< server-side handling of one message; a = wire message tag,
+              ///< b = partition (or key for reads)
+  Probe,      ///< orphan-recovery DecisionRequest probe; a = wire message
+              ///< tag, b = partition
+};
+
+const char* to_string(SpanKind k);
+bool span_kind_from_string(const std::string& s, SpanKind& out);
+
+struct SpanRecord {
+  std::uint64_t id = 0;      ///< nonzero, unique within a run
+  std::uint64_t parent = 0;  ///< 0 = root
+  TxId tx;
+  NodeId node = kInvalidNode;
+  SpanKind kind = SpanKind::Txn;
+  Timestamp start = 0;
+  Timestamp end = 0;
+  std::uint64_t a = 0;  ///< kind-specific (see enum comments)
+  std::uint64_t b = 0;
+
+  friend bool operator==(const SpanRecord&, const SpanRecord&) = default;
 };
 
 class Tracer {
@@ -59,8 +104,8 @@ class Tracer {
   bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }
 
-  /// Resize the ring. Existing events are kept (newest first) up to the new
-  /// capacity.
+  /// Resize both rings. Existing entries are kept (newest first) up to the
+  /// new capacity.
   void set_capacity(std::size_t capacity);
   std::size_t capacity() const { return capacity_; }
 
@@ -76,6 +121,26 @@ class Tracer {
   /// Retained events in emission (= chronological) order.
   std::vector<TraceEvent> snapshot() const;
 
+  /// Allocate a span id. Deterministic (monotonic counter, no RNG), so
+  /// traced runs replay byte-identically across transports. Call only when
+  /// tracing a span; ids are never reused within a run.
+  std::uint64_t next_span_id() { return next_span_++; }
+
+  /// Record a completed span. Spans land in their own ring (same capacity
+  /// as the event ring) ordered by emission = completion time.
+  void emit_span(SpanRecord span);
+
+  std::uint64_t spans_emitted() const { return spans_emitted_; }
+  std::uint64_t spans_dropped() const {
+    return spans_emitted_ <= span_ring_.size()
+               ? 0
+               : spans_emitted_ - span_ring_.size();
+  }
+  std::size_t span_count() const { return span_ring_.size(); }
+
+  /// Retained spans in emission (= completion) order.
+  std::vector<SpanRecord> span_snapshot() const;
+
   void clear();
 
  private:
@@ -84,6 +149,10 @@ class Tracer {
   std::vector<TraceEvent> ring_;  ///< grows to capacity_, then wraps
   std::size_t head_ = 0;          ///< next write slot once ring_ is full
   std::uint64_t emitted_ = 0;
+  std::vector<SpanRecord> span_ring_;
+  std::size_t span_head_ = 0;
+  std::uint64_t spans_emitted_ = 0;
+  std::uint64_t next_span_ = 1;
 };
 
 }  // namespace str::obs

@@ -76,6 +76,7 @@ TxId Coordinator::begin(Timestamp first_activation) {
   c_begins_->inc();
   g_live_->add(1);
   if (tracer_->enabled()) {
+    rec->trace_span = tracer_->next_span_id();
     tracer_->emit({cluster.now(), id, node_.id(), obs::TraceEventType::TxBegin,
                    rec->rs, 0});
   }
@@ -128,7 +129,10 @@ sim::Future<txn::ReadResult> Coordinator::read(const TxId& tx, Key key) {
   rec->outstanding_reads.push_back(promise);
   const PartitionId pid = PartitionMap::partition_of(key);
   PartitionActor* local = node_.replica(pid);
+  std::uint64_t read_span = 0;
+  const Timestamp issued_at = cluster.now();
   if (tracer_->enabled()) {
+    read_span = tracer_->next_span_id();
     tracer_->emit({cluster.now(), tx, node_.id(),
                    obs::TraceEventType::ReadIssued, key,
                    local == nullptr ? 1u : 0u});
@@ -136,8 +140,10 @@ sim::Future<txn::ReadResult> Coordinator::read(const TxId& tx, Key key) {
   if (local != nullptr) {
     local->serve_local_read(
         tx, key, rec->rs,
-        [this, tx, key, promise](const store::StoreReadResult& r) mutable {
-          on_read_value(tx, key, r, /*from_cache=*/false, std::move(promise));
+        [this, tx, key, promise, read_span,
+         issued_at](const store::StoreReadResult& r) mutable {
+          on_read_value(tx, key, r, /*from_cache=*/false, std::move(promise),
+                        read_span, issued_at);
         });
     return promise.future();
   }
@@ -148,7 +154,8 @@ sim::Future<txn::ReadResult> Coordinator::read(const TxId& tx, Key key) {
     store::StoreReadResult cached = node_.cache().read(key, rec->rs);
     if (cached.kind == store::ReadKind::Speculative) {
       sim::Future<txn::ReadResult> future = promise.future();
-      on_read_value(tx, key, cached, /*from_cache=*/true, std::move(promise));
+      on_read_value(tx, key, cached, /*from_cache=*/true, std::move(promise),
+                    read_span, issued_at);
       return future;
     }
   }
@@ -169,7 +176,8 @@ sim::Future<txn::ReadResult> Coordinator::read(const TxId& tx, Key key) {
                    });
   const std::uint64_t req_id = next_read_id_++;
   PendingRemoteRead pending{tx,      key, promise,
-                            rec->rs, 0,   std::move(candidates)};
+                            rec->rs, 0,   std::move(candidates),
+                            read_span, issued_at};
   auto [it2, inserted] = pending_remote_.emplace(req_id, std::move(pending));
   STR_ASSERT(inserted);
   send_read_request(req_id, it2->second);
@@ -198,6 +206,7 @@ void Coordinator::send_read_request(std::uint64_t req_id,
   req.req_id = req_id;
   req.key = p.key;
   req.rs = p.rs;
+  req.tspan = p.read_span;
   wire::post(cluster, node_.id(), target, std::move(req));
 }
 
@@ -244,13 +253,16 @@ void Coordinator::on_read_reply(ReadReply reply) {
   r.writer = reply.writer;
   r.ts = reply.version_ts;
   on_read_value(pending.tx, pending.key, r, /*from_cache=*/false,
-                std::move(pending.promise));
+                std::move(pending.promise), pending.read_span,
+                pending.issued_at);
 }
 
 void Coordinator::on_read_value(const TxId& tx, Key key,
                                 const store::StoreReadResult& r,
                                 bool from_cache,
-                                sim::Promise<txn::ReadResult> promise) {
+                                sim::Promise<txn::ReadResult> promise,
+                                std::uint64_t read_span,
+                                Timestamp issued_at) {
   Cluster& cluster = node_.cluster();
   txn::TxnRecord* rec = find(tx);
   if (rec == nullptr || rec->finished()) {
@@ -301,7 +313,8 @@ void Coordinator::on_read_value(const TxId& tx, Key key,
 
   (void)from_cache;
 
-  gate_or_deliver(*rec, key, std::move(result), std::move(promise));
+  gate_or_deliver(*rec, key, std::move(result), std::move(promise), read_span,
+                  issued_at);
 }
 
 void Coordinator::record_read_event(const TxId& tx, Key key,
@@ -323,7 +336,9 @@ void Coordinator::record_read_event(const TxId& tx, Key key,
 
 void Coordinator::gate_or_deliver(txn::TxnRecord& rec, Key key,
                                   txn::ReadResult result,
-                                  sim::Promise<txn::ReadResult> promise) {
+                                  sim::Promise<txn::ReadResult> promise,
+                                  std::uint64_t read_span,
+                                  Timestamp issued_at) {
   const Timestamp now = node_.cluster().now();
   if (rec.gate_open()) {
     // Save the event fields, then hand the result itself to the promise —
@@ -335,9 +350,16 @@ void Coordinator::gate_or_deliver(txn::TxnRecord& rec, Key key,
       record_read_event(rec.id, key, writer, version_ts, speculative);
       if (rec.first_read_ready_at == 0) rec.first_read_ready_at = now;
       if (tracer_->enabled()) {
-        tracer_->emit({now, rec.id, node_.id(),
-                       obs::TraceEventType::ReadReady, key,
-                       speculative ? 1u : 0u});
+        obs::TraceEvent ev{now, rec.id, node_.id(),
+                           obs::TraceEventType::ReadReady, key,
+                           speculative ? 1u : 0u};
+        if (speculative) ev.other = writer;  // speculation-lineage edge
+        tracer_->emit(ev);
+        if (read_span != 0) {
+          tracer_->emit_span({read_span, rec.trace_span, rec.id, node_.id(),
+                              obs::SpanKind::Read, issued_at, now, key,
+                              speculative ? 1u : 0u});
+        }
       }
     }
     return;
@@ -348,7 +370,7 @@ void Coordinator::gate_or_deliver(txn::TxnRecord& rec, Key key,
         {now, rec.id, node_.id(), obs::TraceEventType::GateParked, key, 0});
   }
   rec.gate_waiters.push_back(txn::TxnRecord::GateWaiter{
-      std::move(promise), std::move(result), key, now});
+      std::move(promise), std::move(result), key, now, read_span, issued_at});
 }
 
 void Coordinator::reeval_gate(txn::TxnRecord& rec) {
@@ -368,9 +390,20 @@ void Coordinator::reeval_gate(txn::TxnRecord& rec) {
       if (tracer_->enabled()) {
         tracer_->emit({now, rec.id, node_.id(),
                        obs::TraceEventType::GateReleased, w.key, stalled});
-        tracer_->emit({now, rec.id, node_.id(),
-                       obs::TraceEventType::ReadReady, w.key,
-                       speculative ? 1u : 0u});
+        obs::TraceEvent ev{now, rec.id, node_.id(),
+                           obs::TraceEventType::ReadReady, w.key,
+                           speculative ? 1u : 0u};
+        if (speculative) ev.other = writer;
+        tracer_->emit(ev);
+        if (w.read_span != 0) {
+          // The stall is a child of the read it delayed.
+          tracer_->emit_span({tracer_->next_span_id(), w.read_span, rec.id,
+                              node_.id(), obs::SpanKind::GateStall,
+                              w.parked_at, now, w.key, 0});
+          tracer_->emit_span({w.read_span, rec.trace_span, rec.id, node_.id(),
+                              obs::SpanKind::Read, w.read_issued_at, now,
+                              w.key, speculative ? 1u : 0u});
+        }
       }
     }
   }
@@ -392,6 +425,73 @@ void Coordinator::write(const TxId& tx, Key key, Value value) {
 
 void Coordinator::user_abort(const TxId& tx) {
   abort_tx(tx, AbortReason::UserAbort);
+}
+
+void Coordinator::abort_tx(const TxId& tx, AbortReason reason,
+                           const TxId& cascade_of) {
+  Cluster& cluster = node_.cluster();
+  ScopedLogNode log_node(node_.id());
+  txn::TxnRecord* rec_ptr = find(tx);
+  if (rec_ptr == nullptr || rec_ptr->finished()) return;
+  txn::TxnRecord& rec = *rec_ptr;
+  rec.phase = txn::TxnPhase::Aborted;
+  rec.abort_reason = reason;
+  if (cluster.protocol().recovery.enabled) {
+    decided_[rec.id] = Decision{TxDecision::Aborted, 0, cluster.now()};
+  }
+
+  // Remove this transaction's uncommitted versions from local replicas and
+  // the cache; parked readers re-route to older versions. Partition ids
+  // only — no value copies.
+  const TouchedPartitions groups = touched_partitions(rec);
+  for (const auto& [pid, updates] : groups.local) {
+    node_.replica(pid)->apply_abort(rec.id);
+  }
+  node_.cache().abort_tx(rec.id);
+
+  // Cascade: everything that speculatively read from us dies too (SPSI-4).
+  std::vector<TxId> dependents = rec.dependents;
+  for (const TxId& rid : dependents) {
+    abort_tx(rid, AbortReason::CascadingAbort, rec.id);
+  }
+
+  // Tell every remote replica that may hold (or later receive) our
+  // pre-commits to drop them; tombstones make late arrivals harmless.
+  for (NodeId n : rec.remote_replica_nodes) {
+    for (const auto& [pid, updates] : groups.local) {
+      if (!cluster.pmap().replicates(n, pid)) continue;
+      wire::post(cluster, node_.id(), n,
+                 AbortMessage{rec.id, pid, rec.trace_span});
+    }
+    for (const auto& [pid, updates] : groups.remote) {
+      if (!cluster.pmap().replicates(n, pid)) continue;
+      wire::post(cluster, node_.id(), n,
+                 AbortMessage{rec.id, pid, rec.trace_span});
+    }
+  }
+
+  fail_outstanding_reads(rec);
+
+  if (auto* h = cluster.history()) {
+    h->on_abort(verify::AbortEvent{rec.id, reason, cluster.now()});
+  }
+  cluster.metrics().record_abort(cluster.now(), reason, rec.externalized);
+  c_aborts_->inc();
+  record_phase_timers(rec, cluster.now());
+  if (tracer_->enabled()) {
+    obs::TraceEvent ev{cluster.now(), rec.id, node_.id(),
+                       obs::TraceEventType::TxAbort,
+                       static_cast<std::uint64_t>(reason), 0};
+    ev.other = cascade_of;  // root-cause edge of the cascade-abort tree
+    tracer_->emit(ev);
+    if (rec.trace_span != 0) {
+      tracer_->emit_span({rec.trace_span, 0, rec.id, node_.id(),
+                          obs::SpanKind::Txn, rec.attempt_start, cluster.now(),
+                          0, static_cast<std::uint64_t>(reason)});
+    }
+  }
+  deliver_outcome(rec);
+  erase(rec.id);
 }
 
 sim::Future<txn::TxFinalResult> Coordinator::outcome_future(const TxId& tx) {
@@ -433,6 +533,11 @@ sim::Future<txn::TxFinalResult> Coordinator::commit(const TxId& tx) {
   rec->commit_requested = true;
   rec->commit_requested_at = cluster.now();
   rec->outcome_waiters.push_back(promise);
+  if (tracer_->enabled()) {
+    tracer_->emit({cluster.now(), tx, node_.id(),
+                   obs::TraceEventType::CommitRequested, rec->writes.size(),
+                   0});
+  }
 
   if (rec->writes.empty()) {
     // Read-only: commit as soon as every data dependency is final (SPSI-4).
@@ -553,6 +658,10 @@ bool Coordinator::local_certification(txn::TxnRecord& rec,
   if (tracer_->enabled()) {
     tracer_->emit({cluster.now(), rec.id, node_.id(),
                    obs::TraceEventType::LocalCertEnd, lc, 0});
+    tracer_->emit_span({tracer_->next_span_id(), rec.trace_span, rec.id,
+                        node_.id(), obs::SpanKind::LocalCert,
+                        rec.commit_requested_at, cluster.now(),
+                        rec.writes.size(), 0});
   }
 
   // An unsafe transaction (updated non-local keys) pins its own read
@@ -601,6 +710,14 @@ void Coordinator::start_global_certification(txn::TxnRecord& rec,
     for (NodeId n : replicas) {
       if (n != node_.id()) rec.remote_replica_nodes.insert(n);
     }
+    // One certification leg span per expected ack; the id rides the message
+    // to the direct target and closes on the first matching PrepareReply.
+    const auto open_leg = [&](NodeId n) {
+      if (tracer_->enabled()) {
+        rec.leg_spans.push_back(
+            {pid, n, tracer_->next_span_id(), cluster.now()});
+      }
+    };
     if (pmap.is_master(node_.id(), pid)) {
       // We are the master: replicate the (already locally certified)
       // pre-commit to the slaves; each slave replies with a proposal.
@@ -608,6 +725,7 @@ void Coordinator::start_global_certification(txn::TxnRecord& rec,
         if (slave == node_.id()) continue;
         ++rec.awaiting_prepares;
         rec.prepare_expected.emplace(pid, slave);
+        open_leg(slave);
         send_replicate(rec, pid, slave, *updates);
       }
     } else {
@@ -616,10 +734,12 @@ void Coordinator::start_global_certification(txn::TxnRecord& rec,
       const NodeId master = pmap.master(pid);
       ++rec.awaiting_prepares;  // master's reply
       rec.prepare_expected.emplace(pid, master);
+      open_leg(master);
       for (NodeId n : replicas) {
         if (n != master && n != node_.id()) {
           ++rec.awaiting_prepares;  // slaves
           rec.prepare_expected.emplace(pid, n);
+          open_leg(n);
         }
       }
       send_prepare(rec, pid, *updates);
@@ -643,6 +763,7 @@ void Coordinator::send_prepare(const txn::TxnRecord& rec, PartitionId pid,
   req.partition = pid;
   req.rs = rec.rs;
   req.updates = std::move(updates);
+  req.tspan = rec.leg_span_of(pid, master);
   if (tracer_->enabled()) {
     tracer_->emit({cluster.now(), rec.id, node_.id(),
                    obs::TraceEventType::PrepareSent, master, pid});
@@ -661,6 +782,7 @@ void Coordinator::send_replicate(const txn::TxnRecord& rec, PartitionId pid,
   rep.partition = pid;
   rep.rs = rec.rs;
   rep.updates = std::move(updates);
+  rep.tspan = rec.leg_span_of(pid, slave);
   if (tracer_->enabled()) {
     tracer_->emit({cluster.now(), rec.id, node_.id(),
                    obs::TraceEventType::PrepareSent, slave, pid});
@@ -726,9 +848,18 @@ void Coordinator::on_prepare_reply(PrepareReply reply) {
   // second reply from the same (partition, node); only the first counts.
   if (!rec->prepare_acks.emplace(reply.partition, reply.from).second) return;
   if (tracer_->enabled()) {
-    tracer_->emit({node_.cluster().now(), reply.tx, node_.id(),
+    const Timestamp now = node_.cluster().now();
+    tracer_->emit({now, reply.tx, node_.id(),
                    obs::TraceEventType::PrepareAck, reply.from,
                    reply.prepared ? 0u : 1u});
+    for (const txn::TxnRecord::LegSpan& l : rec->leg_spans) {
+      if (l.partition == reply.partition && l.node == reply.from) {
+        tracer_->emit_span({l.span, rec->trace_span, reply.tx, node_.id(),
+                            obs::SpanKind::PrepareLeg, l.sent_at, now,
+                            reply.partition, reply.from});
+        break;
+      }
+    }
   }
   if (!reply.prepared) {
     abort_tx(reply.tx, AbortReason::GlobalCertification);
@@ -802,13 +933,15 @@ void Coordinator::finalize_commit(txn::TxnRecord& rec) {
   for (const auto& [pid, updates] : groups.local) {
     for (NodeId n : cluster.pmap().replicas(pid)) {
       if (n == node_.id()) continue;
-      wire::post(cluster, node_.id(), n, CommitMessage{rec.id, pid, ct});
+      wire::post(cluster, node_.id(), n,
+                 CommitMessage{rec.id, pid, ct, rec.trace_span});
     }
   }
   for (const auto& [pid, updates] : groups.remote) {
     for (NodeId n : cluster.pmap().replicas(pid)) {
       if (n == node_.id()) continue;
-      wire::post(cluster, node_.id(), n, CommitMessage{rec.id, pid, ct});
+      wire::post(cluster, node_.id(), n,
+                 CommitMessage{rec.id, pid, ct, rec.trace_span});
     }
   }
 
@@ -829,6 +962,16 @@ void Coordinator::finalize_commit(txn::TxnRecord& rec) {
   if (tracer_->enabled()) {
     tracer_->emit({cluster.now(), rec.id, node_.id(),
                    obs::TraceEventType::TxCommit, ct, ct - rec.rs});
+    if (rec.dep_wait_start != 0) {
+      tracer_->emit_span({tracer_->next_span_id(), rec.trace_span, rec.id,
+                          node_.id(), obs::SpanKind::DepWait,
+                          rec.dep_wait_start, cluster.now(), 0, 0});
+    }
+    if (rec.trace_span != 0) {
+      tracer_->emit_span({rec.trace_span, 0, rec.id, node_.id(),
+                          obs::SpanKind::Txn, rec.attempt_start, cluster.now(),
+                          1, ct});
+    }
   }
   deliver_outcome(rec);
   erase(rec.id);
@@ -888,63 +1031,6 @@ void Coordinator::resolve_dependents_on_commit(txn::TxnRecord& rec) {
   }
 }
 
-void Coordinator::abort_tx(const TxId& tx, AbortReason reason) {
-  Cluster& cluster = node_.cluster();
-  ScopedLogNode log_node(node_.id());
-  txn::TxnRecord* rec_ptr = find(tx);
-  if (rec_ptr == nullptr || rec_ptr->finished()) return;
-  txn::TxnRecord& rec = *rec_ptr;
-  rec.phase = txn::TxnPhase::Aborted;
-  rec.abort_reason = reason;
-  if (cluster.protocol().recovery.enabled) {
-    decided_[rec.id] = Decision{TxDecision::Aborted, 0, cluster.now()};
-  }
-
-  // Remove this transaction's uncommitted versions from local replicas and
-  // the cache; parked readers re-route to older versions. Partition ids
-  // only — no value copies.
-  const TouchedPartitions groups = touched_partitions(rec);
-  for (const auto& [pid, updates] : groups.local) {
-    node_.replica(pid)->apply_abort(rec.id);
-  }
-  node_.cache().abort_tx(rec.id);
-
-  // Cascade: everything that speculatively read from us dies too (SPSI-4).
-  std::vector<TxId> dependents = rec.dependents;
-  for (const TxId& rid : dependents) {
-    abort_tx(rid, AbortReason::CascadingAbort);
-  }
-
-  // Tell every remote replica that may hold (or later receive) our
-  // pre-commits to drop them; tombstones make late arrivals harmless.
-  for (NodeId n : rec.remote_replica_nodes) {
-    for (const auto& [pid, updates] : groups.local) {
-      if (!cluster.pmap().replicates(n, pid)) continue;
-      wire::post(cluster, node_.id(), n, AbortMessage{rec.id, pid});
-    }
-    for (const auto& [pid, updates] : groups.remote) {
-      if (!cluster.pmap().replicates(n, pid)) continue;
-      wire::post(cluster, node_.id(), n, AbortMessage{rec.id, pid});
-    }
-  }
-
-  fail_outstanding_reads(rec);
-
-  if (auto* h = cluster.history()) {
-    h->on_abort(verify::AbortEvent{rec.id, reason, cluster.now()});
-  }
-  cluster.metrics().record_abort(cluster.now(), reason, rec.externalized);
-  c_aborts_->inc();
-  record_phase_timers(rec, cluster.now());
-  if (tracer_->enabled()) {
-    tracer_->emit({cluster.now(), rec.id, node_.id(),
-                   obs::TraceEventType::TxAbort,
-                   static_cast<std::uint64_t>(reason), 0});
-  }
-  deliver_outcome(rec);
-  erase(rec.id);
-}
-
 void Coordinator::on_decision_request(DecisionRequest req) {
   ScopedLogNode log_node(node_.id());
   Cluster& cluster = node_.cluster();
@@ -961,6 +1047,15 @@ void Coordinator::on_decision_request(DecisionRequest req) {
     // a commit for the transaction, so it cannot have committed anywhere —
     // presumed abort.
     rep.decision = TxDecision::Aborted;
+  }
+  if (tracer_->enabled()) {
+    const std::uint64_t hspan = tracer_->next_span_id();
+    tracer_->emit_span(
+        {hspan, req.tspan, req.tx, node_.id(), obs::SpanKind::Handle,
+         cluster.now(), cluster.now(),
+         static_cast<std::uint64_t>(wire::MessageType::kDecisionRequest),
+         req.partition});
+    rep.tspan = hspan;
   }
   wire::post(cluster, node_.id(), req.from, std::move(rep));
 }

@@ -81,8 +81,11 @@ class Coordinator {
   void on_decision_request(DecisionRequest req);
 
   /// Abort a transaction of this node (also called by partition actors when
-  /// replicated remote pre-commits evict local speculation).
-  void abort_tx(const TxId& tx, AbortReason reason);
+  /// replicated remote pre-commits evict local speculation). `cascade_of`
+  /// names the parent transaction when `reason` is CascadingAbort, so the
+  /// tracer can attribute cascade trees to their root cause.
+  void abort_tx(const TxId& tx, AbortReason reason,
+                const TxId& cascade_of = kNoTx);
 
   /// Fail-stop crash: every live transaction aborts (reason NodeCrash) with
   /// its decision durably logged; volatile read/prepare bookkeeping clears.
@@ -110,15 +113,19 @@ class Coordinator {
  private:
   /// A read value (from a local replica, the cache, or a remote reply) is
   /// ready: apply OLCSet/FFC updates, dependency edges, then pass the gate.
+  /// `read_span`/`issued_at` identify the open Read span begun in read()
+  /// (0 when tracing was off at issue time).
   void on_read_value(const TxId& tx, Key key,
                      const store::StoreReadResult& r, bool from_cache,
-                     sim::Promise<txn::ReadResult> promise);
+                     sim::Promise<txn::ReadResult> promise,
+                     std::uint64_t read_span, Timestamp issued_at);
 
   /// Deliver `result` if the gate is open, otherwise park it. History read
   /// events are recorded at delivery (a value held at the gate and never
   /// released is not an observation).
   void gate_or_deliver(txn::TxnRecord& rec, Key key, txn::ReadResult result,
-                       sim::Promise<txn::ReadResult> promise);
+                       sim::Promise<txn::ReadResult> promise,
+                       std::uint64_t read_span, Timestamp issued_at);
 
   void record_read_event(const TxId& tx, Key key, const TxId& writer,
                          Timestamp version_ts, bool speculative);
@@ -180,6 +187,8 @@ class Coordinator {
     Timestamp rs = 0;
     std::uint32_t attempts = 0;
     std::vector<NodeId> candidates;  ///< replicas by latency (failover order)
+    std::uint64_t read_span = 0;     ///< open Read span (0 = untraced)
+    Timestamp issued_at = 0;
   };
 
   /// Dispatch the read to its current candidate replica (retries rotate

@@ -34,6 +34,7 @@ struct ReadRequest {
   std::uint64_t req_id = 0;  ///< pairs the reply with the reader's promise
   Key key = 0;
   Timestamp rs = 0;
+  std::uint64_t tspan = 0;  ///< trace-context: sender span id (0 = untraced)
 };
 
 struct ReadReply {
@@ -44,6 +45,7 @@ struct ReadReply {
   SharedValue value;
   TxId writer;
   Timestamp version_ts = 0;
+  std::uint64_t tspan = 0;  ///< trace-context: sender span id (0 = untraced)
 };
 
 struct PrepareRequest {
@@ -52,6 +54,7 @@ struct PrepareRequest {
   PartitionId partition = kInvalidPartition;
   Timestamp rs = 0;
   SharedUpdates updates;
+  std::uint64_t tspan = 0;  ///< trace-context: sender span id (0 = untraced)
 };
 
 struct PrepareReply {
@@ -60,6 +63,7 @@ struct PrepareReply {
   NodeId from = kInvalidNode;
   bool prepared = false;
   Timestamp proposed_ts = 0;
+  std::uint64_t tspan = 0;  ///< trace-context: sender span id (0 = untraced)
 };
 
 /// Master -> slave synchronous replication of an accepted pre-commit.
@@ -69,17 +73,20 @@ struct ReplicateRequest {
   PartitionId partition = kInvalidPartition;
   Timestamp rs = 0;
   SharedUpdates updates;
+  std::uint64_t tspan = 0;  ///< trace-context: sender span id (0 = untraced)
 };
 
 struct CommitMessage {
   TxId tx;
   PartitionId partition = kInvalidPartition;
   Timestamp commit_ts = 0;
+  std::uint64_t tspan = 0;  ///< trace-context: sender span id (0 = untraced)
 };
 
 struct AbortMessage {
   TxId tx;
   PartitionId partition = kInvalidPartition;
+  std::uint64_t tspan = 0;  ///< trace-context: sender span id (0 = untraced)
 };
 
 /// What the coordinator (or its durable decision log) knows about a
@@ -99,6 +106,7 @@ struct DecisionRequest {
   TxId tx;
   PartitionId partition = kInvalidPartition;
   NodeId from = kInvalidNode;
+  std::uint64_t tspan = 0;  ///< trace-context: sender span id (0 = untraced)
 };
 
 struct DecisionReply {
@@ -106,6 +114,7 @@ struct DecisionReply {
   PartitionId partition = kInvalidPartition;
   TxDecision decision = TxDecision::Unknown;
   Timestamp commit_ts = 0;
+  std::uint64_t tspan = 0;  ///< trace-context: sender span id (0 = untraced)
 };
 
 }  // namespace str::protocol

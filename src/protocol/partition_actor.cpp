@@ -14,6 +14,7 @@ namespace str::protocol {
 PartitionActor::PartitionActor(Node& node, PartitionId pid, bool master)
     : node_(node), pid_(pid), is_master_(master) {
   store_.set_registry(&node.obs());
+  tracer_ = &node.cluster().tracer();
   t_read_block_ = &node.obs().timer("phase.read_block");
   g_parked_ = &node.obs().gauge("store.parked_readers");
   c_orphan_aborts_ = &node.obs().counter("txn.orphan_aborts");
@@ -37,6 +38,11 @@ void PartitionActor::serve_local_read(
 }
 
 void PartitionActor::handle_remote_read(ReadRequest req) {
+  serve_remote_read(req, node_.cluster().now());
+}
+
+void PartitionActor::serve_remote_read(const ReadRequest& req,
+                                       Timestamp recv_at) {
   ScopedLogNode log_node(node_.id());
   // Clock-SI read-delay rule: a snapshot from the future of this node's
   // clock waits until the clock catches up, so that no committed version
@@ -45,7 +51,7 @@ void PartitionActor::handle_remote_read(ReadRequest req) {
   if (req.rs > phys) {
     const Timestamp wait = req.rs - phys;
     node_.cluster().scheduler().schedule_after(
-        wait, [this, req]() mutable { handle_remote_read(req); });
+        wait, [this, req, recv_at]() { serve_remote_read(req, recv_at); });
     return;
   }
   store::StoreReadResult r = store_.read(req.key, req.rs);
@@ -56,6 +62,8 @@ void PartitionActor::handle_remote_read(ReadRequest req) {
   rd.key = req.key;
   rd.rs = req.rs;
   rd.remote = true;
+  rd.tspan = req.tspan;
+  rd.recv_at = recv_at;
   route_read(std::move(rd), r);
 }
 
@@ -102,6 +110,15 @@ void PartitionActor::deliver_read(ParkedRead&& rd,
   reply.value = r.value;
   reply.writer = r.writer;
   reply.version_ts = r.ts;
+  if (tracer_->enabled()) {
+    const Timestamp now = node_.cluster().now();
+    const std::uint64_t hspan = tracer_->next_span_id();
+    tracer_->emit_span(
+        {hspan, rd.tspan, rd.reader, node_.id(), obs::SpanKind::Handle,
+         rd.recv_at != 0 ? rd.recv_at : now, now,
+         static_cast<std::uint64_t>(wire::MessageType::kReadRequest), rd.key});
+    reply.tspan = hspan;
+  }
   wire::post(node_.cluster(), node_.id(), rd.reader_node, std::move(reply));
 }
 
@@ -129,10 +146,20 @@ void PartitionActor::handle_prepare(const PrepareRequest& req) {
   STR_ASSERT_MSG(req.updates && !req.updates->empty(),
                  "prepare with an empty write set");
   Cluster& cluster = node_.cluster();
+  std::uint64_t hspan = 0;
+  if (tracer_->enabled()) {
+    hspan = tracer_->next_span_id();
+    tracer_->emit_span(
+        {hspan, req.tspan, req.tx, node_.id(), obs::SpanKind::Handle,
+         cluster.now(), cluster.now(),
+         static_cast<std::uint64_t>(wire::MessageType::kPrepareRequest),
+         pid_});
+  }
   PrepareReply reply;
   reply.tx = req.tx;
   reply.partition = pid_;
   reply.from = node_.id();
+  reply.tspan = hspan;
 
   bool fan_out = false;
   if (tombstoned(req.tx)) {
@@ -169,6 +196,7 @@ void PartitionActor::handle_prepare(const PrepareRequest& req) {
       rep.partition = pid_;
       rep.rs = req.rs;
       rep.updates = req.updates;  // shared payload: a pointer bump, no copy
+      rep.tspan = hspan;  // slave Handle spans chain under the master's
       wire::post(cluster, node_.id(), slave, std::move(rep));
     }
   }
@@ -185,6 +213,16 @@ void PartitionActor::handle_replicate(const ReplicateRequest& req) {
   Cluster& cluster = node_.cluster();
   if (tombstoned(req.tx)) return;  // late replicate of an aborted tx
 
+  std::uint64_t hspan = 0;
+  if (tracer_->enabled()) {
+    hspan = tracer_->next_span_id();
+    tracer_->emit_span(
+        {hspan, req.tspan, req.tx, node_.id(), obs::SpanKind::Handle,
+         cluster.now(), cluster.now(),
+         static_cast<std::uint64_t>(wire::MessageType::kReplicateRequest),
+         pid_});
+  }
+
   if (store_.has_uncommitted(req.tx)) {
     // Duplicate delivery or master re-send: the pre-commit is already in
     // place, so just re-ack with the recorded proposal.
@@ -194,6 +232,7 @@ void PartitionActor::handle_replicate(const ReplicateRequest& req) {
     reply.from = node_.id();
     reply.prepared = true;
     reply.proposed_ts = store_.uncommitted_ts(req.tx);
+    reply.tspan = hspan;
     wire::post(cluster, node_.id(), req.coordinator, std::move(reply));
     return;
   }
@@ -217,6 +256,7 @@ void PartitionActor::handle_replicate(const ReplicateRequest& req) {
   reply.from = node_.id();
   reply.prepared = true;
   reply.proposed_ts = proposed;
+  reply.tspan = hspan;
   wire::post(cluster, node_.id(), req.coordinator, std::move(reply));
 }
 
@@ -269,6 +309,15 @@ void PartitionActor::orphan_check(const TxId& tx) {
     req.tx = tx;
     req.partition = pid_;
     req.from = node_.id();
+    if (tracer_->enabled()) {
+      const std::uint64_t pspan = tracer_->next_span_id();
+      tracer_->emit_span(
+          {pspan, 0, tx, node_.id(), obs::SpanKind::Probe, cluster.now(),
+           cluster.now(),
+           static_cast<std::uint64_t>(wire::MessageType::kDecisionRequest),
+           pid_});
+      req.tspan = pspan;
+    }
     wire::post(cluster, node_.id(), coordinator, std::move(req));
   }
   // Bounded backoff between probes, capped at orphan_interval_cap.
@@ -285,6 +334,13 @@ void PartitionActor::on_decision_reply(DecisionReply rep) {
   ScopedLogNode log_node(node_.id());
   auto it = awaiting_decision_.find(rep.tx);
   if (it == awaiting_decision_.end()) return;  // resolved meanwhile
+  if (tracer_->enabled()) {
+    const Timestamp now = node_.cluster().now();
+    tracer_->emit_span(
+        {tracer_->next_span_id(), rep.tspan, rep.tx, node_.id(),
+         obs::SpanKind::Handle, now, now,
+         static_cast<std::uint64_t>(wire::MessageType::kDecisionReply), pid_});
+  }
   switch (rep.decision) {
     case TxDecision::Committed:
       apply_commit(rep.tx, rep.commit_ts);

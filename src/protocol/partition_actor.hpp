@@ -15,6 +15,7 @@
 #include "common/open_map.hpp"
 #include "common/types.hpp"
 #include "common/unique_function.hpp"
+#include "obs/trace.hpp"
 #include "protocol/messages.hpp"
 #include "store/mvstore.hpp"
 
@@ -105,8 +106,15 @@ class PartitionActor {
     Timestamp rs = 0;
     bool remote = false;
     Timestamp parked_at = 0;  ///< 0 until the read first parks
+    std::uint64_t tspan = 0;  ///< trace context of the remote ReadRequest
+    Timestamp recv_at = 0;    ///< when the remote request first arrived
     UniqueFunction<void(store::StoreReadResult)> deliver;  ///< local only
   };
+
+  /// Serve a remote read whose Clock-SI delay (if any) already elapsed;
+  /// `recv_at` is the first arrival time (the server-side Handle span spans
+  /// receive -> reply, including the delay and any parking).
+  void serve_remote_read(const ReadRequest& req, Timestamp recv_at);
 
   /// Classify a read result and either deliver it or park on the blocking
   /// writer. Local speculative hits are delivered (coordinator gates them);
@@ -152,6 +160,7 @@ class PartitionActor {
 
   /// Convoy-effect instruments: how long reads sit parked behind
   /// pre-commit locks, and how many are parked right now.
+  obs::Tracer* tracer_ = nullptr;
   obs::Timer* t_read_block_ = nullptr;
   obs::Gauge* g_parked_ = nullptr;
   obs::Counter* c_orphan_aborts_ = nullptr;

@@ -29,6 +29,8 @@ void TxnRecord::reset() {
   prepares_sent_at = 0;
   prepares_done_at = 0;
   dep_wait_start = 0;
+  trace_span = 0;
+  leg_spans.clear();
   writes.clear();
   olc_set.clear();
   ffc = 0;

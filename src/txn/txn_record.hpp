@@ -75,6 +75,27 @@ struct TxnRecord {
   Timestamp prepares_done_at = 0;  ///< last prepare/replicate ack arrived
   Timestamp dep_wait_start = 0;    ///< finalize first blocked on SPSI-4 deps
 
+  // -- causal-span bookkeeping (0/empty when tracing is off) ---------------
+  /// Root span id of this attempt; parent of every other span of the txn.
+  std::uint64_t trace_span = 0;
+  /// One certification leg span per expected (partition, node) ack. The
+  /// span id rides the Prepare/ReplicateRequest sent to the direct target
+  /// and closes on the first matching ack.
+  struct LegSpan {
+    PartitionId partition = kInvalidPartition;
+    NodeId node = kInvalidNode;
+    std::uint64_t span = 0;
+    Timestamp sent_at = 0;
+  };
+  std::vector<LegSpan> leg_spans;
+
+  std::uint64_t leg_span_of(PartitionId pid, NodeId node) const {
+    for (const LegSpan& l : leg_spans) {
+      if (l.partition == pid && l.node == node) return l.span;
+    }
+    return 0;
+  }
+
   // -- write buffer -------------------------------------------------------
   /// (key, value) pairs in first-write order (deterministic iteration);
   /// keys unique, re-writes overwrite in place. Write sets are small, so
@@ -131,6 +152,8 @@ struct TxnRecord {
     ReadResult result;
     Key key = 0;
     Timestamp parked_at = 0;  ///< when the value was held at the gate
+    std::uint64_t read_span = 0;  ///< open Read span, closed at delivery
+    Timestamp read_issued_at = 0;
   };
   std::vector<GateWaiter> gate_waiters;
   /// Every read promise handed out and not yet fulfilled; all are resolved

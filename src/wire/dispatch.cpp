@@ -26,6 +26,19 @@ PartitionActor* replica_of(Cluster& cl, NodeId to, PartitionId pid) {
   return actor;
 }
 
+/// Decision application is fire-and-forget — the actor keeps no per-message
+/// state — so its server-side Handle span is stitched here, at the delivery
+/// boundary, instead of inside the actor (which also serves local calls that
+/// involve no network hop).
+template <class M>
+void trace_delivery(Cluster& cl, NodeId to, const M& m) {
+  obs::Tracer& tracer = cl.tracer();
+  if (!tracer.enabled()) return;
+  tracer.emit_span({tracer.next_span_id(), m.tspan, m.tx, to,
+                    obs::SpanKind::Handle, cl.now(), cl.now(),
+                    static_cast<std::uint64_t>(type_tag<M>()), m.partition});
+}
+
 }  // namespace
 
 void deliver(Cluster& cl, NodeId to, const protocol::ReadRequest& m) {
@@ -50,10 +63,12 @@ void deliver(Cluster& cl, NodeId to, const protocol::ReplicateRequest& m) {
 }
 
 void deliver(Cluster& cl, NodeId to, const protocol::CommitMessage& m) {
+  trace_delivery(cl, to, m);
   replica_of(cl, to, m.partition)->apply_commit(m.tx, m.commit_ts);
 }
 
 void deliver(Cluster& cl, NodeId to, const protocol::AbortMessage& m) {
+  trace_delivery(cl, to, m);
   replica_of(cl, to, m.partition)->apply_abort(m.tx);
 }
 

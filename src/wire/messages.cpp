@@ -104,6 +104,28 @@ std::size_t updates_size(const protocol::SharedUpdates& ups) {
   return s;
 }
 
+
+/// Optional trailing trace context. Encoded as a single varint appended
+/// after the base fields, and only when nonzero — so untraced runs produce
+/// frames byte-identical to codecs that predate the field, and every pinned
+/// layout with tspan == 0 is unchanged. The decoder reads it only when bytes
+/// remain after the base fields, which is unambiguous because every base
+/// field is self-delimiting (see docs/WIRE.md, "Trace context").
+void put_tspan(Writer& w, std::uint64_t tspan) {
+  if (tspan != 0) w.varint(tspan);
+}
+
+bool get_tspan(Reader& r, std::uint64_t& tspan) {
+  tspan = 0;
+  if (r.remaining() == 0) return true;
+  tspan = r.varint();
+  return r.ok() && tspan != 0;
+}
+
+std::size_t tspan_size(std::uint64_t tspan) {
+  return tspan == 0 ? 0 : varint_size(tspan);
+}
+
 template <class M>
 DecodeStatus decode_as(const std::uint8_t* body, std::size_t len,
                        AnyMessage& out) {
@@ -153,6 +175,7 @@ void encode_body(Writer& w, const protocol::ReadRequest& m) {
   w.varint(m.req_id);
   w.varint(m.key);
   w.varint(m.rs);
+  put_tspan(w, m.tspan);
 }
 
 bool decode_body(Reader& r, protocol::ReadRequest& m) {
@@ -161,12 +184,13 @@ bool decode_body(Reader& r, protocol::ReadRequest& m) {
   m.req_id = r.varint();
   m.key = r.varint();
   m.rs = r.varint();
-  return r.ok();
+  if (!r.ok()) return false;
+  return get_tspan(r, m.tspan);
 }
 
 std::size_t body_size(const protocol::ReadRequest& m) {
   return txid_size(m.reader) + varint_size(m.reader_node) +
-         varint_size(m.req_id) + varint_size(m.key) + varint_size(m.rs);
+         varint_size(m.req_id) + varint_size(m.key) + varint_size(m.rs) + tspan_size(m.tspan);
 }
 
 // -- ReadReply ----------------------------------------------------------------
@@ -179,6 +203,7 @@ void encode_body(Writer& w, const protocol::ReadReply& m) {
   put_value(w, m.value);
   put_txid(w, m.writer);
   w.varint(m.version_ts);
+  put_tspan(w, m.tspan);
 }
 
 bool decode_body(Reader& r, protocol::ReadReply& m) {
@@ -189,12 +214,13 @@ bool decode_body(Reader& r, protocol::ReadReply& m) {
   if (!get_value(r, m.value)) return false;
   if (!get_txid(r, m.writer)) return false;
   m.version_ts = r.varint();
-  return r.ok();
+  if (!r.ok()) return false;
+  return get_tspan(r, m.tspan);
 }
 
 std::size_t body_size(const protocol::ReadReply& m) {
   return txid_size(m.reader) + varint_size(m.req_id) + varint_size(m.key) + 1 +
-         value_size(m.value) + txid_size(m.writer) + varint_size(m.version_ts);
+         value_size(m.value) + txid_size(m.writer) + varint_size(m.version_ts) + tspan_size(m.tspan);
 }
 
 // -- PrepareRequest -----------------------------------------------------------
@@ -205,6 +231,7 @@ void encode_body(Writer& w, const protocol::PrepareRequest& m) {
   w.varint(m.partition);
   w.varint(m.rs);
   put_updates(w, m.updates);
+  put_tspan(w, m.tspan);
 }
 
 bool decode_body(Reader& r, protocol::PrepareRequest& m) {
@@ -213,13 +240,14 @@ bool decode_body(Reader& r, protocol::PrepareRequest& m) {
   if (!get_u32(r, m.partition)) return false;
   m.rs = r.varint();
   if (!r.ok()) return false;
-  return get_updates(r, m.updates);
+  if (!get_updates(r, m.updates)) return false;
+  return get_tspan(r, m.tspan);
 }
 
 std::size_t body_size(const protocol::PrepareRequest& m) {
   return txid_size(m.tx) + varint_size(m.coordinator) +
          varint_size(m.partition) + varint_size(m.rs) +
-         updates_size(m.updates);
+         updates_size(m.updates) + tspan_size(m.tspan);
 }
 
 // -- PrepareReply -------------------------------------------------------------
@@ -230,6 +258,7 @@ void encode_body(Writer& w, const protocol::PrepareReply& m) {
   w.varint(m.from);
   w.u8(m.prepared ? 1 : 0);
   w.varint(m.proposed_ts);
+  put_tspan(w, m.tspan);
 }
 
 bool decode_body(Reader& r, protocol::PrepareReply& m) {
@@ -238,12 +267,13 @@ bool decode_body(Reader& r, protocol::PrepareReply& m) {
   if (!get_u32(r, m.from)) return false;
   if (!get_bool(r, m.prepared)) return false;
   m.proposed_ts = r.varint();
-  return r.ok();
+  if (!r.ok()) return false;
+  return get_tspan(r, m.tspan);
 }
 
 std::size_t body_size(const protocol::PrepareReply& m) {
   return txid_size(m.tx) + varint_size(m.partition) + varint_size(m.from) + 1 +
-         varint_size(m.proposed_ts);
+         varint_size(m.proposed_ts) + tspan_size(m.tspan);
 }
 
 // -- ReplicateRequest ---------------------------------------------------------
@@ -254,6 +284,7 @@ void encode_body(Writer& w, const protocol::ReplicateRequest& m) {
   w.varint(m.partition);
   w.varint(m.rs);
   put_updates(w, m.updates);
+  put_tspan(w, m.tspan);
 }
 
 bool decode_body(Reader& r, protocol::ReplicateRequest& m) {
@@ -262,13 +293,14 @@ bool decode_body(Reader& r, protocol::ReplicateRequest& m) {
   if (!get_u32(r, m.partition)) return false;
   m.rs = r.varint();
   if (!r.ok()) return false;
-  return get_updates(r, m.updates);
+  if (!get_updates(r, m.updates)) return false;
+  return get_tspan(r, m.tspan);
 }
 
 std::size_t body_size(const protocol::ReplicateRequest& m) {
   return txid_size(m.tx) + varint_size(m.coordinator) +
          varint_size(m.partition) + varint_size(m.rs) +
-         updates_size(m.updates);
+         updates_size(m.updates) + tspan_size(m.tspan);
 }
 
 // -- CommitMessage ------------------------------------------------------------
@@ -277,18 +309,20 @@ void encode_body(Writer& w, const protocol::CommitMessage& m) {
   put_txid(w, m.tx);
   w.varint(m.partition);
   w.varint(m.commit_ts);
+  put_tspan(w, m.tspan);
 }
 
 bool decode_body(Reader& r, protocol::CommitMessage& m) {
   if (!get_txid(r, m.tx)) return false;
   if (!get_u32(r, m.partition)) return false;
   m.commit_ts = r.varint();
-  return r.ok();
+  if (!r.ok()) return false;
+  return get_tspan(r, m.tspan);
 }
 
 std::size_t body_size(const protocol::CommitMessage& m) {
   return txid_size(m.tx) + varint_size(m.partition) +
-         varint_size(m.commit_ts);
+         varint_size(m.commit_ts) + tspan_size(m.tspan);
 }
 
 // -- AbortMessage -------------------------------------------------------------
@@ -296,15 +330,17 @@ std::size_t body_size(const protocol::CommitMessage& m) {
 void encode_body(Writer& w, const protocol::AbortMessage& m) {
   put_txid(w, m.tx);
   w.varint(m.partition);
+  put_tspan(w, m.tspan);
 }
 
 bool decode_body(Reader& r, protocol::AbortMessage& m) {
   if (!get_txid(r, m.tx)) return false;
-  return get_u32(r, m.partition);
+  if (!get_u32(r, m.partition)) return false;
+  return get_tspan(r, m.tspan);
 }
 
 std::size_t body_size(const protocol::AbortMessage& m) {
-  return txid_size(m.tx) + varint_size(m.partition);
+  return txid_size(m.tx) + varint_size(m.partition) + tspan_size(m.tspan);
 }
 
 // -- DecisionRequest ----------------------------------------------------------
@@ -313,16 +349,18 @@ void encode_body(Writer& w, const protocol::DecisionRequest& m) {
   put_txid(w, m.tx);
   w.varint(m.partition);
   w.varint(m.from);
+  put_tspan(w, m.tspan);
 }
 
 bool decode_body(Reader& r, protocol::DecisionRequest& m) {
   if (!get_txid(r, m.tx)) return false;
   if (!get_u32(r, m.partition)) return false;
-  return get_u32(r, m.from);
+  if (!get_u32(r, m.from)) return false;
+  return get_tspan(r, m.tspan);
 }
 
 std::size_t body_size(const protocol::DecisionRequest& m) {
-  return txid_size(m.tx) + varint_size(m.partition) + varint_size(m.from);
+  return txid_size(m.tx) + varint_size(m.partition) + varint_size(m.from) + tspan_size(m.tspan);
 }
 
 // -- DecisionReply ------------------------------------------------------------
@@ -332,6 +370,7 @@ void encode_body(Writer& w, const protocol::DecisionReply& m) {
   w.varint(m.partition);
   w.u8(static_cast<std::uint8_t>(m.decision));
   w.varint(m.commit_ts);
+  put_tspan(w, m.tspan);
 }
 
 bool decode_body(Reader& r, protocol::DecisionReply& m) {
@@ -343,12 +382,13 @@ bool decode_body(Reader& r, protocol::DecisionReply& m) {
   }
   m.decision = static_cast<protocol::TxDecision>(d);
   m.commit_ts = r.varint();
-  return r.ok();
+  if (!r.ok()) return false;
+  return get_tspan(r, m.tspan);
 }
 
 std::size_t body_size(const protocol::DecisionReply& m) {
   return txid_size(m.tx) + varint_size(m.partition) + 1 +
-         varint_size(m.commit_ts);
+         varint_size(m.commit_ts) + tspan_size(m.tspan);
 }
 
 // -- frame decode -------------------------------------------------------------

@@ -1,0 +1,374 @@
+// Causal-trace analysis tests: pinned cursor-walk attribution, the
+// exact-coverage invariant over full 9-region and chaos runs, Chrome-trace
+// schema round-trips (events, spans, flow bindings), closure-vs-wire byte
+// determinism of traced output, and the pinned cascade-abort tree with
+// root-cause attribution.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "net/topology.hpp"
+#include "obs/analysis.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "tests/protocol/test_util.hpp"
+#include "workload/synthetic.hpp"
+
+namespace str::obs {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using harness::WorkloadFactory;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+WorkloadFactory synth_factory() {
+  workload::SyntheticConfig wcfg = workload::SyntheticConfig::synth_a();
+  wcfg.keys_per_half = 2000;
+  return [wcfg](protocol::Cluster& c) {
+    return std::make_unique<workload::SyntheticWorkload>(c, wcfg);
+  };
+}
+
+/// Fig-3-style setup: 9 nodes over the measured EC2 inter-region latencies,
+/// rf 6, synth-a.
+ExperimentConfig nine_region_config(std::uint64_t seed, const std::string& tag) {
+  ExperimentConfig cfg;
+  cfg.cluster.num_nodes = 9;
+  cfg.cluster.partitions_per_node = 1;
+  cfg.cluster.replication_factor = 6;
+  cfg.cluster.topology = net::Topology::ec2_nine_regions();
+  cfg.cluster.protocol = protocol::ProtocolConfig::str();
+  cfg.cluster.seed = seed;
+  cfg.clients_per_node = 2;
+  cfg.warmup = msec(500);
+  cfg.duration = sec(2);
+  cfg.drain = sec(1);
+  cfg.trace_out =
+      std::string(::testing::TempDir()) + "analysis_" + tag + ".json";
+  return cfg;
+}
+
+/// Run a traced experiment, parse its trace, and verify exact coverage.
+void expect_exact_coverage(const ExperimentConfig& cfg) {
+  const ExperimentResult r = harness::run_experiment(cfg, synth_factory());
+  ASSERT_GT(r.commits, 0u);
+  EXPECT_EQ(r.trace_dropped, 0u);
+
+  ParsedTrace trace;
+  std::string error;
+  ASSERT_TRUE(parse_chrome_trace(slurp(cfg.trace_out), trace, error)) << error;
+  std::remove(cfg.trace_out.c_str());
+
+  const std::vector<CriticalPath> paths = critical_paths(trace.events);
+  ASSERT_FALSE(paths.empty());
+  const std::vector<std::string> violations = check_critical_paths(paths);
+  for (const std::string& v : violations) ADD_FAILURE() << v;
+  // The invariant check_critical_paths encodes, restated independently:
+  // edge durations sum exactly — in virtual us, no rounding slack — to the
+  // begin->final-commit latency of every committed transaction.
+  for (const CriticalPath& p : paths) {
+    Timestamp sum = 0;
+    for (const CriticalEdge& e : p.edges) sum += e.duration();
+    ASSERT_EQ(sum, p.commit - p.begin);
+  }
+}
+
+TEST(CriticalPathUnit, PinnedCursorWalk) {
+  const TxId tx{0, 1};
+  const NodeId n = 0;
+  std::vector<TraceEvent> events = {
+      {100, tx, n, TraceEventType::TxBegin, 90, 0, kNoTx},
+      {100, tx, n, TraceEventType::ReadIssued, 7, 1, kNoTx},
+      {150, tx, n, TraceEventType::GateParked, 7, 0, kNoTx},
+      {180, tx, n, TraceEventType::GateReleased, 7, 30, kNoTx},
+      {180, tx, n, TraceEventType::ReadReady, 7, 1, TxId{1, 9}},
+      {200, tx, n, TraceEventType::CommitRequested, 2, 0, kNoTx},
+      {200, tx, n, TraceEventType::LocalCertEnd, 205, 0, kNoTx},
+      {260, tx, n, TraceEventType::PrepareAck, 2, 0, kNoTx},
+      {300, tx, n, TraceEventType::PrepareAck, 3, 0, kNoTx},
+      {320, tx, n, TraceEventType::DepResolved, 0, 0, kNoTx},
+      {330, tx, n, TraceEventType::TxCommit, 310, 220, kNoTx},
+  };
+  const std::vector<CriticalPath> paths = critical_paths(events);
+  ASSERT_EQ(paths.size(), 1u);
+  const CriticalPath& p = paths[0];
+  EXPECT_EQ(p.begin, 100u);
+  EXPECT_EQ(p.commit, 330u);
+  const std::vector<CriticalEdge> expected = {
+      {EdgeClass::ReadWan, 100, 150, 7},    // issue -> value arrival
+      {EdgeClass::GateStall, 150, 180, 7},  // parked at the gate
+      {EdgeClass::LocalCompute, 180, 200, 0},
+      {EdgeClass::PrepareWan, 200, 260, 2},
+      {EdgeClass::PrepareWan, 260, 300, 3},
+      {EdgeClass::DepWait, 300, 320, 0},
+      {EdgeClass::Finalize, 320, 330, 0},
+  };
+  EXPECT_EQ(p.edges, expected);
+  EXPECT_TRUE(check_critical_paths(paths).empty());
+
+  const PathAggregate agg = aggregate(paths);
+  EXPECT_EQ(agg.committed, 1u);
+  EXPECT_EQ(agg.total_latency_us, 230u);
+  EXPECT_EQ(agg.per_class[static_cast<int>(EdgeClass::PrepareWan)].count, 2u);
+  EXPECT_EQ(agg.per_class[static_cast<int>(EdgeClass::PrepareWan)].total_us,
+            100u);
+  EXPECT_EQ(agg.per_class[static_cast<int>(EdgeClass::GateStall)].p50_us, 30u);
+}
+
+TEST(CriticalPathUnit, SkipsTruncatedAndAbortedTxns) {
+  const NodeId n = 0;
+  std::vector<TraceEvent> events = {
+      // Commit whose begin fell off the ring: not analyzable.
+      {500, TxId{0, 1}, n, TraceEventType::TxCommit, 480, 0, kNoTx},
+      // Aborted transaction: no critical path to a commit.
+      {510, TxId{0, 2}, n, TraceEventType::TxBegin, 505, 0, kNoTx},
+      {520, TxId{0, 2}, n, TraceEventType::TxAbort,
+       static_cast<std::uint64_t>(AbortReason::UserAbort), 0, kNoTx},
+  };
+  EXPECT_TRUE(critical_paths(events).empty());
+}
+
+TEST(CriticalPathUnit, CheckRejectsBrokenPaths) {
+  CriticalPath gap;
+  gap.tx = TxId{0, 1};
+  gap.begin = 100;
+  gap.commit = 300;
+  gap.edges = {{EdgeClass::LocalCompute, 100, 150, 0},
+               {EdgeClass::PrepareWan, 200, 300, 0}};  // 50us hole
+  CriticalPath short_end = gap;
+  short_end.edges = {{EdgeClass::LocalCompute, 100, 250, 0}};
+  EXPECT_GE(check_critical_paths({gap}).size(), 1u);
+  EXPECT_GE(check_critical_paths({short_end}).size(), 1u);
+  EXPECT_TRUE(check_critical_paths({}).empty());
+}
+
+TEST(AnalysisEndToEnd, NineRegionExactCoverage) {
+  expect_exact_coverage(nine_region_config(7, "fig3"));
+}
+
+TEST(AnalysisEndToEnd, ChaosExactCoverage) {
+  // Drops + duplication + a region partition: retries, reordering and
+  // duplicate deliveries must not break the coverage invariant for the
+  // transactions that do commit.
+  ExperimentConfig cfg = nine_region_config(11, "chaos");
+  cfg.cluster.faults.link.drop_prob = 0.03;
+  cfg.cluster.faults.link.dup_prob = 0.02;
+  cfg.cluster.faults.add_partition(0, 1, sec(1), sec(2));
+  expect_exact_coverage(cfg);
+}
+
+TEST(TraceDeterminism, ClosureVsWireByteIdentical) {
+  // The trace context rides inside wire frames in --wire mode and inside
+  // closures otherwise; the traced output must not notice the difference.
+  ExperimentConfig closure = nine_region_config(13, "closure");
+  closure.duration = sec(1);
+  ExperimentConfig wire = nine_region_config(13, "wire");
+  wire.duration = sec(1);
+  wire.cluster.wire_codec = true;
+  harness::run_experiment(closure, synth_factory());
+  harness::run_experiment(wire, synth_factory());
+  const std::string a = slurp(closure.trace_out);
+  const std::string b = slurp(wire.trace_out);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  std::remove(closure.trace_out.c_str());
+  std::remove(wire.trace_out.c_str());
+}
+
+TEST(ChromeTraceRoundTrip, EventsSpansAndFlowsSurviveExactly) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  // One event of every type, with causal references where the schema
+  // carries them (writer on ReadReady, cascade parent on TxAbort).
+  const TxId tx{0, 1};
+  const TxId writer{1, 7};
+  std::vector<TraceEvent> events = {
+      {10, tx, 0, TraceEventType::TxBegin, 5, 0, kNoTx},
+      {11, tx, 0, TraceEventType::ReadIssued, 42, 1, kNoTx},
+      {12, tx, 0, TraceEventType::GateParked, 42, 0, kNoTx},
+      {15, tx, 0, TraceEventType::GateReleased, 42, 3, kNoTx},
+      {15, tx, 0, TraceEventType::ReadReady, 42, 1, writer},
+      {16, tx, 0, TraceEventType::CommitRequested, 2, 0, kNoTx},
+      {16, tx, 0, TraceEventType::LocalCertStart, 2, 0, kNoTx},
+      {16, tx, 0, TraceEventType::LocalCertEnd, 17, 0, kNoTx},
+      {17, tx, 0, TraceEventType::PrepareSent, 1, 3, kNoTx},
+      {30, tx, 0, TraceEventType::PrepareAck, 1, 0, kNoTx},
+      {30, tx, 0, TraceEventType::DepWait, 1, 0, kNoTx},
+      {35, tx, 0, TraceEventType::DepResolved, 0, 0, kNoTx},
+      {40, tx, 0, TraceEventType::TxCommit, 39, 34, kNoTx},
+      {41, writer, 1, TraceEventType::TxBegin, 6, 0, kNoTx},
+      {50, writer, 1, TraceEventType::TxAbort,
+       static_cast<std::uint64_t>(AbortReason::CascadingAbort), 0, TxId{2, 3}},
+  };
+  for (const TraceEvent& ev : events) tracer.emit(ev);
+  // Spans across two nodes: the PrepareLeg's Handle span lives on node 1
+  // with a node-0 parent, so exactly one flow pair must be emitted.
+  std::vector<SpanRecord> spans = {
+      {1, 0, tx, 0, SpanKind::Txn, 10, 40, 1, 39},
+      {2, 1, tx, 0, SpanKind::Read, 11, 15, 42, 1},
+      {3, 1, tx, 0, SpanKind::PrepareLeg, 17, 30, 3, 1},
+      {4, 3, tx, 1, SpanKind::Handle, 24, 24, 2, 3},
+      {5, 1, tx, 0, SpanKind::DepWait, 30, 35, 0, 0},
+  };
+  for (const SpanRecord& sp : spans) tracer.emit_span(sp);
+
+  const std::string json = chrome_trace_json(tracer, 3);
+
+  // The document is valid JSON in its own right.
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::parse(json, doc, error)) << error;
+
+  ParsedTrace parsed;
+  ASSERT_TRUE(parse_chrome_trace(json, parsed, error)) << error;
+  EXPECT_EQ(parsed.num_nodes, 3u);
+  EXPECT_EQ(parsed.dropped_events, 0u);
+  EXPECT_EQ(parsed.dropped_spans, 0u);
+  EXPECT_EQ(parsed.events, events);
+  EXPECT_EQ(parsed.spans, spans);
+
+  // Flow bindings resolve: the single cross-node parent edge, anchored at
+  // the parent's start on its node and the child's start on its node.
+  ASSERT_EQ(parsed.flows.size(), 1u);
+  const ParsedTrace::Flow& f = parsed.flows[0];
+  EXPECT_TRUE(f.has_src && f.has_dst);
+  EXPECT_EQ(f.id, 4u);
+  EXPECT_EQ(f.src_node, 0u);
+  EXPECT_EQ(f.src_ts, 17u);
+  EXPECT_EQ(f.dst_node, 1u);
+  EXPECT_EQ(f.dst_ts, 24u);
+}
+
+TEST(ChromeTraceRoundTrip, MetricsJsonIsValidAndCoversSchema) {
+  Registry reg;
+  reg.counter("txn.commits").inc(12);
+  reg.gauge("txn.live").add(-3);
+  reg.timer("phase.wan_prepare").record(150);
+  reg.timer("phase.wan_prepare").record(250);
+  const std::string out =
+      metrics_json(reg, {{"throughput_tx_per_sec", "42.5"}});
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::parse(out, doc, error)) << error;
+  const json::Value* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("txn.commits"), nullptr);
+  EXPECT_EQ(counters->find("txn.commits")->u(), 12u);
+  const json::Value* timers = doc.find("timers");
+  ASSERT_NE(timers, nullptr);
+  const json::Value* t = timers->find("phase.wan_prepare");
+  ASSERT_NE(t, nullptr);
+  for (const char* field : {"count", "p50_us", "p95_us", "p99_us", "max_us"}) {
+    EXPECT_NE(t->find(field), nullptr) << field;
+  }
+  EXPECT_EQ(t->find("count")->u(), 2u);
+  const json::Value* extra = doc.find("experiment");
+  ASSERT_NE(extra, nullptr);
+  ASSERT_NE(extra->find("throughput_tx_per_sec"), nullptr);
+}
+
+TEST(ChromeTraceRoundTrip, WriteFileRejectsUnwritablePath) {
+  EXPECT_FALSE(
+      obs::write_file("/nonexistent-dir-xyz/trace.json", "{}\n"));
+}
+
+// Custom body: read one key (observing a speculative version creates the
+// data dependency), then overwrite it plus a remote key (unsafe).
+sim::Fiber run_read_then_write(protocol::Cluster& cluster,
+                               protocol::Coordinator& coord, Key rk,
+                               std::vector<Key> wk, Value val,
+                               test::TxProbe& probe) {
+  probe.tx = coord.begin();
+  test::watch_outcome(cluster, coord, probe.tx, probe);
+  auto r = co_await coord.read(probe.tx, rk);
+  probe.reads.push_back(r);
+  if (r.aborted) co_return;
+  for (Key k : wk) coord.write(probe.tx, k, val);
+  coord.commit(probe.tx);
+}
+
+TEST(Lineage, PinnedCascadeTreeWithRootCause) {
+  using test::key_at;
+  // Deterministic depth-2 cascade (seeded run, no jitter):
+  //   W   (node 0) writes a remote key (mastered at node 1) + local k6;
+  //       local-commits, so its speculative k6 version is visible.
+  //   win (node 1) commits a conflicting write first: W's global
+  //       certification will be refused -> W aborts (GlobalCertification).
+  //   R1  (node 0) reads k6 (observes W speculatively), overwrites it plus
+  //       its own remote key: unsafe, local-commits, dep-waits on W.
+  //   R2  (node 0) reads k6 (observes R1 speculatively).
+  // W's abort cascades: R1 at depth 1, R2 (dependent of R1) at depth 2.
+  protocol::Cluster cluster(
+      test::small_config(3, 1, protocol::ProtocolConfig::str(), msec(100)));
+  cluster.tracer().set_enabled(true);
+  cluster.load(key_at(1, 5), "v0");
+  cluster.load(key_at(0, 6), "x0");
+  cluster.run_for(msec(10));
+
+  auto& coord0 = cluster.node(0).coordinator();
+  test::TxProbe loser;
+  test::run_write(cluster, coord0, {key_at(1, 5), key_at(0, 6)}, "loser",
+                  loser);
+  cluster.run_for(msec(1));
+
+  test::TxProbe winner;
+  test::run_write(cluster, cluster.node(1).coordinator(), {key_at(1, 5)},
+                  "winner", winner);
+  cluster.run_for(msec(1));
+
+  test::TxProbe r1;
+  run_read_then_write(cluster, coord0, key_at(0, 6),
+                      {key_at(0, 6), key_at(1, 7)}, "r1", r1);
+  cluster.run_for(msec(1));
+
+  test::TxProbe r2;
+  test::run_reads(cluster, coord0, {key_at(0, 6)}, r2);
+  cluster.run_for(msec(5));
+  ASSERT_EQ(r1.reads.size(), 1u);
+  EXPECT_EQ(r1.reads[0].value, "loser");
+  EXPECT_TRUE(r1.reads[0].speculative);
+  ASSERT_EQ(r2.reads.size(), 1u);
+  EXPECT_EQ(r2.reads[0].value, "r1");
+  EXPECT_TRUE(r2.reads[0].speculative);
+
+  cluster.run_for(sec(2));
+  ASSERT_TRUE(loser.done && winner.done && r1.done && r2.done);
+  EXPECT_EQ(loser.result.outcome, TxOutcome::Aborted);
+  EXPECT_EQ(loser.result.abort_reason, AbortReason::GlobalCertification);
+  EXPECT_EQ(r1.result.abort_reason, AbortReason::CascadingAbort);
+  EXPECT_EQ(r2.result.abort_reason, AbortReason::CascadingAbort);
+
+  const LineageStats ls = lineage(cluster.tracer().snapshot());
+  // Every CascadingAbort is attributed to a root cause.
+  EXPECT_EQ(ls.cascading_aborts, 2u);
+  EXPECT_EQ(ls.unattributed, 0u);
+  // The pinned tree: rooted at W's GlobalCertification abort, two
+  // transactions deep.
+  ASSERT_EQ(ls.trees.size(), 1u);
+  EXPECT_EQ(ls.trees[0].root, loser.tx);
+  EXPECT_EQ(ls.trees[0].root_reason, AbortReason::GlobalCertification);
+  EXPECT_EQ(ls.trees[0].size, 2u);
+  EXPECT_EQ(ls.trees[0].max_depth, 2u);
+  ASSERT_EQ(ls.depth_histogram.size(), 2u);
+  EXPECT_EQ(ls.depth_histogram[0], 1u);  // R1
+  EXPECT_EQ(ls.depth_histogram[1], 1u);  // R2
+  // Speculative observations recorded with their writers.
+  EXPECT_GE(ls.spec_reads, 2u);
+  EXPECT_GE(ls.spec_writers, 2u);
+}
+
+}  // namespace
+}  // namespace str::obs

@@ -84,6 +84,7 @@ void expect_equal(const protocol::ReadRequest& a,
   EXPECT_EQ(a.req_id, b.req_id);
   EXPECT_EQ(a.key, b.key);
   EXPECT_EQ(a.rs, b.rs);
+  EXPECT_EQ(a.tspan, b.tspan);
 }
 
 void expect_equal(const protocol::ReadReply& a, const protocol::ReadReply& b) {
@@ -94,6 +95,7 @@ void expect_equal(const protocol::ReadReply& a, const protocol::ReadReply& b) {
   EXPECT_TRUE(same_value(a.value, b.value));
   EXPECT_TRUE(same(a.writer, b.writer));
   EXPECT_EQ(a.version_ts, b.version_ts);
+  EXPECT_EQ(a.tspan, b.tspan);
 }
 
 void expect_equal(const protocol::PrepareRequest& a,
@@ -103,6 +105,7 @@ void expect_equal(const protocol::PrepareRequest& a,
   EXPECT_EQ(a.partition, b.partition);
   EXPECT_EQ(a.rs, b.rs);
   EXPECT_TRUE(same_updates(a.updates, b.updates));
+  EXPECT_EQ(a.tspan, b.tspan);
 }
 
 void expect_equal(const protocol::PrepareReply& a,
@@ -112,6 +115,7 @@ void expect_equal(const protocol::PrepareReply& a,
   EXPECT_EQ(a.from, b.from);
   EXPECT_EQ(a.prepared, b.prepared);
   EXPECT_EQ(a.proposed_ts, b.proposed_ts);
+  EXPECT_EQ(a.tspan, b.tspan);
 }
 
 void expect_equal(const protocol::ReplicateRequest& a,
@@ -121,6 +125,7 @@ void expect_equal(const protocol::ReplicateRequest& a,
   EXPECT_EQ(a.partition, b.partition);
   EXPECT_EQ(a.rs, b.rs);
   EXPECT_TRUE(same_updates(a.updates, b.updates));
+  EXPECT_EQ(a.tspan, b.tspan);
 }
 
 void expect_equal(const protocol::CommitMessage& a,
@@ -128,12 +133,14 @@ void expect_equal(const protocol::CommitMessage& a,
   EXPECT_TRUE(same(a.tx, b.tx));
   EXPECT_EQ(a.partition, b.partition);
   EXPECT_EQ(a.commit_ts, b.commit_ts);
+  EXPECT_EQ(a.tspan, b.tspan);
 }
 
 void expect_equal(const protocol::AbortMessage& a,
                   const protocol::AbortMessage& b) {
   EXPECT_TRUE(same(a.tx, b.tx));
   EXPECT_EQ(a.partition, b.partition);
+  EXPECT_EQ(a.tspan, b.tspan);
 }
 
 void expect_equal(const protocol::DecisionRequest& a,
@@ -141,6 +148,7 @@ void expect_equal(const protocol::DecisionRequest& a,
   EXPECT_TRUE(same(a.tx, b.tx));
   EXPECT_EQ(a.partition, b.partition);
   EXPECT_EQ(a.from, b.from);
+  EXPECT_EQ(a.tspan, b.tspan);
 }
 
 void expect_equal(const protocol::DecisionReply& a,
@@ -149,6 +157,7 @@ void expect_equal(const protocol::DecisionReply& a,
   EXPECT_EQ(a.partition, b.partition);
   EXPECT_EQ(a.decision, b.decision);
   EXPECT_EQ(a.commit_ts, b.commit_ts);
+  EXPECT_EQ(a.tspan, b.tspan);
 }
 
 template <class M>
@@ -169,7 +178,8 @@ void roundtrip_many(std::uint64_t seed, M (*make)(Rng&)) {
 TEST(RoundTrip, ReadRequest) {
   roundtrip_many<protocol::ReadRequest>(0x5717a1, +[](Rng& rng) {
     return protocol::ReadRequest{rand_txid(rng), rand_u32(rng), rand_u64(rng),
-                                 rand_u64(rng), rand_u64(rng)};
+                                 rand_u64(rng), rand_u64(rng),
+                                 rand_u64(rng)};
   });
 }
 
@@ -183,6 +193,7 @@ TEST(RoundTrip, ReadReply) {
     m.value = rand_value(rng);
     m.writer = rand_txid(rng);
     m.version_ts = rand_u64(rng);
+    m.tspan = rand_u64(rng);
     return m;
   });
 }
@@ -191,14 +202,15 @@ TEST(RoundTrip, PrepareRequest) {
   roundtrip_many<protocol::PrepareRequest>(0x5717a3, +[](Rng& rng) {
     return protocol::PrepareRequest{rand_txid(rng), rand_u32(rng),
                                     rand_u32(rng), rand_u64(rng),
-                                    rand_updates(rng)};
+                                    rand_updates(rng), rand_u64(rng)};
   });
 }
 
 TEST(RoundTrip, PrepareReply) {
   roundtrip_many<protocol::PrepareReply>(0x5717a4, +[](Rng& rng) {
     return protocol::PrepareReply{rand_txid(rng), rand_u32(rng), rand_u32(rng),
-                                  rng.chance(0.5), rand_u64(rng)};
+                                  rng.chance(0.5), rand_u64(rng),
+                                  rand_u64(rng)};
   });
 }
 
@@ -206,27 +218,28 @@ TEST(RoundTrip, ReplicateRequest) {
   roundtrip_many<protocol::ReplicateRequest>(0x5717a5, +[](Rng& rng) {
     return protocol::ReplicateRequest{rand_txid(rng), rand_u32(rng),
                                       rand_u32(rng), rand_u64(rng),
-                                      rand_updates(rng)};
+                                      rand_updates(rng), rand_u64(rng)};
   });
 }
 
 TEST(RoundTrip, CommitMessage) {
   roundtrip_many<protocol::CommitMessage>(0x5717a6, +[](Rng& rng) {
     return protocol::CommitMessage{rand_txid(rng), rand_u32(rng),
-                                   rand_u64(rng)};
+                                   rand_u64(rng), rand_u64(rng)};
   });
 }
 
 TEST(RoundTrip, AbortMessage) {
   roundtrip_many<protocol::AbortMessage>(0x5717a7, +[](Rng& rng) {
-    return protocol::AbortMessage{rand_txid(rng), rand_u32(rng)};
+    return protocol::AbortMessage{rand_txid(rng), rand_u32(rng),
+                                  rand_u64(rng)};
   });
 }
 
 TEST(RoundTrip, DecisionRequest) {
   roundtrip_many<protocol::DecisionRequest>(0x5717a8, +[](Rng& rng) {
     return protocol::DecisionRequest{rand_txid(rng), rand_u32(rng),
-                                     rand_u32(rng)};
+                                     rand_u32(rng), rand_u64(rng)};
   });
 }
 
@@ -234,7 +247,8 @@ TEST(RoundTrip, DecisionReply) {
   roundtrip_many<protocol::DecisionReply>(0x5717a9, +[](Rng& rng) {
     return protocol::DecisionReply{
         rand_txid(rng), rand_u32(rng),
-        static_cast<protocol::TxDecision>(rng.uniform(3)), rand_u64(rng)};
+        static_cast<protocol::TxDecision>(rng.uniform(3)), rand_u64(rng),
+        rand_u64(rng)};
   });
 }
 
@@ -257,6 +271,40 @@ TEST(RoundTrip, FrameLayoutIsPinned) {
   expected.push_back(static_cast<std::uint8_t>(ck >> 16));
   expected.push_back(static_cast<std::uint8_t>(ck >> 24));
   EXPECT_EQ(frame, expected);
+}
+
+TEST(RoundTrip, TraceContextLayoutIsPinned) {
+  // The trace-context span id rides as an optional trailing varint: absent
+  // when zero (so untraced frames are bit-identical to the pre-tspan
+  // format, pinned above), a single nonzero varint otherwise.
+  const protocol::AbortMessage m{TxId{1, 2}, 3, 5};
+  const Buffer frame = encode_frame(m);
+  Buffer expected = {
+      0x09, 0x00, 0x00, 0x00,  // rest_len = 1 (type) + 4 (body) + 4 (cksum)
+      0x07,                    // tag: kAbort
+      0x01, 0x02, 0x03, 0x05,  // varints: tx.node, tx.seq, partition, tspan
+  };
+  const std::uint32_t ck = checksum32(expected.data() + 4, 5);
+  expected.push_back(static_cast<std::uint8_t>(ck));
+  expected.push_back(static_cast<std::uint8_t>(ck >> 8));
+  expected.push_back(static_cast<std::uint8_t>(ck >> 16));
+  expected.push_back(static_cast<std::uint8_t>(ck >> 24));
+  EXPECT_EQ(frame, expected);
+  // An explicit zero tspan varint is non-canonical and must be rejected —
+  // otherwise two byte strings would decode to the same message.
+  Buffer bad = {
+      0x09, 0x00, 0x00, 0x00,
+      0x07,
+      0x01, 0x02, 0x03, 0x00,  // trailing zero varint
+  };
+  const std::uint32_t bad_ck = checksum32(bad.data() + 4, 5);
+  bad.push_back(static_cast<std::uint8_t>(bad_ck));
+  bad.push_back(static_cast<std::uint8_t>(bad_ck >> 8));
+  bad.push_back(static_cast<std::uint8_t>(bad_ck >> 16));
+  bad.push_back(static_cast<std::uint8_t>(bad_ck >> 24));
+  AnyMessage out;
+  EXPECT_EQ(decode_frame(bad.data(), bad.size(), out),
+            DecodeStatus::kBadBody);
 }
 
 // -- size audit ---------------------------------------------------------------

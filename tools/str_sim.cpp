@@ -43,6 +43,8 @@ struct Options {
   std::string csv;
   std::string trace_out;
   std::string metrics_out;
+  bool summary_percentiles = false;
+  std::size_t trace_capacity = 0;  ///< 0 = default ring size
   bool uniform_topology = false;
   double wan_rtt_ms = 100;
   bool wire = false;
@@ -73,9 +75,15 @@ void usage() {
       "                 closure transport\n"
       "  --csv PATH     append per-run metrics to a CSV file\n"
       "  --trace-out PATH    write a Chrome trace-event JSON (Perfetto /\n"
-      "                      chrome://tracing loadable; first rep only)\n"
+      "                      chrome://tracing loadable; first rep only;\n"
+      "                      \"-\" = stdout, report moves to stderr)\n"
       "  --metrics-out PATH  write the merged metrics registry as JSON\n"
-      "                      (or CSV when PATH ends in .csv; first rep only)\n"
+      "                      (or CSV when PATH ends in .csv; first rep only;\n"
+      "                      \"-\" = stdout, report moves to stderr)\n"
+      "  --summary-percentiles  add p95 to the per-phase table and print\n"
+      "                      final-latency p50/p95/p99\n"
+      "  --trace-capacity N  trace ring size (events and spans each; older\n"
+      "                      records drop when full)\n"
       "chaos mode (docs/FAULTS.md; any fault flag enables recovery):\n"
       "  --fault-plan PATH   load a fault-plan spec file\n"
       "  --drop-prob P       per-message drop probability, every link\n"
@@ -165,6 +173,11 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (arg == "--metrics-out") {
       if ((v = next()) == nullptr) return false;
       opt.metrics_out = v;
+    } else if (arg == "--summary-percentiles") {
+      opt.summary_percentiles = true;
+    } else if (arg == "--trace-capacity") {
+      if ((v = next()) == nullptr) return false;
+      opt.trace_capacity = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--uniform") {
       if ((v = next()) == nullptr) return false;
       opt.uniform_topology = true;
@@ -309,6 +322,7 @@ int main(int argc, char** argv) {
   cfg.self_tuning = opt.tuner;
   cfg.trace_out = opt.trace_out;
   cfg.metrics_out = opt.metrics_out;
+  if (opt.trace_capacity != 0) cfg.trace_capacity = opt.trace_capacity;
   cfg.verify = opt.verify;
 
   auto factory = workload_factory(opt.workload, ok);
@@ -317,17 +331,23 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("workload=%s protocol=%s nodes=%u rf=%u clients=%u reps=%u%s%s\n",
-              opt.workload.c_str(), opt.protocol.c_str(), opt.nodes,
-              cfg.cluster.replication_factor, opt.clients, opt.reps,
-              opt.tuner ? " tuner=on" : "", opt.wire ? " wire=on" : "");
+  // "-" sends an export to stdout; the human-readable report then moves to
+  // stderr so piping into trace_analyze (or jq) sees pure JSON.
+  std::FILE* rpt =
+      opt.trace_out == "-" || opt.metrics_out == "-" ? stderr : stdout;
+  std::fprintf(rpt,
+               "workload=%s protocol=%s nodes=%u rf=%u clients=%u reps=%u%s%s\n",
+               opt.workload.c_str(), opt.protocol.c_str(), opt.nodes,
+               cfg.cluster.replication_factor, opt.clients, opt.reps,
+               opt.tuner ? " tuner=on" : "", opt.wire ? " wire=on" : "");
   if (!opt.faults.empty()) {
-    std::printf("faults: %s%s\n", opt.faults.describe().c_str(),
-                opt.verify ? " (verify on)" : "");
+    std::fprintf(rpt, "faults: %s%s\n", opt.faults.describe().c_str(),
+                 opt.verify ? " (verify on)" : "");
   }
 
   const auto agg = harness::run_replicated(cfg, factory, opt.reps);
-  std::printf(
+  std::fprintf(
+      rpt,
       "throughput    %10.1f tps   (std %.1f, cv %.1f%%)\n"
       "final latency %10.1f ms\n"
       "spec latency  %10.1f ms\n"
@@ -338,25 +358,39 @@ int main(int argc, char** argv) {
       agg.speculative_latency_mean.mean() / 1000.0,
       agg.abort_rate.mean() * 100.0, agg.misspeculation_rate.mean() * 100.0,
       agg.external_misspeculation_rate.mean() * 100.0);
+  if (opt.summary_percentiles && !agg.runs.empty()) {
+    const auto& res = agg.runs.front();
+    std::fprintf(rpt, "final latency percentiles %.1f / %.1f / %.1f ms (p50/p95/p99)\n",
+                 static_cast<double>(res.final_latency_p50) / 1000.0,
+                 static_cast<double>(res.final_latency_p95) / 1000.0,
+                 static_cast<double>(res.final_latency_p99) / 1000.0);
+  }
   if (opt.tuner && !agg.runs.empty()) {
-    std::printf("tuner: speculation %s\n",
-                agg.runs.front().speculation_enabled_at_end ? "on" : "off");
+    std::fprintf(rpt, "tuner: speculation %s\n",
+                 agg.runs.front().speculation_enabled_at_end ? "on" : "off");
   }
   if (!agg.runs.empty()) {
-    std::putchar('\n');
+    std::fputc('\n', rpt);
     harness::print_phase_table(opt.workload + " / " + opt.protocol,
-                               agg.runs.front().phases);
+                               agg.runs.front().phases, rpt,
+                               opt.summary_percentiles);
   }
   const bool exports_ok = agg.runs.empty() || agg.runs.front().exports_ok;
   if (!exports_ok) {
     std::fprintf(stderr, "failed to write trace/metrics output\n");
     return 1;
   }
-  if (!opt.trace_out.empty()) {
-    std::printf("wrote trace to %s\n", opt.trace_out.c_str());
+  if (!opt.trace_out.empty() && opt.trace_out != "-") {
+    std::fprintf(rpt, "wrote trace to %s\n", opt.trace_out.c_str());
   }
-  if (!opt.metrics_out.empty()) {
-    std::printf("wrote metrics to %s\n", opt.metrics_out.c_str());
+  if (!opt.metrics_out.empty() && opt.metrics_out != "-") {
+    std::fprintf(rpt, "wrote metrics to %s\n", opt.metrics_out.c_str());
+  }
+  if (!agg.runs.empty() && agg.runs.front().trace_dropped != 0) {
+    std::fprintf(stderr,
+                 "WARNING: trace.dropped=%llu — raise --trace-capacity or "
+                 "shorten the run for complete causal analysis\n",
+                 static_cast<unsigned long long>(agg.runs.front().trace_dropped));
   }
 
   if (!opt.csv.empty()) {
@@ -374,7 +408,8 @@ int main(int argc, char** argv) {
                      std::to_string(res.final_latency_mean / 1000.0),
                      std::to_string(res.speculative_latency_mean / 1000.0)});
     }
-    std::printf("wrote %zu rows to %s\n", agg.runs.size(), opt.csv.c_str());
+    std::fprintf(rpt, "wrote %zu rows to %s\n", agg.runs.size(),
+                 opt.csv.c_str());
   }
 
   // Chaos-mode verdicts: safety (the SPSI checker) and cleanup (no state
@@ -387,7 +422,8 @@ int main(int argc, char** argv) {
       if (!res.quiesce.clean()) ++leaks;
     }
     const auto& first = agg.runs.front();
-    std::printf(
+    std::fprintf(
+        rpt,
         "\nfaults: dropped=%llu duplicated=%llu corrupted=%llu "
         "inversions=%llu\n"
         "recovery: rpc_timeouts=%llu rpc_retries=%llu orphan_aborts=%llu\n"
@@ -402,8 +438,8 @@ int main(int argc, char** argv) {
         first.quiesce.live_txns, first.quiesce.parked_reads,
         first.quiesce.uncommitted_txns, first.quiesce.orphans);
     if (opt.verify) {
-      std::printf("spsi: %llu violation(s)\n",
-                  static_cast<unsigned long long>(violations));
+      std::fprintf(rpt, "spsi: %llu violation(s)\n",
+                   static_cast<unsigned long long>(violations));
       for (const auto& res : agg.runs) {
         for (const std::string& viol : res.violations) {
           std::fprintf(stderr, "SPSI VIOLATION: %s\n", viol.c_str());

@@ -1,0 +1,439 @@
+// trace_analyze — causal-trace analysis for str_sim Chrome traces.
+//
+// Reads a trace written by `str_sim --trace-out` (or "-" for stdin) and
+// reports:
+//   * the critical-path breakdown of every committed transaction: which
+//     edge class (local compute, local/WAN reads, gate stalls, local
+//     certification, WAN prepares, dependency waits, finalization) the
+//     begin->commit latency was spent on, with mean/p50/p99 per class;
+//   * speculation-lineage statistics: who observed whose speculative
+//     versions, cascade-abort trees attributed to their root cause, and
+//     the virtual time wasted on aborted work;
+//   * optionally (--chrome-out) a visualization overlay: critical-path
+//     edges as slices plus flow arrows for speculative observations and
+//     cascade aborts, loadable in Perfetto next to the original trace.
+//
+// --check verifies the exact-coverage invariant (critical-path edges of
+// every committed transaction partition [begin, commit] with no gaps,
+// overlaps, or rounding slack) and exits 2 on any violation; CI runs this
+// on a chaos trace every build.
+//
+//   str_sim --trace-out - ... | trace_analyze - --check
+//   trace_analyze trace.json --json breakdown.json --top 5
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/analysis.hpp"
+#include "obs/export.hpp"
+
+using namespace str;  // NOLINT
+
+namespace {
+
+struct Options {
+  std::string input = "-";
+  std::string json_out;
+  std::string chrome_out;
+  bool check = false;
+  unsigned top = 10;  ///< cascade trees to print
+};
+
+void usage() {
+  std::puts(
+      "trace_analyze: critical-path and speculation-lineage analysis\n"
+      "  usage: trace_analyze [FILE|-] [options]\n"
+      "  FILE             Chrome trace JSON from str_sim --trace-out\n"
+      "                   (\"-\" or omitted: read stdin)\n"
+      "  --json PATH      write comparison-ready JSON (\"-\": stdout)\n"
+      "  --chrome-out PATH  write a critical-path + lineage overlay trace\n"
+      "  --check          verify exact coverage: the critical-path edges of\n"
+      "                   every committed txn must partition [begin, commit]\n"
+      "                   exactly (exit 2 on violations)\n"
+      "  --top N          cascade trees to list                     [10]\n");
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  bool have_input = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "option %s requires a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--help" || arg == "-h") return false;
+    if (arg == "--json") {
+      if ((v = next()) == nullptr) return false;
+      opt.json_out = v;
+    } else if (arg == "--chrome-out") {
+      if ((v = next()) == nullptr) return false;
+      opt.chrome_out = v;
+    } else if (arg == "--check") {
+      opt.check = true;
+    } else if (arg == "--top") {
+      if ((v = next()) == nullptr) return false;
+      opt.top = static_cast<unsigned>(std::atoi(v));
+    } else if (arg[0] != '-' || arg == "-") {
+      if (have_input) {
+        std::fprintf(stderr, "multiple input files\n");
+        return false;
+      }
+      opt.input = arg;
+      have_input = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool read_input(const std::string& path, std::string& out) {
+  std::FILE* f = path == "-" ? stdin : std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  if (f != stdin) std::fclose(f);
+  if (!ok) std::fprintf(stderr, "read error on %s\n", path.c_str());
+  return ok;
+}
+
+void append(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  std::va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0)
+    out.append(buf, std::min(static_cast<std::size_t>(n), sizeof(buf) - 1));
+}
+
+std::string tx_str(const TxId& tx) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%u.%" PRIu64, tx.node, tx.seq);
+  return buf;
+}
+
+void print_breakdown(const obs::PathAggregate& agg) {
+  std::printf("critical-path breakdown (%llu committed txns, "
+              "mean latency %.1f us, p50 %llu, p99 %llu)\n",
+              static_cast<unsigned long long>(agg.committed),
+              agg.committed != 0
+                  ? static_cast<double>(agg.total_latency_us) /
+                        static_cast<double>(agg.committed)
+                  : 0.0,
+              static_cast<unsigned long long>(agg.latency_p50_us),
+              static_cast<unsigned long long>(agg.latency_p99_us));
+  std::printf("  %-14s %9s %7s %9s %10s %8s %8s %8s\n", "edge", "edges",
+              "txns", "share", "mean_us", "p50_us", "p99_us", "max_us");
+  for (std::size_t c = 0; c < obs::kNumEdgeClasses; ++c) {
+    const obs::EdgeClassStats& s = agg.per_class[c];
+    const double share =
+        agg.total_latency_us != 0
+            ? 100.0 * static_cast<double>(s.total_us) /
+                  static_cast<double>(agg.total_latency_us)
+            : 0.0;
+    std::printf("  %-14s %9llu %7llu %8.1f%% %10.1f %8llu %8llu %8llu\n",
+                obs::to_string(static_cast<obs::EdgeClass>(c)),
+                static_cast<unsigned long long>(s.count),
+                static_cast<unsigned long long>(s.txns), share, s.mean_us,
+                static_cast<unsigned long long>(s.p50_us),
+                static_cast<unsigned long long>(s.p99_us),
+                static_cast<unsigned long long>(s.max_us));
+  }
+}
+
+void print_lineage(const obs::LineageStats& ls, unsigned top) {
+  std::printf(
+      "\nspeculation lineage\n"
+      "  speculative reads   %10llu  (%llu writer->reader edges, "
+      "%llu writers)\n"
+      "  fan-out             %10.2f mean, %llu max\n"
+      "  aborts              %10llu  (%llu cascading, %llu unattributed)\n"
+      "  aborted work        %10llu virtual us\n",
+      static_cast<unsigned long long>(ls.spec_reads),
+      static_cast<unsigned long long>(ls.spec_edges),
+      static_cast<unsigned long long>(ls.spec_writers), ls.mean_fanout,
+      static_cast<unsigned long long>(ls.max_fanout),
+      static_cast<unsigned long long>(ls.aborts),
+      static_cast<unsigned long long>(ls.cascading_aborts),
+      static_cast<unsigned long long>(ls.unattributed),
+      static_cast<unsigned long long>(ls.aborted_work_us));
+  if (!ls.depth_histogram.empty()) {
+    std::printf("  cascade depths      ");
+    for (std::size_t d = 0; d < ls.depth_histogram.size(); ++d) {
+      std::printf("%s%zu:%llu", d == 0 ? "" : " ", d + 1,
+                  static_cast<unsigned long long>(ls.depth_histogram[d]));
+    }
+    std::printf("\n");
+  }
+  if (!ls.trees.empty()) {
+    std::printf("  cascade trees (root-cause attribution, top %u):\n", top);
+    unsigned shown = 0;
+    for (const obs::CascadeTree& t : ls.trees) {
+      if (shown++ >= top) {
+        std::printf("    ... %zu more\n", ls.trees.size() - top);
+        break;
+      }
+      std::printf("    root %-12s %-20s size %-4llu depth %llu\n",
+                  tx_str(t.root).c_str(), to_string(t.root_reason),
+                  static_cast<unsigned long long>(t.size),
+                  static_cast<unsigned long long>(t.max_depth));
+    }
+  }
+}
+
+std::string breakdown_json(const obs::PathAggregate& agg,
+                           const obs::LineageStats& ls,
+                           const obs::ParsedTrace& trace,
+                           std::size_t violations) {
+  std::string out;
+  append(out,
+         "{\n\"committed\":%llu,\n"
+         "\"latency\":{\"total_us\":%llu,\"mean_us\":%.3f,"
+         "\"p50_us\":%llu,\"p99_us\":%llu},\n",
+         static_cast<unsigned long long>(agg.committed),
+         static_cast<unsigned long long>(agg.total_latency_us),
+         agg.committed != 0 ? static_cast<double>(agg.total_latency_us) /
+                                  static_cast<double>(agg.committed)
+                            : 0.0,
+         static_cast<unsigned long long>(agg.latency_p50_us),
+         static_cast<unsigned long long>(agg.latency_p99_us));
+  out.append("\"edges\":{");
+  for (std::size_t c = 0; c < obs::kNumEdgeClasses; ++c) {
+    const obs::EdgeClassStats& s = agg.per_class[c];
+    append(out,
+           "%s\n  \"%s\":{\"count\":%llu,\"txns\":%llu,\"total_us\":%llu,"
+           "\"mean_us\":%.3f,\"p50_us\":%llu,\"p99_us\":%llu,"
+           "\"max_us\":%llu}",
+           c == 0 ? "" : ",", obs::to_string(static_cast<obs::EdgeClass>(c)),
+           static_cast<unsigned long long>(s.count),
+           static_cast<unsigned long long>(s.txns),
+           static_cast<unsigned long long>(s.total_us), s.mean_us,
+           static_cast<unsigned long long>(s.p50_us),
+           static_cast<unsigned long long>(s.p99_us),
+           static_cast<unsigned long long>(s.max_us));
+  }
+  append(out,
+         "\n},\n\"lineage\":{\"spec_reads\":%llu,\"spec_edges\":%llu,"
+         "\"spec_writers\":%llu,\"max_fanout\":%llu,\"mean_fanout\":%.3f,"
+         "\"aborts\":%llu,\"cascading_aborts\":%llu,\"unattributed\":%llu,"
+         "\"aborted_work_us\":%llu,\"depth_histogram\":[",
+         static_cast<unsigned long long>(ls.spec_reads),
+         static_cast<unsigned long long>(ls.spec_edges),
+         static_cast<unsigned long long>(ls.spec_writers),
+         static_cast<unsigned long long>(ls.max_fanout), ls.mean_fanout,
+         static_cast<unsigned long long>(ls.aborts),
+         static_cast<unsigned long long>(ls.cascading_aborts),
+         static_cast<unsigned long long>(ls.unattributed),
+         static_cast<unsigned long long>(ls.aborted_work_us));
+  for (std::size_t d = 0; d < ls.depth_histogram.size(); ++d) {
+    append(out, "%s%llu", d == 0 ? "" : ",",
+           static_cast<unsigned long long>(ls.depth_histogram[d]));
+  }
+  out.append("],\"trees\":[");
+  for (std::size_t i = 0; i < ls.trees.size(); ++i) {
+    const obs::CascadeTree& t = ls.trees[i];
+    append(out,
+           "%s\n  {\"root\":\"%s\",\"reason\":\"%s\",\"size\":%llu,"
+           "\"max_depth\":%llu}",
+           i == 0 ? "" : ",", tx_str(t.root).c_str(),
+           to_string(t.root_reason), static_cast<unsigned long long>(t.size),
+           static_cast<unsigned long long>(t.max_depth));
+  }
+  append(out,
+         "%s]},\n\"dropped\":{\"events\":%llu,\"spans\":%llu},\n"
+         "\"check\":{\"violations\":%zu}\n}\n",
+         ls.trees.empty() ? "" : "\n",
+         static_cast<unsigned long long>(trace.dropped_events),
+         static_cast<unsigned long long>(trace.dropped_spans), violations);
+  return out;
+}
+
+/// Visualization overlay: critical-path edges as slices on each txn's
+/// origin-node track, whole-txn slices underneath them, and flow arrows for
+/// speculative observations ("spec") and cascade aborts ("cascade").
+std::string overlay_chrome_trace(const obs::ParsedTrace& trace,
+                                 const std::vector<obs::CriticalPath>& paths) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out.append(",\n");
+    first = false;
+  };
+  for (std::uint32_t n = 0; n < trace.num_nodes; ++n) {
+    sep();
+    append(out,
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
+           "\"args\":{\"name\":\"node %u\"}}",
+           n, n);
+  }
+  // Whole-transaction slices (flow-arrow anchors) from begin/final events.
+  struct Interval {
+    Timestamp begin = 0, end = 0;
+    NodeId node = kInvalidNode;
+    bool has_begin = false, has_end = false;
+  };
+  std::unordered_map<TxId, Interval, TxIdHash> intervals;
+  for (const obs::TraceEvent& ev : trace.events) {
+    Interval& iv = intervals[ev.tx];
+    if (ev.type == obs::TraceEventType::TxBegin) {
+      iv.begin = ev.at;
+      iv.node = ev.node;
+      iv.has_begin = true;
+    }
+    if (ev.type == obs::TraceEventType::TxCommit ||
+        ev.type == obs::TraceEventType::TxAbort) {
+      iv.end = ev.at;
+      if (!iv.has_begin) iv.node = ev.node;
+      iv.has_end = true;
+    }
+  }
+  for (const obs::TraceEvent& ev : trace.events) {
+    if (ev.type != obs::TraceEventType::TxBegin) continue;
+    const Interval& iv = intervals[ev.tx];
+    if (!iv.has_end || iv.end < iv.begin) continue;
+    sep();
+    append(out,
+           "{\"name\":\"tx\",\"cat\":\"txn\",\"ph\":\"X\",\"pid\":0,"
+           "\"tid\":%u,\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
+           ",\"args\":{\"tx\":\"%s\"}}",
+           iv.node, iv.begin, iv.end - iv.begin, tx_str(ev.tx).c_str());
+  }
+  // Critical-path edges nested inside the txn slice.
+  for (const obs::CriticalPath& p : paths) {
+    for (const obs::CriticalEdge& e : p.edges) {
+      sep();
+      append(out,
+             "{\"name\":\"%s\",\"cat\":\"critical\",\"ph\":\"X\",\"pid\":0,"
+             "\"tid\":%u,\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
+             ",\"args\":{\"tx\":\"%s\",\"detail\":%" PRIu64 "}}",
+             obs::to_string(e.cls), p.tx.node, e.from, e.duration(),
+             tx_str(p.tx).c_str(), e.detail);
+    }
+  }
+  // Lineage arrows. The flow binds to the enclosing txn slices, so both
+  // endpoints must have known intervals containing the observation time.
+  std::uint64_t flow_id = 1;
+  const auto flow = [&](const char* name, const TxId& from, const TxId& to,
+                        Timestamp at) {
+    const auto fi = intervals.find(from);
+    const auto ti = intervals.find(to);
+    if (fi == intervals.end() || ti == intervals.end()) return;
+    const Interval& a = fi->second;
+    const Interval& b = ti->second;
+    if (!a.has_begin || !a.has_end || !b.has_begin || !b.has_end) return;
+    const Timestamp src = std::min(std::max(at, a.begin), a.end);
+    const Timestamp dst = std::min(std::max(at, b.begin), b.end);
+    sep();
+    append(out,
+           "{\"name\":\"%s\",\"cat\":\"lineage\",\"ph\":\"s\",\"pid\":0,"
+           "\"tid\":%u,\"ts\":%" PRIu64 ",\"id\":%" PRIu64 "}",
+           name, a.node, src, flow_id);
+    sep();
+    append(out,
+           "{\"name\":\"%s\",\"cat\":\"lineage\",\"ph\":\"f\",\"bp\":\"e\","
+           "\"pid\":0,\"tid\":%u,\"ts\":%" PRIu64 ",\"id\":%" PRIu64 "}",
+           name, b.node, dst, flow_id);
+    ++flow_id;
+  };
+  for (const obs::TraceEvent& ev : trace.events) {
+    if (ev.type == obs::TraceEventType::ReadReady && ev.b != 0 &&
+        ev.other.valid()) {
+      flow("spec", ev.other, ev.tx, ev.at);
+    }
+    if (ev.type == obs::TraceEventType::TxAbort && ev.other.valid()) {
+      flow("cascade", ev.other, ev.tx, ev.at);
+    }
+  }
+  out.append("\n],\"displayTimeUnit\":\"ms\"}\n");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage();
+    return 1;
+  }
+  std::string text;
+  if (!read_input(opt.input, text)) return 1;
+
+  obs::ParsedTrace trace;
+  std::string error;
+  if (!obs::parse_chrome_trace(text, trace, error)) {
+    std::fprintf(stderr, "parse error: %s\n", error.c_str());
+    return 1;
+  }
+
+  const std::vector<obs::CriticalPath> paths =
+      obs::critical_paths(trace.events);
+  const std::vector<std::string> violations = obs::check_critical_paths(paths);
+  const obs::PathAggregate agg = obs::aggregate(paths);
+  const obs::LineageStats ls = obs::lineage(trace.events);
+
+  // Writing the machine-readable outputs to stdout replaces the report.
+  const bool quiet = opt.json_out == "-" || opt.chrome_out == "-";
+  if (!quiet) {
+    std::printf("trace: %zu events, %zu spans, %zu flows, %u nodes",
+                trace.events.size(), trace.spans.size(), trace.flows.size(),
+                trace.num_nodes);
+    if (trace.dropped_events != 0 || trace.dropped_spans != 0) {
+      std::printf("  (DROPPED: %llu events, %llu spans — analysis partial)",
+                  static_cast<unsigned long long>(trace.dropped_events),
+                  static_cast<unsigned long long>(trace.dropped_spans));
+    }
+    std::printf("\n\n");
+    print_breakdown(agg);
+    print_lineage(ls, opt.top);
+  }
+
+  int rc = 0;
+  if (!opt.json_out.empty()) {
+    if (!obs::write_file(opt.json_out,
+                         breakdown_json(agg, ls, trace, violations.size()))) {
+      rc = 1;
+    } else if (opt.json_out != "-" && !quiet) {
+      std::printf("\nwrote JSON to %s\n", opt.json_out.c_str());
+    }
+  }
+  if (!opt.chrome_out.empty()) {
+    if (!obs::write_file(opt.chrome_out, overlay_chrome_trace(trace, paths))) {
+      rc = 1;
+    } else if (opt.chrome_out != "-" && !quiet) {
+      std::printf("wrote overlay trace to %s\n", opt.chrome_out.c_str());
+    }
+  }
+  if (opt.check) {
+    for (const std::string& v : violations) {
+      std::fprintf(stderr, "COVERAGE VIOLATION: %s\n", v.c_str());
+    }
+    if (!quiet) {
+      std::printf("\ncheck: %zu committed txn(s), %zu violation(s)\n",
+                  paths.size(), violations.size());
+    }
+    if (!violations.empty()) rc = 2;
+  }
+  return rc;
+}
