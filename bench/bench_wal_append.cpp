@@ -1,0 +1,164 @@
+// WAL append/replay microbenchmark: per-record cost of the durability path.
+//
+// Measures three things over an in-memory SimMedium (synchronous sync, so
+// the numbers isolate CPU cost — encode, frame, checksum, batch bookkeeping
+// — from the modeled fsync latency the DES charges):
+//
+//   append  — encode_commit + Wal::append, swept over group-commit batch
+//             sizes. Batch 1 syncs every record; larger batches amortize
+//             the flush bookkeeping exactly as a real group commit
+//             amortizes the fsync.
+//   replay  — checksum-scan + decode of the log just written (the restart
+//             path), reported as records/s and MB/s.
+//   scan    — durable_prefix() validation alone (crash-time fate checks).
+//
+// Numbers are wall-clock and machine-dependent: no committed baseline, not
+// gated (the deterministic-counter gate for the durability path lives in
+// bench_core_speed / BENCH_CORE.json). This bench exists so codec or
+// batching changes can be measured (docs/DURABILITY.md, docs/PERFORMANCE.md).
+//
+// Usage: bench_wal_append [--quick] [--records N] [--value-bytes B]
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "sim/scheduler.hpp"
+#include "storage/medium.hpp"
+#include "storage/wal.hpp"
+
+using namespace str;  // NOLINT
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+storage::WalUpdates make_updates(std::uint64_t i, std::size_t value_bytes) {
+  storage::WalUpdates u;
+  u.emplace_back(0x1000 + i * 7,
+                 std::make_shared<Value>(std::string(value_bytes, 'v')));
+  return u;
+}
+
+struct RunResult {
+  std::uint64_t bytes = 0;
+  double seconds = 0;
+};
+
+RunResult append_run(std::uint32_t batch, std::uint64_t records,
+                     std::size_t value_bytes) {
+  sim::Scheduler sched;
+  storage::Wal::Options opts;
+  opts.group_commit_batch = batch;
+  // Null scheduler in the medium => sync completes inline; the Wal still
+  // uses `sched` only to arm deadline timers we never need to fire (every
+  // batch fills before its deadline, and stale timers are generation-
+  // checked, so leaving them unprocessed is fine for a bench).
+  storage::Wal wal(sched,
+                   std::make_unique<storage::SimMedium>(
+                       nullptr, /*fsync_latency=*/0, storage::TornWriteFault{}),
+                   opts, storage::Wal::Counters{});
+
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < records; ++i) {
+    wire::Buffer frame;
+    storage::encode_commit(frame, TxId{0, i}, /*commit_ts=*/i,
+                           make_updates(i, value_bytes));
+    wal.append(frame);
+  }
+  wal.sync([] {});
+  RunResult r;
+  r.seconds = seconds_since(start);
+  r.bytes = wal.end_offset();
+  if (wal.durable_prefix() != wal.end_offset()) {
+    std::fprintf(stderr, "FATAL: log not fully durable after sync\n");
+    std::exit(1);
+  }
+  return r;
+}
+
+void report(const char* name, std::uint64_t count, const RunResult& r) {
+  const double mrps = r.seconds > 0
+                          ? static_cast<double>(count) / r.seconds / 1e6
+                          : 0;
+  const double mbps = r.seconds > 0
+                          ? static_cast<double>(r.bytes) / r.seconds / 1e6
+                          : 0;
+  std::printf("  %-22s %9.2f M records/s   %8.0f MB/s   (%llu records, "
+              "%.3fs)\n",
+              name, mrps, mbps, static_cast<unsigned long long>(count),
+              r.seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t records = 2'000'000;
+  std::size_t value_bytes = 64;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      records = 100'000;
+    } else if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
+      records = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--value-bytes") == 0 && i + 1 < argc) {
+      value_bytes = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--records N] [--value-bytes B]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  std::printf("=== WAL append/replay (%llu records, %zu-byte values) ===\n",
+              static_cast<unsigned long long>(records), value_bytes);
+
+  for (std::uint32_t batch : {1u, 8u, 64u}) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "append (batch %u)", batch);
+    report(name, records, append_run(batch, records, value_bytes));
+  }
+
+  // Build one log, then time the two read-side paths over it.
+  sim::Scheduler sched;
+  storage::Wal wal(sched,
+                   std::make_unique<storage::SimMedium>(
+                       nullptr, /*fsync_latency=*/0, storage::TornWriteFault{}),
+                   storage::Wal::Options{}, storage::Wal::Counters{});
+  for (std::uint64_t i = 0; i < records; ++i) {
+    wire::Buffer frame;
+    storage::encode_commit(frame, TxId{0, i}, i, make_updates(i, value_bytes));
+    wal.append(frame);
+  }
+  wal.sync([] {});
+
+  {
+    const auto start = Clock::now();
+    const std::uint64_t prefix = wal.durable_prefix();
+    RunResult r{prefix, seconds_since(start)};
+    report("scan (durable_prefix)", records, r);
+  }
+  {
+    std::uint64_t visited = 0;
+    const auto start = Clock::now();
+    const storage::WalScanResult scan =
+        wal.replay([&visited](const storage::WalRecord&) { ++visited; });
+    RunResult r{scan.valid_bytes, seconds_since(start)};
+    report("replay (decode)", visited, r);
+    if (visited != records || scan.torn) {
+      std::fprintf(stderr, "FATAL: replay visited %llu of %llu (torn=%d)\n",
+                   static_cast<unsigned long long>(visited),
+                   static_cast<unsigned long long>(records), scan.torn);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -43,6 +43,12 @@ bool FaultPlan::parse(const std::string& text, FaultPlan& out,
       (cmd == "drop"  ? out.link.drop_prob
        : cmd == "dup" ? out.link.dup_prob
                       : out.link.corrupt_prob) = p;
+    } else if (cmd == "torn-write") {
+      double p = 0;
+      if (!(tok >> p) || p < 0.0 || p > 1.0) {
+        return fail(error, line_no, "torn-write needs a probability in [0, 1]");
+      }
+      out.storage.torn_write_prob = p;
     } else if (cmd == "heal") {
       double at = 0;
       if (!(tok >> at) || at < 0) {
@@ -120,6 +126,11 @@ std::string FaultPlan::describe() const {
   std::string out = buf;
   if (link.any() && link.heal_at != kTsInfinity) {
     std::snprintf(buf, sizeof buf, " heal=%.1fs", link.heal_at / 1e6);
+    out += buf;
+  }
+  if (storage.any()) {
+    std::snprintf(buf, sizeof buf, " torn-write=%.1f%%",
+                  storage.torn_write_prob * 100.0);
     out += buf;
   }
   return out;

@@ -20,6 +20,7 @@
 //   partition-oneway 0 1 2 12 # cut only messages flowing region 0 -> 1
 //   crash 3 5.0 8.0           # node 3 crashes at t=5s, restarts at t=8s
 //   crash 4 6.0               # node 4 crashes at t=6s and never returns
+//   torn-write 0.5            # crash mid-fsync leaves a torn WAL tail
 #pragma once
 
 #include <cstdint>
@@ -66,6 +67,19 @@ struct PartitionWindow {
   }
 };
 
+/// Storage faults, applied by the WAL media at crash time (docs/FAULTS.md,
+/// docs/DURABILITY.md). Inert unless the run both enables the WAL and
+/// crashes a node while a flush is in flight.
+struct StorageFaults {
+  /// Probability that a crash catching an fsync in flight leaves a torn
+  /// tail: a random nonempty prefix of the in-flight chunk persists
+  /// (possibly with one bit flipped) instead of the chunk vanishing whole.
+  /// Replay checksum-scans and truncates the tail either way.
+  double torn_write_prob = 0.0;
+
+  bool any() const { return torn_write_prob > 0.0; }
+};
+
 /// A whole-node crash at `at`; `restart_at` == kTsInfinity means the node
 /// never rejoins. Crash semantics: every in-flight and subsequent inbound
 /// message is dropped and the node's volatile protocol state is cleared;
@@ -79,11 +93,13 @@ struct CrashEvent {
 
 struct FaultPlan {
   LinkFaults link;
+  StorageFaults storage;
   std::vector<PartitionWindow> partitions;
   std::vector<CrashEvent> crashes;
 
   bool empty() const {
-    return !link.any() && partitions.empty() && crashes.empty();
+    return !link.any() && !storage.any() && partitions.empty() &&
+           crashes.empty();
   }
 
   /// Both directions of a region pair cut during [start, end).

@@ -13,6 +13,7 @@ namespace str::protocol {
 Cluster::Cluster(Config config)
     : config_(std::move(config)),
       master_rng_(config_.seed),
+      storage_rng_(master_rng_.fork(0x57a6)),
       net_(sched_, config_.topology, master_rng_.fork(0xfee7),
            config_.jitter_frac),
       pmap_(config_.num_nodes, config_.partitions_per_node,
@@ -98,10 +99,14 @@ void Cluster::reset_obs() {
 
 void Cluster::load(Key key, Value value) {
   const PartitionId pid = PartitionMap::partition_of(key);
+  // Each load is a distinct commit by the sentinel "environment" writer
+  // (node = kInvalidNode), so WAL replay re-installs seeds without a
+  // decision lookup and the duplicate-install guard keeps them apart.
+  const TxId seed_tx{kInvalidNode, ++seed_seq_};
   for (NodeId n : pmap_.replicas(pid)) {
     PartitionActor* actor = node(n).replica(pid);
     STR_ASSERT(actor != nullptr);
-    actor->store().load(key, value);
+    actor->load(key, value, seed_tx);
   }
 }
 
@@ -123,10 +128,42 @@ void Cluster::restart_node(NodeId id) {
   n.restart();
 }
 
+std::unique_ptr<storage::Wal> Cluster::make_wal(const std::string& name) {
+  if (!wal_enabled()) return nullptr;
+  const DurabilityConfig& d = config_.protocol.durability;
+  if (wal_counters_.records == nullptr) {
+    wal_counters_.records = &cluster_obs_.counter("wal.records");
+    wal_counters_.flushes = &cluster_obs_.counter("wal.flushes");
+    wal_counters_.flushed_bytes = &cluster_obs_.counter("wal.flushed_bytes");
+    wal_counters_.checkpoints = &cluster_obs_.counter("wal.checkpoints");
+    wal_counters_.replayed = &cluster_obs_.counter("wal.replayed_records");
+    wal_counters_.torn = &cluster_obs_.counter("wal.torn_truncations");
+  }
+  const storage::TornWriteFault torn{config_.faults.storage.torn_write_prob,
+                                     &storage_rng_};
+  std::unique_ptr<storage::Medium> medium;
+  if (d.wal_dir.empty()) {
+    medium = std::make_unique<storage::SimMedium>(&sched_, d.fsync_latency,
+                                                  torn);
+  } else {
+    medium = std::make_unique<storage::FileMedium>(d.wal_dir + "/" + name,
+                                                   &sched_, d.fsync_latency,
+                                                   torn);
+  }
+  storage::Wal::Options opts;
+  opts.group_commit_batch = d.group_commit_batch;
+  opts.group_commit_interval = d.group_commit_interval;
+  return std::make_unique<storage::Wal>(sched_, std::move(medium), opts,
+                                        wal_counters_);
+}
+
 Cluster::QuiesceReport Cluster::quiesce_report() const {
   QuiesceReport r;
   for (const auto& n : nodes_) {
-    if (!n->up()) continue;
+    if (!n->up()) {
+      ++r.down_nodes;
+      continue;
+    }
     r.live_txns += n->coordinator().live_transactions();
     for (const auto& [pid, actor] : n->replicas()) {
       r.parked_reads += actor->parked_readers();

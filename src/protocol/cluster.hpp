@@ -23,6 +23,7 @@
 #include "protocol/node.hpp"
 #include "protocol/partition_map.hpp"
 #include "sim/scheduler.hpp"
+#include "storage/wal.hpp"
 #include "verify/history.hpp"
 #include "wire/messages.hpp"
 
@@ -150,6 +151,10 @@ class Cluster {
     std::size_t parked_reads = 0;      ///< readers parked behind locks
     std::size_t uncommitted_txns = 0;  ///< pre-commit locks still held
     std::size_t orphans = 0;           ///< prepared txns awaiting decisions
+    /// Nodes that are down at report time. Not part of clean() — but a
+    /// chaos verdict should distinguish "quiesced" from "quiesced because
+    /// half the cluster is dead and unreachable for inspection".
+    std::size_t down_nodes = 0;
 
     bool clean() const {
       return live_txns == 0 && parked_reads == 0 && uncommitted_txns == 0 &&
@@ -160,6 +165,20 @@ class Cluster {
   /// Inspect every UP node (a crashed-for-good node's durable prepared
   /// state is unreachable and excluded — see docs/FAULTS.md).
   QuiesceReport quiesce_report() const;
+
+  // -- durability (docs/DURABILITY.md) --------------------------------------
+
+  /// True when nodes keep write-ahead logs and replay them on restart.
+  bool wal_enabled() const {
+    return config_.protocol.durability.wal_enabled;
+  }
+
+  /// Build one log for a node's partition replica or decision stream.
+  /// `name` ("n3_p7.wal", "n3_decisions.wal") doubles as the file name under
+  /// DurabilityConfig::wal_dir when file mirroring is on. All logs share the
+  /// cluster's storage RNG stream and "wal.*" counters, registered lazily so
+  /// WAL-off runs expose no new metrics. Returns nullptr when WAL is off.
+  std::unique_ptr<storage::Wal> make_wal(const std::string& name);
 
   /// Cluster-wide stable-snapshot watermark: no read — live, parked, or
   /// still in flight — can observe a snapshot below this timestamp, so
@@ -172,10 +191,16 @@ class Cluster {
   Config config_;
   sim::Scheduler sched_;
   Rng master_rng_;
+  /// Dedicated stream for storage faults (torn-write crash resolution).
+  /// Forking is pure and the stream is drawn from only when a crash catches
+  /// an fsync in flight, so WAL-off runs stay bit-identical.
+  Rng storage_rng_;
+  storage::Wal::Counters wal_counters_;  ///< lazily registered (make_wal)
   obs::Registry cluster_obs_;  ///< before net_: the network caches handles
   obs::Tracer tracer_;
   net::Network net_;
   PartitionMap pmap_;
+  std::uint64_t seed_seq_ = 0;  ///< sentinel-writer seq for load() records
   harness::Metrics metrics_;
   RuntimeFlags flags_;
   verify::HistorySink* history_ = nullptr;

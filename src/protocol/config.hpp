@@ -46,6 +46,38 @@ struct RecoveryConfig {
   Timestamp decision_log_retention = sec(30);
 };
 
+/// Write-ahead-log knobs (docs/DURABILITY.md). Off by default: the seed's
+/// "magic durability" model (committed state survives crashes in memory)
+/// stays byte-identical — no WAL events, counters, or RNG draws exist.
+struct DurabilityConfig {
+  /// Master switch. On: every node keeps one WAL per partition replica plus
+  /// a decision log; a crash wipes volatile state and restart replays.
+  bool wal_enabled = false;
+
+  /// Modeled fsync latency charged per Medium::sync (virtual time). This is
+  /// what makes group commit measurable: N records per flush amortize one
+  /// fsync across N acks.
+  Timestamp fsync_latency = msec(2);
+
+  /// Group commit: flush when a batch reaches this many records...
+  std::uint32_t group_commit_batch = 8;
+  /// ...or this long after the first unflushed record, whichever is first.
+  Timestamp group_commit_interval = msec(2);
+
+  /// Checkpoint a partition WAL (snapshot + truncate) once it exceeds this
+  /// many durable bytes and the log is idle.
+  std::uint64_t checkpoint_min_bytes = 64 * 1024;
+
+  /// Compact the per-node decision log once it exceeds this many durable
+  /// bytes (entries older than the retention horizon are dropped).
+  std::uint64_t decision_log_max_bytes = 256 * 1024;
+
+  /// Empty: deterministic in-memory media (SimMedium). Non-empty: a
+  /// directory where each log is mirrored to a real file (FileMedium),
+  /// named <node>_p<partition>.wal / <node>_decisions.wal.
+  std::string wal_dir;
+};
+
 struct ProtocolConfig {
   /// Allow transactions to observe local-committed versions created by
   /// transactions of the same node (STR's internal speculation).
@@ -79,6 +111,9 @@ struct ProtocolConfig {
 
   /// Timeout / retry / orphan-recovery machinery (off by default).
   RecoveryConfig recovery;
+
+  /// Write-ahead logging + crash replay (off by default).
+  DurabilityConfig durability;
 
   static ProtocolConfig clocksi_rep() {
     ProtocolConfig c;

@@ -289,8 +289,13 @@ void Coordinator::on_read_value(const TxId& tx, Key key,
   } else if (r.kind == store::ReadKind::Speculative) {
     result.speculative = true;
     txn::TxnRecord* wrec = find(r.writer);
+    // In WAL mode a writer sits in phase Committed while its commit record
+    // flushes (versions still local-committed until the apply callback), so
+    // a read in that window legitimately classifies as speculative.
     STR_ASSERT_MSG(wrec != nullptr &&
-                       wrec->phase == txn::TxnPhase::LocalCommitted,
+                       (wrec->phase == txn::TxnPhase::LocalCommitted ||
+                        (decision_wal_ != nullptr &&
+                         wrec->phase == txn::TxnPhase::Committed)),
                    "speculative read from a non-local-committed writer");
     // Alg. 1 lines 13-14: inherit the writer's OLC floor and FFC.
     const Timestamp wolc = wrec->olc_min();
@@ -902,10 +907,63 @@ void Coordinator::finalize_commit(txn::TxnRecord& rec) {
                            : std::max(rec.max_proposed_ts, rec.rs + 1);
   rec.fc = ct;
   rec.phase = txn::TxnPhase::Committed;
-  if (cluster.protocol().recovery.enabled) {
+  if (cluster.protocol().recovery.enabled && decision_wal_ == nullptr) {
     // Durable decision record: answers participant probes after a crash.
+    // In WAL mode this entry is written only once the decision record is
+    // actually synced — answering a probe "Committed" from a decision a
+    // crash could still erase would let a participant apply a commit this
+    // coordinator later presumes aborted.
     decided_[rec.id] = Decision{TxDecision::Committed, ct, cluster.now()};
   }
+
+  // Read-only transactions skip the barrier: a crash can lose nothing of
+  // theirs, and no participant will ever probe for their decision.
+  if (decision_wal_ == nullptr || rec.writes.empty()) {
+    finalize_commit_apply(rec);
+    return;
+  }
+
+  // Durability barrier (docs/DURABILITY.md): the commit record must be on
+  // stable storage at every local replica *before* the decision record, so
+  // "decision durable" implies "writes durable"; and the apply (version
+  // flips, fan-out, client ack) waits for the decision sync — nothing is
+  // acknowledged that a crash could un-commit. A crash inside the window
+  // drops these callbacks with the logs' pending tails; on_crash resolves
+  // the record from the decision log's durable prefix instead.
+  const TxId tx = rec.id;
+  auto on_writes_durable = [this, tx, ct]() {
+    txn::TxnRecord* r = find(tx);
+    if (r == nullptr || r->phase != txn::TxnPhase::Committed) return;
+    wire::Buffer frame;
+    storage::encode_decision(frame, tx, ct, node_.cluster().now());
+    r->wal_decision_end =
+        decision_wal_->append(std::move(frame), [this, tx, ct]() {
+          txn::TxnRecord* r2 = find(tx);
+          if (r2 == nullptr || r2->phase != txn::TxnPhase::Committed) return;
+          r2->wal_decision_end = 0;  // decision consumed; offset not live
+          // Now — and only now — the decision may answer probes.
+          decided_[tx] =
+              Decision{TxDecision::Committed, ct, node_.cluster().now()};
+          finalize_commit_apply(*r2);
+        });
+  };
+  const TouchedPartitions groups = touched_partitions(rec);
+  if (groups.local.empty()) {
+    on_writes_durable();
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(groups.local.size());
+  for (const auto& [pid, updates] : groups.local) {
+    node_.replica(pid)->log_commit(
+        tx, ct, [remaining, next = on_writes_durable]() mutable {
+          if (--*remaining == 0) next();
+        });
+  }
+}
+
+void Coordinator::finalize_commit_apply(txn::TxnRecord& rec) {
+  Cluster& cluster = node_.cluster();
+  const Timestamp ct = rec.fc;
   // Without speculation the writes only become observable now.
   if (rec.cert_at != 0 && rec.visible_at == 0) rec.visible_at = cluster.now();
 
@@ -922,7 +980,10 @@ void Coordinator::finalize_commit(txn::TxnRecord& rec) {
   // needed from here on — not the values, so skip the write-set copy.
   const TouchedPartitions groups = touched_partitions(rec);
   for (const auto& [pid, updates] : groups.local) {
-    node_.replica(pid)->apply_commit(rec.id, ct);
+    // In WAL mode the durability barrier already logged the commit record.
+    node_.replica(pid)->apply_commit(rec.id, ct,
+                                     /*already_logged=*/decision_wal_ !=
+                                         nullptr);
   }
   node_.cache().final_commit(rec.id);
 
@@ -1067,16 +1128,145 @@ void Coordinator::on_crash() {
   live.reserve(txns_.size());
   for (const auto& [id, rec] : txns_) live.push_back(id);
   std::sort(live.begin(), live.end());
-  for (const TxId& id : live) abort_tx(id, AbortReason::NodeCrash);
+  if (decision_wal_ == nullptr) {
+    for (const TxId& id : live) abort_tx(id, AbortReason::NodeCrash);
+    pending_remote_.clear();
+    return;
+  }
+  // WAL mode. The node crashed the media first, so durable_prefix() is the
+  // final word: a transaction in its commit-durability window committed iff
+  // its decision record made that prefix. Offsets of live records are valid
+  // against it — compaction only rewrites an idle log, and a pending
+  // decision sync keeps the log non-idle.
+  const std::uint64_t valid = decision_wal_->durable_prefix();
+  for (const TxId& id : live) {
+    txn::TxnRecord* rec = find(id);
+    if (rec == nullptr) continue;  // cascaded away by an earlier abort
+    // Note finished() is TRUE for the commit-durability window (phase is
+    // Committed, only the apply is pending) — check the phase, not it.
+    if (rec->phase == txn::TxnPhase::Committed) {
+      const bool durable =
+          rec->wal_decision_end != 0 && rec->wal_decision_end <= valid;
+      crash_teardown_committed(*rec, durable);
+    } else {
+      abort_tx(id, AbortReason::NodeCrash);
+    }
+  }
   pending_remote_.clear();
+  // decided_ is no longer magically durable: forget everything and let
+  // replay_decisions() rebuild exactly the synced prefix on restart.
+  decided_.clear();
+}
+
+void Coordinator::crash_teardown_committed(txn::TxnRecord& rec,
+                                           bool durable) {
+  Cluster& cluster = node_.cluster();
+  if (!durable) {
+    // The decision never reached stable storage, so no ack left this node
+    // and no participant can hold a commit record for it: presumed abort,
+    // exactly what replay and orphan probes will conclude.
+    rec.phase = txn::TxnPhase::Aborted;
+    rec.abort_reason = AbortReason::NodeCrash;
+    node_.cache().abort_tx(rec.id);
+    // Dependents die in the same on_crash sweep; no cascade call needed.
+    fail_outstanding_reads(rec);
+    if (auto* h = cluster.history()) {
+      h->on_abort(verify::AbortEvent{rec.id, AbortReason::NodeCrash,
+                                     cluster.now()});
+    }
+    cluster.metrics().record_abort(cluster.now(), AbortReason::NodeCrash,
+                                   rec.externalized);
+    c_aborts_->inc();
+    record_phase_timers(rec, cluster.now());
+    if (tracer_->enabled()) {
+      tracer_->emit({cluster.now(), rec.id, node_.id(),
+                     obs::TraceEventType::TxAbort,
+                     static_cast<std::uint64_t>(AbortReason::NodeCrash), 0});
+      if (rec.trace_span != 0) {
+        tracer_->emit_span(
+            {rec.trace_span, 0, rec.id, node_.id(), obs::SpanKind::Txn,
+             rec.attempt_start, cluster.now(), 0,
+             static_cast<std::uint64_t>(AbortReason::NodeCrash)});
+      }
+    }
+    deliver_outcome(rec);
+    erase(rec.id);
+    return;
+  }
+  // Decision durable: the transaction IS committed — replay will install
+  // its writes and this node will answer probes Committed. Tear down as a
+  // commit, minus the store application and fan-out (the store is about to
+  // be wiped and the network already dropped this endpoint).
+  const Timestamp ct = rec.fc;
+  node_.cache().final_commit(rec.id);
+  fail_outstanding_reads(rec);
+  if (auto* h = cluster.history()) {
+    verify::WriteSetEvent ev;
+    ev.tx = rec.id;
+    ev.ts = ct;
+    ev.at = cluster.now();
+    ev.keys.reserve(rec.writes.size());
+    for (const auto& [key, value] : rec.writes) ev.keys.push_back(key);
+    h->on_final_commit(ev);
+  }
+  cluster.metrics().record_commit(cluster.now(), rec.first_activation,
+                                  rec.externalized_at);
+  c_commits_->inc();
+  record_phase_timers(rec, cluster.now());
+  t_commit_snap_dist_->record(ct - rec.rs);
+  if (tracer_->enabled()) {
+    tracer_->emit({cluster.now(), rec.id, node_.id(),
+                   obs::TraceEventType::TxCommit, ct, ct - rec.rs});
+    if (rec.trace_span != 0) {
+      tracer_->emit_span({rec.trace_span, 0, rec.id, node_.id(),
+                          obs::SpanKind::Txn, rec.attempt_start,
+                          cluster.now(), 1, ct});
+    }
+  }
+  deliver_outcome(rec);
+  erase(rec.id);
+}
+
+void Coordinator::replay_decisions() {
+  STR_ASSERT(decision_wal_ != nullptr);
+  decided_.clear();
+  const storage::WalScanResult scan =
+      decision_wal_->replay([this](const storage::WalRecord& rec) {
+        if (rec.type != storage::WalRecordType::kDecision) return;
+        decided_[rec.tx] = Decision{TxDecision::Committed, rec.ts, rec.at};
+      });
+  if (scan.torn) {
+    STR_INFO("node %u decision log torn; recovered %llu bytes",
+             static_cast<unsigned>(node_.id()),
+             static_cast<unsigned long long>(scan.valid_bytes));
+  }
 }
 
 void Coordinator::maintain(Timestamp now) {
-  if (decided_.empty()) return;
+  if (decided_.empty() && decision_wal_ == nullptr) return;
   const Timestamp keep = node_.cluster().protocol().recovery.decision_log_retention;
   const Timestamp cutoff = now > keep ? now - keep : 0;
   std::erase_if(decided_,
                 [cutoff](const auto& kv) { return kv.second.at < cutoff; });
+  // Size-triggered decision-log compaction: rewrite the surviving entries.
+  // Only when idle — a pending decision sync holds a live offset into the
+  // log that a rewrite would invalidate.
+  if (decision_wal_ != nullptr && node_.up() && decision_wal_->idle()) {
+    const std::uint64_t max_bytes =
+        node_.cluster().protocol().durability.decision_log_max_bytes;
+    if (decision_wal_->end_offset() > max_bytes) {
+      std::vector<std::pair<TxId, Decision>> keep_entries(decided_.begin(),
+                                                          decided_.end());
+      std::sort(keep_entries.begin(), keep_entries.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      wire::Buffer log;
+      for (const auto& [tx, d] : keep_entries) {
+        if (d.decision != TxDecision::Committed) continue;
+        storage::encode_decision(log, tx, d.commit_ts, d.at);
+      }
+      decision_wal_->rewrite(std::move(log));
+    }
+  }
 }
 
 void Coordinator::deliver_outcome(txn::TxnRecord& rec) {

@@ -32,6 +32,7 @@
 #include "obs/trace.hpp"
 #include "protocol/messages.hpp"
 #include "sim/coro.hpp"
+#include "storage/wal.hpp"
 #include "store/mvstore.hpp"
 #include "txn/txn_record.hpp"
 
@@ -89,11 +90,32 @@ class Coordinator {
 
   /// Fail-stop crash: every live transaction aborts (reason NodeCrash) with
   /// its decision durably logged; volatile read/prepare bookkeeping clears.
-  /// next_seq_ survives — TxIds stay unique across restarts.
+  /// next_seq_ survives — TxIds stay unique across restarts. In WAL mode a
+  /// transaction in its commit-durability window instead resolves from the
+  /// decision log's durable prefix: decision durable => it committed (the
+  /// restart replay will install its writes), else presumed abort; and
+  /// decided_ itself is wiped — replay_decisions() rebuilds it.
   void on_crash();
 
   /// Periodic upkeep: prune decision-log entries past their retention.
   void maintain(Timestamp now);
+
+  // -- durability (docs/DURABILITY.md; WAL mode only) ------------------------
+
+  /// Attach the node's decision log. Commit decisions append here; the sync
+  /// completing is the transaction's commit point.
+  void set_decision_wal(storage::Wal* wal) { decision_wal_ = wal; }
+
+  /// Rebuild decided_ from the decision log (restart, before partition
+  /// replay — locally-coordinated commit records are validated against it).
+  void replay_decisions();
+
+  /// True when decided_ records `tx` as Committed (replayed or live).
+  bool decided_committed(const TxId& tx) const {
+    auto it = decided_.find(tx);
+    return it != decided_.end() &&
+           it->second.decision == TxDecision::Committed;
+  }
 
   txn::TxnRecord* find(const TxId& tx);
   const txn::TxnRecord* find(const TxId& tx) const;
@@ -166,6 +188,17 @@ class Coordinator {
   void maybe_finalize(txn::TxnRecord& rec);
 
   void finalize_commit(txn::TxnRecord& rec);
+
+  /// Everything in finalize_commit after the decision is (or needs no)
+  /// durable record: store application, fan-out, dependents, history,
+  /// metrics, client delivery. In WAL mode this is the decision sync's
+  /// completion callback; without a WAL it runs inline.
+  void finalize_commit_apply(txn::TxnRecord& rec);
+
+  /// Crash-time teardown of a transaction caught in its commit-durability
+  /// window (phase == Committed, apply not yet run). `durable` says whether
+  /// its decision record made the log's validated prefix.
+  void crash_teardown_committed(txn::TxnRecord& rec, bool durable);
 
   /// Alg. 1 lines 37-43: resolve or abort dependents at final commit.
   void resolve_dependents_on_commit(txn::TxnRecord& rec);
@@ -252,6 +285,10 @@ class Coordinator {
     Timestamp at = 0;  ///< when decided (for retention pruning)
   };
   std::unordered_map<TxId, Decision, TxIdHash> decided_;
+  /// Node-level decision log (owned by the Node); nullptr when WAL is off.
+  /// With it attached, decided_ stops being magically durable: a crash wipes
+  /// it and replay_decisions() rebuilds exactly the synced prefix.
+  storage::Wal* decision_wal_ = nullptr;
 };
 
 /// Thin value handle passed to workload transaction bodies.

@@ -1,5 +1,9 @@
 #include "protocol/node.hpp"
 
+#include <algorithm>
+#include <string>
+
+#include "common/log.hpp"
 #include "protocol/cluster.hpp"
 
 namespace str::protocol {
@@ -10,7 +14,12 @@ Node::Node(Cluster& cluster, NodeId id, RegionId region, Timestamp clock_skew)
   for (PartitionId p : cluster.pmap().partitions_at(id)) {
     replicas_.emplace(p, std::make_unique<PartitionActor>(
                              *this, p, cluster.pmap().is_master(id, p)));
+    sorted_pids_.push_back(p);
   }
+  std::sort(sorted_pids_.begin(), sorted_pids_.end());
+  decision_wal_ =
+      cluster.make_wal("n" + std::to_string(id) + "_decisions.wal");
+  coord_.set_decision_wal(decision_wal_.get());
 }
 
 Timestamp Node::physical_now() const {
@@ -40,7 +49,16 @@ void Node::maintain(Timestamp watermark) {
 
 void Node::crash() {
   up_ = false;
-  // Coordinator first: aborting its live transactions cleans their versions
+  // WAL mode: resolve the media FIRST, in deterministic order (partition
+  // logs by ascending pid, then the decision log). Each crash() discards
+  // the log's unsynced tail — possibly leaving a torn record when a sync
+  // was in flight — so by the time the coordinator asks which decisions
+  // are durable, durable_prefix() is the final, immutable answer.
+  if (decision_wal_ != nullptr) {
+    for (PartitionId pid : sorted_pids_) replicas_[pid]->wal()->crash();
+    decision_wal_->crash();
+  }
+  // Coordinator next: aborting its live transactions cleans their versions
   // out of the local replicas and the cache before the actors drop their
   // volatile bookkeeping.
   coord_.on_crash();
@@ -49,6 +67,15 @@ void Node::crash() {
 
 void Node::restart() {
   up_ = true;
+  if (decision_wal_ != nullptr) {
+    // Decisions before partitions: a partition replaying a commit record of
+    // a locally-coordinated transaction asks the coordinator whether its
+    // decision survived (presumed abort otherwise).
+    coord_.replay_decisions();
+    for (PartitionId pid : sorted_pids_) replicas_[pid]->replay_wal();
+    STR_INFO("node %u replayed %zu partition logs", static_cast<unsigned>(id_),
+             sorted_pids_.size());
+  }
   for (auto& [pid, actor] : replicas_) actor->on_restart();
 }
 

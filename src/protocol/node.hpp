@@ -8,11 +8,13 @@
 
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hpp"
 #include "obs/registry.hpp"
 #include "protocol/coordinator.hpp"
 #include "protocol/partition_actor.hpp"
+#include "storage/wal.hpp"
 #include "store/cache_partition.hpp"
 
 namespace str::protocol {
@@ -72,8 +74,15 @@ class Node {
   void crash();
 
   /// Rejoin after a crash: prepared-but-undecided remote transactions found
-  /// in the durable store re-enter orphan recovery.
+  /// in the durable store re-enter orphan recovery. In WAL mode the stores
+  /// are first rebuilt from the logs (decisions before partitions — commit
+  /// records of locally-coordinated transactions validate against the
+  /// replayed decision log).
   void restart();
+
+  /// The node-level decision log (docs/DURABILITY.md); nullptr when the WAL
+  /// is off. Partition logs live on their actors.
+  storage::Wal* decision_wal() { return decision_wal_.get(); }
 
  private:
   Cluster& cluster_;
@@ -87,6 +96,14 @@ class Node {
   std::unordered_map<PartitionId, std::unique_ptr<PartitionActor>> replicas_;
   store::CachePartition cache_;
   Coordinator coord_;
+  /// Decision log (WAL mode): one per node, shared by no one. Created after
+  /// coord_ and attached via set_decision_wal.
+  std::unique_ptr<storage::Wal> decision_wal_;
+
+  /// Partition ids sorted ascending: crash/replay touch the logs in a
+  /// deterministic order (replicas_ is an unordered_map, and torn-write
+  /// resolution draws from a shared RNG stream).
+  std::vector<PartitionId> sorted_pids_;
 };
 
 }  // namespace str::protocol

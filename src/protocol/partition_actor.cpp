@@ -1,6 +1,7 @@
 #include "protocol/partition_actor.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -18,6 +19,19 @@ PartitionActor::PartitionActor(Node& node, PartitionId pid, bool master)
   t_read_block_ = &node.obs().timer("phase.read_block");
   g_parked_ = &node.obs().gauge("store.parked_readers");
   c_orphan_aborts_ = &node.obs().counter("txn.orphan_aborts");
+  wal_ = node.cluster().make_wal("n" + std::to_string(node.id()) + "_p" +
+                                 std::to_string(pid) + ".wal");
+}
+
+void PartitionActor::load(Key key, Value value, const TxId& seed_tx) {
+  if (wal_ != nullptr) {
+    storage::WalUpdates updates;
+    updates.emplace_back(key, std::make_shared<Value>(value));
+    wire::Buffer frame;
+    storage::encode_commit(frame, seed_tx, /*commit_ts=*/0, updates);
+    wal_->append(frame);
+  }
+  store_.load(key, std::move(value));
 }
 
 void PartitionActor::serve_local_read(
@@ -162,6 +176,7 @@ void PartitionActor::handle_prepare(const PrepareRequest& req) {
   reply.tspan = hspan;
 
   bool fan_out = false;
+  bool fresh = false;
   if (tombstoned(req.tx)) {
     reply.prepared = false;
   } else if (store_.has_uncommitted(req.tx)) {
@@ -182,26 +197,54 @@ void PartitionActor::handle_prepare(const PrepareRequest& req) {
     reply.prepared = pr.ok;
     reply.proposed_ts = pr.proposed_ts;
     fan_out = pr.ok;
+    fresh = pr.ok;
     if (pr.ok) track_orphan(req.tx, req.coordinator);
   }
+  if (wal_ != nullptr && reply.prepared) {
+    // 2PC participant rule: the positive ack (and the replicate fan-out it
+    // authorizes) leaves this node only after the prepare record is on
+    // stable storage. A duplicate re-ack rides a sync instead — its record
+    // is already in the log, possibly still in an open group-commit batch.
+    auto finish = [this, reply, coordinator = req.coordinator, rs = req.rs,
+                   updates = req.updates, fan_out]() mutable {
+      finish_prepare(std::move(reply), coordinator, rs, std::move(updates),
+                     fan_out);
+    };
+    if (fresh) {
+      wire::Buffer frame;
+      storage::encode_prepare(frame, req.tx, req.rs, reply.proposed_ts,
+                              *req.updates);
+      wal_->append(frame, std::move(finish));
+    } else {
+      wal_->sync(std::move(finish));
+    }
+    return;
+  }
+  finish_prepare(std::move(reply), req.coordinator, req.rs, req.updates,
+                 fan_out);
+}
+
+void PartitionActor::finish_prepare(PrepareReply reply, NodeId coordinator,
+                                    Timestamp rs, SharedUpdates updates,
+                                    bool fan_out) {
+  Cluster& cluster = node_.cluster();
   if (fan_out) {
     // Synchronous replication: fan the pre-commit out to every slave
     // except the coordinator's node (its replica, if any, was certified
     // during the coordinator's local 2PC).
     for (NodeId slave : cluster.pmap().replicas(pid_)) {
-      if (slave == node_.id() || slave == req.coordinator) continue;
+      if (slave == node_.id() || slave == coordinator) continue;
       ReplicateRequest rep;
-      rep.tx = req.tx;
-      rep.coordinator = req.coordinator;
+      rep.tx = reply.tx;
+      rep.coordinator = coordinator;
       rep.partition = pid_;
-      rep.rs = req.rs;
-      rep.updates = req.updates;  // shared payload: a pointer bump, no copy
-      rep.tspan = hspan;  // slave Handle spans chain under the master's
+      rep.rs = rs;
+      rep.updates = updates;  // shared payload: a pointer bump, no copy
+      rep.tspan = reply.tspan;  // slave Handle spans chain under the master's
       wire::post(cluster, node_.id(), slave, std::move(rep));
     }
   }
-
-  wire::post(cluster, node_.id(), req.coordinator, std::move(reply));
+  wire::post(cluster, node_.id(), coordinator, std::move(reply));
 }
 
 void PartitionActor::handle_replicate(const ReplicateRequest& req) {
@@ -223,16 +266,25 @@ void PartitionActor::handle_replicate(const ReplicateRequest& req) {
          pid_});
   }
 
+  PrepareReply reply;
+  reply.tx = req.tx;
+  reply.partition = pid_;
+  reply.from = node_.id();
+  reply.prepared = true;
+  reply.tspan = hspan;
+
   if (store_.has_uncommitted(req.tx)) {
     // Duplicate delivery or master re-send: the pre-commit is already in
-    // place, so just re-ack with the recorded proposal.
-    PrepareReply reply;
-    reply.tx = req.tx;
-    reply.partition = pid_;
-    reply.from = node_.id();
-    reply.prepared = true;
+    // place, so just re-ack with the recorded proposal (after a durability
+    // sync in WAL mode — the record may sit in an open batch).
     reply.proposed_ts = store_.uncommitted_ts(req.tx);
-    reply.tspan = hspan;
+    if (wal_ != nullptr) {
+      wal_->sync([this, reply, coordinator = req.coordinator]() mutable {
+        wire::post(node_.cluster(), node_.id(), coordinator,
+                   std::move(reply));
+      });
+      return;
+    }
     wire::post(cluster, node_.id(), req.coordinator, std::move(reply));
     return;
   }
@@ -242,25 +294,44 @@ void PartitionActor::handle_replicate(const ReplicateRequest& req) {
                                     node_.physical_now());
   // Abort this node's own local-committed transactions that lost to the
   // master-certified pre-commit (and, via the coordinator, everything that
-  // speculatively read from them) — Alg. 2 line 31.
+  // speculatively read from them) — Alg. 2 line 31. This stays synchronous
+  // even in WAL mode: the evictions are volatile-state protocol actions,
+  // not durability-gated acks.
   for (const TxId& loser : rr.evicted) {
     node_.coordinator().abort_tx(loser, AbortReason::RemoteReplication);
   }
   const Timestamp proposed =
       store_.replicate_finish(req.tx, *req.updates, rr.proposed_ts);
   track_orphan(req.tx, req.coordinator);
-
-  PrepareReply reply;
-  reply.tx = req.tx;
-  reply.partition = pid_;
-  reply.from = node_.id();
-  reply.prepared = true;
   reply.proposed_ts = proposed;
-  reply.tspan = hspan;
+
+  if (wal_ != nullptr) {
+    // Participant rule again: ack only once the pre-commit record is
+    // durable, so a post-crash replay re-stages exactly what was acked.
+    wire::Buffer frame;
+    storage::encode_prepare(frame, req.tx, req.rs, proposed, *req.updates);
+    wal_->append(frame,
+                 [this, reply, coordinator = req.coordinator]() mutable {
+                   wire::post(node_.cluster(), node_.id(), coordinator,
+                              std::move(reply));
+                 });
+    return;
+  }
   wire::post(cluster, node_.id(), req.coordinator, std::move(reply));
 }
 
-void PartitionActor::apply_commit(const TxId& tx, Timestamp ct) {
+void PartitionActor::apply_commit(const TxId& tx, Timestamp ct,
+                                  bool already_logged) {
+  if (wal_ != nullptr && node_.up() && !already_logged &&
+      store_.has_uncommitted(tx)) {
+    // Lazy commit record: nothing is acknowledged on its durability (the
+    // coordinator's decision record is the commit point), but without it a
+    // replay would re-stage the prepare as in-doubt and re-probe a decision
+    // the coordinator may have long pruned.
+    wire::Buffer frame;
+    storage::encode_commit(frame, tx, ct, store_.uncommitted_updates(tx));
+    wal_->append(frame);
+  }
   store_.final_commit(tx, ct);
   tombstones_.try_emplace(tx, node_.physical_now());
   awaiting_decision_.erase(tx);
@@ -268,10 +339,27 @@ void PartitionActor::apply_commit(const TxId& tx, Timestamp ct) {
 }
 
 void PartitionActor::apply_abort(const TxId& tx) {
+  // node_.up() guard: crash-time abort teardown runs after the media
+  // crashed; appending then would graft a post-crash record onto the log.
+  if (wal_ != nullptr && node_.up() && store_.has_uncommitted(tx)) {
+    // Lazy abort record: releases the staged prepare at replay so the
+    // restart does not re-enter orphan recovery for a decided transaction.
+    wire::Buffer frame;
+    storage::encode_abort(frame, tx);
+    wal_->append(frame);
+  }
   store_.abort_tx(tx);
   tombstones_.try_emplace(tx, node_.physical_now());
   awaiting_decision_.erase(tx);
   resolve_writer(tx);
+}
+
+void PartitionActor::log_commit(const TxId& tx, Timestamp ct,
+                                UniqueFunction<void()> on_durable) {
+  STR_ASSERT_MSG(wal_ != nullptr, "log_commit without a WAL");
+  wire::Buffer frame;
+  storage::encode_commit(frame, tx, ct, store_.uncommitted_updates(tx));
+  wal_->append(frame, std::move(on_durable));
 }
 
 void PartitionActor::track_orphan(const TxId& tx, NodeId coordinator) {
@@ -357,13 +445,127 @@ void PartitionActor::on_decision_reply(DecisionReply rep) {
 }
 
 void PartitionActor::on_crash() {
-  // Volatile state is lost. The store is NOT cleared: committed data and
-  // prepared (pre-committed) versions survive — 2PC participants force-write
-  // the prepare record before acking (docs/FAULTS.md).
+  // Volatile state is lost. Without a WAL the store is NOT cleared:
+  // committed data and prepared versions survive by assumption ("magic
+  // durability", docs/FAULTS.md §3). With a WAL the assumption is earned:
+  // the store dies here and replay_wal() rebuilds it from the log (the node
+  // already crash-resolved the media).
   g_parked_->add(-static_cast<std::int64_t>(parked_readers()));
   parked_.clear();
   tombstones_.clear();
   awaiting_decision_.clear();
+  if (wal_ != nullptr) store_.clear_all();
+}
+
+void PartitionActor::replay_wal() {
+  STR_ASSERT_MSG(wal_ != nullptr, "replay without a WAL");
+  ScopedLogNode log_node(node_.id());
+  store_.clear_all();
+  Coordinator& coord = node_.coordinator();
+
+  // Prepared-but-uncommitted remote transactions seen so far in the scan.
+  // Linear scans are fine: replay is cold and the in-doubt set is tiny.
+  struct Staged {
+    TxId tx;
+    Timestamp proposed = 0;
+    storage::WalUpdates updates;
+  };
+  std::vector<Staged> staged;
+  std::vector<TxId> installed;  // committed installs (duplicate-record guard)
+  auto drop_staged = [&staged](const TxId& tx) {
+    for (auto it = staged.begin(); it != staged.end(); ++it) {
+      if (it->tx == tx) {
+        staged.erase(it);
+        return;
+      }
+    }
+  };
+
+  const storage::WalScanResult scan =
+      wal_->replay([&](const storage::WalRecord& rec) {
+        switch (rec.type) {
+          case storage::WalRecordType::kCheckpoint:
+            // A checkpoint replaces everything before it.
+            store_.clear_all();
+            staged.clear();
+            installed.clear();
+            for (const storage::CheckpointVersion& v : rec.snapshot) {
+              if (v.state == VersionState::Committed) {
+                store_.replay_insert(
+                    v.key, store::Version{v.ts, v.state, v.writer, v.value});
+              } else if (v.state == VersionState::PreCommitted &&
+                         v.writer.node != node_.id()) {
+                // Remote in-doubt pre-commit: reinstate the lock; orphan
+                // recovery (on_restart) will chase the decision.
+                store_.replay_insert(
+                    v.key, store::Version{v.ts, v.state, v.writer, v.value});
+              }
+              // This node's own uncommitted speculation: presumed abort.
+            }
+            break;
+          case storage::WalRecordType::kPrepare:
+            drop_staged(rec.tx);
+            staged.push_back({rec.tx, rec.ts, rec.updates});
+            break;
+          case storage::WalRecordType::kCommit:
+            drop_staged(rec.tx);
+            if (rec.tx.node == node_.id() && !coord.decided_committed(rec.tx)) {
+              // Locally-coordinated commit whose decision record did not
+              // survive: the client ack never happened (the decision sync is
+              // the commit point), so presumed abort wins.
+              if (store_.has_uncommitted(rec.tx)) store_.abort_tx(rec.tx);
+              break;
+            }
+            if (std::find(installed.begin(), installed.end(), rec.tx) !=
+                installed.end()) {
+              break;
+            }
+            installed.push_back(rec.tx);
+            if (store_.has_uncommitted(rec.tx)) {
+              // The checkpoint re-staged this pre-commit; finalize it.
+              store_.final_commit(rec.tx, rec.ts);
+            } else {
+              for (const auto& [key, value] : rec.updates) {
+                store_.replay_insert(
+                    key, store::Version{rec.ts, VersionState::Committed,
+                                        rec.tx, value});
+              }
+            }
+            break;
+          case storage::WalRecordType::kAbort:
+            drop_staged(rec.tx);
+            if (store_.has_uncommitted(rec.tx)) store_.abort_tx(rec.tx);
+            break;
+          case storage::WalRecordType::kDecision:
+            break;  // decision records live in the node log, not here
+        }
+      });
+  if (scan.torn) {
+    STR_INFO("p%u WAL replay truncated a torn tail at %zu bytes",
+             static_cast<unsigned>(pid_), scan.valid_bytes);
+  }
+
+  // Surviving staged prepares are remote in-doubt transactions whose ack may
+  // have left this node: reinstate their pre-commit locks. Sorted for
+  // deterministic insertion order. This node's own staged prepares cannot
+  // exist (local prepares are never logged), but skip them defensively.
+  std::sort(staged.begin(), staged.end(),
+            [](const Staged& a, const Staged& b) { return a.tx < b.tx; });
+  for (const Staged& s : staged) {
+    if (s.tx.node == node_.id()) continue;
+    if (store_.has_uncommitted(s.tx)) continue;  // checkpoint already did it
+    for (const auto& [key, value] : s.updates) {
+      store_.replay_insert(
+          key,
+          store::Version{s.proposed, VersionState::PreCommitted, s.tx, value});
+    }
+  }
+
+  // The LastReader table died with the crash. Any snapshot served before the
+  // crash is bounded by the crash-time physical clock, so flooring future
+  // proposals above the restart clock restores the Precise Clocks invariant
+  // without it.
+  store_.set_ts_floor(node_.physical_now());
 }
 
 void PartitionActor::on_restart() {
@@ -406,6 +608,22 @@ void PartitionActor::maintain(Timestamp prune_horizon,
   tombstones_.erase_if([tombstone_horizon](const TxId&, Timestamp at) {
     return at < tombstone_horizon;
   });
+  // Checkpoint/truncate: once the log outgrows the threshold and is idle
+  // (idle => every appended record is durable and no offsets are live),
+  // replace it with one checkpoint record snapshotting the store. The
+  // watermark rides along as metadata. Never on a down node — its store was
+  // wiped at crash and the log is the only copy until replay.
+  if (wal_ != nullptr && node_.up() && wal_->idle() &&
+      wal_->medium().durable().size() >=
+          node_.cluster().protocol().durability.checkpoint_min_bytes) {
+    std::vector<storage::CheckpointVersion> snap;
+    for (const auto& [key, v] : store_.dump_versions()) {
+      snap.push_back({key, v.ts, v.state, v.writer, v.value});
+    }
+    wire::Buffer bytes;
+    storage::encode_checkpoint(bytes, prune_horizon, snap);
+    wal_->rewrite(std::move(bytes));
+  }
 }
 
 std::size_t PartitionActor::parked_readers() const {

@@ -9,6 +9,7 @@
 // transactions harmless under message reordering.
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "common/unique_function.hpp"
 #include "obs/trace.hpp"
 #include "protocol/messages.hpp"
+#include "storage/wal.hpp"
 #include "store/mvstore.hpp"
 
 namespace str::protocol {
@@ -31,6 +33,12 @@ class PartitionActor {
   bool is_master() const { return is_master_; }
   store::PartitionStore& store() { return store_; }
   const store::PartitionStore& store() const { return store_; }
+
+  /// Seed a key before the run starts. With the WAL on, the seed is also
+  /// logged as a commit by the sentinel environment transaction `seed_tx`
+  /// (node = kInvalidNode, unique seq) so that replay after a crash
+  /// restores preloaded data — loads are durable like any other commit.
+  void load(Key key, Value value, const TxId& seed_tx);
 
   /// Serve a read for a transaction of this node. `deliver` runs
   /// immediately for committed hits and speculative hits (the coordinator
@@ -63,9 +71,31 @@ class PartitionActor {
   void handle_replicate(const ReplicateRequest& req);
 
   /// Final commit/abort application (from the coordinator's fan-out or the
-  /// local synchronous path).
-  void apply_commit(const TxId& tx, Timestamp ct);
+  /// local synchronous path). In WAL mode a commit/abort record is appended
+  /// lazily (no ack depends on it) unless `already_logged` says the
+  /// coordinator's durability barrier wrote the commit record itself.
+  void apply_commit(const TxId& tx, Timestamp ct, bool already_logged = false);
   void apply_abort(const TxId& tx);
+
+  // -- durability (docs/DURABILITY.md; all no-ops when the WAL is off) ------
+
+  /// The coordinator's commit durability barrier: append tx's commit record
+  /// (commit ts + full update list) and run `on_durable` once it is on
+  /// stable storage. WAL mode only.
+  void log_commit(const TxId& tx, Timestamp ct,
+                  UniqueFunction<void()> on_durable);
+
+  /// Rebuild the store from the WAL (restart). Scans checkpoint + records,
+  /// truncates any torn tail, installs committed versions, re-stages remote
+  /// prepared-but-undecided transactions, and floors future timestamp
+  /// proposals above the restart clock (the LastReader table died with the
+  /// crash). Locally-coordinated commit records require a replayed decision
+  /// — run Coordinator::replay_decisions() first.
+  void replay_wal();
+
+  /// This replica's log (nullptr when the WAL is off). The node crashes
+  /// media in deterministic order before tearing down protocol state.
+  storage::Wal* wal() { return wal_.get(); }
 
   /// Answer to an orphan probe (DecisionRequest) sent to the coordinator.
   void on_decision_reply(DecisionReply rep);
@@ -123,6 +153,12 @@ class PartitionActor {
 
   void deliver_read(ParkedRead&& rd, const store::StoreReadResult& r);
 
+  /// Tail of handle_prepare/handle_replicate: replicate fan-out (when
+  /// `fan_out`) plus the PrepareReply to the coordinator. In WAL mode this
+  /// runs only after the prepare record is durable (2PC participant rule).
+  void finish_prepare(PrepareReply reply, NodeId coordinator, Timestamp rs,
+                      SharedUpdates updates, bool fan_out);
+
   /// Re-serve all readers parked on `writer` after its outcome is applied.
   void resolve_writer(const TxId& writer);
 
@@ -138,6 +174,8 @@ class PartitionActor {
   PartitionId pid_;
   bool is_master_;
   store::PartitionStore store_;
+  /// Per-replica write-ahead log; nullptr when durability is off.
+  std::unique_ptr<storage::Wal> wal_;
   std::unordered_map<TxId, std::vector<ParkedRead>, TxIdHash> parked_;
   /// Snapshots of reads between resolve_writer() moving them out of
   /// parked_ and the deferred re-serve closure running. Maintenance can

@@ -198,6 +198,7 @@ PrepareResult PartitionStore::prepare(
       proposed = std::max(proposed, entry.versions.back().ts + 1);
     }
   }
+  if (ts_floor_ > 0) proposed = std::max(proposed, ts_floor_ + 1);
   // Insert pre-committed versions at the proposed timestamp.
   std::vector<Key>& mine = uncommitted_keys(tx);
   for (const auto& [key, value] : updates) {
@@ -238,6 +239,7 @@ PartitionStore::ReplicateResult PartitionStore::replicate_insert(
     KeyEntry& entry = map_[key];
     if (precise_clocks) proposed = std::max(proposed, entry.last_reader + 1);
   }
+  if (ts_floor_ > 0) proposed = std::max(proposed, ts_floor_ + 1);
   out.proposed_ts = proposed;
   return out;
 }
@@ -400,6 +402,58 @@ void PartitionStore::gc(Timestamp horizon) {
 Timestamp PartitionStore::last_reader(Key key) const {
   const KeyEntry* entry = map_.find(key);
   return entry == nullptr ? 0 : entry->last_reader;
+}
+
+std::vector<std::pair<Key, SharedValue>> PartitionStore::uncommitted_updates(
+    const TxId& tx) const {
+  std::vector<std::pair<Key, SharedValue>> updates;
+  const UncommittedEntry* e = find_uncommitted(tx);
+  if (e == nullptr) return updates;
+  updates.reserve(e->keys.size());
+  for (Key key : e->keys) {
+    const KeyEntry* entry = map_.find(key);
+    if (entry == nullptr) continue;
+    for (const Version& v : entry->versions) {
+      if (v.writer == tx && v.state != VersionState::Committed) {
+        updates.emplace_back(key, v.value);
+        break;
+      }
+    }
+  }
+  return updates;
+}
+
+std::vector<std::pair<Key, Version>> PartitionStore::dump_versions() const {
+  std::vector<std::pair<Key, Version>> out;
+  for (const auto& slot : map_) {
+    for (const Version& v : slot.value.versions) {
+      out.emplace_back(slot.key, v);
+    }
+  }
+  // OpenMap iteration order is insertion-history-dependent; checkpoints must
+  // be byte-deterministic, so sort by key (chain position breaks ties —
+  // stable_sort keeps each chain's ascending-ts order).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void PartitionStore::clear_all() {
+  map_.clear();
+  for (UncommittedEntry& e : uncommitted_) {
+    e.keys.clear();
+    key_pool_.push_back(std::move(e.keys));
+  }
+  uncommitted_.clear();
+}
+
+void PartitionStore::replay_insert(Key key, Version v) {
+  KeyEntry& entry = map_[key];
+  if (v.state != VersionState::Committed) {
+    uncommitted_keys(v.writer).push_back(key);
+    ++entry.uncommitted_count;
+  }
+  insert_sorted(entry.versions, std::move(v));
 }
 
 StoreStats PartitionStore::stats() const {

@@ -160,6 +160,33 @@ class PartitionStore {
 
   Timestamp last_reader(Key key) const;
 
+  // -- WAL support (docs/DURABILITY.md) -------------------------------------
+
+  /// `tx`'s uncommitted (key, payload) pairs in this store, in the order the
+  /// keys were prepared — exactly what a WAL prepare/commit record needs.
+  std::vector<std::pair<Key, SharedValue>> uncommitted_updates(
+      const TxId& tx) const;
+
+  /// Every version in the store, sorted by (key, chain position): the
+  /// checkpoint snapshot. LastReader timestamps are intentionally absent —
+  /// they are volatile, and set_ts_floor() makes losing them safe.
+  std::vector<std::pair<Key, Version>> dump_versions() const;
+
+  /// Wipe everything (crash teardown in WAL mode; replay rebuilds).
+  /// Cumulative counters (gc_removed, peak_chain) survive.
+  void clear_all();
+
+  /// Insert a replayed version directly, bypassing certification (the log
+  /// already certified it). Non-Committed versions re-acquire the pre-commit
+  /// lock bookkeeping.
+  void replay_insert(Key key, Version v);
+
+  /// Lower-bound every future prepare/replicate proposal above `floor`.
+  /// Replay calls this with the restart-time physical clock: the LastReader
+  /// table died with the crash, so without the floor a post-restart proposal
+  /// could land inside a snapshot served before the crash.
+  void set_ts_floor(Timestamp floor) { ts_floor_ = std::max(ts_floor_, floor); }
+
   /// Attach a metrics registry (the owning node's): read-outcome and
   /// certification counters are resolved once and bumped inline afterwards.
   void set_registry(obs::Registry* registry);
@@ -216,6 +243,8 @@ class PartitionStore {
   void erase_uncommitted(const TxId& tx);
   std::uint64_t gc_removed_ = 0;
   std::uint64_t peak_chain_ = 0;
+  /// 0 = inactive (WAL-off runs never touch it; behaviour byte-identical).
+  Timestamp ts_floor_ = 0;
 
   void count_read(ReadKind kind);
 

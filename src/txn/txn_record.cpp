@@ -44,6 +44,7 @@ void TxnRecord::reset() {
   remote_replica_nodes.clear();
   externalized = false;
   externalized_at = 0;
+  wal_decision_end = 0;
   prepare_expected.clear();
   prepare_acks.clear();
   prepare_attempts = 0;

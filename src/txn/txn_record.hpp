@@ -132,6 +132,11 @@ struct TxnRecord {
   FlatSet<NodeId> remote_replica_nodes;
   bool externalized = false;      ///< Ext-Spec surfaced results already
   Timestamp externalized_at = 0;
+  /// WAL mode: end offset of this transaction's decision-log record (0 =
+  /// not yet appended). At crash time the coordinator compares it against
+  /// the decision log's validated durable prefix to decide the transaction's
+  /// fate: decision durable => commit survives, else presumed abort.
+  std::uint64_t wal_decision_end = 0;
 
   // -- timeout/retry bookkeeping (RecoveryConfig; unused when disabled) ---
   /// Every (partition, node) expected to ack the prepare/replicate fan-out,

@@ -418,12 +418,35 @@ TEST(FaultPlanParse, DescribeMentionsEveryFaultClass) {
   plan.link.corrupt_prob = 0.01;
   plan.add_partition(0, 1, sec(2), sec(12));
   plan.add_crash(3, sec(5), sec(8));
+  plan.storage.torn_write_prob = 0.5;
   const std::string d = plan.describe();
   EXPECT_NE(d.find("drop"), std::string::npos) << d;
   EXPECT_NE(d.find("dup"), std::string::npos) << d;
   EXPECT_NE(d.find("corrupt"), std::string::npos) << d;
   EXPECT_NE(d.find("partition"), std::string::npos) << d;
   EXPECT_NE(d.find("crash"), std::string::npos) << d;
+  EXPECT_NE(d.find("torn-write"), std::string::npos) << d;
+}
+
+TEST(FaultPlanParse, TornWriteDirectiveParsesAndValidates) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::parse("torn-write 0.5\n", plan, error)) << error;
+  EXPECT_DOUBLE_EQ(plan.storage.torn_write_prob, 0.5);
+  EXPECT_TRUE(plan.storage.any());
+  // A plan with only a storage fault is still a non-empty plan: the cluster
+  // must set it up (and fork the fault RNG) for the crash path to see it.
+  EXPECT_FALSE(plan.empty());
+
+  EXPECT_FALSE(FaultPlan::parse("torn-write 1.5\n", plan, error));
+  EXPECT_FALSE(FaultPlan::parse("torn-write -0.1\n", plan, error));
+  EXPECT_FALSE(FaultPlan::parse("torn-write\n", plan, error));
+  EXPECT_FALSE(FaultPlan::parse("torn-write 0.5 extra\n", plan, error));
+
+  FaultPlan zero;
+  ASSERT_TRUE(FaultPlan::parse("torn-write 0\n", zero, error)) << error;
+  EXPECT_FALSE(zero.storage.any());
+  EXPECT_TRUE(zero.empty());
 }
 
 }  // namespace

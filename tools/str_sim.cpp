@@ -53,6 +53,11 @@ struct Options {
   net::FaultPlan faults;
   bool verify = false;
   double drain_s = 3;
+  // Durability (see docs/DURABILITY.md).
+  bool wal = false;
+  std::string wal_dir;
+  double fsync_ms = 2;
+  std::uint32_t wal_batch = 8;
 };
 
 void usage() {
@@ -98,7 +103,17 @@ void usage() {
       "                      a fault-free recovery period\n"
       "  --verify            record the history and run the SPSI checker\n"
       "                      (exit 2 on violations, 3 on leaked state)\n"
-      "  --drain S           drain seconds after the window              [3]\n");
+      "  --drain S           drain seconds after the window              [3]\n"
+      "durability (docs/DURABILITY.md):\n"
+      "  --wal               write-ahead log every commit decision; crashed\n"
+      "                      nodes replay their logs on restart instead of\n"
+      "                      keeping state by assumption\n"
+      "  --wal-dir PATH      mirror each log to a file under PATH (implies\n"
+      "                      --wal; PATH must exist and be writable)\n"
+      "  --fsync-ms MS       modeled fsync latency                      [2]\n"
+      "  --wal-batch N       group-commit batch size                    [8]\n"
+      "  --torn-write P      probability a crash mid-fsync leaves a torn\n"
+      "                      record at the log tail (replay truncates it)\n");
 }
 
 /// Split "a:b:c" into its numeric fields; false on count or parse errors.
@@ -220,6 +235,15 @@ bool parse(int argc, char** argv, Options& opt) {
                      v);
         return false;
       }
+      // Same ordering rule the fault-plan parser enforces: a restart that
+      // does not strictly follow its crash would trip an assertion deep in
+      // cluster construction instead of a usage error here.
+      if (f.size() == 3 && f[2] <= f[1]) {
+        std::fprintf(stderr,
+                     "--crash-node %s: RESTART must be after the crash time\n",
+                     v);
+        return false;
+      }
       opt.faults.add_crash(static_cast<NodeId>(f[0]),
                            static_cast<Timestamp>(f[1] * 1e6),
                            f.size() == 3
@@ -233,6 +257,35 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (arg == "--drain") {
       if ((v = next()) == nullptr) return false;
       opt.drain_s = std::atof(v);
+    } else if (arg == "--wal") {
+      opt.wal = true;
+    } else if (arg == "--wal-dir") {
+      if ((v = next()) == nullptr) return false;
+      opt.wal_dir = v;
+      opt.wal = true;
+    } else if (arg == "--fsync-ms") {
+      if ((v = next()) == nullptr) return false;
+      opt.fsync_ms = std::atof(v);
+      if (opt.fsync_ms < 0) {
+        std::fprintf(stderr, "--fsync-ms wants a non-negative value\n");
+        return false;
+      }
+    } else if (arg == "--wal-batch") {
+      if ((v = next()) == nullptr) return false;
+      const int n = std::atoi(v);
+      if (n < 1) {
+        std::fprintf(stderr, "--wal-batch wants a positive count\n");
+        return false;
+      }
+      opt.wal_batch = static_cast<std::uint32_t>(n);
+    } else if (arg == "--torn-write") {
+      if ((v = next()) == nullptr) return false;
+      const double p = std::atof(v);
+      if (p < 0.0 || p > 1.0) {
+        std::fprintf(stderr, "--torn-write wants a probability in [0,1]\n");
+        return false;
+      }
+      opt.faults.storage.torn_write_prob = p;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -296,6 +349,19 @@ int main(int argc, char** argv) {
     usage();
     return 1;
   }
+  // Validate --wal-dir before spending minutes of simulation on a run whose
+  // logs cannot be written (the same fail-fast contract as --trace-out).
+  if (!opt.wal_dir.empty()) {
+    const std::string probe = opt.wal_dir + "/.wal_probe";
+    std::FILE* f = std::fopen(probe.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "--wal-dir %s: not a writable directory\n",
+                   opt.wal_dir.c_str());
+      return 1;
+    }
+    std::fclose(f);
+    std::remove(probe.c_str());
+  }
   bool ok = false;
   harness::ExperimentConfig cfg;
   cfg.cluster.num_nodes = opt.nodes;
@@ -315,6 +381,13 @@ int main(int argc, char** argv) {
   cfg.cluster.seed = opt.seed;
   cfg.cluster.faults = opt.faults;
   cfg.cluster.wire_codec = opt.wire;
+  if (opt.wal) {
+    auto& d = cfg.cluster.protocol.durability;
+    d.wal_enabled = true;
+    d.wal_dir = opt.wal_dir;
+    d.fsync_latency = static_cast<Timestamp>(opt.fsync_ms * 1e3);
+    d.group_commit_batch = opt.wal_batch;
+  }
   cfg.total_clients = opt.clients;
   cfg.warmup = static_cast<Timestamp>(opt.warmup_s * 1e6);
   cfg.duration = static_cast<Timestamp>(opt.duration_s * 1e6);
@@ -339,7 +412,14 @@ int main(int argc, char** argv) {
                "workload=%s protocol=%s nodes=%u rf=%u clients=%u reps=%u%s%s\n",
                opt.workload.c_str(), opt.protocol.c_str(), opt.nodes,
                cfg.cluster.replication_factor, opt.clients, opt.reps,
-               opt.tuner ? " tuner=on" : "", opt.wire ? " wire=on" : "");
+               opt.tuner ? " tuner=on" : "",
+               opt.wire ? " wire=on" : "");
+  if (opt.wal) {
+    std::fprintf(rpt, "wal: fsync=%.1fms batch=%u%s%s\n", opt.fsync_ms,
+                 opt.wal_batch,
+                 opt.wal_dir.empty() ? "" : (" dir=" + opt.wal_dir).c_str(),
+                 opt.faults.storage.any() ? " (torn-write faults on)" : "");
+  }
   if (!opt.faults.empty()) {
     std::fprintf(rpt, "faults: %s%s\n", opt.faults.describe().c_str(),
                  opt.verify ? " (verify on)" : "");
@@ -427,7 +507,7 @@ int main(int argc, char** argv) {
         "\nfaults: dropped=%llu duplicated=%llu corrupted=%llu "
         "inversions=%llu\n"
         "recovery: rpc_timeouts=%llu rpc_retries=%llu orphan_aborts=%llu\n"
-        "quiesce: live=%zu parked=%zu locks=%zu orphans=%zu\n",
+        "quiesce: live=%zu parked=%zu locks=%zu orphans=%zu down=%zu\n",
         static_cast<unsigned long long>(first.net_dropped),
         static_cast<unsigned long long>(first.net_duplicated),
         static_cast<unsigned long long>(first.net_corrupted),
@@ -436,7 +516,8 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(first.rpc_retries),
         static_cast<unsigned long long>(first.orphan_aborts),
         first.quiesce.live_txns, first.quiesce.parked_reads,
-        first.quiesce.uncommitted_txns, first.quiesce.orphans);
+        first.quiesce.uncommitted_txns, first.quiesce.orphans,
+        first.quiesce.down_nodes);
     if (opt.verify) {
       std::fprintf(rpt, "spsi: %llu violation(s)\n",
                    static_cast<unsigned long long>(violations));
