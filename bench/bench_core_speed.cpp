@@ -17,7 +17,16 @@
 // rates and the alloc count depend on the machine/stdlib. See
 // docs/PERFORMANCE.md for the schema and how to regenerate the baseline.
 //
-// Usage: bench_core_speed [--quick] [--out PATH] [--duration SEC] [--seed N]
+// --threads N runs the region-sharded parallel scheduler on N worker
+// threads (BENCH_PARALLEL.json is the committed threads=4 baseline). The
+// deterministic counters of a parallel run differ from threads=1 by design
+// (the sharded mode re-times cross-region hops on the lookahead lattice)
+// but are identical for every worker count >= 2 and every machine. Per-
+// worker allocation tallies are reported so skew in allocator pressure
+// across shards is visible, not averaged away.
+//
+// Usage: bench_core_speed [--quick] [--threads N] [--out PATH]
+//                         [--duration SEC] [--seed N]
 
 #include <atomic>
 #include <chrono>
@@ -26,6 +35,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <new>
+#include <string>
+#include <vector>
 
 #include "protocol/cluster.hpp"
 #include "workload/client.hpp"
@@ -33,16 +44,21 @@
 
 // ---------------------------------------------------------------------------
 // Interposing allocation counter: every global operator new in the process
-// bumps these. The DES is single-threaded but the counters are atomics so
-// the interposition is safe no matter what the runtime does.
+// bumps these. The atomics hold process-wide totals; the thread_locals let
+// --threads runs attribute allocations to the worker that made them (each
+// worker owns its shard's event loop, so per-thread == per-shard pressure).
 namespace {
 
 std::atomic<std::uint64_t> g_allocs{0};
 std::atomic<std::uint64_t> g_alloc_bytes{0};
+thread_local std::uint64_t t_allocs = 0;
+thread_local std::uint64_t t_alloc_bytes = 0;
 
 void* counted_alloc(std::size_t size) {
   g_allocs.fetch_add(1, std::memory_order_relaxed);
   g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  ++t_allocs;
+  t_alloc_bytes += size;
   void* p = std::malloc(size == 0 ? 1 : size);
   if (p == nullptr) throw std::bad_alloc();
   return p;
@@ -51,6 +67,8 @@ void* counted_alloc(std::size_t size) {
 void* counted_alloc(std::size_t size, std::size_t align) {
   g_allocs.fetch_add(1, std::memory_order_relaxed);
   g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  ++t_allocs;
+  t_alloc_bytes += size;
   void* p = nullptr;
   if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
                      size == 0 ? align : size) != 0) {
@@ -95,6 +113,7 @@ struct Options {
   std::uint64_t seed = 42;
   Timestamp duration = sec(10);
   std::uint32_t clients = 180;
+  std::uint32_t threads = 1;
 };
 
 std::uint64_t peak_versions_per_key(protocol::Cluster& cluster) {
@@ -126,9 +145,16 @@ int main(int argc, char** argv) {
       opt.duration = sec(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opt.threads =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (opt.threads < 1) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return 1;
+      }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--wire] [--out PATH] "
+                   "usage: %s [--quick] [--wire] [--threads N] [--out PATH] "
                    "[--duration SEC] [--seed N]\n",
                    argv[0]);
       return 1;
@@ -143,6 +169,7 @@ int main(int argc, char** argv) {
   cfg.protocol = protocol::ProtocolConfig::str();
   cfg.seed = opt.seed;
   cfg.wire_codec = opt.wire;
+  cfg.threads = opt.threads;
 
   protocol::Cluster cluster(cfg);
   workload::SyntheticWorkload wl(cluster,
@@ -155,7 +182,20 @@ int main(int argc, char** argv) {
   cluster.run_for(warmup);
   cluster.metrics().set_measurement_start(cluster.now());
 
-  const std::uint64_t events_before = cluster.scheduler().executed();
+  // Per-worker allocation tallies: snapshot each worker thread's counter at
+  // the window edges (worker 0 is the calling thread). Sized before the
+  // snapshot so the vector's own allocation stays outside the window.
+  const std::uint32_t workers = opt.threads;
+  std::vector<std::uint64_t> worker_allocs(workers, 0);
+  std::vector<std::uint64_t> worker_alloc_bytes(workers, 0);
+  cluster.sharded().for_each_worker([&](std::uint32_t w) {
+    worker_allocs[w] = t_allocs;
+    worker_alloc_bytes[w] = t_alloc_bytes;
+  });
+
+  // executed() sums every shard's queue, which in --threads mode is the
+  // only correct event count (scheduler() would see one shard's slice).
+  const std::uint64_t events_before = cluster.sharded().executed();
   const std::uint64_t allocs_before = g_allocs.load();
   const std::uint64_t bytes_before = g_alloc_bytes.load();
   const auto wall_start = std::chrono::steady_clock::now();
@@ -163,10 +203,16 @@ int main(int argc, char** argv) {
   cluster.run_for(opt.duration);
 
   const auto wall_end = std::chrono::steady_clock::now();
-  const std::uint64_t events = cluster.scheduler().executed() - events_before;
+  cluster.sharded().for_each_worker([&](std::uint32_t w) {
+    worker_allocs[w] = t_allocs - worker_allocs[w];
+    worker_alloc_bytes[w] = t_alloc_bytes - worker_alloc_bytes[w];
+  });
+  const std::uint64_t events = cluster.sharded().executed() - events_before;
   const std::uint64_t allocs = g_allocs.load() - allocs_before;
   const std::uint64_t alloc_bytes = g_alloc_bytes.load() - bytes_before;
   const std::uint64_t commits = cluster.metrics().commits();
+  const std::uint64_t epochs = cluster.sharded().epochs();
+  const std::uint64_t cross_posts = cluster.sharded().cross_posts();
 
   // Drain (excluded from the window) so teardown is clean.
   pool.request_stop_all();
@@ -183,10 +229,11 @@ int main(int argc, char** argv) {
       events > 0 ? static_cast<double>(allocs) / static_cast<double>(events)
                  : 0.0;
 
-  std::printf("=== DES core speed (seed %llu, %u clients, %llu s virtual%s) "
-              "===\n",
+  std::printf("=== DES core speed (seed %llu, %u clients, %llu s virtual, "
+              "%u thread%s%s) ===\n",
               static_cast<unsigned long long>(opt.seed), opt.clients,
               static_cast<unsigned long long>(opt.duration / sec(1)),
+              opt.threads, opt.threads == 1 ? "" : "s",
               opt.wire ? ", wire codec" : "");
   std::printf("  events            %12llu\n",
               static_cast<unsigned long long>(events));
@@ -200,6 +247,24 @@ int main(int argc, char** argv) {
   std::printf("  allocs/event      %12.3f\n", allocs_per_event);
   std::printf("  peak versions/key %12llu\n",
               static_cast<unsigned long long>(peak_chain));
+  if (opt.threads > 1) {
+    std::printf("  epoch barriers    %12llu\n",
+                static_cast<unsigned long long>(epochs));
+    std::printf("  cross-shard posts %12llu\n",
+                static_cast<unsigned long long>(cross_posts));
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      std::printf("  worker %u allocs   %12llu (%llu bytes)\n", w,
+                  static_cast<unsigned long long>(worker_allocs[w]),
+                  static_cast<unsigned long long>(worker_alloc_bytes[w]));
+    }
+  }
+
+  std::string allocs_per_thread = "[";
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    if (w != 0) allocs_per_thread += ", ";
+    allocs_per_thread += std::to_string(worker_allocs[w]);
+  }
+  allocs_per_thread += "]";
 
   std::FILE* f = std::fopen(opt.out, "w");
   if (f == nullptr) {
@@ -209,10 +274,11 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"core_speed\",\n"
-               "  \"schema_version\": 1,\n"
+               "  \"schema_version\": 2,\n"
                "  \"seed\": %llu,\n"
                "  \"quick\": %s,\n"
                "  \"wire\": %s,\n"
+               "  \"threads\": %u,\n"
                "  \"clients\": %u,\n"
                "  \"virtual_warmup_s\": %llu,\n"
                "  \"virtual_duration_s\": %llu,\n"
@@ -224,17 +290,23 @@ int main(int argc, char** argv) {
                "  \"allocs\": %llu,\n"
                "  \"alloc_bytes\": %llu,\n"
                "  \"allocs_per_event\": %.4f,\n"
+               "  \"allocs_per_thread\": %s,\n"
+               "  \"epoch_barriers\": %llu,\n"
+               "  \"cross_shard_posts\": %llu,\n"
                "  \"peak_versions_per_key\": %llu\n"
                "}\n",
                static_cast<unsigned long long>(opt.seed),
                opt.quick ? "true" : "false", opt.wire ? "true" : "false",
-               opt.clients,
+               opt.threads, opt.clients,
                static_cast<unsigned long long>(warmup / sec(1)),
                static_cast<unsigned long long>(opt.duration / sec(1)),
                static_cast<unsigned long long>(events), wall_s,
                events_per_sec, static_cast<unsigned long long>(commits),
                txns_per_sec, static_cast<unsigned long long>(allocs),
                static_cast<unsigned long long>(alloc_bytes), allocs_per_event,
+               allocs_per_thread.c_str(),
+               static_cast<unsigned long long>(epochs),
+               static_cast<unsigned long long>(cross_posts),
                static_cast<unsigned long long>(peak_chain));
   std::fclose(f);
   return 0;

@@ -44,6 +44,16 @@ def main():
     thr = args.threshold
     failures = []
 
+    # Schema v2 records the worker-thread count; a threads=1 baseline must
+    # never be compared against a threads=4 run (or vice versa) — the wall
+    # rates are different populations and the gate would be meaningless.
+    bt, ft = base.get("threads", 1), fresh.get("threads", 1)
+    if bt != ft:
+        sys.exit(f"thread-count mismatch: baseline ran with threads={bt}, "
+                 f"fresh with threads={ft}; compare like against like "
+                 f"(BENCH_CORE.json gates threads=1, BENCH_PARALLEL.json "
+                 f"gates threads=4)")
+
     def rate(name, lower_is_worse):
         b, f = base[name], fresh[name]
         delta = (f - b) / b if b else 0.0

@@ -17,6 +17,7 @@ void Metrics::set_measurement_start(Timestamp t) {
 
 void Metrics::record_commit(Timestamp now, Timestamp first_activation,
                             Timestamp externalized_at) {
+  std::lock_guard<std::mutex> lk(mu_);
   commit_meter_.record_event(now);
   if (!in_window(now)) return;
   ++commits_;
@@ -29,6 +30,7 @@ void Metrics::record_commit(Timestamp now, Timestamp first_activation,
 
 void Metrics::record_abort(Timestamp now, AbortReason reason,
                            bool was_externalized) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (!in_window(now)) return;
   ++aborts_;
   ++abort_by_reason_[static_cast<std::size_t>(reason)];
@@ -39,6 +41,7 @@ void Metrics::record_abort(Timestamp now, AbortReason reason,
 }
 
 void Metrics::record_read(bool speculative) {
+  std::lock_guard<std::mutex> lk(mu_);
   ++reads_;
   if (speculative) ++speculative_reads_;
 }

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 
 #include "common/histogram.hpp"
 #include "common/stats.hpp"
@@ -63,6 +64,10 @@ class Metrics {
  private:
   bool in_window(Timestamp now) const { return now >= measure_start_; }
 
+  /// Region-sharded runs report from worker threads; every sink here is a
+  /// commutative sum or histogram, so totals are thread-count invariant.
+  /// The aggregate readers run between windows (single-threaded).
+  std::mutex mu_;
   Timestamp measure_start_ = 0;
   std::uint64_t commits_ = 0;
   std::uint64_t aborts_ = 0;

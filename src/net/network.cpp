@@ -8,20 +8,14 @@
 
 namespace str::net {
 
-namespace {
-
-std::uint64_t link_key(NodeId from, NodeId to) {
-  return (static_cast<std::uint64_t>(from) << 32) | to;
-}
-
-}  // namespace
-
 Network::Network(sim::Scheduler& sched, Topology topology, Rng rng,
                  double jitter_frac)
     : sched_(sched),
       topology_(std::move(topology)),
       rng_(rng),
-      jitter_frac_(jitter_frac) {
+      jitter_frac_(jitter_frac),
+      msg_pools_(1),
+      msg_frees_(1) {
   STR_ASSERT(jitter_frac_ >= 0.0);
 }
 
@@ -31,6 +25,8 @@ void Network::register_node(NodeId node, RegionId region) {
   node_region_.push_back(region);
   node_up_.push_back(1);
   node_epoch_.push_back(0);
+  // Registration precedes all traffic, so rebuilding the link table is free.
+  last_arrival_.assign(node_region_.size() * node_region_.size(), 0);
 }
 
 Timestamp Network::sample_latency(NodeId from, NodeId to) {
@@ -38,14 +34,42 @@ Timestamp Network::sample_latency(NodeId from, NodeId to) {
   const RegionId rb = region_of(to);
   const Timestamp base = topology_.one_way(ra, rb);
   if (jitter_frac_ <= 0.0) return base;
+  // Jitter is strictly additive: the sampled latency never undercuts the
+  // topology's base one-way time, which is what makes
+  // Topology::min_cross_region_one_way() a safe lookahead horizon.
   const auto jitter = static_cast<Timestamp>(
-      static_cast<double>(base) * jitter_frac_ * rng_.uniform01());
+      static_cast<double>(base) * jitter_frac_ * cur_rng().uniform01());
   return base + jitter;
 }
 
 void Network::set_fault_plan(const FaultPlan& plan, Rng fault_rng) {
   plan_ = plan;
   fault_rng_ = fault_rng;
+  if (striped_) {
+    fault_rngs_.clear();
+    for (std::uint32_t s = 0; s < sharded_->num_shards(); ++s) {
+      fault_rngs_.push_back(fault_rng_.fork(s));
+    }
+  }
+}
+
+void Network::set_sharded(sim::ShardedScheduler* sharded) {
+  sharded_ = sharded;
+  striped_ = sharded_ != nullptr && sharded_->parallel();
+  if (!striped_) return;
+  const std::uint32_t n = sharded_->num_shards();
+  msg_pools_.resize(n);
+  msg_frees_.resize(n);
+  // Fork one jitter and one fault stream per shard. Each shard's draw
+  // sequence then depends only on its own (deterministic) send order, never
+  // on cross-shard interleaving — the per-stream analogue of the classic
+  // single sequence, and the reason striped runs are worker-count invariant.
+  rngs_.clear();
+  fault_rngs_.clear();
+  for (std::uint32_t s = 0; s < n; ++s) {
+    rngs_.push_back(rng_.fork(s));
+    fault_rngs_.push_back(fault_rng_.fork(s));
+  }
 }
 
 void Network::set_node_down(NodeId node, bool down) {
@@ -76,13 +100,19 @@ void Network::set_registry(obs::Registry* registry) {
 }
 
 void Network::count_drop() {
+  std::unique_lock<std::mutex> lk(*stats_mu_, std::defer_lock);
+  if (striped_) lk.lock();
   ++stats_.dropped;
   if (c_dropped_ != nullptr) c_dropped_->inc();
 }
 
 void Network::note_arrival(NodeId from, NodeId to, Timestamp arrival) {
-  Timestamp& last = last_arrival_[link_key(from, to)];
+  // The directed link slot is only ever touched from `from`'s shard, so the
+  // read-modify-write below is single-threaded even in striped mode.
+  Timestamp& last = last_arrival_[from * node_region_.size() + to];
   if (arrival < last) {
+    std::unique_lock<std::mutex> lk(*stats_mu_, std::defer_lock);
+    if (striped_) lk.lock();
     ++stats_.inversions;
     if (c_inversions_ != nullptr) c_inversions_->inc();
   } else {
@@ -92,23 +122,49 @@ void Network::note_arrival(NodeId from, NodeId to, Timestamp arrival) {
 
 void Network::schedule_delivery(NodeId to, Timestamp latency,
                                 UniqueFunction<void()> fn) {
-  // Park the handler in a pooled slot so the scheduled closure captures
-  // four words instead of a whole UniqueFunction — keeping it inside the
-  // scheduler's small-buffer and off the heap. The slot is vacated before
-  // the handler runs: the handler may send again and reuse it.
   const std::uint64_t epoch = node_epoch_[to];
-  std::uint32_t slot;
-  if (!msg_free_.empty()) {
-    slot = msg_free_.back();
-    msg_free_.pop_back();
-    msg_pool_[slot] = std::move(fn);
-  } else {
-    slot = static_cast<std::uint32_t>(msg_pool_.size());
-    msg_pool_.push_back(std::move(fn));
+  const std::uint32_t sp =
+      striped_ ? sim::ShardedScheduler::current_shard() : 0;
+  if (striped_) {
+    // Shard id == region id in striped mode, so a cross-shard delivery is
+    // exactly a cross-region one — whose base latency is at least the
+    // lookahead horizon, making the arrival time safe to merge next epoch.
+    const auto dst = static_cast<std::uint32_t>(region_of(to));
+    if (dst != sp) {
+      // The handler rides the mailbox entry itself: a pooled slot would be
+      // freed on the destination's thread while the source's pool grows —
+      // a cross-thread race the mailbox hand-off exists to avoid.
+      sharded_->post_cross(
+          dst, cur_sched().now() + latency,
+          [this, to, epoch, fn = std::move(fn)]() mutable {
+            if (node_up_[to] == 0 || node_epoch_[to] != epoch) {
+              count_drop();
+              return;
+            }
+            fn();
+          });
+      return;
+    }
   }
-  sched_.schedule_after(latency, [this, to, epoch, slot] {
-    UniqueFunction<void()> handler = std::move(msg_pool_[slot]);
-    msg_free_.push_back(slot);
+  // Same-shard (or unsharded) delivery. Park the handler in a pooled slot so
+  // the scheduled closure captures a few words instead of a whole
+  // UniqueFunction — keeping it inside the scheduler's small-buffer and off
+  // the heap. The slot is vacated before the handler runs: the handler may
+  // send again and reuse it.
+  std::vector<UniqueFunction<void()>>& pool = msg_pools_[sp];
+  std::vector<std::uint32_t>& free_list = msg_frees_[sp];
+  std::uint32_t slot;
+  if (!free_list.empty()) {
+    slot = free_list.back();
+    free_list.pop_back();
+    pool[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(pool.size());
+    pool.push_back(std::move(fn));
+  }
+  cur_sched().schedule_after(latency, [this, to, epoch, slot, sp] {
+    UniqueFunction<void()> handler = std::move(msg_pools_[sp][slot]);
+    msg_frees_[sp].push_back(slot);
     if (node_up_[to] == 0 || node_epoch_[to] != epoch) {
       // The destination crashed while this message was in flight.
       count_drop();
@@ -127,16 +183,20 @@ bool Network::begin_send(NodeId from, NodeId to, std::size_t bytes) {
         " is not registered (" + std::to_string(node_region_.size()) +
         " nodes registered)");
   }
-  ++stats_.messages_sent;
-  stats_.bytes_sent += bytes;
   const RegionId ra = region_of(from);
   const RegionId rb = region_of(to);
   const bool wan = ra != rb;
-  if (wan) ++stats_.wan_messages;
-  if (c_messages_ != nullptr) {
-    c_messages_->inc();
-    c_bytes_->inc(bytes);
-    if (wan) c_wan_messages_->inc();
+  {
+    std::unique_lock<std::mutex> lk(*stats_mu_, std::defer_lock);
+    if (striped_) lk.lock();
+    ++stats_.messages_sent;
+    stats_.bytes_sent += bytes;
+    if (wan) ++stats_.wan_messages;
+    if (c_messages_ != nullptr) {
+      c_messages_->inc();
+      c_bytes_->inc(bytes);
+      if (wan) c_wan_messages_->inc();
+    }
   }
 
   // Fault gauntlet, cheapest test first. A message from or to a crashed
@@ -145,12 +205,13 @@ bool Network::begin_send(NodeId from, NodeId to, std::size_t bytes) {
     count_drop();
     return false;
   }
-  if (!plan_.partitions.empty() && plan_.partitioned(ra, rb, sched_.now())) {
+  const Timestamp now = cur_sched().now();
+  if (!plan_.partitions.empty() && plan_.partitioned(ra, rb, now)) {
     count_drop();
     return false;
   }
-  if (plan_.link.active(sched_.now()) && plan_.link.drop_prob > 0.0 &&
-      fault_rng_.chance(plan_.link.drop_prob)) {
+  if (plan_.link.active(now) && plan_.link.drop_prob > 0.0 &&
+      cur_fault_rng().chance(plan_.link.drop_prob)) {
     count_drop();
     return false;
   }
@@ -158,35 +219,46 @@ bool Network::begin_send(NodeId from, NodeId to, std::size_t bytes) {
 }
 
 bool Network::corrupt_draw(std::size_t bytes, std::uint64_t& bit_index) {
-  if (!plan_.link.active(sched_.now()) || plan_.link.corrupt_prob <= 0.0 ||
-      !fault_rng_.chance(plan_.link.corrupt_prob)) {
+  if (!plan_.link.active(cur_sched().now()) ||
+      plan_.link.corrupt_prob <= 0.0 ||
+      !cur_fault_rng().chance(plan_.link.corrupt_prob)) {
     return false;
   }
   // The bit index is drawn even when the closure transport cannot flip a
   // physical bit: both modes must consume identical fault-stream draws.
-  bit_index = fault_rng_.uniform(static_cast<std::uint64_t>(bytes) * 8);
+  bit_index = cur_fault_rng().uniform(static_cast<std::uint64_t>(bytes) * 8);
   return true;
 }
 
 void Network::count_corrupted() {
+  std::unique_lock<std::mutex> lk(*stats_mu_, std::defer_lock);
+  if (striped_) lk.lock();
   ++stats_.corrupted;
   if (c_corrupted_ != nullptr) c_corrupted_->inc();
 }
 
 void Network::finish_send(NodeId from, NodeId to, UniqueFunction<void()> fn) {
   const Timestamp latency = sample_latency(from, to);
-  if (t_latency_ != nullptr) t_latency_->record(latency);
-  note_arrival(from, to, latency + sched_.now());
+  if (t_latency_ != nullptr) {
+    std::unique_lock<std::mutex> lk(*stats_mu_, std::defer_lock);
+    if (striped_) lk.lock();
+    t_latency_->record(latency);
+  }
+  note_arrival(from, to, latency + cur_sched().now());
 
-  if (plan_.link.active(sched_.now()) && plan_.link.dup_prob > 0.0 &&
-      fault_rng_.chance(plan_.link.dup_prob)) {
+  if (plan_.link.active(cur_sched().now()) && plan_.link.dup_prob > 0.0 &&
+      cur_fault_rng().chance(plan_.link.dup_prob)) {
     // Deliver the same closure twice. Handlers must tolerate this — the
     // protocol layer dedups by request/transaction id; see docs/FAULTS.md.
     // Only the primary copy was fed to note_arrival above: net.inversions
     // measures jitter reordering between distinct messages, and a duplicate
     // racing its own primary is not that.
-    ++stats_.duplicated;
-    if (c_duplicated_ != nullptr) c_duplicated_->inc();
+    {
+      std::unique_lock<std::mutex> lk(*stats_mu_, std::defer_lock);
+      if (striped_) lk.lock();
+      ++stats_.duplicated;
+      if (c_duplicated_ != nullptr) c_duplicated_->inc();
+    }
     auto shared = std::make_shared<UniqueFunction<void()>>(std::move(fn));
     const Timestamp dup_latency = sample_latency(from, to);
     schedule_delivery(to, latency, [shared]() { (*shared)(); });

@@ -22,7 +22,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -32,6 +32,7 @@
 #include "net/topology.hpp"
 #include "obs/registry.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/sharded.hpp"
 
 namespace str::net {
 
@@ -122,6 +123,15 @@ class Network {
   /// latency timer are resolved once and updated on every send.
   void set_registry(obs::Registry* registry);
 
+  /// Attach the region-sharded scheduler. When it is parallel, the network
+  /// stripes itself by shard: per-shard jitter and fault RNG streams, per-
+  /// shard delivery pools, and mailbox handoff for cross-region sends
+  /// (shard id == region id, so cross-shard ⟺ cross-region, whose latency
+  /// the lookahead horizon bounds from below). Stats and registry counters
+  /// are commutative sums, taken under a mutex only in striped mode — the
+  /// single-shard hot path is untouched. Call before any traffic.
+  void set_sharded(sim::ShardedScheduler* sharded);
+
  private:
   /// Schedule one delivery of `fn` to `to` after `latency`, gated on the
   /// destination still being alive in the same epoch at delivery time.
@@ -150,6 +160,24 @@ class Network {
 
   void count_drop();
 
+  /// The calling context's scheduler: its shard's queue in striped mode
+  /// (sends execute on the sending node's shard), else the one queue.
+  sim::Scheduler& cur_sched() {
+    return striped_ ? sharded_->current() : sched_;
+  }
+  const sim::Scheduler& cur_sched() const {
+    return striped_ ? sharded_->current() : sched_;
+  }
+  /// Jitter stream of the calling shard (per-shard forks in striped mode
+  /// keep every draw sequence a pure function of the shard's trajectory).
+  Rng& cur_rng() {
+    return striped_ ? rngs_[sim::ShardedScheduler::current_shard()] : rng_;
+  }
+  Rng& cur_fault_rng() {
+    return striped_ ? fault_rngs_[sim::ShardedScheduler::current_shard()]
+                    : fault_rng_;
+  }
+
   sim::Scheduler& sched_;
   Topology topology_;
   Rng rng_;
@@ -160,12 +188,24 @@ class Network {
   Rng fault_rng_{0};
   std::vector<char> node_up_;
   std::vector<std::uint64_t> node_epoch_;
-  /// Latest scheduled arrival per directed link (key: from << 32 | to).
-  std::unordered_map<std::uint64_t, Timestamp> last_arrival_;
-  /// In-flight message handlers, indexed by the slot the scheduled delivery
-  /// closure captures (see schedule_delivery). Slots recycle via msg_free_.
-  std::vector<UniqueFunction<void()>> msg_pool_;
-  std::vector<std::uint32_t> msg_free_;
+  /// Latest scheduled arrival per directed link, indexed from * n + to.
+  /// Directed link (from, to) is only touched from `from`'s shard, so the
+  /// flat layout needs no locking in striped mode (a hash map would race on
+  /// rehash even for disjoint keys).
+  std::vector<Timestamp> last_arrival_;
+  /// In-flight message handlers, one pool per shard (slot recycling must
+  /// stay shard-local), indexed by the slot the scheduled delivery closure
+  /// captures (see schedule_delivery). Unsharded mode uses pool 0.
+  std::vector<std::vector<UniqueFunction<void()>>> msg_pools_;
+  std::vector<std::vector<std::uint32_t>> msg_frees_;
+  sim::ShardedScheduler* sharded_ = nullptr;
+  bool striped_ = false;  ///< sharded_ attached AND parallel
+  std::vector<Rng> rngs_;        ///< per-shard jitter streams (striped)
+  std::vector<Rng> fault_rngs_;  ///< per-shard fault streams (striped)
+  /// Guards stats_, the registry counters and t_latency_ in striped mode —
+  /// all commutative sums/histograms, so totals are thread-count invariant.
+  /// Boxed so Network stays movable (tests build networks in helpers).
+  std::unique_ptr<std::mutex> stats_mu_ = std::make_unique<std::mutex>();
   FrameHandler frame_handler_;
   obs::Counter* c_messages_ = nullptr;
   obs::Counter* c_wan_messages_ = nullptr;

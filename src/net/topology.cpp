@@ -70,4 +70,12 @@ Timestamp Topology::max_one_way() const {
   return best;
 }
 
+Timestamp Topology::min_cross_region_one_way() const {
+  Timestamp best = kTsInfinity;
+  for (std::size_t a = 0; a < rtt_us_.size(); ++a)
+    for (std::size_t b = 0; b < rtt_us_.size(); ++b)
+      if (a != b) best = std::min(best, rtt_us_[a][b] / 2);
+  return best;
+}
+
 }  // namespace str::net

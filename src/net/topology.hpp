@@ -44,6 +44,13 @@ class Topology {
   /// Largest one-way latency in the topology (used for sizing warmups).
   Timestamp max_one_way() const;
 
+  /// Smallest one-way latency between two *distinct* regions — the
+  /// conservative-lookahead horizon for region-sharded simulation: no event
+  /// can cross a region boundary faster, so every shard may safely run that
+  /// far past the global minimum clock. kTsInfinity for a single region
+  /// (nothing ever crosses).
+  Timestamp min_cross_region_one_way() const;
+
  private:
   std::vector<Region> regions_;
   std::vector<std::vector<Timestamp>> rtt_us_;

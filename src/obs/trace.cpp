@@ -90,6 +90,7 @@ void Tracer::set_capacity(std::size_t capacity) {
 
 void Tracer::emit(TraceEvent ev) {
   if (!enabled_) return;
+  std::lock_guard<std::mutex> lk(mu_);
   ++emitted_;
   if (ring_.size() < capacity_) {
     ring_.push_back(ev);
@@ -100,6 +101,7 @@ void Tracer::emit(TraceEvent ev) {
 }
 
 std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -115,6 +117,7 @@ std::vector<TraceEvent> Tracer::snapshot() const {
 
 void Tracer::emit_span(SpanRecord span) {
   if (!enabled_) return;
+  std::lock_guard<std::mutex> lk(mu_);
   ++spans_emitted_;
   if (span_ring_.size() < capacity_) {
     span_ring_.push_back(span);
@@ -125,6 +128,7 @@ void Tracer::emit_span(SpanRecord span) {
 }
 
 std::vector<SpanRecord> Tracer::span_snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::vector<SpanRecord> out;
   out.reserve(span_ring_.size());
   if (span_ring_.size() < capacity_) {
@@ -140,6 +144,7 @@ std::vector<SpanRecord> Tracer::span_snapshot() const {
 }
 
 void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
   ring_.clear();
   head_ = 0;
   emitted_ = 0;

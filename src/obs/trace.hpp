@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -123,8 +124,13 @@ class Tracer {
 
   /// Allocate a span id. Deterministic (monotonic counter, no RNG), so
   /// traced runs replay byte-identically across transports. Call only when
-  /// tracing a span; ids are never reused within a run.
-  std::uint64_t next_span_id() { return next_span_++; }
+  /// tracing a span; ids are never reused within a run. (Region-sharded
+  /// runs allocate from worker threads; ids stay unique but their
+  /// assignment order — like ring order — follows wall-clock interleaving.)
+  std::uint64_t next_span_id() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return next_span_++;
+  }
 
   /// Record a completed span. Spans land in their own ring (same capacity
   /// as the event ring) ordered by emission = completion time.
@@ -144,6 +150,10 @@ class Tracer {
   void clear();
 
  private:
+  /// Guards the rings and counters: region-sharded runs emit from worker
+  /// threads. The rings then hold an interleaving-dependent order — tools
+  /// that need determinism sort snapshots by (at, tx) themselves.
+  mutable std::mutex mu_;
   bool enabled_ = false;
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;  ///< grows to capacity_, then wraps

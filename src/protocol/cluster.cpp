@@ -10,11 +10,24 @@
 
 namespace str::protocol {
 
+std::uint64_t Cluster::sharded_now_cb(const void* sharded) {
+  return static_cast<const sim::ShardedScheduler*>(sharded)->current().now();
+}
+
 Cluster::Cluster(Config config)
     : config_(std::move(config)),
+      // threads=1 runs the classic single queue (one shard, no workers,
+      // bit-identical trajectory); threads>1 shards by region with the
+      // topology's minimum cross-region one-way latency as the conservative
+      // lookahead horizon. Each worker thread installs the sharded log clock
+      // at startup so its log lines carry its shard's virtual time.
+      sharded_(config_.threads > 1 ? config_.topology.num_regions() : 1,
+               config_.threads, config_.topology.min_cross_region_one_way(),
+               [this] { Log::set_sim_clock(&Cluster::sharded_now_cb,
+                                           &sharded_); }),
       master_rng_(config_.seed),
       storage_rng_(master_rng_.fork(0x57a6)),
-      net_(sched_, config_.topology, master_rng_.fork(0xfee7),
+      net_(sharded_.shard(0), config_.topology, master_rng_.fork(0xfee7),
            config_.jitter_frac),
       pmap_(config_.num_nodes, config_.partitions_per_node,
             config_.replication_factor) {
@@ -25,6 +38,7 @@ Cluster::Cluster(Config config)
   flight_slack_ =
       config_.topology.max_one_way() + config_.max_clock_skew + 1;
   net_.set_registry(&cluster_obs_);
+  net_.set_sharded(&sharded_);
   // Per-message-type traffic counters (slot 0 is a never-hit placeholder so
   // the arrays index directly by MessageType).
   c_wire_msgs_[0] = &cluster_obs_.counter("wire.msgs.invalid");
@@ -46,11 +60,9 @@ Cluster::Cluster(Config config)
   }
   // Log lines carry virtual time while this cluster's DES is live on this
   // thread (the satellite of the observability layer; see common/log.hpp).
-  Log::set_sim_clock(
-      [](const void* s) {
-        return static_cast<const sim::Scheduler*>(s)->now();
-      },
-      &sched_);
+  // Worker threads install the same clock via on_worker_start above.
+  Log::set_sim_clock(&Cluster::sharded_now_cb, &sharded_);
+  wal_counters_.resize(config_.num_nodes);
   node_spec_enabled_.assign(config_.num_nodes, 1);
   Rng skew_rng = master_rng_.fork(0x5c3b);
   nodes_.reserve(config_.num_nodes);
@@ -71,19 +83,24 @@ Cluster::Cluster(Config config)
     for (const net::CrashEvent& ev : config_.faults.crashes) {
       STR_ASSERT_MSG(ev.node < config_.num_nodes,
                      "fault plan crashes an unknown node");
-      sched_.schedule_at(ev.at, [this, id = ev.node]() { crash_node(id); });
+      // Crashes and restarts touch the network, all of the node's replicas
+      // and the remote coordinators' timeout machinery at once — they run as
+      // global tasks, with every shard quiesced at exactly the event time.
+      // (Single-shard mode: an ordinary event on the one queue, unchanged.)
+      sharded_.schedule_global(ev.at,
+                               [this, id = ev.node]() { crash_node(id); });
       if (ev.restart_at != kTsInfinity) {
         STR_ASSERT_MSG(ev.restart_at > ev.at,
                        "restart must come after the crash");
-        sched_.schedule_at(ev.restart_at,
-                           [this, id = ev.node]() { restart_node(id); });
+        sharded_.schedule_global(
+            ev.restart_at, [this, id = ev.node]() { restart_node(id); });
       }
     }
   }
   schedule_maintenance();
 }
 
-Cluster::~Cluster() { Log::clear_sim_clock(&sched_); }
+Cluster::~Cluster() { Log::clear_sim_clock(&sharded_); }
 
 obs::Registry Cluster::merged_obs() const {
   obs::Registry merged;
@@ -113,6 +130,10 @@ void Cluster::load(Key key, Value value) {
 void Cluster::crash_node(NodeId id) {
   Node& n = node(id);
   if (!n.up()) return;
+  // Enter the node's shard context: the crash fan-out (abort notices from
+  // the node's coordinator, timeout re-arms) schedules events that must
+  // land on the right queues at the node's clock.
+  sim::ShardedScheduler::ShardGuard guard(shard_of(id));
   STR_INFO("node %u crashes", static_cast<unsigned>(id));
   // Network first: in-flight deliveries and the crash-time abort fan-out
   // from the node's own coordinator must both hit a dead endpoint.
@@ -123,38 +144,44 @@ void Cluster::crash_node(NodeId id) {
 void Cluster::restart_node(NodeId id) {
   Node& n = node(id);
   if (n.up()) return;
+  sim::ShardedScheduler::ShardGuard guard(shard_of(id));
   STR_INFO("node %u restarts", static_cast<unsigned>(id));
   net_.set_node_down(id, false);
   n.restart();
 }
 
-std::unique_ptr<storage::Wal> Cluster::make_wal(const std::string& name) {
+std::unique_ptr<storage::Wal> Cluster::make_wal(const std::string& name,
+                                                NodeId owner,
+                                                obs::Registry& reg) {
   if (!wal_enabled()) return nullptr;
   const DurabilityConfig& d = config_.protocol.durability;
-  if (wal_counters_.records == nullptr) {
-    wal_counters_.records = &cluster_obs_.counter("wal.records");
-    wal_counters_.flushes = &cluster_obs_.counter("wal.flushes");
-    wal_counters_.flushed_bytes = &cluster_obs_.counter("wal.flushed_bytes");
-    wal_counters_.checkpoints = &cluster_obs_.counter("wal.checkpoints");
-    wal_counters_.replayed = &cluster_obs_.counter("wal.replayed_records");
-    wal_counters_.torn = &cluster_obs_.counter("wal.torn_truncations");
+  storage::Wal::Counters& wc = wal_counters_.at(owner);
+  if (wc.records == nullptr) {
+    wc.records = &reg.counter("wal.records");
+    wc.flushes = &reg.counter("wal.flushes");
+    wc.flushed_bytes = &reg.counter("wal.flushed_bytes");
+    wc.checkpoints = &reg.counter("wal.checkpoints");
+    wc.replayed = &reg.counter("wal.replayed_records");
+    wc.torn = &reg.counter("wal.torn_truncations");
   }
   const storage::TornWriteFault torn{config_.faults.storage.torn_write_prob,
                                      &storage_rng_};
+  // The log and its medium live on the owning node's shard: group-commit
+  // timers and fsync completions are intra-node events.
+  sim::Scheduler& sched = sharded_.shard(shard_of(owner));
   std::unique_ptr<storage::Medium> medium;
   if (d.wal_dir.empty()) {
-    medium = std::make_unique<storage::SimMedium>(&sched_, d.fsync_latency,
+    medium = std::make_unique<storage::SimMedium>(&sched, d.fsync_latency,
                                                   torn);
   } else {
     medium = std::make_unique<storage::FileMedium>(d.wal_dir + "/" + name,
-                                                   &sched_, d.fsync_latency,
+                                                   &sched, d.fsync_latency,
                                                    torn);
   }
   storage::Wal::Options opts;
   opts.group_commit_batch = d.group_commit_batch;
   opts.group_commit_interval = d.group_commit_interval;
-  return std::make_unique<storage::Wal>(sched_, std::move(medium), opts,
-                                        wal_counters_);
+  return std::make_unique<storage::Wal>(sched, std::move(medium), opts, wc);
 }
 
 Cluster::QuiesceReport Cluster::quiesce_report() const {
@@ -175,9 +202,15 @@ Cluster::QuiesceReport Cluster::quiesce_report() const {
 }
 
 void Cluster::schedule_maintenance() {
-  sched_.schedule_after(config_.protocol.gc_interval, [this]() {
+  // Watermark maintenance reads every coordinator and actor across the
+  // cluster — a global task, with all shards parked at the tick time.
+  sharded_.schedule_global(now() + config_.protocol.gc_interval, [this]() {
     advance_watermark();
-    for (auto& n : nodes_) n->maintain(watermark_);
+    for (auto& n : nodes_) {
+      // maintain() prunes stores and may log; give it the node's context.
+      sim::ShardedScheduler::ShardGuard guard(shard_of(n->id()));
+      n->maintain(watermark_);
+    }
     schedule_maintenance();
   });
 }
@@ -187,7 +220,7 @@ void Cluster::advance_watermark() {
   // be using — live transactions' rs on every coordinator, plus parked and
   // in-flight re-served readers on every actor (their owning transactions
   // may already be gone, but the reads still hit the store).
-  const Timestamp now = sched_.now();
+  const Timestamp now = sharded_.current().now();
   Timestamp candidate = kTsInfinity;
   for (auto& n : nodes_) {
     candidate = std::min(candidate, n->coordinator().min_active_rs());

@@ -7,7 +7,9 @@
 
 #include <array>
 #include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -23,6 +25,7 @@
 #include "protocol/node.hpp"
 #include "protocol/partition_map.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/sharded.hpp"
 #include "storage/wal.hpp"
 #include "verify/history.hpp"
 #include "wire/messages.hpp"
@@ -51,6 +54,14 @@ class Cluster {
     /// same RNG draws and charge the same exact frame sizes to the byte
     /// counters, so a run is bit-identical across modes (docs/WIRE.md).
     bool wire_codec = false;
+    /// Worker threads for region-sharded parallel simulation
+    /// (docs/PERFORMANCE.md, "Sharded scheduler"). 1 (the default) runs the
+    /// classic single queue, bit-identical to every release before sharding
+    /// existed. >1 shards the event queue by region onto real threads with
+    /// conservative lookahead; the trajectory is a pure function of (seed,
+    /// topology) — the same for 2 workers or 8, but distinct from the
+    /// threads=1 interleaving.
+    std::uint32_t threads = 1;
   };
 
   explicit Cluster(Config config);
@@ -58,7 +69,26 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  sim::Scheduler& scheduler() { return sched_; }
+  /// The scheduler of the shard the calling context executes on: a node's
+  /// protocol code always sees its own region's queue, and with threads=1
+  /// this is the one global queue, exactly as before sharding existed.
+  sim::Scheduler& scheduler() { return sharded_.current(); }
+  sim::ShardedScheduler& sharded() { return sharded_; }
+
+  /// Shard hosting `id` (its region when sharding is on, else 0).
+  std::uint32_t shard_of(NodeId id) const {
+    return sharded_.parallel() ? id % config_.topology.num_regions() : 0;
+  }
+
+  /// Run `fn` in node `id`'s shard context (events it schedules land on the
+  /// node's queue). Callable only while the simulation is NOT running —
+  /// from the main thread between run_for calls — or from the node's own
+  /// shard. With threads=1 this is a plain call.
+  void run_on_node(NodeId id, const std::function<void()>& fn) {
+    sim::ShardedScheduler::ShardGuard guard(shard_of(id));
+    fn();
+  }
+
   net::Network& network() { return net_; }
   const PartitionMap& pmap() const { return pmap_; }
   const ProtocolConfig& protocol() const { return config_.protocol; }
@@ -80,6 +110,13 @@ class Cluster {
   /// every send, in both transport modes.
   void count_wire_message(wire::MessageType type, std::size_t bytes) {
     const auto i = static_cast<std::size_t>(type);
+    if (sharded_.parallel()) {
+      // Commutative sums: totals are identical for every worker count.
+      std::lock_guard<std::mutex> lk(wire_mu_);
+      c_wire_msgs_[i]->inc();
+      c_wire_bytes_[i]->inc(bytes);
+      return;
+    }
     c_wire_msgs_[i]->inc();
     c_wire_bytes_[i]->inc(bytes);
   }
@@ -120,12 +157,16 @@ class Cluster {
   /// Load one key into every replica of its partition (committed, ts 0).
   void load(Key key, Value value);
 
-  /// Advance virtual time by `duration`, executing all due events.
+  /// Advance virtual time by `duration`, executing all due events. With
+  /// threads>1 the calling thread doubles as worker 0 of the epoch loop.
   void run_for(Timestamp duration) {
-    sched_.run_until(sched_.now() + duration);
+    sharded_.run_until(sharded_.now() + duration);
   }
 
-  Timestamp now() const { return sched_.now(); }
+  /// Virtual time as seen by the calling context: the current shard's clock
+  /// inside protocol code, the (globally agreed) clock between run_for
+  /// calls. Identical to scheduler().now().
+  Timestamp now() const { return sharded_.current().now(); }
 
   /// Deterministic per-consumer RNG streams derived from the config seed.
   Rng fork_rng(std::uint64_t stream) const { return master_rng_.fork(stream); }
@@ -175,10 +216,15 @@ class Cluster {
 
   /// Build one log for a node's partition replica or decision stream.
   /// `name` ("n3_p7.wal", "n3_decisions.wal") doubles as the file name under
-  /// DurabilityConfig::wal_dir when file mirroring is on. All logs share the
-  /// cluster's storage RNG stream and "wal.*" counters, registered lazily so
-  /// WAL-off runs expose no new metrics. Returns nullptr when WAL is off.
-  std::unique_ptr<storage::Wal> make_wal(const std::string& name);
+  /// DurabilityConfig::wal_dir when file mirroring is on. The log runs on
+  /// `owner`'s shard scheduler and registers its "wal.*" counters in `reg`
+  /// (the owning node's registry — per-node so shards never contend;
+  /// cluster totals merge identically). Registration is lazy so WAL-off
+  /// runs expose no new metrics. All logs share the cluster's storage RNG
+  /// stream, drawn from only inside crash handling (quiesced, determinist-
+  /// ically ordered). Returns nullptr when WAL is off.
+  std::unique_ptr<storage::Wal> make_wal(const std::string& name, NodeId owner,
+                                         obs::Registry& reg);
 
   /// Cluster-wide stable-snapshot watermark: no read — live, parked, or
   /// still in flight — can observe a snapshot below this timestamp, so
@@ -188,14 +234,21 @@ class Cluster {
   Timestamp stable_watermark() const { return watermark_; }
 
  private:
+  /// Log::set_sim_clock callback: the current shard's virtual time, so log
+  /// lines carry the right clock on every worker thread.
+  static std::uint64_t sharded_now_cb(const void* sharded);
+
   Config config_;
-  sim::Scheduler sched_;
+  sim::ShardedScheduler sharded_;
   Rng master_rng_;
   /// Dedicated stream for storage faults (torn-write crash resolution).
   /// Forking is pure and the stream is drawn from only when a crash catches
   /// an fsync in flight, so WAL-off runs stay bit-identical.
   Rng storage_rng_;
-  storage::Wal::Counters wal_counters_;  ///< lazily registered (make_wal)
+  /// Per-node WAL counters, lazily registered in the owning node's registry
+  /// by make_wal — per-node so parallel shards never contend on the sums.
+  std::vector<storage::Wal::Counters> wal_counters_;
+  std::mutex wire_mu_;  ///< guards wire counters when threads > 1
   obs::Registry cluster_obs_;  ///< before net_: the network caches handles
   obs::Tracer tracer_;
   net::Network net_;

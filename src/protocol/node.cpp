@@ -17,8 +17,8 @@ Node::Node(Cluster& cluster, NodeId id, RegionId region, Timestamp clock_skew)
     sorted_pids_.push_back(p);
   }
   std::sort(sorted_pids_.begin(), sorted_pids_.end());
-  decision_wal_ =
-      cluster.make_wal("n" + std::to_string(id) + "_decisions.wal");
+  decision_wal_ = cluster.make_wal(
+      "n" + std::to_string(id) + "_decisions.wal", id, obs_);
   coord_.set_decision_wal(decision_wal_.get());
 }
 

@@ -20,7 +20,8 @@ PartitionActor::PartitionActor(Node& node, PartitionId pid, bool master)
   g_parked_ = &node.obs().gauge("store.parked_readers");
   c_orphan_aborts_ = &node.obs().counter("txn.orphan_aborts");
   wal_ = node.cluster().make_wal("n" + std::to_string(node.id()) + "_p" +
-                                 std::to_string(pid) + ".wal");
+                                     std::to_string(pid) + ".wal",
+                                 node.id(), node.obs());
 }
 
 void PartitionActor::load(Key key, Value value, const TxId& seed_tx) {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "common/assert.hpp"
 #include "common/types.hpp"
 #include "common/unique_function.hpp"
 #include "sim/event_queue.hpp"
@@ -37,6 +38,31 @@ class Scheduler {
   /// Drain the queue but stop after `max_events` (guards against livelock
   /// bugs in tests).
   std::uint64_t run_for_events(std::uint64_t max_events);
+
+  // -- windowed execution (ShardedScheduler) --------------------------------
+
+  /// Timestamp of the earliest pending event; kTsInfinity when idle.
+  Timestamp next_event_time() const {
+    return queue_.empty() ? kTsInfinity : queue_.next_time();
+  }
+
+  /// Execute every event with timestamp < `end` (exclusive), including
+  /// events scheduled during the window that still land inside it. Does NOT
+  /// advance the clock to `end`: within a conservative window the clock may
+  /// only move by executing events, so shards never observe a time another
+  /// shard could still send into.
+  void run_window(Timestamp end) {
+    while (!queue_.empty() && queue_.next_time() < end) step();
+  }
+
+  /// Advance the clock without executing anything. Only legal when no
+  /// pending event predates `t` — i.e. at a barrier, once every shard has
+  /// drained its window.
+  void advance_to(Timestamp t) {
+    if (now_ >= t) return;
+    STR_ASSERT(queue_.empty() || queue_.next_time() >= t);
+    now_ = t;
+  }
 
   std::size_t pending() const { return queue_.size(); }
   std::uint64_t executed() const { return executed_; }

@@ -1,0 +1,199 @@
+// Region-sharded parallel discrete-event simulation with conservative
+// lookahead (docs/PERFORMANCE.md, "Sharded scheduler").
+//
+// The event queue is split into one Scheduler per region shard and the
+// shards run on real threads. Safety comes from the WAN itself: no message
+// crosses a region boundary faster than the minimum inter-region one-way
+// latency H, so every shard may freely execute events in the window
+// [W, W + H), where W is the global minimum pending-event time. No null
+// messages, no rollback — just an epoch barrier at every window edge.
+//
+// Cross-shard sends never touch another shard's queue directly. The sending
+// worker appends to a per-(src, dst) mailbox it exclusively owns during the
+// window; at the barrier the control thread drains all mailboxes into the
+// destination queues in a deterministic order — sorted by (arrival time,
+// src shard, append sequence) — so destination-queue sequence numbers, and
+// with them the entire virtual trajectory, are independent of thread count
+// and wall-clock interleaving. Running with 2 workers or 8 produces the
+// same simulation, event for event.
+//
+// Cluster-scope activities that must observe every shard at once (watermark
+// maintenance, fault-plan crashes and restarts) are *global tasks*: they
+// bound the window edge, so no shard runs past them, and they execute
+// single-threaded between windows while the workers are parked.
+//
+// With one shard (threads = 1) there are no workers, no mailboxes and no
+// barriers: run_until() drives the single Scheduler inline, bit-identical
+// to the pre-sharding simulator.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/unique_function.hpp"
+#include "sim/scheduler.hpp"
+
+namespace str::sim {
+
+class ShardedScheduler {
+ public:
+  /// `num_shards` queues (one per region; 1 = classic single-threaded DES),
+  /// executed by `num_workers` OS threads (clamped to num_shards; shard s is
+  /// owned by worker s % num_workers, so the mapping — and the simulation —
+  /// is identical for every worker count). `horizon` is the conservative
+  /// lookahead: the minimum cross-shard delivery latency. `on_worker_start`
+  /// runs once on each spawned worker thread (thread-local setup such as the
+  /// log clock).
+  ShardedScheduler(std::uint32_t num_shards, std::uint32_t num_workers,
+                   Timestamp horizon,
+                   std::function<void()> on_worker_start = nullptr);
+  ~ShardedScheduler();
+  ShardedScheduler(const ShardedScheduler&) = delete;
+  ShardedScheduler& operator=(const ShardedScheduler&) = delete;
+
+  std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  std::uint32_t num_workers() const { return num_workers_; }
+  bool parallel() const { return num_shards() > 1; }
+  Timestamp horizon() const { return horizon_; }
+
+  Scheduler& shard(std::uint32_t s) { return *shards_[s]; }
+  const Scheduler& shard(std::uint32_t s) const { return *shards_[s]; }
+
+  /// The scheduler of the shard the calling thread is currently executing
+  /// (thread-local). Outside any worker context — on the control thread
+  /// between windows, or before the first run — this is shard 0, which in
+  /// single-shard mode is the only queue there is.
+  Scheduler& current() { return *shards_[current_shard()]; }
+  const Scheduler& current() const { return *shards_[current_shard()]; }
+
+  /// Index of the shard the calling thread is executing (0 outside workers).
+  static std::uint32_t current_shard() { return tls_shard_; }
+
+  /// Scope guard installing a shard context on the calling thread. Used by
+  /// the workers around window execution and by global tasks that enter
+  /// node code (crash fan-outs schedule events and must land on the crashed
+  /// node's shard at its clock).
+  class ShardGuard {
+   public:
+    explicit ShardGuard(std::uint32_t s) : prev_(tls_shard_) {
+      tls_shard_ = s;
+    }
+    ~ShardGuard() { tls_shard_ = prev_; }
+    ShardGuard(const ShardGuard&) = delete;
+    ShardGuard& operator=(const ShardGuard&) = delete;
+
+   private:
+    std::uint32_t prev_;
+  };
+
+  /// Hand an event to another shard. Must be called from the shard context
+  /// that produced it (a worker executing a window, or a global task under
+  /// a ShardGuard). The event is buffered in the (current, dst) mailbox and
+  /// merged into dst's queue at the next barrier; `at` must be at least the
+  /// window edge, which the lookahead guarantees for any cross-region
+  /// delivery.
+  void post_cross(std::uint32_t dst_shard, Timestamp at,
+                  UniqueFunction<void()> fn);
+
+  /// Schedule a cluster-scope task: runs single-threaded between windows,
+  /// with every shard quiesced at exactly `at`. In single-shard mode this
+  /// is an ordinary event on the one queue (bit-identical to the classic
+  /// scheduler). Tasks at equal times run in schedule order.
+  void schedule_global(Timestamp at, UniqueFunction<void()> fn);
+
+  /// Run every shard up to and including virtual time `t`, then advance all
+  /// shard clocks to `t`. Single-shard mode executes inline; parallel mode
+  /// runs the epoch loop on the calling thread (which doubles as worker 0).
+  void run_until(Timestamp t);
+
+  /// Global virtual clock: only meaningful between run_until calls, when
+  /// all shards agree. Inside protocol code use current().now().
+  Timestamp now() const { return shards_[0]->now(); }
+
+  /// Total events executed across all shards.
+  std::uint64_t executed() const;
+
+  /// Total pending events across all shards and mailboxes.
+  std::size_t pending() const;
+
+  /// Epoch barriers completed (0 in single-shard mode; observability).
+  std::uint64_t epochs() const { return epochs_; }
+  /// Events handed across shards through the mailboxes.
+  std::uint64_t cross_posts() const { return cross_posts_total_; }
+
+  /// Run `fn(worker_index)` once on each worker thread (and with index 0 on
+  /// the calling thread). Used by benchmarks to collect per-thread tallies
+  /// such as allocation counts. No-op beyond index 0 in single-shard mode.
+  void for_each_worker(const std::function<void(std::uint32_t)>& fn);
+
+ private:
+  struct MailboxEntry {
+    Timestamp at = 0;
+    std::uint64_t seq = 0;  ///< per-(src,dst) append order within the epoch
+    UniqueFunction<void()> fn;
+  };
+  /// mailboxes_[src * num_shards + dst]: owned exclusively by src's worker
+  /// during a window, drained by the control thread at the barrier.
+  struct Mailbox {
+    std::vector<MailboxEntry> entries;
+    std::uint64_t next_seq = 0;
+  };
+
+  struct GlobalTask {
+    Timestamp at = 0;
+    std::uint64_t seq = 0;
+    UniqueFunction<void()> fn;
+  };
+
+  void worker_main(std::uint32_t worker_index);
+  void run_parallel_until(Timestamp t);
+  /// Drain every mailbox into its destination queue in deterministic
+  /// (arrival time, src shard, seq) order.
+  void merge_mailboxes();
+  Timestamp next_shard_event_time() const;
+  /// Execute the shards owned by `worker_index` up to (excluding) `end`.
+  void run_owned_shards(std::uint32_t worker_index, Timestamp end);
+
+  static thread_local std::uint32_t tls_shard_;
+
+  std::vector<std::unique_ptr<Scheduler>> shards_;
+  std::uint32_t num_workers_ = 1;
+  Timestamp horizon_ = 0;
+  std::function<void()> on_worker_start_;
+
+  std::vector<Mailbox> mailboxes_;
+  std::vector<GlobalTask> global_tasks_;  ///< min-heap by (at, seq)
+  std::uint64_t global_seq_ = 0;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t cross_posts_total_ = 0;
+
+  // -- worker rendezvous (parallel mode only) -------------------------------
+  // The control thread publishes a window edge under mu_ and bumps the
+  // epoch generation; workers execute their shards and report back. The
+  // mutex + condvars give the barrier its happens-before edges, so shard
+  // state needs no atomics: between barriers each shard is touched by
+  // exactly one thread. Blocking (not spinning) waits keep oversubscribed
+  // machines — including single-core CI runners — from burning scheduler
+  // quanta in busy loops.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< control -> workers: new window
+  std::condition_variable done_cv_;   ///< workers -> control: window done
+  std::uint64_t work_gen_ = 0;        ///< bumped per window (and per command)
+  Timestamp window_end_ = 0;          ///< exclusive edge of the open window
+  std::uint32_t done_count_ = 0;
+  bool quit_ = false;
+  /// When nonnull during a command generation, workers run this instead of
+  /// a window (for_each_worker).
+  const std::function<void(std::uint32_t)>* worker_cmd_ = nullptr;
+};
+
+}  // namespace str::sim

@@ -1,8 +1,38 @@
 #include "verify/history.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 #include "common/assert.hpp"
 
 namespace str::verify {
+
+void HistoryRecorder::canonicalize() {
+  // Pure content orders — every key below is an event field, never an
+  // append position, so the result is identical for any worker-thread
+  // interleaving of the same simulated trajectory.
+  std::sort(begins_.begin(), begins_.end(),
+            [](const BeginEvent& a, const BeginEvent& b) {
+              return std::tie(a.rs, a.tx) < std::tie(b.rs, b.tx);
+            });
+  std::sort(reads_.begin(), reads_.end(),
+            [](const ReadEvent& a, const ReadEvent& b) {
+              return std::tie(a.at, a.reader, a.key, a.writer, a.version_ts,
+                              a.writer_state) <
+                     std::tie(b.at, b.reader, b.key, b.writer, b.version_ts,
+                              b.writer_state);
+            });
+  const auto ws_less = [](const WriteSetEvent& a, const WriteSetEvent& b) {
+    return std::tie(a.at, a.ts, a.tx) < std::tie(b.at, b.ts, b.tx);
+  };
+  std::sort(local_commits_.begin(), local_commits_.end(), ws_less);
+  std::sort(final_commits_.begin(), final_commits_.end(), ws_less);
+  std::sort(aborts_.begin(), aborts_.end(),
+            [](const AbortEvent& a, const AbortEvent& b) {
+              return std::tie(a.at, a.tx) < std::tie(b.at, b.tx);
+            });
+  indexed_ = false;  // positions moved; rebuild before lookups
+}
 
 void HistoryRecorder::index() {
   begin_index_.clear();

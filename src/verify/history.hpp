@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -54,18 +55,32 @@ class HistorySink {
   virtual void on_abort(const AbortEvent&) = 0;
 };
 
-/// Accumulates the full history in memory for offline checking.
+/// Accumulates the full history in memory for offline checking. Recording
+/// is thread-safe (region-sharded runs report from worker threads); the
+/// append order then reflects wall-clock interleaving, so parallel runs
+/// must canonicalize() before comparing or checking histories.
 class HistoryRecorder final : public HistorySink {
  public:
-  void on_begin(const BeginEvent& e) override { begins_.push_back(e); }
-  void on_read(const ReadEvent& e) override { reads_.push_back(e); }
+  void on_begin(const BeginEvent& e) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    begins_.push_back(e);
+  }
+  void on_read(const ReadEvent& e) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    reads_.push_back(e);
+  }
   void on_local_commit(const WriteSetEvent& e) override {
+    std::lock_guard<std::mutex> lk(mu_);
     local_commits_.push_back(e);
   }
   void on_final_commit(const WriteSetEvent& e) override {
+    std::lock_guard<std::mutex> lk(mu_);
     final_commits_.push_back(e);
   }
-  void on_abort(const AbortEvent& e) override { aborts_.push_back(e); }
+  void on_abort(const AbortEvent& e) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    aborts_.push_back(e);
+  }
 
   const std::vector<BeginEvent>& begins() const { return begins_; }
   const std::vector<ReadEvent>& reads() const { return reads_; }
@@ -84,7 +99,17 @@ class HistoryRecorder final : public HistorySink {
   /// Build lookup indexes; call once after recording finishes.
   void index();
 
+  /// Re-sort every event stream into a canonical content order (event
+  /// fields only, no append positions). Two parallel runs of the same
+  /// simulation record the same event *sets* but in wall-clock-dependent
+  /// append order; after canonicalize() the histories are byte-comparable
+  /// and checker verdicts are reproducible. Single-threaded runs are
+  /// already deterministically ordered and never need this. Call before
+  /// index().
+  void canonicalize();
+
  private:
+  std::mutex mu_;  ///< guards the append paths only
   std::vector<BeginEvent> begins_;
   std::vector<ReadEvent> reads_;
   std::vector<WriteSetEvent> local_commits_;

@@ -4,6 +4,7 @@ namespace str::workload {
 
 void PerTypeStats::record(int type, bool committed, Timestamp final_latency,
                           std::uint32_t attempts) {
+  std::lock_guard<std::mutex> lk(mu_);
   TypeStats& s = stats_[type];
   s.attempts += attempts;
   if (committed) {
@@ -24,52 +25,77 @@ Client::Client(protocol::Cluster& cluster, Workload& workload, NodeId node,
     : cluster_(cluster), workload_(workload), node_(node), rng_(rng),
       type_stats_(type_stats) {}
 
-void Client::start() { loop(); }
+void Client::start() {
+  // Enter the home node's shard context so every event this client ever
+  // schedules — and every event those events schedule — lands on the node's
+  // queue. Plain inline call: no extra event, so the executed-event count
+  // (and with it the golden hash) is unchanged.
+  cluster_.run_on_node(node_, [this] { begin_next(); });
+}
 
-sim::Fiber Client::loop() {
-  auto& coord = cluster_.node(node_).coordinator();
-  while (!stop_) {
-    std::shared_ptr<TxnProgram> program = workload_.next(node_, rng_);
-    Timestamp first_activation = 0;
-    std::uint32_t attempts = 0;
-    bool tx_committed = false;
-    for (;;) {
-      // A crashed home node serves nothing: back off until it rejoins
-      // (begin() on a down node hands out a never-registered TxId whose
-      // outcome resolves aborted, which would otherwise spin here).
-      while (!stop_ && !cluster_.node_up(node_)) {
-        co_await sim::sleep_for(cluster_.scheduler(), msec(100));
-      }
-      if (stop_) break;
-      ++attempts;
-      // Client-side processing cost per attempt (request marshalling and,
-      // on retry, transaction re-execution). Besides realism, this
-      // guarantees virtual time advances on every attempt, so an abort-retry
-      // cycle can never livelock the simulation at one instant.
-      co_await sim::sleep_for(cluster_.scheduler(),
-                              kAttemptOverhead + rng_.uniform(kAttemptJitter));
-      if (first_activation == 0) first_activation = cluster_.now();
-      const TxId tx = coord.begin(first_activation);
-      auto outcome = coord.outcome_future(tx);
-      program->execute(protocol::TxnHandle(&coord, tx), program);
-      const txn::TxFinalResult result = co_await outcome;
-      if (result.outcome == TxOutcome::Committed) {
-        ++committed_;
-        tx_committed = true;
-        break;
-      }
-      if (stop_) break;  // do not retry into a draining experiment
-    }
-    if (type_stats_ != nullptr) {
-      type_stats_->record(program->type(), tx_committed,
-                          cluster_.now() - first_activation, attempts);
-    }
-    const Timestamp think = workload_.think_time(*program, rng_);
-    if (think > 0 && !stop_) {
-      co_await sim::sleep_for(cluster_.scheduler(), think);
-    }
+void Client::begin_next() {
+  if (stop_) {
+    exited_ = true;
+    return;
   }
-  exited_ = true;
+  program_ = workload_.next(node_, rng_);
+  first_activation_ = 0;
+  attempts_ = 0;
+  start_attempt();
+}
+
+void Client::start_attempt() {
+  // A crashed home node serves nothing: back off until it rejoins
+  // (begin() on a down node hands out a never-registered TxId whose
+  // outcome resolves aborted, which would otherwise spin here).
+  if (!stop_ && !cluster_.node_up(node_)) {
+    cluster_.scheduler().schedule_after(msec(100),
+                                        [this] { start_attempt(); });
+    return;
+  }
+  if (stop_) {
+    finish_txn(false);
+    return;
+  }
+  ++attempts_;
+  // Client-side processing cost per attempt (request marshalling and,
+  // on retry, transaction re-execution). Besides realism, this
+  // guarantees virtual time advances on every attempt, so an abort-retry
+  // cycle can never livelock the simulation at one instant.
+  cluster_.scheduler().schedule_after(
+      kAttemptOverhead + rng_.uniform(kAttemptJitter),
+      [this] { run_txn(); });
+}
+
+sim::Fiber Client::run_txn() {
+  auto& coord = cluster_.node(node_).coordinator();
+  if (first_activation_ == 0) first_activation_ = cluster_.now();
+  const TxId tx = coord.begin(first_activation_);
+  auto outcome = coord.outcome_future(tx);
+  program_->execute(protocol::TxnHandle(&coord, tx), program_);
+  const txn::TxFinalResult result = co_await outcome;
+  if (result.outcome == TxOutcome::Committed) {
+    ++committed_;
+    finish_txn(true);
+  } else if (stop_) {
+    finish_txn(false);  // do not retry into a draining experiment
+  } else {
+    start_attempt();
+  }
+}
+
+void Client::finish_txn(bool tx_committed) {
+  if (type_stats_ != nullptr) {
+    type_stats_->record(program_->type(), tx_committed,
+                        cluster_.now() - first_activation_, attempts_);
+  }
+  const Timestamp think = workload_.think_time(*program_, rng_);
+  program_.reset();  // idle clients hold no program, just the timer below
+  if (think > 0 && !stop_) {
+    cluster_.scheduler().schedule_after(think, [this] { begin_next(); });
+    return;
+  }
+  begin_next();
 }
 
 ClientPool::ClientPool(protocol::Cluster& cluster, Workload& workload,

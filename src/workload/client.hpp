@@ -1,14 +1,23 @@
 // Closed-loop client driver.
 //
-// Each client is a fiber attached to one node's coordinator: draw a program
-// from the workload, run attempts until one final-commits (the paper's
-// "retries a transaction if it gets aborted"), think, repeat. Final latency
-// is measured from the first activation across retries — the coordinator
-// records it via the first_activation carried into begin().
+// Each client is attached to one node's coordinator: draw a program from the
+// workload, run attempts until one final-commits (the paper's "retries a
+// transaction if it gets aborted"), think, repeat. Final latency is measured
+// from the first activation across retries — the coordinator records it via
+// the first_activation carried into begin().
+//
+// Clients are flyweights: only a transaction attempt in flight holds a
+// coroutine frame (run_txn, parked on the outcome future). Between attempts
+// and during think time a client is nothing but one timer entry in its
+// node's event queue, so a simulation can carry 100k+ mostly-idle clients
+// without 100k parked coroutine frames. The state-machine restructuring is
+// event-count and RNG-draw-sequence identical to the original single-fiber
+// loop — the golden determinism hash does not move.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/histogram.hpp"
@@ -24,6 +33,9 @@ namespace str::workload {
 /// them at final outcome.
 class PerTypeStats {
  public:
+  /// Thread-safe: one stats object aggregates clients homed on every shard
+  /// of a region-sharded run. Sums and histograms only, so the totals are
+  /// worker-count invariant.
   void record(int type, bool committed, Timestamp final_latency,
               std::uint32_t attempts);
 
@@ -38,6 +50,7 @@ class PerTypeStats {
   const std::map<int, TypeStats>& all() const { return stats_; }
 
  private:
+  std::mutex mu_;
   std::map<int, TypeStats> stats_;
 };
 
@@ -46,7 +59,7 @@ class Client {
   Client(protocol::Cluster& cluster, Workload& workload, NodeId node,
          Rng rng, PerTypeStats* type_stats = nullptr);
 
-  /// Spawn the client fiber. Call once.
+  /// Begin the closed loop (on the client's node's shard). Call once.
   void start();
 
   /// Ask the client to exit after its current transaction (drains fibers so
@@ -63,7 +76,14 @@ class Client {
   static constexpr Timestamp kAttemptJitter = usec(100);
 
  private:
-  sim::Fiber loop();
+  // The closed loop as a flat state machine. begin_next draws the next
+  // program; start_attempt waits out a crashed home node and charges the
+  // per-attempt client cost; run_txn is the only coroutine — alive exactly
+  // while an attempt is in flight; finish_txn records stats and thinks.
+  void begin_next();
+  void start_attempt();
+  sim::Fiber run_txn();
+  void finish_txn(bool tx_committed);
 
   protocol::Cluster& cluster_;
   Workload& workload_;
@@ -73,6 +93,11 @@ class Client {
   bool stop_ = false;
   bool exited_ = false;
   std::uint64_t committed_ = 0;
+  // Per-transaction state (spanning retries), owned between begin_next and
+  // finish_txn.
+  std::shared_ptr<TxnProgram> program_;
+  Timestamp first_activation_ = 0;
+  std::uint32_t attempts_ = 0;
 };
 
 /// Owns a fleet of clients spread over the cluster's nodes.

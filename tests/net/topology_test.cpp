@@ -56,5 +56,25 @@ TEST(Topology, MaxOneWay) {
   EXPECT_EQ(t.max_one_way(), msec(40));
 }
 
+TEST(Topology, MinCrossRegionOneWayExcludesTheDiagonal) {
+  // Intra-region RTT (1ms) is far below the WAN RTT; the lookahead horizon
+  // must ignore it or the sharded scheduler's windows would collapse.
+  Topology t = Topology::symmetric(3, msec(80));
+  EXPECT_EQ(t.min_cross_region_one_way(), msec(40));
+}
+
+TEST(Topology, MinCrossRegionOneWayOnNineRegionMatrix) {
+  // The tightest inter-region link in the EC2 matrix is CA <-> OR at 22ms
+  // RTT, so the safe horizon for region-sharded simulation is 11ms.
+  Topology t = Topology::ec2_nine_regions();
+  EXPECT_EQ(t.min_cross_region_one_way(), msec(11));
+  EXPECT_EQ(t.min_cross_region_one_way(), t.one_way(1, 2));
+}
+
+TEST(Topology, MinCrossRegionOneWaySingleRegionIsInfinite) {
+  Topology t = Topology::single_region();
+  EXPECT_EQ(t.min_cross_region_one_way(), kTsInfinity);
+}
+
 }  // namespace
 }  // namespace str::net

@@ -36,6 +36,7 @@ struct Options {
   std::uint32_t rf = 6;
   std::uint32_t clients = 90;
   std::uint64_t seed = 42;
+  std::uint32_t threads = 1;
   double duration_s = 20;
   double warmup_s = 4;
   bool tuner = false;
@@ -71,7 +72,13 @@ void usage() {
       "  --duration S   measured seconds of virtual time           [20]\n"
       "  --warmup S     warmup seconds                             [4]\n"
       "  --seed N       deterministic seed                         [42]\n"
-      "  --tuner        enable the self-tuning controller\n"
+      "  --threads N    worker threads for region-sharded parallel\n"
+      "                 simulation (docs/PERFORMANCE.md). 1 = the classic\n"
+      "                 single queue, bit-identical to earlier releases;\n"
+      "                 >1 shards the event queue by region. The parallel\n"
+      "                 trajectory depends only on (seed, topology) — the\n"
+      "                 same for 2 threads or 8                    [1]\n"
+      "  --tuner        enable the self-tuning controller (threads=1 only)\n"
       "  --reps N       repetitions (mean/std across seeds)        [1]\n"
       "  --uniform MS   symmetric topology with the given WAN RTT\n"
       "  --wire         encode every message into a checksummed binary\n"
@@ -174,6 +181,14 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (arg == "--seed") {
       if ((v = next()) == nullptr) return false;
       opt.seed = std::atoll(v);
+    } else if (arg == "--threads") {
+      if ((v = next()) == nullptr) return false;
+      const int n = std::atoi(v);
+      if (n < 1) {
+        std::fprintf(stderr, "--threads wants a positive count\n");
+        return false;
+      }
+      opt.threads = static_cast<std::uint32_t>(n);
     } else if (arg == "--tuner") {
       opt.tuner = true;
     } else if (arg == "--reps") {
@@ -379,6 +394,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   cfg.cluster.seed = opt.seed;
+  cfg.cluster.threads = opt.threads;
+  // The self-tuner samples the raw commit meter in arrival order, which is
+  // wall-clock-dependent across worker threads; its decisions would not be
+  // reproducible. Fail as a usage error, not an assertion mid-run.
+  if (opt.tuner && opt.threads > 1) {
+    std::fprintf(stderr, "--tuner requires --threads 1\n");
+    return 1;
+  }
   cfg.cluster.faults = opt.faults;
   cfg.cluster.wire_codec = opt.wire;
   if (opt.wal) {
@@ -408,12 +431,15 @@ int main(int argc, char** argv) {
   // stderr so piping into trace_analyze (or jq) sees pure JSON.
   std::FILE* rpt =
       opt.trace_out == "-" || opt.metrics_out == "-" ? stderr : stdout;
-  std::fprintf(rpt,
-               "workload=%s protocol=%s nodes=%u rf=%u clients=%u reps=%u%s%s\n",
-               opt.workload.c_str(), opt.protocol.c_str(), opt.nodes,
-               cfg.cluster.replication_factor, opt.clients, opt.reps,
-               opt.tuner ? " tuner=on" : "",
-               opt.wire ? " wire=on" : "");
+  const std::string threads_note =
+      opt.threads > 1 ? " threads=" + std::to_string(opt.threads) : "";
+  std::fprintf(
+      rpt,
+      "workload=%s protocol=%s nodes=%u rf=%u clients=%u reps=%u%s%s%s\n",
+      opt.workload.c_str(), opt.protocol.c_str(), opt.nodes,
+      cfg.cluster.replication_factor, opt.clients, opt.reps,
+      opt.tuner ? " tuner=on" : "", opt.wire ? " wire=on" : "",
+      threads_note.c_str());
   if (opt.wal) {
     std::fprintf(rpt, "wal: fsync=%.1fms batch=%u%s%s\n", opt.fsync_ms,
                  opt.wal_batch,
