@@ -11,6 +11,10 @@
 //   replay  — checksum-scan + decode of the log just written (the restart
 //             path), reported as records/s and MB/s.
 //   scan    — durable_prefix() validation alone (crash-time fate checks).
+//   quorum  — encode_decision + the ReplicatedDecisionLog ack barrier in
+//             the zero-latency limit (members ack inside the send hook), so
+//             the number isolates the tracking/bookkeeping cost the quorum
+//             commit point adds per decision, swept over quorum sizes.
 //
 // Numbers are wall-clock and machine-dependent: no committed baseline, not
 // gated (the deterministic-counter gate for the durability path lives in
@@ -28,6 +32,7 @@
 #include <utility>
 
 #include "sim/scheduler.hpp"
+#include "storage/decision_log.hpp"
 #include "storage/medium.hpp"
 #include "storage/wal.hpp"
 
@@ -85,6 +90,52 @@ RunResult append_run(std::uint32_t batch, std::uint64_t records,
   return r;
 }
 
+RunResult quorum_run(std::uint32_t quorum, std::uint64_t records) {
+  sim::Scheduler sched;
+  storage::Wal::Options opts;
+  opts.group_commit_batch = 8;
+  storage::Wal wal(sched,
+                   std::make_unique<storage::SimMedium>(
+                       nullptr, /*fsync_latency=*/0, storage::TornWriteFault{}),
+                   opts, storage::Wal::Counters{});
+  storage::ReplicatedDecisionLog::Options dopts;
+  dopts.quorum = quorum;
+  dopts.members = {1, 2};  // group of 3, counting the origin
+  storage::ReplicatedDecisionLog* raw = nullptr;
+  // Members ack synchronously inside the send hook: the zero-latency limit,
+  // so the measurement is pure barrier bookkeeping, no modeled RTT.
+  storage::ReplicatedDecisionLog log(
+      sched, wal, dopts,
+      [&raw](const TxId& tx, Timestamp, Timestamp,
+             const std::vector<NodeId>& to) {
+        for (NodeId m : to) raw->on_ack(tx, m);
+      });
+  raw = &log;
+
+  std::uint64_t completed = 0;
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < records; ++i) {
+    log.append(TxId{0, i}, /*commit_ts=*/i, /*decided_at=*/i,
+               [&completed] { ++completed; });
+    // Completed barriers leave armed (no-op) retransmit timers behind;
+    // drain them in batches so the bench's event queue stays flat.
+    if ((i & 0xffff) == 0xffff) sched.run_until(sched.now() + sec(10));
+  }
+  wal.sync([] {});
+  sched.run_until(sched.now() + sec(10));
+  RunResult r;
+  r.seconds = seconds_since(start);
+  r.bytes = wal.end_offset();
+  if (completed != records || log.pending_count() != 0) {
+    std::fprintf(stderr, "FATAL: quorum=%u completed %llu of %llu (%zu stuck)\n",
+                 quorum, static_cast<unsigned long long>(completed),
+                 static_cast<unsigned long long>(records),
+                 log.pending_count());
+    std::exit(1);
+  }
+  return r;
+}
+
 void report(const char* name, std::uint64_t count, const RunResult& r) {
   const double mrps = r.seconds > 0
                           ? static_cast<double>(count) / r.seconds / 1e6
@@ -125,6 +176,14 @@ int main(int argc, char** argv) {
     char name[32];
     std::snprintf(name, sizeof(name), "append (batch %u)", batch);
     report(name, records, append_run(batch, records, value_bytes));
+  }
+
+  // Quorum 1 is the pre-quorum decision append (barrier completes on local
+  // durability); 2 and 3 add member-ack tracking over a group of three.
+  for (std::uint32_t quorum : {1u, 2u, 3u}) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "decision (quorum %u)", quorum);
+    report(name, records, quorum_run(quorum, records));
   }
 
   // Build one log, then time the two read-side paths over it.

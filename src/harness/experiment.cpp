@@ -171,6 +171,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   if (const obs::Counter* c = merged.find_counter("txn.orphan_aborts")) {
     r.orphan_aborts = c->value();
   }
+  if (const obs::Counter* c = merged.find_counter("recovery.lost_commits")) {
+    r.lost_commits = c->value();
+  }
   r.quiesce = cluster.quiesce_report();
   if (config.verify) {
     // Parallel runs append history from worker threads in wall-clock order;

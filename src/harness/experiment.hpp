@@ -105,6 +105,9 @@ struct ExperimentResult {
   std::uint64_t rpc_timeouts = 0;
   std::uint64_t rpc_retries = 0;
   std::uint64_t orphan_aborts = 0;
+  /// Client-acked commits that recovery later aborted (quorum mode; any
+  /// nonzero value is a durability contract violation).
+  std::uint64_t lost_commits = 0;
   /// End-of-run residue (live txns / parked reads / held locks / orphans).
   protocol::Cluster::QuiesceReport quiesce;
   /// SPSI violations found by the checker (empty unless config.verify and

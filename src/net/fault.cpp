@@ -71,11 +71,44 @@ bool FaultPlan::parse(const std::string& text, FaultPlan& out,
     } else if (cmd == "crash") {
       NodeId node = 0;
       double at = 0, restart = -1;
-      if (!(tok >> node >> at)) {
+      bool have_restart = false;
+      std::string first;
+      if (!(tok >> first)) {
         return fail(error, line_no, "crash needs: <node> <at_s> [<restart_s>]");
       }
+      if (first.find(':') != std::string::npos) {
+        // Colon spelling, matching --crash-node: "crash N:T" or "crash N:T:R".
+        std::istringstream fields(first);
+        std::string part;
+        std::vector<std::string> parts;
+        while (std::getline(fields, part, ':')) parts.push_back(part);
+        if (parts.size() < 2 || parts.size() > 3) {
+          return fail(error, line_no,
+                      "crash needs: <node>:<at_s>[:<restart_s>]");
+        }
+        std::istringstream pn(parts[0]), pa(parts[1]);
+        if (!(pn >> node) || !pn.eof() || !(pa >> at) || !pa.eof()) {
+          return fail(error, line_no,
+                      "crash needs: <node>:<at_s>[:<restart_s>]");
+        }
+        if (parts.size() == 3) {
+          std::istringstream pr(parts[2]);
+          if (!(pr >> restart) || !pr.eof()) {
+            return fail(error, line_no,
+                        "crash needs: <node>:<at_s>[:<restart_s>]");
+          }
+          have_restart = true;
+        }
+      } else {
+        std::istringstream pn(first);
+        if (!(pn >> node) || !pn.eof() || !(tok >> at)) {
+          return fail(error, line_no,
+                      "crash needs: <node> <at_s> [<restart_s>]");
+        }
+        if (tok >> restart) have_restart = true;
+      }
       Timestamp restart_ts = kTsInfinity;
-      if (tok >> restart) {
+      if (have_restart) {
         if (restart <= at) {
           return fail(error, line_no, "crash restart precedes the crash");
         }

@@ -20,6 +20,7 @@
 //   partition-oneway 0 1 2 12 # cut only messages flowing region 0 -> 1
 //   crash 3 5.0 8.0           # node 3 crashes at t=5s, restarts at t=8s
 //   crash 4 6.0               # node 4 crashes at t=6s and never returns
+//   crash 3:5.0:8.0           # colon spelling, same as --crash-node N:T[:R]
 //   torn-write 0.5            # crash mid-fsync leaves a torn WAL tail
 #pragma once
 

@@ -45,11 +45,25 @@ Cluster::Cluster(Config config)
   c_wire_bytes_[0] = &cluster_obs_.counter("wire.bytes.invalid");
   for (std::uint8_t t = wire::kMinMessageType; t <= wire::kMaxMessageType;
        ++t) {
-    const char* name = wire::to_string(static_cast<wire::MessageType>(t));
+    const auto mt = static_cast<wire::MessageType>(t);
+    // The decision-replication frames exist only under the quorum commit
+    // point; leaving their counters unregistered keeps quorum-off metric
+    // output byte-identical to pre-quorum releases.
+    if ((mt == wire::MessageType::kDecisionReplicate ||
+         mt == wire::MessageType::kDecisionReplicateAck) &&
+        !decision_quorum_enabled()) {
+      continue;
+    }
+    const char* name = wire::to_string(mt);
     c_wire_msgs_[t] =
         &cluster_obs_.counter(std::string("wire.msgs.") + name);
     c_wire_bytes_[t] =
         &cluster_obs_.counter(std::string("wire.bytes.") + name);
+  }
+  if (decision_quorum_enabled()) {
+    c_indoubt_commits_ = &cluster_obs_.counter("txn.commits");
+    c_indoubt_aborts_ = &cluster_obs_.counter("txn.aborts");
+    c_lost_commits_ = &cluster_obs_.counter("recovery.lost_commits");
   }
   if (config_.wire_codec) {
     net_.set_frame_handler(
@@ -64,6 +78,7 @@ Cluster::Cluster(Config config)
   Log::set_sim_clock(&Cluster::sharded_now_cb, &sharded_);
   wal_counters_.resize(config_.num_nodes);
   node_spec_enabled_.assign(config_.num_nodes, 1);
+  last_restart_at_.assign(config_.num_nodes, 0);
   Rng skew_rng = master_rng_.fork(0x5c3b);
   nodes_.reserve(config_.num_nodes);
   for (NodeId id = 0; id < config_.num_nodes; ++id) {
@@ -92,6 +107,8 @@ Cluster::Cluster(Config config)
       if (ev.restart_at != kTsInfinity) {
         STR_ASSERT_MSG(ev.restart_at > ev.at,
                        "restart must come after the crash");
+        last_restart_at_[ev.node] =
+            std::max(last_restart_at_[ev.node], ev.restart_at);
         sharded_.schedule_global(
             ev.restart_at, [this, id = ev.node]() { restart_node(id); });
       }
@@ -186,9 +203,11 @@ std::unique_ptr<storage::Wal> Cluster::make_wal(const std::string& name,
 
 Cluster::QuiesceReport Cluster::quiesce_report() const {
   QuiesceReport r;
+  const Timestamp now = sharded_.current().now();
   for (const auto& n : nodes_) {
     if (!n->up()) {
       ++r.down_nodes;
+      if (last_restart_at_[n->id()] <= now) ++r.permanently_down;
       continue;
     }
     r.live_txns += n->coordinator().live_transactions();
@@ -198,7 +217,86 @@ Cluster::QuiesceReport Cluster::quiesce_report() const {
       r.orphans += actor->awaiting_decisions();
     }
   }
+  r.in_doubt = in_doubt_count();
   return r;
+}
+
+std::vector<NodeId> Cluster::decision_group(NodeId c) const {
+  std::uint32_t size = config_.protocol.durability.group_size();
+  if (size == 0) size = 1;
+  if (size > config_.num_nodes) size = config_.num_nodes;
+  std::vector<NodeId> group;
+  group.reserve(size);
+  for (std::uint32_t i = 0; i < size; ++i) {
+    group.push_back(static_cast<NodeId>((c + i) % config_.num_nodes));
+  }
+  return group;
+}
+
+void Cluster::register_in_doubt(const TxId& tx, InDoubtInfo info) {
+  std::lock_guard<std::mutex> lk(in_doubt_mu_);
+  in_doubt_.emplace(tx, std::move(info));
+}
+
+bool Cluster::resolve_in_doubt(const TxId& tx, bool committed) {
+  InDoubtInfo info;
+  {
+    std::lock_guard<std::mutex> lk(in_doubt_mu_);
+    auto it = in_doubt_.find(tx);
+    if (it == in_doubt_.end()) return false;
+    info = std::move(it->second);
+    in_doubt_.erase(it);
+  }
+  // One history event and one metrics sample per transaction, timed at the
+  // registration (crash) instant: whichever recovery path wins the race to
+  // resolve, the recorded output is identical — including across worker
+  // counts, where the winning path can differ by interleaving.
+  if (committed) {
+    if (history_ != nullptr) {
+      verify::WriteSetEvent ev;
+      ev.tx = tx;
+      ev.ts = info.commit_ts;
+      ev.at = info.reg_at;
+      ev.keys = std::move(info.keys);
+      history_->on_final_commit(ev);
+    }
+    metrics_.record_commit(info.reg_at, info.first_activation,
+                           info.externalized_at);
+    c_indoubt_commits_->inc();
+  } else {
+    if (history_ != nullptr) {
+      history_->on_abort(
+          verify::AbortEvent{tx, AbortReason::NodeCrash, info.reg_at});
+    }
+    metrics_.record_abort(info.reg_at, AbortReason::NodeCrash,
+                          info.externalized);
+    c_indoubt_aborts_->inc();
+  }
+  return true;
+}
+
+std::size_t Cluster::in_doubt_count() const {
+  std::lock_guard<std::mutex> lk(in_doubt_mu_);
+  return in_doubt_.size();
+}
+
+void Cluster::note_commit_acked(const TxId& tx) {
+  std::lock_guard<std::mutex> lk(in_doubt_mu_);
+  acked_commits_.insert(tx);
+}
+
+void Cluster::note_recovery_abort(const TxId& tx) {
+  bool lost = false;
+  {
+    std::lock_guard<std::mutex> lk(in_doubt_mu_);
+    lost = acked_commits_.count(tx) != 0;
+  }
+  if (lost && c_lost_commits_ != nullptr) {
+    STR_ERROR("lost commit: recovery aborted client-acked txn n%u#%llu",
+              static_cast<unsigned>(tx.node),
+              static_cast<unsigned long long>(tx.seq));
+    c_lost_commits_->inc();
+  }
 }
 
 void Cluster::schedule_maintenance() {

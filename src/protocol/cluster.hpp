@@ -10,6 +10,8 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -107,9 +109,12 @@ class Cluster {
 
   /// Per-message-type traffic accounting ("wire.msgs.<type>" and
   /// "wire.bytes.<type>" in the cluster registry). Called by wire::post on
-  /// every send, in both transport modes.
+  /// every send, in both transport modes. Types whose counters were never
+  /// registered (the decision-replication frames in quorum-off runs, which
+  /// can never be sent) fall through without touching the registry.
   void count_wire_message(wire::MessageType type, std::size_t bytes) {
     const auto i = static_cast<std::size_t>(type);
+    if (c_wire_msgs_[i] == nullptr) return;
     if (sharded_.parallel()) {
       // Commutative sums: totals are identical for every worker count.
       std::lock_guard<std::mutex> lk(wire_mu_);
@@ -192,14 +197,21 @@ class Cluster {
     std::size_t parked_reads = 0;      ///< readers parked behind locks
     std::size_t uncommitted_txns = 0;  ///< pre-commit locks still held
     std::size_t orphans = 0;           ///< prepared txns awaiting decisions
+    /// Crash-time in-doubt decisions recovery never resolved (quorum mode).
+    std::size_t in_doubt = 0;
     /// Nodes that are down at report time. Not part of clean() — but a
     /// chaos verdict should distinguish "quiesced" from "quiesced because
     /// half the cluster is dead and unreachable for inspection".
     std::size_t down_nodes = 0;
+    /// Subset of down_nodes with no restart scheduled in the fault plan at
+    /// or after report time: dead for good, not merely between crash and
+    /// scheduled rejoin. Quorum-mode verdicts key off this — a commit must
+    /// survive any permanent coordinator loss the quorum tolerates.
+    std::size_t permanently_down = 0;
 
     bool clean() const {
       return live_txns == 0 && parked_reads == 0 && uncommitted_txns == 0 &&
-             orphans == 0;
+             orphans == 0 && in_doubt == 0;
     }
   };
 
@@ -213,6 +225,53 @@ class Cluster {
   bool wal_enabled() const {
     return config_.protocol.durability.wal_enabled;
   }
+
+  /// True when the quorum commit point is active (docs/DURABILITY.md §8).
+  bool decision_quorum_enabled() const {
+    return config_.protocol.durability.quorum_enabled();
+  }
+
+  /// Replica group of coordinator `c`: {c, (c+1)%N, ...} up to the effective
+  /// group size (capped at the cluster size). Static — membership never
+  /// changes, which is what lets recovery census the group without a view
+  /// protocol.
+  std::vector<NodeId> decision_group(NodeId c) const;
+
+  // -- in-doubt registry (quorum mode; docs/DURABILITY.md §8) ---------------
+  //
+  // A coordinator that crashes with a decision locally durable but the
+  // quorum barrier still open can neither commit nor abort the transaction
+  // at crash time: the fate depends on which copies survive and who asks.
+  // The registry parks such transactions cluster-side; exactly one
+  // resolution (coordinator replay, participant census, or a decision
+  // reply) emits the single history event and the metrics sample, pinned at
+  // registration time so every worker count reports identical output.
+
+  struct InDoubtInfo {
+    Timestamp commit_ts = 0;
+    Timestamp reg_at = 0;  ///< crash time; resolution reports at this time
+    Timestamp first_activation = 0;
+    Timestamp externalized_at = 0;
+    bool externalized = false;
+    std::vector<Key> keys;
+  };
+
+  void register_in_doubt(const TxId& tx, InDoubtInfo info);
+
+  /// Resolve tx's parked fate exactly once. Returns true when an entry
+  /// existed (first caller); later callers are no-ops.
+  bool resolve_in_doubt(const TxId& tx, bool committed);
+
+  std::size_t in_doubt_count() const;
+
+  /// A client was acked Commit for tx (the quorum barrier completed).
+  void note_commit_acked(const TxId& tx);
+
+  /// Recovery is about to abort tx. If tx's client already saw Commit this
+  /// is a lost commit — the exact event the quorum commit point exists to
+  /// prevent; "recovery.lost_commits" counts them (always 0 when the quorum
+  /// holds).
+  void note_recovery_abort(const TxId& tx);
 
   /// Build one log for a node's partition replica or decision stream.
   /// `name` ("n3_p7.wal", "n3_decisions.wal") doubles as the file name under
@@ -260,10 +319,29 @@ class Cluster {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<char> node_spec_enabled_;
   /// Per-message-type traffic counters, indexed by wire::MessageType
-  /// (slot 0 unused). Resolved once at construction — count_wire_message
-  /// sits on the send hot path.
+  /// (slot 0 unused; decision-replication slots stay null in quorum-off
+  /// runs so the metric surface is byte-identical to older releases).
+  /// Resolved once at construction — count_wire_message sits on the send
+  /// hot path.
   std::array<obs::Counter*, wire::kNumMessageTypes> c_wire_msgs_{};
   std::array<obs::Counter*, wire::kNumMessageTypes> c_wire_bytes_{};
+
+  /// In-doubt registry + client-ack ledger (quorum mode only; both stay
+  /// empty otherwise). Mutex-guarded: registration happens inside crash
+  /// global tasks (all shards quiesced) but resolution runs from whichever
+  /// shard hosts the resolving participant.
+  mutable std::mutex in_doubt_mu_;
+  std::unordered_map<TxId, InDoubtInfo, TxIdHash> in_doubt_;
+  std::unordered_set<TxId, TxIdHash> acked_commits_;
+  /// Resolution counters, registered iff the quorum is on. txn.commits /
+  /// txn.aborts live cluster-side here (the deciding node is dead at
+  /// resolution time); merged_obs folds them into the node totals.
+  obs::Counter* c_indoubt_commits_ = nullptr;
+  obs::Counter* c_indoubt_aborts_ = nullptr;
+  obs::Counter* c_lost_commits_ = nullptr;
+  /// Latest fault-plan restart per node (0 = none scheduled), for
+  /// QuiesceReport::permanently_down.
+  std::vector<Timestamp> last_restart_at_;
 
   /// Watermark bookkeeping: per-tick candidates (tick time, min observable
   /// snapshot at that tick). A candidate only becomes the published

@@ -76,6 +76,31 @@ struct DurabilityConfig {
   /// directory where each log is mirrored to a real file (FileMedium),
   /// named <node>_p<partition>.wal / <node>_decisions.wal.
   std::string wal_dir;
+
+  /// Decision-log replication (docs/DURABILITY.md §8). 0 (the default)
+  /// keeps the single-copy commit point byte-identical to the plain WAL;
+  /// >= 1 moves the commit point to "decision durable on `decision_quorum`
+  /// copies" — the local log plus quorum-1 replica-group members, with the
+  /// fan-out ordered strictly after local durability. Requires wal_enabled.
+  std::uint32_t decision_quorum = 0;
+
+  /// Size of each coordinator's decision replica group, counting the
+  /// coordinator (nodes (c+1)%N .. wrap). 0 sizes the group to 2*quorum-1
+  /// — the quorum is then a strict majority, so the barrier survives up to
+  /// quorum-1 member losses without stalling. Never sized below the quorum.
+  std::uint32_t replica_group = 0;
+
+  /// True when the quorum commit point is active.
+  bool quorum_enabled() const { return wal_enabled && decision_quorum >= 1; }
+
+  /// Effective group size, counting the coordinator itself. The floor is
+  /// 2*quorum-1 when unconfigured: with group == quorum, one dead member
+  /// wedges every commit barrier routed through it.
+  std::uint32_t group_size() const {
+    const std::uint32_t majority = 2 * decision_quorum - 1;
+    const std::uint32_t floor = replica_group == 0 ? majority : decision_quorum;
+    return replica_group > floor ? replica_group : floor;
+  }
 };
 
 struct ProtocolConfig {

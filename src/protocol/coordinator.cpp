@@ -934,18 +934,28 @@ void Coordinator::finalize_commit(txn::TxnRecord& rec) {
   auto on_writes_durable = [this, tx, ct]() {
     txn::TxnRecord* r = find(tx);
     if (r == nullptr || r->phase != txn::TxnPhase::Committed) return;
+    auto on_decided = [this, tx, ct]() {
+      txn::TxnRecord* r2 = find(tx);
+      if (r2 == nullptr || r2->phase != txn::TxnPhase::Committed) return;
+      r2->wal_decision_end = 0;  // decision consumed; offset not live
+      // Now — and only now — the decision may answer probes.
+      decided_[tx] =
+          Decision{TxDecision::Committed, ct, node_.cluster().now()};
+      finalize_commit_apply(*r2);
+    };
+    if (rlog_ != nullptr) {
+      // Quorum commit point (docs/DURABILITY.md §8): the apply waits for
+      // the decision to be durable locally AND on quorum-1 replica-group
+      // members. The fan-out starts only after the local fsync, so a
+      // member's copy always implies this node's replay agrees.
+      r->wal_decision_end =
+          rlog_->append(tx, ct, node_.cluster().now(), std::move(on_decided));
+      return;
+    }
     wire::Buffer frame;
     storage::encode_decision(frame, tx, ct, node_.cluster().now());
     r->wal_decision_end =
-        decision_wal_->append(std::move(frame), [this, tx, ct]() {
-          txn::TxnRecord* r2 = find(tx);
-          if (r2 == nullptr || r2->phase != txn::TxnPhase::Committed) return;
-          r2->wal_decision_end = 0;  // decision consumed; offset not live
-          // Now — and only now — the decision may answer probes.
-          decided_[tx] =
-              Decision{TxDecision::Committed, ct, node_.cluster().now()};
-          finalize_commit_apply(*r2);
-        });
+        decision_wal_->append(std::move(frame), std::move(on_decided));
   };
   const TouchedPartitions groups = touched_partitions(rec);
   if (groups.local.empty()) {
@@ -1034,6 +1044,11 @@ void Coordinator::finalize_commit_apply(txn::TxnRecord& rec) {
                           1, ct});
     }
   }
+  // Quorum mode: the client is about to see Commit. Note it so a recovery
+  // path that later aborts this transaction is flagged as a lost commit.
+  if (rlog_ != nullptr && !rec.writes.empty()) {
+    cluster.note_commit_acked(rec.id);
+  }
   deliver_outcome(rec);
   erase(rec.id);
 }
@@ -1095,6 +1110,26 @@ void Coordinator::resolve_dependents_on_commit(txn::TxnRecord& rec) {
 void Coordinator::on_decision_request(DecisionRequest req) {
   ScopedLogNode log_node(node_.id());
   Cluster& cluster = node_.cluster();
+  if (cluster.decision_quorum_enabled() && req.tx.node != node_.id()) {
+    // Census probe against this node's replica copy of another
+    // coordinator's decision. A member only ever reports what its copy
+    // holds — the absence of a copy here proves nothing about the quorum,
+    // so there is no presumed-abort branch on this path.
+    DecisionReplicateAck rep;
+    rep.tx = req.tx;
+    rep.partition = req.partition;
+    rep.from = node_.id();
+    TxDecision d = TxDecision::Unknown;
+    Timestamp ct = 0;
+    if (find_decision(req.tx, &d, &ct) && d == TxDecision::Committed) {
+      rep.kind = DecisionAckKind::kCommitted;
+      rep.commit_ts = ct;
+    } else {
+      rep.kind = DecisionAckKind::kNoRecord;
+    }
+    wire::post(cluster, node_.id(), req.from, std::move(rep));
+    return;
+  }
   DecisionReply rep;
   rep.tx = req.tx;
   rep.partition = req.partition;
@@ -1121,6 +1156,57 @@ void Coordinator::on_decision_request(DecisionRequest req) {
   wire::post(cluster, node_.id(), req.from, std::move(rep));
 }
 
+void Coordinator::on_decision_replicate(const DecisionReplicate& m) {
+  ScopedLogNode log_node(node_.id());
+  Cluster& cluster = node_.cluster();
+  STR_ASSERT_MSG(decision_wal_ != nullptr,
+                 "decision replication without a decision log");
+  if (!node_.up()) return;
+  // Freeze the copy set the instant the origin dies: a census may already
+  // be counting NoRecord answers over the surviving members, and a copy
+  // materializing from a frame that was in flight at the crash would let
+  // two probes of the same round disagree. Dropping is safe — the origin
+  // fsynced before fanning out, so the decision itself is never lost, only
+  // (at worst) unreachable until the origin restarts.
+  if (!cluster.node_up(m.origin)) return;
+  // Duplicate copies (retransmits) are harmless in the log — replay
+  // overwrites the same entry — but skip the append when the copy is
+  // already durable here to keep the member log from growing per resend.
+  if (decided_committed(m.tx)) {
+    DecisionReplicateAck ack;
+    ack.tx = m.tx;
+    ack.from = node_.id();
+    ack.kind = DecisionAckKind::kAck;
+    ack.commit_ts = m.commit_ts;
+    wire::post(cluster, node_.id(), m.origin, std::move(ack));
+    return;
+  }
+  wire::Buffer frame;
+  storage::encode_decision(frame, m.tx, m.commit_ts, m.decided_at);
+  decision_wal_->append(
+      std::move(frame),
+      [this, tx = m.tx, ct = m.commit_ts, origin = m.origin]() {
+        if (!node_.up()) return;  // crashed while the copy was flushing
+        // The copy is durable: it now answers census probes and survives
+        // this node's own restart (replay_decisions rebuilds it).
+        decided_[tx] =
+            Decision{TxDecision::Committed, ct, node_.cluster().now()};
+        DecisionReplicateAck ack;
+        ack.tx = tx;
+        ack.from = node_.id();
+        ack.kind = DecisionAckKind::kAck;
+        ack.commit_ts = ct;
+        wire::post(node_.cluster(), node_.id(), origin, std::move(ack));
+      });
+}
+
+void Coordinator::on_decision_replicate_ack(const DecisionReplicateAck& m) {
+  ScopedLogNode log_node(node_.id());
+  STR_ASSERT(m.kind == DecisionAckKind::kAck);
+  if (rlog_ == nullptr || !node_.up()) return;
+  rlog_->on_ack(m.tx, m.from);
+}
+
 void Coordinator::on_crash() {
   // Abort in sorted TxId order: txns_ is an unordered_map and the abort path
   // has observable side effects (metrics, history, cascades).
@@ -1138,6 +1224,9 @@ void Coordinator::on_crash() {
   // its decision record made that prefix. Offsets of live records are valid
   // against it — compaction only rewrites an idle log, and a pending
   // decision sync keeps the log non-idle.
+  // Quorum mode: drop the ack barriers and invalidate retransmit timers
+  // before the sweep; the decisions themselves outlive the tracking.
+  if (rlog_ != nullptr) rlog_->on_crash();
   const std::uint64_t valid = decision_wal_->durable_prefix();
   for (const TxId& id : live) {
     txn::TxnRecord* rec = find(id);
@@ -1161,6 +1250,46 @@ void Coordinator::on_crash() {
 void Coordinator::crash_teardown_committed(txn::TxnRecord& rec,
                                            bool durable) {
   Cluster& cluster = node_.cluster();
+  if (durable && rlog_ != nullptr) {
+    // Quorum mode, decision locally durable, apply never ran: the quorum
+    // barrier was still open, so whether the commit point was reached
+    // depends on state this dead node cannot see (member copies, in-flight
+    // acks). Neither the single-copy rule ("durable => committed") nor
+    // presumed abort is sound here — a census over the surviving members
+    // may conclude either way. Park the fate in the cluster's in-doubt
+    // registry; exactly one recovery path (own replay, a participant
+    // census, or a decision reply) resolves it and emits the one history
+    // event. The client sees a crash abort now — standard 2PC: an
+    // unacknowledged outcome may still resolve Commit later.
+    Cluster::InDoubtInfo info;
+    info.commit_ts = rec.fc;
+    info.reg_at = cluster.now();
+    info.first_activation = rec.first_activation;
+    info.externalized_at = rec.externalized_at;
+    info.externalized = rec.externalized;
+    info.keys.reserve(rec.writes.size());
+    for (const auto& [key, value] : rec.writes) info.keys.push_back(key);
+    cluster.register_in_doubt(rec.id, std::move(info));
+    rec.phase = txn::TxnPhase::Aborted;
+    rec.abort_reason = AbortReason::NodeCrash;
+    node_.cache().abort_tx(rec.id);
+    fail_outstanding_reads(rec);
+    record_phase_timers(rec, cluster.now());
+    if (tracer_->enabled()) {
+      tracer_->emit({cluster.now(), rec.id, node_.id(),
+                     obs::TraceEventType::TxAbort,
+                     static_cast<std::uint64_t>(AbortReason::NodeCrash), 0});
+      if (rec.trace_span != 0) {
+        tracer_->emit_span(
+            {rec.trace_span, 0, rec.id, node_.id(), obs::SpanKind::Txn,
+             rec.attempt_start, cluster.now(), 0,
+             static_cast<std::uint64_t>(AbortReason::NodeCrash)});
+      }
+    }
+    deliver_outcome(rec);
+    erase(rec.id);
+    return;
+  }
   if (!durable) {
     // The decision never reached stable storage, so no ack left this node
     // and no participant can hold a commit record for it: presumed abort,
@@ -1239,6 +1368,24 @@ void Coordinator::replay_decisions() {
     STR_INFO("node %u decision log torn; recovered %llu bytes",
              static_cast<unsigned>(node_.id()),
              static_cast<unsigned long long>(scan.valid_bytes));
+  }
+  // Quorum mode: transactions that were inside their quorum barrier at the
+  // crash sit in the cluster's in-doubt registry. Our own durable decision
+  // is authoritative — the partition replay below installs the writes — so
+  // the parked commit resolves here (first resolver wins; a census that
+  // beat us to it already emitted the event). Replica copies of OTHER
+  // coordinators' decisions stay out: they resolve when a participant
+  // census actually applies the commit.
+  if (rlog_ != nullptr) {
+    std::vector<TxId> own;
+    for (const auto& [tx, d] : decided_) {
+      if (tx.node == node_.id() && d.decision == TxDecision::Committed) {
+        own.push_back(tx);
+      }
+    }
+    std::sort(own.begin(), own.end());
+    Cluster& cluster = node_.cluster();
+    for (const TxId& tx : own) cluster.resolve_in_doubt(tx, true);
   }
 }
 

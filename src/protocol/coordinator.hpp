@@ -32,6 +32,7 @@
 #include "obs/trace.hpp"
 #include "protocol/messages.hpp"
 #include "sim/coro.hpp"
+#include "storage/decision_log.hpp"
 #include "storage/wal.hpp"
 #include "store/mvstore.hpp"
 #include "txn/txn_record.hpp"
@@ -78,8 +79,20 @@ class Coordinator {
 
   /// A participant holding a prepared-but-undecided transaction of this
   /// coordinator asks for its fate. Answered from the live record, from the
-  /// durable decision log, or — with neither — as presumed abort.
+  /// durable decision log, or — with neither — as presumed abort. In quorum
+  /// mode a request for ANOTHER coordinator's transaction is a census probe
+  /// against this node's replica copy; it is answered with a
+  /// DecisionReplicateAck (kCommitted/kNoRecord) and never presumes abort.
   void on_decision_request(DecisionRequest req);
+
+  /// Replica-group member entry point: durably append a copy of the
+  /// origin's commit decision and ack once it is on stable storage
+  /// (docs/DURABILITY.md §8). Copies for a crashed origin are dropped — the
+  /// census counts a frozen copy set.
+  void on_decision_replicate(const DecisionReplicate& m);
+
+  /// Origin entry point: a member acked a durable copy (kind == kAck).
+  void on_decision_replicate_ack(const DecisionReplicateAck& m);
 
   /// Abort a transaction of this node (also called by partition actors when
   /// replicated remote pre-commits evict local speculation). `cascade_of`
@@ -106,6 +119,18 @@ class Coordinator {
   /// completing is the transaction's commit point.
   void set_decision_wal(storage::Wal* wal) { decision_wal_ = wal; }
 
+  /// Attach the quorum wrapper around the decision log (quorum mode only).
+  /// With it, the commit point moves from "local decision fsync" to
+  /// "decision durable on a quorum of the replica group".
+  void set_decision_log(storage::ReplicatedDecisionLog* rlog) {
+    rlog_ = rlog;
+  }
+
+  /// Quorum barriers still waiting on member acks (tests/quiesce).
+  std::size_t pending_quorum_barriers() const {
+    return rlog_ == nullptr ? 0 : rlog_->pending_count();
+  }
+
   /// Rebuild decided_ from the decision log (restart, before partition
   /// replay — locally-coordinated commit records are validated against it).
   void replay_decisions();
@@ -115,6 +140,19 @@ class Coordinator {
     auto it = decided_.find(tx);
     return it != decided_.end() &&
            it->second.decision == TxDecision::Committed;
+  }
+
+  /// Look up tx in decided_ (own decisions and, in quorum mode, replica
+  /// copies of other coordinators'). The census consults this on the
+  /// probing node first — self-membership and replayed copies answer
+  /// without a network hop.
+  bool find_decision(const TxId& tx, TxDecision* decision,
+                     Timestamp* commit_ts) const {
+    auto it = decided_.find(tx);
+    if (it == decided_.end()) return false;
+    if (decision != nullptr) *decision = it->second.decision;
+    if (commit_ts != nullptr) *commit_ts = it->second.commit_ts;
+    return true;
   }
 
   txn::TxnRecord* find(const TxId& tx);
@@ -289,6 +327,10 @@ class Coordinator {
   /// With it attached, decided_ stops being magically durable: a crash wipes
   /// it and replay_decisions() rebuilds exactly the synced prefix.
   storage::Wal* decision_wal_ = nullptr;
+  /// Quorum wrapper (owned by the Node); nullptr unless the quorum commit
+  /// point is on. Appends still land in decision_wal_ — this only tracks
+  /// the member-ack barrier and retransmits.
+  storage::ReplicatedDecisionLog* rlog_ = nullptr;
 };
 
 /// Thin value handle passed to workload transaction bodies.

@@ -117,4 +117,36 @@ struct DecisionReply {
   std::uint64_t tspan = 0;  ///< trace-context: sender span id (0 = untraced)
 };
 
+/// Coordinator -> replica-group member: replicate one durable commit
+/// decision (the kDecision record's fields, re-framed for the wire). The
+/// member appends the decision to its own decision log and acks once that
+/// append is durable — the quorum commit point (docs/DURABILITY.md §8).
+struct DecisionReplicate {
+  TxId tx;
+  NodeId origin = kInvalidNode;  ///< the deciding coordinator
+  Timestamp commit_ts = 0;
+  Timestamp decided_at = 0;
+  std::uint64_t tspan = 0;  ///< trace-context: sender span id (0 = untraced)
+};
+
+/// What a DecisionReplicateAck asserts. `kAck` answers a DecisionReplicate
+/// (the member's copy is durable); `kCommitted`/`kNoRecord` answer a
+/// participant's census DecisionRequest against the member's replica copy
+/// of a dead coordinator's log — a member never presumes abort, it only
+/// reports whether its copy holds the decision.
+enum class DecisionAckKind : std::uint8_t {
+  kAck,
+  kCommitted,
+  kNoRecord,
+};
+
+struct DecisionReplicateAck {
+  TxId tx;
+  PartitionId partition = kInvalidPartition;  ///< census replies only
+  NodeId from = kInvalidNode;
+  DecisionAckKind kind = DecisionAckKind::kAck;
+  Timestamp commit_ts = 0;  ///< meaningful for kAck/kCommitted
+  std::uint64_t tspan = 0;  ///< trace-context: sender span id (0 = untraced)
+};
+
 }  // namespace str::protocol

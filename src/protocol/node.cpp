@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "protocol/cluster.hpp"
+#include "wire/dispatch.hpp"
 
 namespace str::protocol {
 
@@ -20,6 +21,33 @@ Node::Node(Cluster& cluster, NodeId id, RegionId region, Timestamp clock_skew)
   decision_wal_ = cluster.make_wal(
       "n" + std::to_string(id) + "_decisions.wal", id, obs_);
   coord_.set_decision_wal(decision_wal_.get());
+  if (decision_wal_ != nullptr && cluster.decision_quorum_enabled()) {
+    // Quorum commit point (docs/DURABILITY.md §8): wrap the decision log
+    // with ack tracking over this node's static replica group. The send
+    // hook posts DecisionReplicate frames through wire::post, so the
+    // fan-out gets checksums, traffic counters, and fault injection
+    // exactly like every other message.
+    storage::ReplicatedDecisionLog::Options opts;
+    opts.quorum = cluster.config().protocol.durability.decision_quorum;
+    for (NodeId m : cluster.decision_group(id)) {
+      if (m != id) opts.members.push_back(m);
+    }
+    rlog_ = std::make_unique<storage::ReplicatedDecisionLog>(
+        cluster.sharded().shard(cluster.shard_of(id)), *decision_wal_,
+        std::move(opts),
+        [this](const TxId& tx, Timestamp commit_ts, Timestamp decided_at,
+               const std::vector<NodeId>& to) {
+          for (NodeId target : to) {
+            DecisionReplicate m;
+            m.tx = tx;
+            m.origin = id_;
+            m.commit_ts = commit_ts;
+            m.decided_at = decided_at;
+            wire::post(cluster_, id_, target, std::move(m));
+          }
+        });
+    coord_.set_decision_log(rlog_.get());
+  }
 }
 
 Timestamp Node::physical_now() const {

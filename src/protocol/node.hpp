@@ -14,6 +14,7 @@
 #include "obs/registry.hpp"
 #include "protocol/coordinator.hpp"
 #include "protocol/partition_actor.hpp"
+#include "storage/decision_log.hpp"
 #include "storage/wal.hpp"
 #include "store/cache_partition.hpp"
 
@@ -84,6 +85,10 @@ class Node {
   /// is off. Partition logs live on their actors.
   storage::Wal* decision_wal() { return decision_wal_.get(); }
 
+  /// The quorum wrapper around the decision log (docs/DURABILITY.md §8);
+  /// nullptr unless the quorum commit point is on.
+  storage::ReplicatedDecisionLog* decision_log() { return rlog_.get(); }
+
  private:
   Cluster& cluster_;
   NodeId id_;
@@ -99,6 +104,9 @@ class Node {
   /// Decision log (WAL mode): one per node, shared by no one. Created after
   /// coord_ and attached via set_decision_wal.
   std::unique_ptr<storage::Wal> decision_wal_;
+  /// Quorum wrapper (quorum mode only): tracks member acks over
+  /// decision_wal_ appends and retransmits to stragglers.
+  std::unique_ptr<storage::ReplicatedDecisionLog> rlog_;
 
   /// Partition ids sorted ascending: crash/replay touch the logs in a
   /// deterministic order (replicas_ is an unordered_map, and torn-write

@@ -383,16 +383,28 @@ void PartitionActor::orphan_check(const TxId& tx) {
   Orphan& o = it->second;
   const NodeId coordinator = o.coordinator;
   if (!cluster.node(coordinator).up()) {
-    // Perfect failure detector (docs/FAULTS.md): only after seeing the
-    // coordinator down on several consecutive probes do we presume abort
-    // unilaterally and release the pre-commit lock.
-    if (++o.down_probes >= rc.orphan_down_probes) {
+    if (cluster.decision_quorum_enabled()) {
+      // Quorum mode: the coordinator is gone but its decision — if one
+      // reached the commit point — survives on the replica group. Census
+      // the survivors instead of presuming abort unilaterally; the
+      // single-copy escape hatch below is unreachable while the quorum
+      // holds.
+      census_check(tx, o);
+      if (awaiting_decision_.find(tx) == awaiting_decision_.end()) return;
+    } else if (++o.down_probes >= rc.orphan_down_probes) {
+      // Perfect failure detector (docs/FAULTS.md): only after seeing the
+      // coordinator down on several consecutive probes do we presume abort
+      // unilaterally and release the pre-commit lock.
       c_orphan_aborts_->inc();
       apply_abort(tx);
       return;
     }
   } else {
     o.down_probes = 0;
+    // A coordinator restart invalidates any census in flight: probe it
+    // directly again (it replayed its own log and answers authoritatively).
+    o.census_pending.clear();
+    o.census_norecord_rounds = 0;
     ++o.probes;
     DecisionRequest req;
     req.tx = tx;
@@ -442,6 +454,114 @@ void PartitionActor::on_decision_reply(DecisionReply rep) {
       // The coordinator is still deciding; keep waiting (the orphan timer
       // stays armed).
       break;
+  }
+}
+
+void PartitionActor::census_check(const TxId& tx, Orphan& o) {
+  Cluster& cluster = node_.cluster();
+  const RecoveryConfig& rc = cluster.protocol().recovery;
+  // This node may itself be a group member (or hold a replayed copy):
+  // consult the local replica copy before spending a network round.
+  TxDecision d = TxDecision::Unknown;
+  Timestamp ct = 0;
+  if (node_.coordinator().find_decision(tx, &d, &ct) &&
+      d == TxDecision::Committed) {
+    cluster.resolve_in_doubt(tx, true);
+    apply_commit(tx, ct);  // erases the orphan entry
+    return;
+  }
+  // Surviving members: the group minus the dead coordinator and us.
+  std::vector<NodeId> members;
+  for (NodeId m : cluster.decision_group(o.coordinator)) {
+    if (m != o.coordinator && m != node_.id()) members.push_back(m);
+  }
+  bool all_up = true;
+  for (NodeId m : members) {
+    if (!cluster.node(m).up()) {
+      all_up = false;
+      break;
+    }
+  }
+  if (!all_up) {
+    // A member that may hold the decisive copy is unreachable: this round
+    // cannot conclude "no copy anywhere". Abandon it and stall — a
+    // permanently lost quorum shows up as a stuck orphan (an explicit
+    // quiesce leak), never as a wrong answer.
+    o.census_pending.clear();
+    return;
+  }
+  if (members.empty()) {
+    // Nothing beyond the copies already consulted can exist: vacuous
+    // rounds count like down-probes.
+    if (++o.census_norecord_rounds >= rc.orphan_down_probes) {
+      census_abort(tx);  // erases the orphan entry
+    }
+    return;
+  }
+  const bool new_round = o.census_pending.empty();
+  if (new_round) o.census_pending = members;
+  // (Re-)probe whoever has not answered this round; a lost probe or reply
+  // is recovered by the next tick re-sending to the stragglers.
+  for (NodeId m : o.census_pending) {
+    DecisionRequest req;
+    req.tx = tx;
+    req.partition = pid_;
+    req.from = node_.id();
+    if (tracer_->enabled()) {
+      const std::uint64_t pspan = tracer_->next_span_id();
+      tracer_->emit_span(
+          {pspan, 0, tx, node_.id(), obs::SpanKind::Probe, cluster.now(),
+           cluster.now(),
+           static_cast<std::uint64_t>(wire::MessageType::kDecisionRequest),
+           pid_});
+      req.tspan = pspan;
+    }
+    wire::post(cluster, node_.id(), m, std::move(req));
+  }
+}
+
+void PartitionActor::census_abort(const TxId& tx) {
+  Cluster& cluster = node_.cluster();
+  // Every surviving member answered "no copy" for enough complete rounds:
+  // the decision never reached its quorum, so the apply never ran and no
+  // client was acked — presumed abort is safe. note_recovery_abort flags
+  // the (invariant-violating) case where an ack did happen.
+  c_orphan_aborts_->inc();
+  cluster.note_recovery_abort(tx);
+  cluster.resolve_in_doubt(tx, false);
+  apply_abort(tx);
+}
+
+void PartitionActor::on_census_reply(const DecisionReplicateAck& rep) {
+  ScopedLogNode log_node(node_.id());
+  auto it = awaiting_decision_.find(rep.tx);
+  if (it == awaiting_decision_.end()) return;  // resolved meanwhile
+  Orphan& o = it->second;
+  if (tracer_->enabled()) {
+    const Timestamp now = node_.cluster().now();
+    tracer_->emit_span(
+        {tracer_->next_span_id(), rep.tspan, rep.tx, node_.id(),
+         obs::SpanKind::Handle, now, now,
+         static_cast<std::uint64_t>(wire::MessageType::kDecisionReplicateAck),
+         pid_});
+  }
+  if (rep.kind == DecisionAckKind::kCommitted) {
+    node_.cluster().resolve_in_doubt(rep.tx, true);
+    apply_commit(rep.tx, rep.commit_ts);
+    return;
+  }
+  STR_ASSERT(rep.kind == DecisionAckKind::kNoRecord);
+  // Dedup per member per round: erasing from the pending set is idempotent
+  // against duplicated deliveries and re-sent probes.
+  auto m = std::find(o.census_pending.begin(), o.census_pending.end(),
+                     rep.from);
+  if (m == o.census_pending.end()) return;
+  o.census_pending.erase(m);
+  if (!o.census_pending.empty()) return;
+  // Round complete, all NoRecord.
+  if (++o.census_norecord_rounds >=
+      node_.cluster().protocol().recovery.orphan_down_probes) {
+    census_abort(rep.tx);
   }
 }
 

@@ -100,6 +100,11 @@ class PartitionActor {
   /// Answer to an orphan probe (DecisionRequest) sent to the coordinator.
   void on_decision_reply(DecisionReply rep);
 
+  /// Answer to a census probe (DecisionRequest) sent to a replica-group
+  /// member of a dead coordinator (quorum mode; kind is kCommitted or
+  /// kNoRecord — kAck routes to the coordinator, not here).
+  void on_census_reply(const DecisionReplicateAck& rep);
+
   /// Fail-stop crash: volatile state (parked readers, tombstones, orphan
   /// probes) is lost; the store keeps committed data and prepared versions
   /// (2PC participants force-write the prepare record).
@@ -193,8 +198,26 @@ class PartitionActor {
     std::uint32_t probes = 0;       ///< DecisionRequests sent
     std::uint32_t down_probes = 0;  ///< consecutive probes finding the
                                     ///< coordinator down
+    /// Census over a dead coordinator's replica group (quorum mode).
+    /// Members yet to answer the round in flight; empty = no round open.
+    std::vector<NodeId> census_pending;
+    /// Complete rounds in which every member answered kNoRecord. Once the
+    /// origin is dead its copy set is frozen (members drop replicates from
+    /// a down origin), so NoRecord answers can never turn into copies —
+    /// the counter only needs to survive lost messages, not flapping.
+    std::uint32_t census_norecord_rounds = 0;
   };
   std::unordered_map<TxId, Orphan, TxIdHash> awaiting_decision_;
+
+  /// One census tick of orphan_check while the coordinator is down in
+  /// quorum mode: consult the local replica copy, then probe the surviving
+  /// group members; presume abort only after `orphan_down_probes` complete
+  /// all-NoRecord rounds.
+  void census_check(const TxId& tx, Orphan& o);
+
+  /// The census concluded no quorum copy exists: the decision never
+  /// reached its quorum, so no client was acked — presumed abort.
+  void census_abort(const TxId& tx);
 
   /// Convoy-effect instruments: how long reads sit parked behind
   /// pre-commit locks, and how many are parked right now.

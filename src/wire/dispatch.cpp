@@ -80,6 +80,21 @@ void deliver(Cluster& cl, NodeId to, const protocol::DecisionReply& m) {
   replica_of(cl, to, m.partition)->on_decision_reply(m);
 }
 
+void deliver(Cluster& cl, NodeId to, const protocol::DecisionReplicate& m) {
+  cl.node(to).coordinator().on_decision_replicate(m);
+}
+
+void deliver(Cluster& cl, NodeId to, const protocol::DecisionReplicateAck& m) {
+  // kAck answers the coordinator's replicate fan-out; kCommitted/kNoRecord
+  // answer a participant replica's census probe (the ack carries the
+  // probing partition so it routes back to the waiting actor).
+  if (m.kind == protocol::DecisionAckKind::kAck) {
+    cl.node(to).coordinator().on_decision_replicate_ack(m);
+    return;
+  }
+  replica_of(cl, to, m.partition)->on_census_reply(m);
+}
+
 DecodeStatus dispatch_frame(Cluster& cl, NodeId to, const std::uint8_t* data,
                             std::size_t size) {
   AnyMessage msg;
@@ -131,5 +146,9 @@ template void post<protocol::DecisionRequest>(Cluster&, NodeId, NodeId,
                                               protocol::DecisionRequest);
 template void post<protocol::DecisionReply>(Cluster&, NodeId, NodeId,
                                             protocol::DecisionReply);
+template void post<protocol::DecisionReplicate>(Cluster&, NodeId, NodeId,
+                                                protocol::DecisionReplicate);
+template void post<protocol::DecisionReplicateAck>(
+    Cluster&, NodeId, NodeId, protocol::DecisionReplicateAck);
 
 }  // namespace str::wire

@@ -49,6 +49,10 @@ void deliver(protocol::Cluster& cl, NodeId to, const protocol::AbortMessage& m);
 void deliver(protocol::Cluster& cl, NodeId to,
              const protocol::DecisionRequest& m);
 void deliver(protocol::Cluster& cl, NodeId to, const protocol::DecisionReply& m);
+void deliver(protocol::Cluster& cl, NodeId to,
+             const protocol::DecisionReplicate& m);
+void deliver(protocol::Cluster& cl, NodeId to,
+             const protocol::DecisionReplicateAck& m);
 
 /// Decode one received frame and route it. Returns kOk when the message was
 /// delivered; any other status means the frame was rejected (and the caller
@@ -85,5 +89,9 @@ extern template void post<protocol::DecisionRequest>(protocol::Cluster&, NodeId,
 extern template void post<protocol::DecisionReply>(protocol::Cluster&, NodeId,
                                                    NodeId,
                                                    protocol::DecisionReply);
+extern template void post<protocol::DecisionReplicate>(
+    protocol::Cluster&, NodeId, NodeId, protocol::DecisionReplicate);
+extern template void post<protocol::DecisionReplicateAck>(
+    protocol::Cluster&, NodeId, NodeId, protocol::DecisionReplicateAck);
 
 }  // namespace str::wire

@@ -151,6 +151,8 @@ const char* to_string(MessageType t) {
     case MessageType::kAbort: return "abort";
     case MessageType::kDecisionRequest: return "decision_request";
     case MessageType::kDecisionReply: return "decision_reply";
+    case MessageType::kDecisionReplicate: return "decision_replicate";
+    case MessageType::kDecisionReplicateAck: return "decision_replicate_ack";
   }
   return "unknown";
 }
@@ -391,6 +393,61 @@ std::size_t body_size(const protocol::DecisionReply& m) {
          varint_size(m.commit_ts) + tspan_size(m.tspan);
 }
 
+// -- DecisionReplicate --------------------------------------------------------
+
+void encode_body(Writer& w, const protocol::DecisionReplicate& m) {
+  put_txid(w, m.tx);
+  w.varint(m.origin);
+  w.varint(m.commit_ts);
+  w.varint(m.decided_at);
+  put_tspan(w, m.tspan);
+}
+
+bool decode_body(Reader& r, protocol::DecisionReplicate& m) {
+  if (!get_txid(r, m.tx)) return false;
+  if (!get_u32(r, m.origin)) return false;
+  m.commit_ts = r.varint();
+  m.decided_at = r.varint();
+  if (!r.ok()) return false;
+  return get_tspan(r, m.tspan);
+}
+
+std::size_t body_size(const protocol::DecisionReplicate& m) {
+  return txid_size(m.tx) + varint_size(m.origin) + varint_size(m.commit_ts) +
+         varint_size(m.decided_at) + tspan_size(m.tspan);
+}
+
+// -- DecisionReplicateAck -----------------------------------------------------
+
+void encode_body(Writer& w, const protocol::DecisionReplicateAck& m) {
+  put_txid(w, m.tx);
+  w.varint(m.partition);
+  w.varint(m.from);
+  w.u8(static_cast<std::uint8_t>(m.kind));
+  w.varint(m.commit_ts);
+  put_tspan(w, m.tspan);
+}
+
+bool decode_body(Reader& r, protocol::DecisionReplicateAck& m) {
+  if (!get_txid(r, m.tx)) return false;
+  if (!get_u32(r, m.partition)) return false;
+  if (!get_u32(r, m.from)) return false;
+  const std::uint8_t k = r.u8();
+  if (!r.ok() ||
+      k > static_cast<std::uint8_t>(protocol::DecisionAckKind::kNoRecord)) {
+    return false;
+  }
+  m.kind = static_cast<protocol::DecisionAckKind>(k);
+  m.commit_ts = r.varint();
+  if (!r.ok()) return false;
+  return get_tspan(r, m.tspan);
+}
+
+std::size_t body_size(const protocol::DecisionReplicateAck& m) {
+  return txid_size(m.tx) + varint_size(m.partition) + varint_size(m.from) + 1 +
+         varint_size(m.commit_ts) + tspan_size(m.tspan);
+}
+
 // -- frame decode -------------------------------------------------------------
 
 DecodeStatus decode_frame(const std::uint8_t* data, std::size_t size,
@@ -429,6 +486,10 @@ DecodeStatus decode_frame(const std::uint8_t* data, std::size_t size,
       return decode_as<protocol::DecisionRequest>(body, body_len, out);
     case MessageType::kDecisionReply:
       return decode_as<protocol::DecisionReply>(body, body_len, out);
+    case MessageType::kDecisionReplicate:
+      return decode_as<protocol::DecisionReplicate>(body, body_len, out);
+    case MessageType::kDecisionReplicateAck:
+      return decode_as<protocol::DecisionReplicateAck>(body, body_len, out);
   }
   return DecodeStatus::kBadType;
 }

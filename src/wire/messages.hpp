@@ -35,10 +35,12 @@ enum class MessageType : std::uint8_t {
   kAbort = 7,
   kDecisionRequest = 8,
   kDecisionReply = 9,
+  kDecisionReplicate = 10,
+  kDecisionReplicateAck = 11,
 };
 
 inline constexpr std::uint8_t kMinMessageType = 1;
-inline constexpr std::uint8_t kMaxMessageType = 9;
+inline constexpr std::uint8_t kMaxMessageType = 11;
 inline constexpr std::size_t kNumMessageTypes = kMaxMessageType + 1;
 
 /// snake_case name for metrics / logs ("read_request", ...).
@@ -96,6 +98,14 @@ template <>
 constexpr MessageType type_tag<protocol::DecisionReply>() {
   return MessageType::kDecisionReply;
 }
+template <>
+constexpr MessageType type_tag<protocol::DecisionReplicate>() {
+  return MessageType::kDecisionReplicate;
+}
+template <>
+constexpr MessageType type_tag<protocol::DecisionReplicateAck>() {
+  return MessageType::kDecisionReplicateAck;
+}
 
 // -- per-type body codec ------------------------------------------------------
 // encode_body appends the message fields; decode_body parses them and
@@ -111,6 +121,8 @@ void encode_body(Writer& w, const protocol::CommitMessage& m);
 void encode_body(Writer& w, const protocol::AbortMessage& m);
 void encode_body(Writer& w, const protocol::DecisionRequest& m);
 void encode_body(Writer& w, const protocol::DecisionReply& m);
+void encode_body(Writer& w, const protocol::DecisionReplicate& m);
+void encode_body(Writer& w, const protocol::DecisionReplicateAck& m);
 
 bool decode_body(Reader& r, protocol::ReadRequest& m);
 bool decode_body(Reader& r, protocol::ReadReply& m);
@@ -121,6 +133,8 @@ bool decode_body(Reader& r, protocol::CommitMessage& m);
 bool decode_body(Reader& r, protocol::AbortMessage& m);
 bool decode_body(Reader& r, protocol::DecisionRequest& m);
 bool decode_body(Reader& r, protocol::DecisionReply& m);
+bool decode_body(Reader& r, protocol::DecisionReplicate& m);
+bool decode_body(Reader& r, protocol::DecisionReplicateAck& m);
 
 std::size_t body_size(const protocol::ReadRequest& m);
 std::size_t body_size(const protocol::ReadReply& m);
@@ -131,6 +145,8 @@ std::size_t body_size(const protocol::CommitMessage& m);
 std::size_t body_size(const protocol::AbortMessage& m);
 std::size_t body_size(const protocol::DecisionRequest& m);
 std::size_t body_size(const protocol::DecisionReply& m);
+std::size_t body_size(const protocol::DecisionReplicate& m);
+std::size_t body_size(const protocol::DecisionReplicateAck& m);
 
 // -- frames -------------------------------------------------------------------
 
@@ -163,7 +179,8 @@ using AnyMessage =
                  protocol::PrepareRequest, protocol::PrepareReply,
                  protocol::ReplicateRequest, protocol::CommitMessage,
                  protocol::AbortMessage, protocol::DecisionRequest,
-                 protocol::DecisionReply>;
+                 protocol::DecisionReply, protocol::DecisionReplicate,
+                 protocol::DecisionReplicateAck>;
 
 /// Verify and open one datagram-framed message. On any status but kOk,
 /// `out` holds std::monostate. Never reads out of bounds and never throws —

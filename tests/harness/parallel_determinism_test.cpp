@@ -54,7 +54,7 @@ class Fnv {
   std::uint64_t h_ = 0xcbf29ce484222325ULL;
 };
 
-enum class Variant { kClean, kChaos, kDurable };
+enum class Variant { kClean, kChaos, kDurable, kQuorum, kQuorumChaos };
 
 struct RunResult {
   std::uint64_t fingerprint = 0;
@@ -74,7 +74,7 @@ RunResult run_variant(std::uint32_t threads, Variant variant) {
   cfg.threads = threads;
 
   Timestamp drain = sec(2);
-  if (variant == Variant::kChaos || variant == Variant::kDurable) {
+  if (variant != Variant::kClean) {
     // Crashed coordinators leave prepared participants probing on
     // second-scale timers; the drain must cover orphan recovery (the
     // experiment harness applies the same floor under a fault plan).
@@ -92,6 +92,22 @@ RunResult run_variant(std::uint32_t threads, Variant variant) {
     cfg.protocol.durability.wal_enabled = true;
     cfg.faults.storage.torn_write_prob = 0.5;
     cfg.faults.add_crash(/*node=*/2, msec(1500), /*restart_at=*/sec(3));
+  }
+  if (variant == Variant::kQuorum || variant == Variant::kQuorumChaos) {
+    // Quorum commit point: the DecisionReplicate fan-out and its acks run
+    // on the shard lattice like every other message; the in-doubt registry
+    // and census add cross-shard work that must stay worker-count
+    // invariant. The chaos flavour kills a coordinator PERMANENTLY, so the
+    // census (not a restart replay) is what resolves its participants.
+    cfg.protocol.durability.wal_enabled = true;
+    cfg.protocol.durability.decision_quorum = 2;
+  }
+  if (variant == Variant::kQuorumChaos) {
+    cfg.faults.link.drop_prob = 0.01;
+    cfg.faults.link.dup_prob = 0.01;
+    cfg.faults.link.heal_at = sec(3);
+    cfg.faults.storage.torn_write_prob = 0.5;
+    cfg.faults.add_crash(/*node=*/4, sec(1));  // permanent
   }
 
   protocol::Cluster cluster(cfg);
@@ -191,6 +207,14 @@ TEST(ParallelDeterminism, TwoAndFourWorkersAgreeUnderChaos) {
 
 TEST(ParallelDeterminism, TwoAndFourWorkersAgreeWithWal) {
   expect_worker_count_invariant(Variant::kDurable);
+}
+
+TEST(ParallelDeterminism, TwoAndFourWorkersAgreeWithQuorum) {
+  expect_worker_count_invariant(Variant::kQuorum);
+}
+
+TEST(ParallelDeterminism, TwoAndFourWorkersAgreeWithQuorumChaos) {
+  expect_worker_count_invariant(Variant::kQuorumChaos);
 }
 
 // threads=1 is the classic single queue: a distinct trajectory from the

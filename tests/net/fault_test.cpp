@@ -369,6 +369,47 @@ TEST(FaultPlanParse, FullSpecRoundTrip) {
   EXPECT_FALSE(plan.empty());
 }
 
+TEST(FaultPlanParse, CrashColonSpellingMatchesTheSpaceSpelling) {
+  // 'crash N:T[:R]' is the --crash-node spelling; both forms must parse to
+  // identical events so a CLI schedule can be pasted into a plan file.
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::parse("crash 3:5.0:8.0\ncrash 4:6.0\n", plan, error))
+      << error;
+  ASSERT_EQ(plan.crashes.size(), 2u);
+  EXPECT_EQ(plan.crashes[0].node, 3u);
+  EXPECT_EQ(plan.crashes[0].at, sec(5));
+  EXPECT_EQ(plan.crashes[0].restart_at, sec(8));
+  EXPECT_EQ(plan.crashes[1].node, 4u);
+  EXPECT_EQ(plan.crashes[1].at, sec(6));
+  EXPECT_EQ(plan.crashes[1].restart_at, kTsInfinity);
+
+  FaultPlan spaced;
+  ASSERT_TRUE(
+      FaultPlan::parse("crash 3 5.0 8.0\ncrash 4 6.0\n", spaced, error));
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(plan.crashes[i].node, spaced.crashes[i].node) << i;
+    EXPECT_EQ(plan.crashes[i].at, spaced.crashes[i].at) << i;
+    EXPECT_EQ(plan.crashes[i].restart_at, spaced.crashes[i].restart_at) << i;
+  }
+}
+
+TEST(FaultPlanParse, CrashColonSpellingRejectsMalformedFields) {
+  FaultPlan plan;
+  std::string error;
+  // Same validation as the space spelling, colon syntax included.
+  EXPECT_FALSE(FaultPlan::parse("crash 1:8:5\n", plan, error));  // restart<at
+  EXPECT_FALSE(FaultPlan::parse("crash 1:\n", plan, error));     // empty field
+  EXPECT_FALSE(FaultPlan::parse("crash :5.0\n", plan, error));
+  EXPECT_FALSE(FaultPlan::parse("crash 1:2:3:4\n", plan, error));  // 4 fields
+  EXPECT_FALSE(FaultPlan::parse("crash one:5.0\n", plan, error));
+  EXPECT_FALSE(FaultPlan::parse("crash 1:soon\n", plan, error));
+  EXPECT_FALSE(FaultPlan::parse("crash 3:5.0 junk\n", plan, error));
+  EXPECT_NE(error.find("junk"), std::string::npos) << error;
+  // Mixing the spellings on one line is malformed, not half-parsed.
+  EXPECT_FALSE(FaultPlan::parse("crash 3:5.0 8.0\n", plan, error));
+}
+
 TEST(FaultPlanParse, ErrorsCarryLineNumbers) {
   FaultPlan plan;
   std::string error;

@@ -131,6 +131,72 @@ TEST(WireE2E, PerTypeCountersSumToNetworkTotalsInBothModes) {
   }
 }
 
+TEST(WireE2E, QuorumFramesAreCountedAndSumToNetworkTotals) {
+  // Same counter-sum invariant with the quorum commit point on: the
+  // DecisionReplicate fan-out and its acks ride wire::post like every other
+  // message, so the per-type counters still account for the network totals
+  // exactly, and both new types actually move.
+  for (const bool wire : {false, true}) {
+    Cluster::Config cfg =
+        test::small_config(3, 2, ProtocolConfig::str(), msec(50), 5);
+    cfg.wire_codec = wire;
+    cfg.protocol.durability.wal_enabled = true;
+    cfg.protocol.durability.decision_quorum = 2;
+    Cluster cluster(cfg);
+    for (NodeId n = 0; n < 3; ++n) {
+      cluster.load(test::key_at(n, 1), "v0");
+    }
+    cluster.run_for(msec(10));
+    test::TxProbe w1, w2;
+    test::run_rmw(cluster, cluster.node(0).coordinator(),
+                  {test::key_at(0, 1), test::key_at(1, 1)}, "new", w1);
+    cluster.run_for(sec(2));
+    test::run_rmw(cluster, cluster.node(1).coordinator(),
+                  {test::key_at(2, 1)}, "new2", w2);
+    cluster.run_for(sec(2));
+    ASSERT_TRUE(w1.done && w2.done);
+    ASSERT_EQ(w1.result.outcome, TxOutcome::Committed);
+
+    std::uint64_t msgs = 0, bytes = 0;
+    const obs::Registry merged = cluster.merged_obs();
+    for (const auto& [name, counter] : merged.counters()) {
+      if (name.rfind("wire.msgs.", 0) == 0) msgs += counter.value();
+      if (name.rfind("wire.bytes.", 0) == 0) bytes += counter.value();
+    }
+    const net::NetworkStats& ns = cluster.network().stats();
+    EXPECT_EQ(msgs, ns.messages_sent) << "wire=" << wire;
+    EXPECT_EQ(bytes, ns.bytes_sent) << "wire=" << wire;
+    ASSERT_NE(merged.find_counter("wire.msgs.decision_replicate"), nullptr);
+    EXPECT_GT(merged.find_counter("wire.msgs.decision_replicate")->value(),
+              0u)
+        << "wire=" << wire;
+    EXPECT_GT(
+        merged.find_counter("wire.msgs.decision_replicate_ack")->value(), 0u)
+        << "wire=" << wire;
+  }
+}
+
+TEST(WireE2E, QuorumCountersAbsentWhenQuorumOff) {
+  // Differential neutrality at the metrics layer: with the quorum off, the
+  // new per-type counters must not even exist — registries are compared
+  // byte-for-byte against pre-quorum goldens.
+  Cluster::Config cfg =
+      test::small_config(3, 2, ProtocolConfig::str(), msec(50), 5);
+  cfg.wire_codec = true;
+  Cluster cluster(cfg);
+  cluster.load(test::key_at(0, 1), "v0");
+  cluster.run_for(msec(10));
+  test::TxProbe w;
+  test::run_rmw(cluster, cluster.node(0).coordinator(), {test::key_at(0, 1)},
+                "new", w);
+  cluster.run_for(sec(2));
+  ASSERT_TRUE(w.done);
+  const obs::Registry merged = cluster.merged_obs();
+  EXPECT_EQ(merged.find_counter("wire.msgs.decision_replicate"), nullptr);
+  EXPECT_EQ(merged.find_counter("wire.msgs.decision_replicate_ack"), nullptr);
+  EXPECT_EQ(merged.find_counter("recovery.lost_commits"), nullptr);
+}
+
 TEST(WireE2E, WriteResultsAreReadableThroughTheWire) {
   // Not just equal counters: a value that crossed the codec must come back
   // byte-identical to what the writer sent.

@@ -29,6 +29,17 @@ std::vector<Buffer> sample_frames() {
   rr.value = std::make_shared<Value>("value-bytes");
   rr.writer = TxId{1, 2};
   rr.version_ts = 55;
+  protocol::DecisionReplicate drep;
+  drep.tx = tx;
+  drep.origin = 3;
+  drep.commit_ts = 400;
+  drep.decided_at = 410;
+  protocol::DecisionReplicateAck dack;
+  dack.tx = tx;
+  dack.partition = 2;
+  dack.from = 5;
+  dack.kind = protocol::DecisionAckKind::kCommitted;
+  dack.commit_ts = 400;
   return {
       encode_frame(protocol::ReadRequest{tx, 3, 42, 0xabcdef, 100}),
       encode_frame(rr),
@@ -40,6 +51,8 @@ std::vector<Buffer> sample_frames() {
       encode_frame(protocol::DecisionRequest{tx, 2, 6}),
       encode_frame(protocol::DecisionReply{
           tx, 2, protocol::TxDecision::Committed, 300}),
+      encode_frame(drep),
+      encode_frame(dack),
   };
 }
 
@@ -119,7 +132,7 @@ TEST(FuzzSmoke, RandomMutationsOfValidFramesNeverCrash) {
 }
 
 TEST(FuzzSmoke, UnknownTypeTagsAreBadType) {
-  for (std::uint8_t tag : {std::uint8_t{0}, std::uint8_t{10},
+  for (std::uint8_t tag : {std::uint8_t{0}, std::uint8_t{12},
                            std::uint8_t{200}, std::uint8_t{255}}) {
     const Buffer frame = forge_frame(tag, {});
     AnyMessage out;
@@ -191,6 +204,20 @@ TEST(FuzzSmoke, OutOfRangeEnumsAreBadBody) {
   const Buffer frame2 = forge_frame(
       static_cast<std::uint8_t>(MessageType::kPrepareReply), body2);
   EXPECT_EQ(decode_frame(frame2.data(), frame2.size(), out),
+            DecodeStatus::kBadBody);
+
+  // DecisionReplicateAck.kind has three legal values; 3+ is malformed.
+  Buffer body3;
+  Writer w3(body3);
+  w3.varint(1);  // tx.node
+  w3.varint(2);  // tx.seq
+  w3.varint(0);  // partition
+  w3.varint(5);  // from
+  w3.u8(3);      // kind: out of range
+  w3.varint(0);  // commit_ts
+  const Buffer frame3 = forge_frame(
+      static_cast<std::uint8_t>(MessageType::kDecisionReplicateAck), body3);
+  EXPECT_EQ(decode_frame(frame3.data(), frame3.size(), out),
             DecodeStatus::kBadBody);
 }
 

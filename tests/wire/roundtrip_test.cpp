@@ -160,6 +160,25 @@ void expect_equal(const protocol::DecisionReply& a,
   EXPECT_EQ(a.tspan, b.tspan);
 }
 
+void expect_equal(const protocol::DecisionReplicate& a,
+                  const protocol::DecisionReplicate& b) {
+  EXPECT_TRUE(same(a.tx, b.tx));
+  EXPECT_EQ(a.origin, b.origin);
+  EXPECT_EQ(a.commit_ts, b.commit_ts);
+  EXPECT_EQ(a.decided_at, b.decided_at);
+  EXPECT_EQ(a.tspan, b.tspan);
+}
+
+void expect_equal(const protocol::DecisionReplicateAck& a,
+                  const protocol::DecisionReplicateAck& b) {
+  EXPECT_TRUE(same(a.tx, b.tx));
+  EXPECT_EQ(a.partition, b.partition);
+  EXPECT_EQ(a.from, b.from);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.commit_ts, b.commit_ts);
+  EXPECT_EQ(a.tspan, b.tspan);
+}
+
 template <class M>
 void roundtrip_many(std::uint64_t seed, M (*make)(Rng&)) {
   Rng rng(seed);
@@ -252,6 +271,31 @@ TEST(RoundTrip, DecisionReply) {
   });
 }
 
+TEST(RoundTrip, DecisionReplicate) {
+  roundtrip_many<protocol::DecisionReplicate>(0x5717aa, +[](Rng& rng) {
+    protocol::DecisionReplicate m;
+    m.tx = rand_txid(rng);
+    m.origin = rand_u32(rng);
+    m.commit_ts = rand_u64(rng);
+    m.decided_at = rand_u64(rng);
+    m.tspan = rand_u64(rng);
+    return m;
+  });
+}
+
+TEST(RoundTrip, DecisionReplicateAck) {
+  roundtrip_many<protocol::DecisionReplicateAck>(0x5717ab, +[](Rng& rng) {
+    protocol::DecisionReplicateAck m;
+    m.tx = rand_txid(rng);
+    m.partition = rand_u32(rng);
+    m.from = rand_u32(rng);
+    m.kind = static_cast<protocol::DecisionAckKind>(rng.uniform(3));
+    m.commit_ts = rand_u64(rng);
+    m.tspan = rand_u64(rng);
+    return m;
+  });
+}
+
 // -- layout pin ---------------------------------------------------------------
 
 TEST(RoundTrip, FrameLayoutIsPinned) {
@@ -305,6 +349,55 @@ TEST(RoundTrip, TraceContextLayoutIsPinned) {
   AnyMessage out;
   EXPECT_EQ(decode_frame(bad.data(), bad.size(), out),
             DecodeStatus::kBadBody);
+}
+
+TEST(RoundTrip, DecisionReplicateLayoutIsPinned) {
+  // The quorum fan-out frames are part of the stable wire format from the
+  // day they shipped: docs/WIRE.md and docs/DURABILITY.md §8 quote these
+  // bytes. Layout: txid, origin, commit_ts, decided_at varints; the tspan
+  // trailer follows the same absent-when-zero rule as every other frame.
+  protocol::DecisionReplicate m;
+  m.tx = TxId{1, 2};
+  m.origin = 3;
+  m.commit_ts = 4;
+  m.decided_at = 5;
+  const Buffer frame = encode_frame(m);
+  Buffer expected = {
+      0x0a, 0x00, 0x00, 0x00,        // rest_len = 1 + 5 (body) + 4 (cksum)
+      0x0a,                          // tag: kDecisionReplicate
+      0x01, 0x02, 0x03, 0x04, 0x05,  // tx.node, tx.seq, origin, ct, decided_at
+  };
+  const std::uint32_t ck = checksum32(expected.data() + 4, 6);
+  expected.push_back(static_cast<std::uint8_t>(ck));
+  expected.push_back(static_cast<std::uint8_t>(ck >> 8));
+  expected.push_back(static_cast<std::uint8_t>(ck >> 16));
+  expected.push_back(static_cast<std::uint8_t>(ck >> 24));
+  EXPECT_EQ(frame, expected);
+}
+
+TEST(RoundTrip, DecisionReplicateAckLayoutIsPinned) {
+  // Layout: txid, partition, from varints, a one-byte kind (the same strict
+  // enum rule as DecisionReply.decision), commit_ts varint, tspan trailer.
+  protocol::DecisionReplicateAck m;
+  m.tx = TxId{1, 2};
+  m.partition = 3;
+  m.from = 4;
+  m.kind = protocol::DecisionAckKind::kCommitted;
+  m.commit_ts = 5;
+  const Buffer frame = encode_frame(m);
+  Buffer expected = {
+      0x0b, 0x00, 0x00, 0x00,  // rest_len = 1 + 6 (body) + 4 (cksum)
+      0x0b,                    // tag: kDecisionReplicateAck
+      0x01, 0x02, 0x03, 0x04,  // tx.node, tx.seq, partition, from
+      0x01,                    // kind: kCommitted
+      0x05,                    // commit_ts
+  };
+  const std::uint32_t ck = checksum32(expected.data() + 4, 7);
+  expected.push_back(static_cast<std::uint8_t>(ck));
+  expected.push_back(static_cast<std::uint8_t>(ck >> 8));
+  expected.push_back(static_cast<std::uint8_t>(ck >> 16));
+  expected.push_back(static_cast<std::uint8_t>(ck >> 24));
+  EXPECT_EQ(frame, expected);
 }
 
 // -- size audit ---------------------------------------------------------------
@@ -371,6 +464,22 @@ TEST(RoundTrip, ExactSizesVsRetiredSizeHints) {
   EXPECT_EQ(rows[5].exact, 13u);  // abort
   EXPECT_EQ(rows[6].exact, 14u);  // decision_request
   EXPECT_EQ(rows[7].exact, 18u);  // decision_reply
+
+  // The quorum frames postdate the retired estimates (no old hint to beat);
+  // pin their exact sizes for the docs/WIRE.md audit table.
+  protocol::DecisionReplicate drep;
+  drep.tx = tx;
+  drep.origin = 6;
+  drep.commit_ts = usec(7'300'000);
+  drep.decided_at = usec(7'300'100);
+  EXPECT_EQ(frame_size(drep), 21u);  // decision_replicate
+  protocol::DecisionReplicateAck dack;
+  dack.tx = tx;
+  dack.partition = 2;
+  dack.from = 6;
+  dack.kind = protocol::DecisionAckKind::kCommitted;
+  dack.commit_ts = usec(7'300'000);
+  EXPECT_EQ(frame_size(dack), 19u);  // decision_replicate_ack
 }
 
 }  // namespace

@@ -59,6 +59,8 @@ struct Options {
   std::string wal_dir;
   double fsync_ms = 2;
   std::uint32_t wal_batch = 8;
+  std::uint32_t decision_quorum = 0;
+  std::uint32_t replica_group = 0;
 };
 
 void usage() {
@@ -109,7 +111,8 @@ void usage() {
       "                      end of the measurement window so the drain is\n"
       "                      a fault-free recovery period\n"
       "  --verify            record the history and run the SPSI checker\n"
-      "                      (exit 2 on violations, 3 on leaked state)\n"
+      "                      (exit 2 on violations, 3 on leaked state,\n"
+      "                       4 on lost client-acked commits)\n"
       "  --drain S           drain seconds after the window              [3]\n"
       "durability (docs/DURABILITY.md):\n"
       "  --wal               write-ahead log every commit decision; crashed\n"
@@ -120,7 +123,14 @@ void usage() {
       "  --fsync-ms MS       modeled fsync latency                      [2]\n"
       "  --wal-batch N       group-commit batch size                    [8]\n"
       "  --torn-write P      probability a crash mid-fsync leaves a torn\n"
-      "                      record at the log tail (replay truncates it)\n");
+      "                      record at the log tail (replay truncates it)\n"
+      "  --decision-quorum N replicate every commit decision across the\n"
+      "                      coordinator's replica group and delay the commit\n"
+      "                      point until N copies (incl. the local one) are\n"
+      "                      durable; the decision then survives permanent\n"
+      "                      coordinator loss (implies --wal)        [off]\n"
+      "  --replica-group N   decision replica-group size; defaults to the\n"
+      "                      quorum size when smaller\n");
 }
 
 /// Split "a:b:c" into its numeric fields; false on count or parse errors.
@@ -293,6 +303,23 @@ bool parse(int argc, char** argv, Options& opt) {
         return false;
       }
       opt.wal_batch = static_cast<std::uint32_t>(n);
+    } else if (arg == "--decision-quorum") {
+      if ((v = next()) == nullptr) return false;
+      const int n = std::atoi(v);
+      if (n < 1) {
+        std::fprintf(stderr, "--decision-quorum wants a positive count\n");
+        return false;
+      }
+      opt.decision_quorum = static_cast<std::uint32_t>(n);
+      opt.wal = true;
+    } else if (arg == "--replica-group") {
+      if ((v = next()) == nullptr) return false;
+      const int n = std::atoi(v);
+      if (n < 1) {
+        std::fprintf(stderr, "--replica-group wants a positive count\n");
+        return false;
+      }
+      opt.replica_group = static_cast<std::uint32_t>(n);
     } else if (arg == "--torn-write") {
       if ((v = next()) == nullptr) return false;
       const double p = std::atof(v);
@@ -410,6 +437,17 @@ int main(int argc, char** argv) {
     d.wal_dir = opt.wal_dir;
     d.fsync_latency = static_cast<Timestamp>(opt.fsync_ms * 1e3);
     d.group_commit_batch = opt.wal_batch;
+    d.decision_quorum = opt.decision_quorum;
+    d.replica_group = opt.replica_group;
+    if (d.decision_quorum > opt.nodes) {
+      std::fprintf(stderr, "--decision-quorum %u exceeds the cluster size\n",
+                   d.decision_quorum);
+      return 1;
+    }
+  }
+  if (opt.replica_group != 0 && opt.decision_quorum == 0) {
+    std::fprintf(stderr, "--replica-group requires --decision-quorum\n");
+    return 1;
   }
   cfg.total_clients = opt.clients;
   cfg.warmup = static_cast<Timestamp>(opt.warmup_s * 1e6);
@@ -441,9 +479,16 @@ int main(int argc, char** argv) {
       opt.tuner ? " tuner=on" : "", opt.wire ? " wire=on" : "",
       threads_note.c_str());
   if (opt.wal) {
-    std::fprintf(rpt, "wal: fsync=%.1fms batch=%u%s%s\n", opt.fsync_ms,
+    const std::string quorum_note =
+        opt.decision_quorum != 0
+            ? " quorum=" + std::to_string(opt.decision_quorum) + " group=" +
+                  std::to_string(
+                      cfg.cluster.protocol.durability.group_size())
+            : "";
+    std::fprintf(rpt, "wal: fsync=%.1fms batch=%u%s%s%s\n", opt.fsync_ms,
                  opt.wal_batch,
                  opt.wal_dir.empty() ? "" : (" dir=" + opt.wal_dir).c_str(),
+                 quorum_note.c_str(),
                  opt.faults.storage.any() ? " (torn-write faults on)" : "");
   }
   if (!opt.faults.empty()) {
@@ -532,8 +577,10 @@ int main(int argc, char** argv) {
         rpt,
         "\nfaults: dropped=%llu duplicated=%llu corrupted=%llu "
         "inversions=%llu\n"
-        "recovery: rpc_timeouts=%llu rpc_retries=%llu orphan_aborts=%llu\n"
-        "quiesce: live=%zu parked=%zu locks=%zu orphans=%zu down=%zu\n",
+        "recovery: rpc_timeouts=%llu rpc_retries=%llu orphan_aborts=%llu"
+        "%s\n"
+        "quiesce: live=%zu parked=%zu locks=%zu orphans=%zu in_doubt=%zu "
+        "down=%zu (perm=%zu)\n",
         static_cast<unsigned long long>(first.net_dropped),
         static_cast<unsigned long long>(first.net_duplicated),
         static_cast<unsigned long long>(first.net_corrupted),
@@ -541,9 +588,19 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(first.rpc_timeouts),
         static_cast<unsigned long long>(first.rpc_retries),
         static_cast<unsigned long long>(first.orphan_aborts),
+        opt.decision_quorum != 0
+            ? (" lost_commits=" + std::to_string(first.lost_commits)).c_str()
+            : "",
         first.quiesce.live_txns, first.quiesce.parked_reads,
         first.quiesce.uncommitted_txns, first.quiesce.orphans,
-        first.quiesce.down_nodes);
+        first.quiesce.in_doubt, first.quiesce.down_nodes,
+        first.quiesce.permanently_down);
+    if (first.lost_commits != 0) {
+      std::fprintf(stderr,
+                   "LOST COMMITS: %llu client-acked commit(s) were aborted "
+                   "by recovery\n",
+                   static_cast<unsigned long long>(first.lost_commits));
+    }
     if (opt.verify) {
       std::fprintf(rpt, "spsi: %llu violation(s)\n",
                    static_cast<unsigned long long>(violations));
@@ -561,6 +618,10 @@ int main(int argc, char** argv) {
       rc = 2;
     } else if (leaks != 0) {
       rc = 3;
+    } else if (opt.verify && first.lost_commits != 0) {
+      // A lost acked commit is a durability-contract violation even when
+      // the surviving history is SPSI-clean.
+      rc = 4;
     }
   }
   return rc;
