@@ -174,6 +174,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   if (const obs::Counter* c = merged.find_counter("recovery.lost_commits")) {
     r.lost_commits = c->value();
   }
+  if (const obs::Counter* c = merged.find_counter("transport.reconnects")) {
+    r.transport_reconnects = c->value();
+  }
+  static const std::string kResentPrefix = "wire.resent.";
+  for (const auto& [name, counter] : merged.counters()) {
+    if (name.rfind(kResentPrefix, 0) != 0) continue;
+    r.transport_resent += counter.value();
+  }
   r.quiesce = cluster.quiesce_report();
   if (config.verify) {
     // Parallel runs append history from worker threads in wall-clock order;

@@ -108,6 +108,11 @@ struct ExperimentResult {
   /// Client-acked commits that recovery later aborted (quorum mode; any
   /// nonzero value is a durability contract violation).
   std::uint64_t lost_commits = 0;
+  /// Transport-level retransmits (sum of "wire.resent.*") and connection
+  /// re-establishments — zero except in real-transport runs, where they
+  /// distinguish socket-layer recovery from protocol-level rpc_retries.
+  std::uint64_t transport_resent = 0;
+  std::uint64_t transport_reconnects = 0;
   /// End-of-run residue (live txns / parked reads / held locks / orphans).
   protocol::Cluster::QuiesceReport quiesce;
   /// SPSI violations found by the checker (empty unless config.verify and

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/assert.hpp"
+#include "net/transport/transport.hpp"
 
 namespace str::net {
 
@@ -285,6 +286,15 @@ void Network::send(NodeId from, NodeId to, UniqueFunction<void()> fn,
 void Network::send_frame(NodeId from, NodeId to,
                          std::vector<std::uint8_t> frame) {
   STR_ASSERT_MSG(frame_handler_, "send_frame without a frame handler");
+  if (transport_ != nullptr) {
+    // Real transport: the pre-flight accounting still runs (and with the
+    // empty fault plan real transports require, it makes no RNG draws), but
+    // latency, loss and delivery now belong to actual sockets. Inbound
+    // frames re-enter through deliver_frame.
+    if (!begin_send(from, to, frame.size())) return;
+    transport_->send(from, to, std::move(frame));
+    return;
+  }
   if (!begin_send(from, to, frame.size())) return;
   std::uint64_t bit_index = 0;
   if (corrupt_draw(frame.size(), bit_index)) {
@@ -293,6 +303,12 @@ void Network::send_frame(NodeId from, NodeId to,
   finish_send(from, to, [this, to, frame = std::move(frame)]() {
     if (!frame_handler_(to, frame.data(), frame.size())) count_corrupted();
   });
+}
+
+void Network::deliver_frame(NodeId to, const std::uint8_t* data,
+                            std::size_t size) {
+  STR_ASSERT_MSG(frame_handler_, "deliver_frame without a frame handler");
+  if (!frame_handler_(to, data, size)) count_corrupted();
 }
 
 }  // namespace str::net

@@ -36,6 +36,8 @@
 
 namespace str::net {
 
+class Transport;
+
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
@@ -123,6 +125,19 @@ class Network {
   /// latency timer are resolved once and updated on every send.
   void set_registry(obs::Registry* registry);
 
+  /// Attach a real transport (net/transport/). From then on send_frame
+  /// bypasses the simulated latency/fault pipeline after the pre-flight
+  /// accounting and hands the frame to the transport; inbound frames come
+  /// back through deliver_frame on the realtime driver thread. The DES path
+  /// is untouched when no transport is attached.
+  void set_transport(Transport* transport) { transport_ = transport; }
+  Transport* transport() const { return transport_; }
+
+  /// Inbound side of the real-transport path: route a reassembled frame to
+  /// `to` through the installed FrameHandler (checksum rejection counts as
+  /// corrupted, same as the DES path). Must run on the protocol thread.
+  void deliver_frame(NodeId to, const std::uint8_t* data, std::size_t size);
+
   /// Attach the region-sharded scheduler. When it is parallel, the network
   /// stripes itself by shard: per-shard jitter and fault RNG streams, per-
   /// shard delivery pools, and mailbox handoff for cross-region sends
@@ -199,6 +214,7 @@ class Network {
   std::vector<std::vector<UniqueFunction<void()>>> msg_pools_;
   std::vector<std::vector<std::uint32_t>> msg_frees_;
   sim::ShardedScheduler* sharded_ = nullptr;
+  Transport* transport_ = nullptr;
   bool striped_ = false;  ///< sharded_ attached AND parallel
   std::vector<Rng> rngs_;        ///< per-shard jitter streams (striped)
   std::vector<Rng> fault_rngs_;  ///< per-shard fault streams (striped)

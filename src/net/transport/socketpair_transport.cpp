@@ -1,0 +1,280 @@
+#include "net/transport/socketpair_transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "net/transport/conn.hpp"
+
+namespace str::net {
+
+// Threading/ownership rules (docs/TRANSPORT.md): each Loop's `conns` are
+// touched ONLY by its thread. Senders touch `pending`, the control flags
+// and `stats`, all under `mu`; the loop folds its per-iteration tallies
+// into `stats` under the same mutex. The RxHandler is always invoked with
+// no lock held, so a handler may call send() freely.
+struct SocketpairTransport::Loop {
+  NodeId self = 0;
+  int wake_r = -1;
+  int wake_w = -1;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::deque<std::vector<std::uint8_t>>> pending;  // per peer
+  bool stop = false;
+  bool pause_writes = false;
+  std::uint64_t drop_req = 0;
+  std::uint64_t drop_ack = 0;
+  TransportStats stats;
+
+  std::vector<Conn> conns;  // indexed by peer id; fd < 0 = self slot / dead
+  std::thread thread;
+};
+
+namespace {
+
+/// Permanent connection teardown: the receive residue and every queued
+/// outbound frame die with the socket (this backend has no reconnect).
+void close_conn(Conn& c, TransportStats& d) {
+  if (c.fd < 0) return;
+  ++d.disconnects;
+  if (c.assembler.mid_frame()) ++d.partial_frames_discarded;
+  c.assembler.reset();
+  d.frames_dropped += c.outq.size();
+  c.outq.clear();
+  c.head_off = 0;
+  close_fd(c.fd);
+}
+
+}  // namespace
+
+SocketpairTransport::SocketpairTransport(TransportOptions options)
+    : options_(options) {}
+
+SocketpairTransport::~SocketpairTransport() { stop(); }
+
+void SocketpairTransport::start(std::uint32_t num_nodes, RxHandler rx) {
+  STR_ASSERT_MSG(!started_, "SocketpairTransport::start called twice");
+  STR_ASSERT(num_nodes >= 1);
+  rx_ = std::move(rx);
+  loops_.reserve(num_nodes);
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->self = i;
+    loop->pending.resize(num_nodes);
+    loop->conns.assign(num_nodes, Conn(options_.max_frame_size));
+    if (!make_wakeup_pipe(loop->wake_r, loop->wake_w)) {
+      throw std::runtime_error(std::string("socketpair transport: pipe: ") +
+                               std::strerror(errno));
+    }
+    loops_.push_back(std::move(loop));
+  }
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    for (NodeId j = i + 1; j < num_nodes; ++j) {
+      int fds[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+        throw std::runtime_error(
+            std::string("socketpair transport: socketpair: ") +
+            std::strerror(errno));
+      }
+      set_nonblocking(fds[0]);
+      set_nonblocking(fds[1]);
+      loops_[i]->conns[j].fd = fds[0];
+      loops_[i]->conns[j].peer = j;
+      loops_[j]->conns[i].fd = fds[1];
+      loops_[j]->conns[i].peer = i;
+    }
+  }
+  started_ = true;
+  for (auto& loop : loops_) {
+    loop->thread = std::thread([this, l = loop.get()] { loop_main(*l); });
+  }
+}
+
+void SocketpairTransport::send(NodeId from, NodeId to,
+                               std::vector<std::uint8_t> frame) {
+  STR_ASSERT_MSG(started_, "send before start");
+  STR_ASSERT(from < loops_.size() && to < loops_.size());
+  Loop& l = *loops_[from];
+  if (from == to) {
+    // Loopback: no socket to cross. Still asynchronous from the protocol's
+    // point of view — the RxHandler lands the frame in the realtime
+    // driver's inbox, not in the middle of the caller's event.
+    {
+      std::lock_guard<std::mutex> lk(l.mu);
+      ++l.stats.frames_sent;
+      l.stats.bytes_sent += frame.size();
+      ++l.stats.frames_received;
+      l.stats.bytes_received += frame.size();
+    }
+    rx_(to, std::move(frame));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(l.mu);
+    l.pending[to].push_back(std::move(frame));
+  }
+  signal_wakeup(l.wake_w);
+}
+
+void SocketpairTransport::loop_main(Loop& l) {
+  std::vector<std::uint8_t> rbuf(kReadChunk);
+  std::vector<struct pollfd> pfds;
+  std::vector<NodeId> pfd_peer;
+  for (;;) {
+    TransportStats d;
+    bool paused = false;
+    bool do_drop = false;
+    {
+      std::unique_lock<std::mutex> lk(l.mu);
+      if (l.stop) break;
+      for (NodeId j = 0; j < l.pending.size(); ++j) {
+        auto& pq = l.pending[j];
+        while (!pq.empty()) {
+          Conn& c = l.conns[j];
+          if (c.fd < 0) {
+            ++d.frames_dropped;  // peer unreachable for good
+          } else {
+            c.outq.push_back(std::move(pq.front()));
+          }
+          pq.pop_front();
+        }
+      }
+      do_drop = l.drop_req != l.drop_ack;
+      paused = l.pause_writes;
+    }
+    if (do_drop) {
+      for (Conn& c : l.conns) close_conn(c, d);
+      std::lock_guard<std::mutex> lk(l.mu);
+      l.drop_ack = l.drop_req;
+      l.stats.add(d);
+      d = TransportStats();
+      l.cv.notify_all();
+    }
+
+    if (!paused) {
+      for (Conn& c : l.conns) {
+        if (c.fd < 0 || !c.want_write()) continue;
+        if (flush_conn(c, d.frames_sent, d.bytes_sent) == IoResult::kError) {
+          close_conn(c, d);
+        }
+      }
+    }
+
+    pfds.clear();
+    pfd_peer.clear();
+    pfds.push_back({l.wake_r, POLLIN, 0});
+    pfd_peer.push_back(kInvalidNode);
+    for (const Conn& c : l.conns) {
+      if (c.fd < 0) continue;
+      short events = POLLIN;
+      if (!paused && c.want_write()) events |= POLLOUT;
+      pfds.push_back({c.fd, events, 0});
+      pfd_peer.push_back(c.peer);
+    }
+    // Fold the tallies BEFORE blocking: poll may sleep indefinitely, and
+    // stats() must already see everything this iteration did (a queue
+    // drained into a dead connection, a final flush) while the loop idles.
+    {
+      std::lock_guard<std::mutex> lk(l.mu);
+      l.stats.add(d);
+      d = TransportStats();
+    }
+    const int rc = ::poll(pfds.data(), pfds.size(), -1);
+    if (rc < 0 && errno != EINTR) break;  // unrecoverable; stop() cleans up
+
+    if (rc > 0) {
+      if ((pfds[0].revents & POLLIN) != 0) drain_wakeup(l.wake_r);
+      for (std::size_t p = 1; p < pfds.size(); ++p) {
+        if (pfds[p].revents == 0) continue;
+        Conn& c = l.conns[pfd_peer[p]];
+        if (c.fd < 0) continue;  // closed earlier in this round
+        if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+          const IoResult r = read_conn(
+              c, rbuf.data(), rbuf.size(),
+              [&](const std::uint8_t* f, std::size_t sz) {
+                ++d.frames_received;
+                d.bytes_received += sz;
+                rx_(l.self, std::vector<std::uint8_t>(f, f + sz));
+              });
+          if (r != IoResult::kOk) {
+            close_conn(c, d);
+            continue;
+          }
+        }
+        // POLLOUT progress happens in the next iteration's flush pass.
+      }
+    }
+
+    std::lock_guard<std::mutex> lk(l.mu);
+    l.stats.add(d);
+  }
+  // stop(): drop whatever never made it out, so the counters balance.
+  TransportStats d;
+  for (Conn& c : l.conns) {
+    if (c.fd < 0) continue;
+    d.frames_dropped += c.outq.size();
+    if (c.assembler.mid_frame()) ++d.partial_frames_discarded;
+    close_fd(c.fd);
+  }
+  std::lock_guard<std::mutex> lk(l.mu);
+  for (const auto& pq : l.pending) d.frames_dropped += pq.size();
+  l.stats.add(d);
+}
+
+void SocketpairTransport::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  for (auto& loop : loops_) {
+    {
+      std::lock_guard<std::mutex> lk(loop->mu);
+      loop->stop = true;
+    }
+    signal_wakeup(loop->wake_w);
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+    close_fd(loop->wake_r);
+    close_fd(loop->wake_w);
+  }
+}
+
+TransportStats SocketpairTransport::stats() const {
+  TransportStats total;
+  for (const auto& loop : loops_) {
+    std::lock_guard<std::mutex> lk(loop->mu);
+    total.add(loop->stats);
+  }
+  return total;
+}
+
+void SocketpairTransport::debug_drop_connections(NodeId node) {
+  STR_ASSERT(node < loops_.size());
+  Loop& l = *loops_[node];
+  std::unique_lock<std::mutex> lk(l.mu);
+  const std::uint64_t req = ++l.drop_req;
+  signal_wakeup(l.wake_w);
+  l.cv.wait(lk, [&] { return l.drop_ack >= req || l.stop; });
+}
+
+void SocketpairTransport::debug_pause_writes(NodeId node, bool paused) {
+  STR_ASSERT(node < loops_.size());
+  Loop& l = *loops_[node];
+  {
+    std::lock_guard<std::mutex> lk(l.mu);
+    l.pause_writes = paused;
+  }
+  signal_wakeup(l.wake_w);
+}
+
+}  // namespace str::net

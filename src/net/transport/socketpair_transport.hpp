@@ -1,0 +1,44 @@
+// In-process backend: a full mesh of AF_UNIX stream socketpairs, one per
+// unordered node pair, each end owned by that node's loop thread. The
+// simplest transport that still exercises every stream property the wire
+// layer must survive — partial reads, coalesced bursts, kernel
+// backpressure — with none of TCP's connection lifecycle: the pairs exist
+// from start() and a lost pair stays lost (no reconnect, queued frames are
+// dropped and counted). See docs/TRANSPORT.md for the backend matrix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/transport/transport.hpp"
+
+namespace str::net {
+
+class SocketpairTransport final : public Transport {
+ public:
+  explicit SocketpairTransport(TransportOptions options = {});
+  ~SocketpairTransport() override;
+  SocketpairTransport(const SocketpairTransport&) = delete;
+  SocketpairTransport& operator=(const SocketpairTransport&) = delete;
+
+  void start(std::uint32_t num_nodes, RxHandler rx) override;
+  void send(NodeId from, NodeId to, std::vector<std::uint8_t> frame) override;
+  void stop() override;
+  TransportStats stats() const override;
+  TransportKind kind() const override { return TransportKind::kSocketpair; }
+  void debug_drop_connections(NodeId node) override;
+  void debug_pause_writes(NodeId node, bool paused) override;
+
+ private:
+  struct Loop;
+  void loop_main(Loop& loop);
+
+  TransportOptions options_;
+  RxHandler rx_;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace str::net

@@ -1,0 +1,51 @@
+// Loopback TCP backend with a full connection lifecycle: per-node listeners
+// on 127.0.0.1, one connection per ORDERED node pair (i's frames to j ride
+// the connection i initiated; j's replies ride j's own), a 4-byte
+// little-endian node-id handshake so the acceptor learns who connected,
+// nonblocking connect with capped doubling backoff, and
+// reconnect-with-resend: frames still queued when an established connection
+// breaks are re-offered on its replacement (counted per tag into
+// `resent_by_tag` → the cluster's `wire.resent.*`). Frames already handed
+// to the kernel may be lost across the break — the protocol layer's
+// timeout/retry machinery recovers those. See docs/TRANSPORT.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/transport/transport.hpp"
+
+namespace str::net {
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TransportOptions options = {});
+  ~TcpTransport() override;
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  void start(std::uint32_t num_nodes, RxHandler rx) override;
+  void send(NodeId from, NodeId to, std::vector<std::uint8_t> frame) override;
+  void stop() override;
+  TransportStats stats() const override;
+  TransportKind kind() const override { return TransportKind::kTcp; }
+  void debug_drop_connections(NodeId node) override;
+  void debug_pause_writes(NodeId node, bool paused) override;
+
+  /// Actual listen port of `node` (ephemeral ports resolve at start()).
+  std::uint16_t port_of(NodeId node) const { return ports_.at(node); }
+
+ private:
+  struct Loop;
+  void loop_main(Loop& loop);
+
+  TransportOptions options_;
+  RxHandler rx_;
+  std::vector<std::uint16_t> ports_;  // filled before any loop thread runs
+  std::vector<std::unique_ptr<Loop>> loops_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace str::net

@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "sim/realtime.hpp"
 #include "wire/dispatch.hpp"
 
 namespace str::protocol {
@@ -32,6 +33,20 @@ Cluster::Cluster(Config config)
       pmap_(config_.num_nodes, config_.partitions_per_node,
             config_.replication_factor) {
   STR_ASSERT(config_.num_nodes >= 1);
+  const bool real_tp = config_.transport != net::TransportKind::kDes;
+  if (real_tp) {
+    // str_sim rejects these up front with usage errors; the asserts catch
+    // programmatic misconfiguration in tests and embeddings.
+    STR_ASSERT_MSG(config_.threads == 1,
+                   "real transports require threads == 1");
+    STR_ASSERT_MSG(config_.faults.empty(),
+                   "real transports are incompatible with fault plans");
+    // Frames must be encoded bytes to cross a socket, and a socket can
+    // genuinely lose frames across a connection break — the protocol
+    // timeout/retry machinery is what recovers those.
+    config_.wire_codec = true;
+    config_.protocol.recovery.enabled = true;
+  }
   // Longest time a snapshot can ride the network unseen by any coordinator
   // or actor: one-way flight plus the worst clock skew (+1 so a boundary
   // arrival is still strictly inside the window).
@@ -115,9 +130,87 @@ Cluster::Cluster(Config config)
     }
   }
   schedule_maintenance();
+  if (real_tp) {
+    rt_driver_ = std::make_unique<sim::RealtimeDriver>(sharded_);
+    rt_driver_->set_deliver(
+        [this](NodeId to, std::vector<std::uint8_t> frame) {
+          net_.deliver_frame(to, frame.data(), frame.size());
+        });
+    c_transport_.frames_sent = &cluster_obs_.counter("transport.frames_sent");
+    c_transport_.bytes_sent = &cluster_obs_.counter("transport.bytes_sent");
+    c_transport_.frames_received =
+        &cluster_obs_.counter("transport.frames_received");
+    c_transport_.bytes_received =
+        &cluster_obs_.counter("transport.bytes_received");
+    c_transport_.frames_resent =
+        &cluster_obs_.counter("transport.frames_resent");
+    c_transport_.frames_dropped =
+        &cluster_obs_.counter("transport.frames_dropped");
+    c_transport_.connects = &cluster_obs_.counter("transport.connects");
+    c_transport_.reconnects = &cluster_obs_.counter("transport.reconnects");
+    c_transport_.disconnects = &cluster_obs_.counter("transport.disconnects");
+    c_transport_.partials_discarded =
+        &cluster_obs_.counter("transport.partials_discarded");
+    // Per-type retransmit siblings of wire.msgs.*, for every type that can
+    // be sent in this configuration (same slot gating as above).
+    for (std::uint8_t t = wire::kMinMessageType; t <= wire::kMaxMessageType;
+         ++t) {
+      if (c_wire_msgs_[t] == nullptr) continue;
+      c_wire_resent_[t] = &cluster_obs_.counter(
+          std::string("wire.resent.") +
+          wire::to_string(static_cast<wire::MessageType>(t)));
+    }
+    // Start last: loop threads may deliver into the driver's inbox the
+    // moment they exist, and everything they touch is set up by now.
+    transport_ = net::make_transport(config_.transport, config_.transport_opts);
+    net_.set_transport(transport_.get());
+    transport_->start(config_.num_nodes,
+                      [d = rt_driver_.get()](NodeId to,
+                                             std::vector<std::uint8_t> f) {
+                        d->enqueue(to, std::move(f));
+                      });
+  }
 }
 
-Cluster::~Cluster() { Log::clear_sim_clock(&sharded_); }
+Cluster::~Cluster() {
+  // Quiesce the loop threads before anything they touch is torn down.
+  if (transport_ != nullptr) transport_->stop();
+  Log::clear_sim_clock(&sharded_);
+}
+
+void Cluster::run_for(Timestamp duration) {
+  if (rt_driver_ != nullptr) {
+    rt_driver_->run_until(sharded_.now() + duration);
+    publish_transport_counters();
+    return;
+  }
+  sharded_.run_until(sharded_.now() + duration);
+}
+
+void Cluster::publish_transport_counters() {
+  if (transport_ == nullptr) return;
+  const net::TransportStats s = transport_->stats();
+  c_transport_.frames_sent->inc(s.frames_sent - published_.frames_sent);
+  c_transport_.bytes_sent->inc(s.bytes_sent - published_.bytes_sent);
+  c_transport_.frames_received->inc(s.frames_received -
+                                    published_.frames_received);
+  c_transport_.bytes_received->inc(s.bytes_received -
+                                   published_.bytes_received);
+  c_transport_.frames_resent->inc(s.frames_resent - published_.frames_resent);
+  c_transport_.frames_dropped->inc(s.frames_dropped -
+                                   published_.frames_dropped);
+  c_transport_.connects->inc(s.connects - published_.connects);
+  c_transport_.reconnects->inc(s.reconnects - published_.reconnects);
+  c_transport_.disconnects->inc(s.disconnects - published_.disconnects);
+  c_transport_.partials_discarded->inc(s.partial_frames_discarded -
+                                       published_.partial_frames_discarded);
+  for (std::uint8_t t = wire::kMinMessageType; t <= wire::kMaxMessageType;
+       ++t) {
+    if (c_wire_resent_[t] == nullptr) continue;
+    c_wire_resent_[t]->inc(s.resent_by_tag[t] - published_.resent_by_tag[t]);
+  }
+  published_ = s;
+}
 
 obs::Registry Cluster::merged_obs() const {
   obs::Registry merged;
@@ -129,6 +222,9 @@ obs::Registry Cluster::merged_obs() const {
 void Cluster::reset_obs() {
   cluster_obs_.reset();
   for (auto& n : nodes_) n->obs().reset();
+  // Re-baseline the delta snapshot: traffic before the cutover never
+  // reaches the zeroed counters.
+  if (transport_ != nullptr) published_ = transport_->stats();
 }
 
 void Cluster::load(Key key, Value value) {

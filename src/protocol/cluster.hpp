@@ -20,6 +20,7 @@
 #include "harness/metrics.hpp"
 #include "net/fault.hpp"
 #include "net/network.hpp"
+#include "net/transport/transport.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "net/topology.hpp"
@@ -31,6 +32,10 @@
 #include "storage/wal.hpp"
 #include "verify/history.hpp"
 #include "wire/messages.hpp"
+
+namespace str::sim {
+class RealtimeDriver;
+}
 
 namespace str::protocol {
 
@@ -56,6 +61,14 @@ class Cluster {
     /// same RNG draws and charge the same exact frame sizes to the byte
     /// counters, so a run is bit-identical across modes (docs/WIRE.md).
     bool wire_codec = false;
+    /// Real transport mode (str_sim --transport): frames travel over actual
+    /// sockets on per-node loop threads and virtual time is paced to the
+    /// wall clock (sim/realtime.hpp). Implies wire_codec and forces
+    /// recovery on (sockets can genuinely lose frames across a connection
+    /// break). Requires threads == 1 and an empty fault plan — the DES owns
+    /// determinism and fault injection; real transports own realism.
+    net::TransportKind transport = net::TransportKind::kDes;
+    net::TransportOptions transport_opts;
     /// Worker threads for region-sharded parallel simulation
     /// (docs/PERFORMANCE.md, "Sharded scheduler"). 1 (the default) runs the
     /// classic single queue, bit-identical to every release before sharding
@@ -164,9 +177,13 @@ class Cluster {
 
   /// Advance virtual time by `duration`, executing all due events. With
   /// threads>1 the calling thread doubles as worker 0 of the epoch loop.
-  void run_for(Timestamp duration) {
-    sharded_.run_until(sharded_.now() + duration);
-  }
+  /// With a real transport, virtual time is paced to the wall clock and
+  /// inbound frames are dispatched between events (sim/realtime.hpp).
+  void run_for(Timestamp duration);
+
+  /// True when frames travel over a real transport (Config::transport).
+  bool real_transport() const { return transport_ != nullptr; }
+  net::Transport* transport() { return transport_.get(); }
 
   /// Virtual time as seen by the calling context: the current shard's clock
   /// inside protocol code, the (globally agreed) clock between run_for
@@ -325,6 +342,34 @@ class Cluster {
   /// hot path.
   std::array<obs::Counter*, wire::kNumMessageTypes> c_wire_msgs_{};
   std::array<obs::Counter*, wire::kNumMessageTypes> c_wire_bytes_{};
+
+  // -- real transport (Config::transport != kDes; all null/zero otherwise) --
+  std::unique_ptr<net::Transport> transport_;
+  std::unique_ptr<sim::RealtimeDriver> rt_driver_;
+  /// Stats snapshot at the last publish (or reset_obs): the registry
+  /// counters advance by the delta, so the warmup cutover discards warmup
+  /// traffic from transport.* exactly as it does from every other counter.
+  net::TransportStats published_;
+  struct TransportCounters {
+    obs::Counter* frames_sent = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* frames_received = nullptr;
+    obs::Counter* bytes_received = nullptr;
+    obs::Counter* frames_resent = nullptr;
+    obs::Counter* frames_dropped = nullptr;
+    obs::Counter* connects = nullptr;
+    obs::Counter* reconnects = nullptr;
+    obs::Counter* disconnects = nullptr;
+    obs::Counter* partials_discarded = nullptr;
+  };
+  TransportCounters c_transport_;
+  /// Per-type transport-retransmit siblings of wire.msgs.* ("wire.resent.
+  /// <type>"), so transport-level resends are distinguishable from
+  /// protocol-level retries in --verify output. Real-transport runs only.
+  std::array<obs::Counter*, wire::kNumMessageTypes> c_wire_resent_{};
+  /// Fold the transport's stats delta since the last publish into the
+  /// cluster registry. Called after every run_for in real-transport mode.
+  void publish_transport_counters();
 
   /// In-doubt registry + client-ack ledger (quorum mode only; both stay
   /// empty otherwise). Mutex-guarded: registration happens inside crash

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "wire/assembler.hpp"
 #include "wire/messages.hpp"
 
 namespace str::wire {
@@ -219,6 +220,60 @@ TEST(FuzzSmoke, OutOfRangeEnumsAreBadBody) {
       static_cast<std::uint8_t>(MessageType::kDecisionReplicateAck), body3);
   EXPECT_EQ(decode_frame(frame3.data(), frame3.size(), out),
             DecodeStatus::kBadBody);
+}
+
+TEST(FuzzSmoke, AssemblerRandomChunkingsEmitOnlyDecodableFrames) {
+  // The transport's receive path is FrameAssembler → decode_frame. Any
+  // chunking of a valid stream (the kernel is free to split or coalesce
+  // reads arbitrarily) must emit frames the decoder accepts, in order.
+  Rng rng(0xf024);
+  const std::vector<Buffer> frames = sample_frames();
+  Buffer stream;
+  for (int i = 0; i < 50; ++i) {
+    const Buffer& f = frames[i % frames.size()];
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  for (int round = 0; round < 200; ++round) {
+    FrameAssembler a;
+    std::size_t emitted = 0;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t chunk =
+          1 + rng.uniform(std::min<std::size_t>(stream.size() - pos, 129));
+      ASSERT_TRUE(a.feed(
+          stream.data() + pos, chunk,
+          [&](const std::uint8_t* f, std::size_t sz) {
+            EXPECT_EQ(Buffer(f, f + sz), frames[emitted % frames.size()]);
+            AnyMessage out;
+            EXPECT_EQ(decode_frame(f, sz, out), DecodeStatus::kOk);
+            ++emitted;
+          }));
+      pos += chunk;
+    }
+    EXPECT_EQ(emitted, 50u) << "round " << round;
+    EXPECT_FALSE(a.mid_frame());
+  }
+}
+
+TEST(FuzzSmoke, AssemblerRandomGarbageStreamsNeverCrash) {
+  // Adversarial byte streams through the assembler: it may emit frames
+  // (decode_frame then rejects them) or latch its error, but must never
+  // read out of bounds or emit a frame whose bytes it was not fed.
+  Rng rng(0xf025);
+  for (int i = 0; i < 2000; ++i) {
+    FrameAssembler a(/*max_frame_size=*/4096);
+    bool ok = true;
+    for (int chunks = 0; ok && chunks < 16; ++chunks) {
+      Buffer buf(1 + rng.uniform(256), 0);
+      for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform(256));
+      ok = a.feed(buf.data(), buf.size(),
+                  [](const std::uint8_t* f, std::size_t sz) {
+                    AnyMessage out;
+                    decode_frame(f, sz, out);  // must not crash
+                  });
+    }
+    EXPECT_EQ(ok, !a.error());
+  }
 }
 
 TEST(FuzzSmoke, NonCanonicalTxIdNodeIsRejected) {

@@ -49,6 +49,9 @@ struct Options {
   bool uniform_topology = false;
   double wan_rtt_ms = 100;
   bool wire = false;
+  // Real transport mode (docs/TRANSPORT.md).
+  std::string transport = "des";
+  int transport_port = 0;
   // Chaos mode (see docs/FAULTS.md).
   std::string fault_plan_path;
   net::FaultPlan faults;
@@ -87,6 +90,14 @@ void usage() {
       "                 frame and decode it at delivery (wire codec mode,\n"
       "                 docs/WIRE.md); bit-identical to the default\n"
       "                 closure transport\n"
+      "  --transport T  des | socketpair | tcp (docs/TRANSPORT.md). des (the\n"
+      "                 default) is the deterministic simulator; socketpair\n"
+      "                 and tcp run the same cluster logic over real sockets\n"
+      "                 on per-node loop threads, pacing virtual time to the\n"
+      "                 wall clock (implies --wire; requires --threads 1 and\n"
+      "                 no fault directives)                        [des]\n"
+      "  --transport-port N  tcp only: node i listens on 127.0.0.1:(N+i)\n"
+      "                 instead of ephemeral ports\n"
       "  --csv PATH     append per-run metrics to a CSV file\n"
       "  --trace-out PATH    write a Chrome trace-event JSON (Perfetto /\n"
       "                      chrome://tracing loadable; first rep only;\n"
@@ -241,6 +252,17 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.faults.link.corrupt_prob = std::atof(v);
     } else if (arg == "--wire") {
       opt.wire = true;
+    } else if (arg == "--transport") {
+      if ((v = next()) == nullptr) return false;
+      opt.transport = v;
+    } else if (arg == "--transport-port") {
+      if ((v = next()) == nullptr) return false;
+      const int n = std::atoi(v);
+      if (n < 1 || n > 65535) {
+        std::fprintf(stderr, "--transport-port wants a port in [1,65535]\n");
+        return false;
+      }
+      opt.transport_port = n;
     } else if (arg == "--partition") {
       if ((v = next()) == nullptr) return false;
       std::vector<double> f;
@@ -404,6 +426,38 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::remove(probe.c_str());
   }
+  // Validate --transport combinations up front, like --wal-dir: a real
+  // transport spins up threads and sockets, so misconfigurations must die
+  // as usage errors before any of that exists.
+  net::TransportKind tkind = net::TransportKind::kDes;
+  if (!net::parse_transport(opt.transport, tkind)) {
+    std::fprintf(stderr, "--transport wants des | socketpair | tcp, got %s\n",
+                 opt.transport.c_str());
+    return 1;
+  }
+  if (tkind != net::TransportKind::kDes) {
+    if (opt.threads > 1) {
+      std::fprintf(stderr,
+                   "--transport %s requires --threads 1 (the realtime driver "
+                   "runs the protocol single-threaded; the loop threads are "
+                   "the transport's own)\n",
+                   opt.transport.c_str());
+      return 1;
+    }
+    if (!opt.faults.empty()) {
+      std::fprintf(stderr,
+                   "--transport %s is incompatible with fault directives "
+                   "(--drop-prob, --partition, --crash-node, ...): the DES "
+                   "owns deterministic fault injection; real transports get "
+                   "their faults from real sockets\n",
+                   opt.transport.c_str());
+      return 1;
+    }
+  }
+  if (opt.transport_port != 0 && tkind != net::TransportKind::kTcp) {
+    std::fprintf(stderr, "--transport-port requires --transport tcp\n");
+    return 1;
+  }
   bool ok = false;
   harness::ExperimentConfig cfg;
   cfg.cluster.num_nodes = opt.nodes;
@@ -431,6 +485,9 @@ int main(int argc, char** argv) {
   }
   cfg.cluster.faults = opt.faults;
   cfg.cluster.wire_codec = opt.wire;
+  cfg.cluster.transport = tkind;
+  cfg.cluster.transport_opts.base_port =
+      static_cast<std::uint16_t>(opt.transport_port);
   if (opt.wal) {
     auto& d = cfg.cluster.protocol.durability;
     d.wal_enabled = true;
@@ -471,13 +528,17 @@ int main(int argc, char** argv) {
       opt.trace_out == "-" || opt.metrics_out == "-" ? stderr : stdout;
   const std::string threads_note =
       opt.threads > 1 ? " threads=" + std::to_string(opt.threads) : "";
+  const std::string transport_note =
+      tkind != net::TransportKind::kDes
+          ? " transport=" + std::string(net::to_string(tkind))
+          : "";
   std::fprintf(
       rpt,
-      "workload=%s protocol=%s nodes=%u rf=%u clients=%u reps=%u%s%s%s\n",
+      "workload=%s protocol=%s nodes=%u rf=%u clients=%u reps=%u%s%s%s%s\n",
       opt.workload.c_str(), opt.protocol.c_str(), opt.nodes,
       cfg.cluster.replication_factor, opt.clients, opt.reps,
       opt.tuner ? " tuner=on" : "", opt.wire ? " wire=on" : "",
-      threads_note.c_str());
+      threads_note.c_str(), transport_note.c_str());
   if (opt.wal) {
     const std::string quorum_note =
         opt.decision_quorum != 0
@@ -496,7 +557,15 @@ int main(int argc, char** argv) {
                  opt.verify ? " (verify on)" : "");
   }
 
-  const auto agg = harness::run_replicated(cfg, factory, opt.reps);
+  harness::ReplicatedResult agg;
+  try {
+    agg = harness::run_replicated(cfg, factory, opt.reps);
+  } catch (const std::exception& e) {
+    // Real transports can fail at the OS level (a busy --transport-port,
+    // fd exhaustion); report it as a run failure, not a crash.
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  }
   std::fprintf(
       rpt,
       "throughput    %10.1f tps   (std %.1f, cv %.1f%%)\n"
@@ -573,12 +642,20 @@ int main(int argc, char** argv) {
       if (!res.quiesce.clean()) ++leaks;
     }
     const auto& first = agg.runs.front();
+    // Transport-level retransmits are a different animal from protocol-level
+    // rpc_retries: surface both side by side so a chaos verdict can tell
+    // socket recovery from timeout machinery.
+    const std::string transport_verdict =
+        tkind != net::TransportKind::kDes
+            ? " transport_resent=" + std::to_string(first.transport_resent) +
+                  " reconnects=" + std::to_string(first.transport_reconnects)
+            : "";
     std::fprintf(
         rpt,
         "\nfaults: dropped=%llu duplicated=%llu corrupted=%llu "
         "inversions=%llu\n"
         "recovery: rpc_timeouts=%llu rpc_retries=%llu orphan_aborts=%llu"
-        "%s\n"
+        "%s%s\n"
         "quiesce: live=%zu parked=%zu locks=%zu orphans=%zu in_doubt=%zu "
         "down=%zu (perm=%zu)\n",
         static_cast<unsigned long long>(first.net_dropped),
@@ -591,6 +668,7 @@ int main(int argc, char** argv) {
         opt.decision_quorum != 0
             ? (" lost_commits=" + std::to_string(first.lost_commits)).c_str()
             : "",
+        transport_verdict.c_str(),
         first.quiesce.live_txns, first.quiesce.parked_reads,
         first.quiesce.uncommitted_txns, first.quiesce.orphans,
         first.quiesce.in_doubt, first.quiesce.down_nodes,
